@@ -1,0 +1,138 @@
+// Figure 4: why graph-database sampling cannot meet millisecond SLOs.
+//
+//  (a) graph sampling dominates end-to-end GNN inference latency and
+//      exceeds the 100ms SLO on both baselines (INTER, 2-hop TopK [25,10],
+//      concurrency 200, 10-node cluster + model service);
+//  (b) P99 latency far above average (long tail);
+//  (c) single machine, sequential queries: number of traversed vertices
+//      varies >100x across seeds and latency rises with it;
+//  (d) query latency grows with hop count and cluster size ([x-node,
+//      y-hop] combinations).
+//
+// Usage: fig04_motivation [scale=2000] [seeds=2000] [requests=1500]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "util/clock.h"
+
+using namespace helios;
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  const std::uint64_t scale = bench::ScaleFromConfig(config, 2000);
+  const std::uint64_t num_seeds = static_cast<std::uint64_t>(config.GetInt("seeds", 2000));
+  const std::uint64_t requests = static_cast<std::uint64_t>(config.GetInt("requests", 1500));
+
+  const auto spec = gen::MakeInter(scale);
+  const auto plan2 = bench::PaperQuery(spec, Strategy::kTopK, 2);
+  const auto plan3 = bench::PaperQuery(spec, Strategy::kTopK, 3);
+  gen::UpdateStream stream(spec);
+  const auto updates = stream.Drain();
+  const auto [seed_type, population] = bench::PaperSeeds(spec);
+  gen::SeedGenerator seed_gen(seed_type, population, 0.0, 17);
+  const auto seeds = seed_gen.Batch(num_seeds);
+
+  // A model server with the paper's deployment shape for the e2e share.
+  gnn::SageConfig sage;
+  sage.input_dim = spec.schema.feature_dim;
+  sage.hidden_dim = 64;
+  sage.output_dim = 64;
+  gnn::ModelServer model(sage);
+
+  // ---------------------------------------------------------- (a) + (b)
+  bench::PrintHeader("Fig 4(a)/(b): sampling share of e2e latency & tail (INTER, TopK [25,10], "
+                     "conc 200)",
+                     "system        sampling_avg_ms sampling_p99_ms  e2e_avg_ms  sampling_share");
+  for (const auto& profile : {graphdb::TigerGraphProfile(), graphdb::NebulaGraphProfile()}) {
+    bench::GraphDbEmuConfig db_config;
+    db_config.nodes = 10;
+    bench::GraphDbDeployment db(plan2, profile, db_config);
+    db.IngestAll(updates);
+    const auto serve = db.EmulateServing(seeds, 200, requests);
+
+    // Model-inference cost measured on a representative sampled subgraph.
+    graphdb::MiniGraphDB& mdb = db.db();
+    util::Rng rng(3);
+    SampledSubgraph sample;
+    const auto trace = mdb.ExecuteKHop(seeds[0], plan2, rng);
+    sample.seed = trace.seed;
+    sample.layers.resize(trace.layers.size());
+    for (std::size_t d = 0; d < trace.layers.size(); ++d) {
+      for (const auto& n : trace.layers[d]) sample.layers[d].push_back({n.vertex, n.parent});
+    }
+    const auto infer_us = util::TimeIt([&] {
+      for (int i = 0; i < 32; ++i) (void)model.Infer(sample);
+    }) / 32.0;
+
+    const double sampling_avg_ms = serve.latency_us.Mean() / 1000.0;
+    const double e2e_avg_ms = sampling_avg_ms + infer_us / 1000.0 + 0.5;  // +transfer
+    std::printf("%-13s %-15.1f %-16.1f %-11.1f %.1f%%\n", profile.name.c_str(),
+                sampling_avg_ms, static_cast<double>(serve.latency_us.P99()) / 1000.0,
+                e2e_avg_ms, 100.0 * sampling_avg_ms / e2e_avg_ms);
+  }
+
+  // -------------------------------------------------------------- (c)
+  bench::PrintHeader(
+      "Fig 4(c): traversed vertices vs latency (single node, sequential, TopK [25,10])",
+      "traversed_bucket   queries   avg_latency_us   max_latency_us");
+  {
+    bench::GraphDbEmuConfig db_config;
+    db_config.nodes = 1;
+    bench::GraphDbDeployment db(plan2, graphdb::TigerGraphProfile(), db_config);
+    db.IngestAll(updates);
+    util::Rng rng(23);
+    struct Bucket {
+      std::uint64_t queries = 0;
+      double total_us = 0;
+      double max_us = 0;
+    };
+    std::map<std::uint64_t, Bucket> buckets;  // keyed by pow-of-4 bucket
+    std::uint64_t min_traversed = ~0ULL, max_traversed = 0;
+    const double visit_us = graphdb::TigerGraphProfile().per_vertex_visit_us;
+    for (const auto seed : seeds) {
+      graphdb::QueryTrace trace;
+      auto us = util::TimeIt([&] { trace = db.db().ExecuteKHop(seed, plan2, rng); });
+      if (trace.vertices_traversed == 0) continue;
+      // Charge the interpreted-engine per-visit cost the emulator charges.
+      us += static_cast<util::Micros>(static_cast<double>(trace.vertices_traversed) * visit_us);
+      min_traversed = std::min(min_traversed, trace.vertices_traversed);
+      max_traversed = std::max(max_traversed, trace.vertices_traversed);
+      std::uint64_t bucket = 1;
+      while (bucket * 4 <= trace.vertices_traversed) bucket *= 4;
+      auto& b = buckets[bucket];
+      b.queries++;
+      b.total_us += static_cast<double>(us);
+      b.max_us = std::max(b.max_us, static_cast<double>(us));
+    }
+    for (const auto& [bucket, b] : buckets) {
+      std::printf("[%8llu,%8llu)  %-8llu  %-15.1f  %.0f\n",
+                  static_cast<unsigned long long>(bucket),
+                  static_cast<unsigned long long>(bucket * 4),
+                  static_cast<unsigned long long>(b.queries), b.total_us / b.queries, b.max_us);
+    }
+    std::printf("traversed-vertex spread across seeds: %.0fx (paper: >100x)\n",
+                static_cast<double>(max_traversed) / static_cast<double>(min_traversed));
+  }
+
+  // -------------------------------------------------------------- (d)
+  bench::PrintHeader("Fig 4(d): [nodes, hops] vs query latency (TopK, conc 1)",
+                     "config      avg_ms    p99_ms");
+  struct Cfg {
+    std::uint32_t nodes;
+    int hops;
+  };
+  for (const Cfg& c : {Cfg{1, 2}, Cfg{4, 2}, Cfg{10, 2}, Cfg{4, 3}, Cfg{10, 3}}) {
+    bench::GraphDbEmuConfig db_config;
+    db_config.nodes = c.nodes;
+    const auto& plan = c.hops == 3 ? plan3 : plan2;
+    bench::GraphDbDeployment db(plan, graphdb::TigerGraphProfile(), db_config);
+    db.IngestAll(updates);
+    const auto serve = db.EmulateServing(seeds, 1, std::min<std::uint64_t>(requests, 400));
+    std::printf("[%2u,%d]      %-9.1f %-9.1f\n", c.nodes, c.hops,
+                serve.latency_us.Mean() / 1000.0,
+                static_cast<double>(serve.latency_us.P99()) / 1000.0);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 13: pre-sampling scalability on INTER.
+//   (a) scale-up: 4 sampling nodes, sampling threads per node 4 -> 16;
+//   (b) scale-out: 16 threads/node, sampling nodes 1 -> 4.
+// Paper shape: near-linear throughput growth in both dimensions, for TopK
+// and Random.
+//
+// Usage: fig13_sampling_scalability [scale=2000]
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace helios;
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  const std::uint64_t scale = bench::ScaleFromConfig(config, 2000);
+
+  const auto spec = gen::MakeInter(scale);
+  gen::UpdateStream stream(spec);
+  const auto updates = stream.Drain();
+
+  auto run = [&](Strategy strategy, std::uint32_t nodes, std::uint32_t threads) {
+    const auto plan = bench::PaperQuery(spec, strategy, 2);
+    bench::HeliosEmuConfig hc;
+    hc.sampling_nodes = nodes;
+    hc.sampling_threads = threads;
+    hc.serving_nodes = 4;
+    bench::HeliosDeployment helios(plan, hc);
+    return helios.EmulateIngestion(updates, 0).throughput_mps;
+  };
+
+  bench::PrintHeader("Fig 13(a): sampling scale-up (4 nodes, threads 4->16)",
+                     "strategy   threads   throughput_mps   speedup_vs_4");
+  for (const Strategy strategy : {Strategy::kTopK, Strategy::kRandom}) {
+    double base = 0;
+    for (const std::uint32_t threads : {4u, 8u, 16u}) {
+      const double mps = run(strategy, 4, threads);
+      if (threads == 4) base = mps;
+      std::printf("%-10s %-9u %-16.2f %.2fx\n", StrategyName(strategy), threads, mps,
+                  mps / base);
+    }
+  }
+
+  bench::PrintHeader("Fig 13(b): sampling scale-out (16 threads, nodes 1->4)",
+                     "strategy   nodes     throughput_mps   speedup_vs_1");
+  for (const Strategy strategy : {Strategy::kTopK, Strategy::kRandom}) {
+    double base = 0;
+    for (const std::uint32_t nodes : {1u, 2u, 4u}) {
+      const double mps = run(strategy, nodes, 16);
+      if (nodes == 1) base = mps;
+      std::printf("%-10s %-9u %-16.2f %.2fx\n", StrategyName(strategy), nodes, mps, mps / base);
+    }
+  }
+  std::printf("\nexpected shape: near-linear scaling in both dimensions (paper Fig 13); "
+              "paper absolute: >1.49M records/s per worker\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 18: effect of ingestion latency (eventual consistency) on online
+// GNN inference accuracy — GraphSAGE User->Item link prediction on the
+// session-structured Taobao stand-in.
+//
+// Setup: a Helios pipeline runs in-process; sampling is always current,
+// but serving-cache application of pre-sampled updates is artificially
+// delayed by D seconds (the ingestion latency under study, swept 0.25s ->
+// 3.5s at a 20k updates/s event rate). A logistic link head is trained on
+// fresh embeddings over the train prefix; accuracy is the pairwise
+// ranking accuracy (true next-click item vs an out-of-cluster negative)
+// over the held-out suffix — which covers the mid-stream interest drift,
+// so stale neighborhoods genuinely mispredict.
+//
+// Paper shape: accuracy stays close to the optimal (0-latency) case at
+// the deployed ingestion latency (~1.2s) and degrades gently with D.
+//
+// Usage: fig18_accuracy [users=1500] [clicks=30000]
+#include <cstdio>
+#include <deque>
+
+#include "bench/harness.h"
+#include "gen/taobao_sessions.h"
+
+using namespace helios;
+
+namespace {
+
+// Replays the stream with a serving-visibility delay of `delay_us` and
+// returns pairwise link-prediction accuracy over the evaluation clicks.
+double RunWithDelay(const gen::SessionTaobao& data, const QueryPlan& plan,
+                    graph::Timestamp delay_us, gnn::GraphSageEncoder& encoder,
+                    gnn::LinkPredictor* head_to_train, gnn::LinkPredictor* head_to_eval) {
+  const ShardMap map{1, 1, 1};
+  SamplingShardCore sampler(plan, map, 0, 77, {});
+  ServingCore serving(plan, 0);
+  util::Rng rng(1234);
+
+  // Messages wait here until event time passes origin + delay.
+  std::deque<std::pair<graph::Timestamp, ServingMessage>> in_flight;
+  auto flush_until = [&](graph::Timestamp now) {
+    while (!in_flight.empty() && in_flight.front().first + delay_us <= now) {
+      serving.Apply(in_flight.front().second);
+      in_flight.pop_front();
+    }
+  };
+
+  const auto& updates = data.updates();
+  const auto& clicks = data.clicks();
+  const std::size_t train_end = clicks.size() * 8 / 10;
+  // Map from click index to its position in the update stream is implicit:
+  // we walk both in lockstep by timestamp.
+  std::size_t click_idx = 0;
+  std::uint64_t correct = 0, evaluated = 0;
+
+  // Pre-extract item features (static in this generator) and embed items
+  // through the same encoder (feature-only, 0-hop) so user and item
+  // embeddings live in the same space.
+  std::unordered_map<graph::VertexId, graph::Feature> item_features;
+  for (const auto& u : updates) {
+    if (const auto* v = std::get_if<graph::VertexUpdate>(&u)) {
+      if (gen::VertexTypeOf(v->id) == 1) item_features[v->id] = v->feature;
+    }
+  }
+  std::unordered_map<graph::VertexId, std::vector<float>> item_embeddings;
+  auto embed_item = [&](graph::VertexId item) -> const std::vector<float>& {
+    auto it = item_embeddings.find(item);
+    if (it != item_embeddings.end()) return it->second;
+    SampledSubgraph sub;
+    sub.seed = item;
+    sub.layers.resize(1);
+    sub.layers[0].push_back({item, 0});
+    auto fit = item_features.find(item);
+    if (fit != item_features.end()) sub.features[item] = fit->second;
+    return item_embeddings.emplace(item, encoder.EmbedSeed(sub)).first->second;
+  };
+
+  SamplingShardCore::Outputs out;
+  for (const auto& u : updates) {
+    const graph::Timestamp now = graph::UpdateTimestamp(u);
+    // Score upcoming clicks *before* ingesting the current update (the
+    // read-after-write worst case of §7.4).
+    while (click_idx < clicks.size() && clicks[click_idx].ts <= now) {
+      const auto& click = clicks[click_idx];
+      flush_until(click.ts);
+      const bool is_train = click_idx < train_end;
+      // Evaluate/train on a subsample to bound runtime.
+      const bool selected = rng.Bernoulli(is_train ? 0.2 : 0.5);
+      if (selected) {
+        const auto sample = serving.Serve(click.src);
+        const auto zu = encoder.EmbedSeed(sample);
+        const auto zpos = embed_item(click.dst);
+        const auto zneg = embed_item(
+            data.NegativeItem(rng, data.ClusterOfItem(click.dst)));
+        if (is_train && head_to_train != nullptr) {
+          head_to_train->Train(zu, zpos, 1.f, 0.05f);
+          head_to_train->Train(zu, zneg, 0.f, 0.05f);
+        } else if (!is_train && head_to_eval != nullptr) {
+          evaluated += 2;
+          const float sp = head_to_eval->Score(zu, zpos);
+          const float sn = head_to_eval->Score(zu, zneg);
+          // Pairwise ranking with ties counting half.
+          correct += sp > sn ? 2 : (sp == sn ? 1 : 0);
+        }
+      }
+      click_idx++;
+    }
+    // Ingest; pre-sampled outputs enter the delayed in-flight queue.
+    sampler.OnGraphUpdate(u, now, out);
+    for (auto& [sew, msg] : out.to_serving) in_flight.emplace_back(now, std::move(msg));
+    // Single shard: no cross-shard deltas expected.
+    out.Clear();
+    flush_until(now);
+  }
+  return evaluated > 0 ? static_cast<double>(correct) / static_cast<double>(evaluated) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  gen::SessionTaobaoOptions options;
+  options.users = static_cast<std::uint64_t>(config.GetInt("users", 3000));
+  options.items = static_cast<std::uint64_t>(config.GetInt("items", 2000));
+  options.click_edges = static_cast<std::uint64_t>(config.GetInt("clicks", 120000));
+  options.copurchase_edges = static_cast<std::uint64_t>(config.GetInt("cop", 60000));
+  gen::SessionTaobao data(options);  // ~9.3s of stream at 20k updates/s
+
+  SamplingQuery q;
+  q.id = "taobao-link";
+  q.seed_type = 0;
+  q.hops = {{0, 10, Strategy::kTopK}, {1, 5, Strategy::kTopK}};
+  const auto plan = Decompose(q, data.schema()).value();
+
+  gnn::SageConfig sage;
+  sage.input_dim = options.feature_dim;
+  sage.hidden_dim = options.feature_dim;
+  sage.output_dim = options.feature_dim;
+  sage.num_layers = 2;
+  gnn::GraphSageEncoder encoder(sage);
+
+  // Train the logistic head once, on the zero-latency (optimal) pipeline.
+  gnn::LinkPredictor head(sage.output_dim);
+  RunWithDelay(data, plan, 0, encoder, &head, nullptr);
+
+  bench::PrintHeader("Fig 18: inference accuracy vs ingestion latency (Taobao stand-in, "
+                     "GraphSAGE link prediction, 20k updates/s)",
+                     "ingestion_latency_s   pairwise_accuracy   vs_optimal");
+  double optimal = 0;
+  for (const double delay_s : {0.0, 0.25, 0.5, 1.0, 2.0, 3.5}) {
+    const auto delay_us = static_cast<graph::Timestamp>(delay_s * 1e6);
+    const double acc = RunWithDelay(data, plan, delay_us, encoder, nullptr, &head);
+    if (delay_s == 0.0) optimal = acc;
+    std::printf("%-21.2f %-19.3f %+.3f%s\n", delay_s, acc, acc - optimal,
+                delay_s == 0.0 ? "  (optimal: strong-consistency case 1)" : "");
+  }
+  std::printf("\npaper shape: accuracy at the deployed ~1.2s ingestion latency close to the "
+              "optimal case; gentle degradation as latency grows\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 19: end-to-end online GNN inference — Helios sampling (4 sampling
+// + 6 serving nodes) feeding a TensorFlow-Serving stand-in (4 model nodes)
+// — on the INTER 2-hop query, sweeping request concurrency.
+//
+// Paper shape: up to ~17000 QPS with P99/avg below 100ms in most
+// configurations; P99 slightly exceeds 100ms only at concurrency 800
+// (client-side overload).
+//
+// Usage: fig19_online_inference [scale=2000] [requests=1500]
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace helios;
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  const std::uint64_t scale = bench::ScaleFromConfig(config, 2000);
+  const std::uint64_t requests = static_cast<std::uint64_t>(config.GetInt("requests", 1500));
+
+  const auto spec = gen::MakeInter(scale);
+  const auto plan = bench::PaperQuery(spec, Strategy::kRandom, 2);
+  gen::UpdateStream stream(spec);
+  const auto updates = stream.Drain();
+  const auto [seed_type, population] = bench::PaperSeeds(spec);
+  gen::SeedGenerator seed_gen(seed_type, population, 0.0, 17);
+  const auto seeds = seed_gen.Batch(10000);
+
+  bench::HeliosEmuConfig hc;
+  bench::HeliosDeployment helios(plan, hc);
+  helios.IngestAll(updates);
+
+  gnn::SageConfig sage;
+  sage.input_dim = spec.schema.feature_dim;
+  sage.hidden_dim = 64;
+  sage.output_dim = 64;
+  gnn::ModelServer model(sage);
+
+  bench::PrintHeader("Fig 19: online GNN inference e2e (INTER 2-hop, 4 model nodes)",
+                     "concurrency   qps        avg_ms   p99_ms");
+  for (const std::uint32_t conc : {100u, 200u, 400u, 800u}) {
+    const auto report = helios.EmulateServing(
+        seeds, conc, std::max<std::uint64_t>(requests, conc * 4ull), &model, 4);
+    std::printf("conc=%-8u %-10.0f %-8.2f %-8.2f\n", conc, report.qps,
+                report.latency_us.Mean() / 1000.0,
+                static_cast<double>(report.latency_us.P99()) / 1000.0);
+  }
+  std::printf("\npaper shape: high qps with p99/avg below ~100ms in most cases; "
+              "p99 slightly above 100ms only at the highest concurrency\n");
+  return 0;
+}

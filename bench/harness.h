@@ -1,0 +1,165 @@
+// Shared benchmark harness: deploys Helios and the MiniGraphDB baselines on
+// the discrete-event cluster emulator and measures serving / ingestion
+// behaviour under the paper's workloads.
+//
+// Philosophy (see DESIGN.md §1): all data-dependent compute is *executed*
+// — worker handlers run the real SamplingShardCore / ServingCore /
+// MiniGraphDB code and their measured wall time becomes virtual service
+// time on the emulated nodes. The emulator contributes only parallelism
+// (k-server CPU resources per node) and the wire (latency + bandwidth).
+// That is how a single-core workspace reproduces 10-node-cluster curves
+// whose *shape* is meaningful.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "gen/update_stream.h"
+#include "gen/workload.h"
+#include "gnn/graphsage.h"
+#include "graphdb/minigraphdb.h"
+#include "helios/query.h"
+#include "helios/sampling_core.h"
+#include "helios/serving_core.h"
+#include "helios/shard_map.h"
+#include "sim/sim.h"
+#include "util/config.h"
+#include "util/histogram.h"
+
+namespace helios::bench {
+
+// ---------------------------------------------------------------- reports
+
+struct ServeReport {
+  double qps = 0;                 // completed requests / virtual second
+  util::Histogram latency_us;     // per-request end-to-end latency
+  std::uint64_t requests = 0;
+  std::uint64_t missing_cells = 0;
+  std::uint64_t missing_features = 0;
+};
+
+struct IngestReport {
+  double throughput_mps = 0;      // million updates / virtual second
+  util::Histogram latency_us;     // update publish -> applied at serving
+  sim::SimTime makespan_us = 0;
+  std::uint64_t updates = 0;
+  // Per-node CPU busy time (utilization diagnostics).
+  std::vector<sim::SimTime> sampling_busy_us;
+  std::vector<sim::SimTime> serving_busy_us;
+};
+
+// ------------------------------------------------------------ deployments
+
+struct HeliosEmuConfig {
+  std::uint32_t sampling_nodes = 4;
+  std::uint32_t sampling_threads = 16;  // per node (S)
+  std::uint32_t serving_nodes = 6;
+  std::uint32_t serving_threads = 16;   // per node
+  sim::SimTime net_latency_us = 120;
+  double gbps = 10.0;
+  std::uint64_t seed = 42;
+  kv::KvOptions serving_kv;             // default memory-only
+};
+
+// A Helios deployment whose state lives in-process; the emulator replays
+// serving and ingestion flows against it.
+class HeliosDeployment {
+ public:
+  HeliosDeployment(QueryPlan plan, HeliosEmuConfig config);
+
+  const ShardMap& map() const { return map_; }
+  const HeliosEmuConfig& config() const { return config_; }
+
+  // Fast path (no timing): pushes the whole stream through the sampling
+  // pipeline and applies everything at the serving caches. Used to build
+  // state before serving-phase emulation.
+  void IngestAll(const std::vector<graph::GraphUpdate>& updates);
+
+  // Emulated ingestion of `updates`. offered_rate_mps == 0 means
+  // saturation (everything offered at t=0; throughput = capacity).
+  IngestReport EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
+                                double offered_rate_mps);
+
+  // Closed-loop serving: `concurrency` clients each keep one request in
+  // flight until `total_requests` complete. If `model` is set, responses
+  // additionally traverse a model-serving node (Fig 19). If
+  // `background_rate_mps` > 0, the serving nodes concurrently apply
+  // sample-queue updates at that aggregate rate (Fig 12: serving stability
+  // under ingestion load) drawn round-robin from `background`.
+  ServeReport EmulateServing(const std::vector<graph::VertexId>& seeds,
+                             std::uint32_t concurrency, std::uint64_t total_requests,
+                             gnn::ModelServer* model = nullptr,
+                             std::uint32_t model_nodes = 4,
+                             const std::vector<ServingMessage>* background = nullptr,
+                             double background_rate_mps = 0);
+
+  ServingCore& serving_core(std::uint32_t i) { return *serving_[i]; }
+  SamplingShardCore& shard(std::uint32_t s) { return *shards_[s]; }
+  std::uint32_t num_shards() const { return map_.TotalShards(); }
+  // Total bytes of all serving caches + total sampling-side state.
+  std::size_t ServingCacheBytes() const;
+  std::size_t SamplingStateBytes() const;
+
+ private:
+  // Routes one core's outputs in-process (used by the fast path).
+  void DrainOutputs(SamplingShardCore::Outputs& out);
+
+  QueryPlan plan_;
+  HeliosEmuConfig config_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<SamplingShardCore>> shards_;
+  std::vector<std::unique_ptr<ServingCore>> serving_;
+};
+
+struct GraphDbEmuConfig {
+  std::uint32_t nodes = 10;
+  std::uint32_t threads = 32;  // per node
+  sim::SimTime net_latency_us = 120;
+  double gbps = 10.0;
+  std::uint64_t seed = 42;
+};
+
+// A MiniGraphDB deployment: one partition per node.
+class GraphDbDeployment {
+ public:
+  GraphDbDeployment(QueryPlan plan, graphdb::CostProfile profile, GraphDbEmuConfig config);
+
+  void IngestAll(const std::vector<graph::GraphUpdate>& updates);
+  IngestReport EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
+                                double offered_rate_mps);
+  // Closed-loop ad-hoc K-hop query serving with per-hop scatter/gather.
+  ServeReport EmulateServing(const std::vector<graph::VertexId>& seeds,
+                             std::uint32_t concurrency, std::uint64_t total_requests);
+
+  graphdb::MiniGraphDB& db() { return *db_; }
+
+ private:
+  QueryPlan plan_;
+  graphdb::CostProfile profile_;
+  GraphDbEmuConfig config_;
+  std::unique_ptr<graphdb::MiniGraphDB> db_;
+};
+
+// ---------------------------------------------------------------- helpers
+
+// The Table 2 query for a dataset ("TopK" or "Random"), fan-outs [25,10]
+// (or [25,10,5] for the 3-hop INTER stress query).
+QueryPlan PaperQuery(const gen::DatasetSpec& spec, Strategy strategy, std::size_t hops = 2);
+// The seed vertex type and population of that query.
+std::pair<graph::VertexTypeId, std::uint64_t> PaperSeeds(const gen::DatasetSpec& spec);
+
+// Row printers so every bench emits uniform, paper-comparable tables.
+void PrintHeader(const std::string& title, const std::string& columns);
+void PrintServeRow(const std::string& system, const std::string& dataset,
+                   const std::string& strategy, std::uint32_t concurrency,
+                   const ServeReport& report);
+
+// Common CLI: scale=<n> (dataset scale divisor), requests=<n>, quick=1.
+std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback);
+
+}  // namespace helios::bench

@@ -1,0 +1,165 @@
+// Micro/calibration benchmarks (google-benchmark): the per-operation costs
+// that the cluster emulator's measured service times are built from.
+// Useful for sanity-checking emulated numbers and for regression-tracking
+// the hot paths.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "kv/kv_store.h"
+#include "mq/mq.h"
+
+using namespace helios;
+
+// ---------------------------------------------------------- reservoir
+
+static void BM_ReservoirOffer(benchmark::State& state) {
+  const auto strategy = static_cast<Strategy>(state.range(0));
+  const auto fanout = static_cast<std::uint32_t>(state.range(1));
+  util::Rng rng(1);
+  ReservoirCell cell(strategy, fanout);
+  graph::Timestamp ts = 0;
+  for (auto _ : state) {
+    cell.Offer({rng.Next() % 100000, ++ts, 1.0f}, rng);
+  }
+}
+BENCHMARK(BM_ReservoirOffer)
+    ->Args({0, 2})
+    ->Args({0, 25})
+    ->Args({1, 2})
+    ->Args({1, 25})
+    ->Args({2, 25});
+
+// ---------------------------------------------------------------- kv
+
+static void BM_KvPutGet(benchmark::State& state) {
+  kv::KvStore store({});
+  util::Rng rng(2);
+  std::string value(64, 'v'), out;
+  for (auto _ : state) {
+    const std::string key = "k" + std::to_string(rng.Uniform(100000));
+    store.Put(key, value);
+    benchmark::DoNotOptimize(store.Get(key, out));
+  }
+}
+BENCHMARK(BM_KvPutGet);
+
+// ---------------------------------------------------------------- mq
+
+static void BM_MqAppendPoll(benchmark::State& state) {
+  mq::Broker broker;
+  broker.CreateTopic("t", 4);
+  mq::Producer producer(broker);
+  mq::Consumer consumer(broker, "g", "t", {0, 1, 2, 3});
+  std::vector<mq::Record> out;
+  for (auto _ : state) {
+    producer.Send("t", "key", "0123456789abcdef");
+    out.clear();
+    consumer.Poll(1, out);
+  }
+}
+BENCHMARK(BM_MqAppendPoll);
+
+// ------------------------------------------------- sampling pipeline
+
+static void BM_SamplingIngestEdge(benchmark::State& state) {
+  const auto spec = gen::MakeInter(400000);
+  const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
+  SamplingShardCore core(plan, ShardMap{1, 1, 1}, 0, 1, {});
+  SamplingShardCore::Outputs out;
+  util::Rng rng(3);
+  graph::Timestamp ts = 0;
+  for (auto _ : state) {
+    graph::EdgeUpdate e{1, gen::MakeVertexId(1, rng.Uniform(10000)),
+                        gen::MakeVertexId(1, rng.Uniform(10000)), ++ts, 1.0f};
+    core.OnGraphUpdate(e, 0, out);
+    out.Clear();
+  }
+}
+BENCHMARK(BM_SamplingIngestEdge);
+
+// ----------------------------------------------------- serve assembly
+
+static void BM_ServeKHopAssembly(benchmark::State& state) {
+  const auto spec = gen::MakeInter(400000);
+  const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
+  bench::HeliosEmuConfig hc;
+  hc.sampling_nodes = 1;
+  hc.sampling_threads = 1;
+  hc.serving_nodes = 1;
+  bench::HeliosDeployment helios(plan, hc);
+  gen::UpdateStream stream(spec);
+  helios.IngestAll(stream.Drain());
+  gen::SeedGenerator seed_gen(0, spec.vertices_per_type[0], 0.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(helios.serving_core(0).Serve(seed_gen.Next()));
+  }
+}
+BENCHMARK(BM_ServeKHopAssembly);
+
+// ------------------------------------------------- ad-hoc comparison
+
+static void BM_AdHocKHop(benchmark::State& state) {
+  const auto spec = gen::MakeInter(400000);
+  const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
+  bench::GraphDbEmuConfig dc;
+  dc.nodes = 1;
+  bench::GraphDbDeployment db(plan, graphdb::TigerGraphProfile(), dc);
+  gen::UpdateStream stream(spec);
+  db.IngestAll(stream.Drain());
+  gen::SeedGenerator seed_gen(0, spec.vertices_per_type[0], 0.0, 5);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.db().ExecuteKHop(seed_gen.Next(), plan, rng));
+  }
+}
+BENCHMARK(BM_AdHocKHop);
+
+// ------------------------------------------------------------ codecs
+
+static void BM_ServingMessageCodec(benchmark::State& state) {
+  SampleUpdate su;
+  su.level = 1;
+  su.vertex = 42;
+  for (int i = 0; i < 25; ++i) su.samples.push_back({static_cast<graph::VertexId>(i), i, 1.f});
+  const auto msg = ServingMessage::Of(su);
+  ServingMessage out;
+  for (auto _ : state) {
+    const std::string bytes = EncodeServingMessage(msg);
+    benchmark::DoNotOptimize(DecodeServingMessage(bytes, out));
+  }
+}
+BENCHMARK(BM_ServingMessageCodec);
+
+// --------------------------------------------------------------- gnn
+
+static void BM_GraphSageInfer(benchmark::State& state) {
+  gnn::SageConfig config;
+  config.input_dim = 10;
+  config.hidden_dim = 64;
+  config.output_dim = 64;
+  gnn::ModelServer model(config);
+  SampledSubgraph sample;
+  sample.seed = 1;
+  sample.layers.resize(3);
+  sample.layers[0].push_back({1, 0});
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    sample.layers[1].push_back({100 + i, 0});
+    for (std::uint32_t j = 0; j < 10; ++j) {
+      sample.layers[2].push_back({1000 + i * 10 + j, i});
+    }
+  }
+  util::Rng rng(9);
+  for (const auto& layer : sample.layers) {
+    for (const auto& node : layer) {
+      graph::Feature f(10);
+      for (auto& v : f) v = static_cast<float>(rng.UniformDouble());
+      sample.features[node.vertex] = std::move(f);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Infer(sample));
+  }
+}
+BENCHMARK(BM_GraphSageInfer);
+
+BENCHMARK_MAIN();

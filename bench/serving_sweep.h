@@ -1,0 +1,62 @@
+// Shared sweep used by fig09 (throughput) and fig10 (latency): Helios vs
+// TigerGraph/NebulaGraph stand-ins on the billion-scale-benchmark stand-ins
+// (BI, INTER, FIN), TopK and Random queries, rising request concurrency.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+
+namespace helios::bench {
+
+struct SweepPoint {
+  std::string system;
+  std::string dataset;
+  std::string strategy;
+  std::uint32_t concurrency;
+  ServeReport report;
+};
+
+// Runs the full comparison; `row_cb` fires per completed point so benches
+// can stream output. Helios uses 4 sampling + 6 serving nodes, baselines
+// all 10 nodes (§7.2).
+inline void RunServingSweep(std::uint64_t scale, std::uint64_t requests,
+                            const std::vector<std::uint32_t>& concurrencies,
+                            const std::function<void(const SweepPoint&)>& row_cb) {
+  for (const auto& spec : {gen::MakeBI(scale), gen::MakeInter(scale), gen::MakeFin(scale)}) {
+    gen::UpdateStream stream(spec);
+    const auto updates = stream.Drain();
+    const auto [seed_type, population] = PaperSeeds(spec);
+    gen::SeedGenerator seed_gen(seed_type, population, 0.0, 17);
+    const auto seeds = seed_gen.Batch(10000);
+
+    for (const Strategy strategy : {Strategy::kTopK, Strategy::kRandom}) {
+      const auto plan = PaperQuery(spec, strategy, 2);
+
+      HeliosEmuConfig helios_config;  // 4 sampling + 6 serving
+      HeliosDeployment helios(plan, helios_config);
+      helios.IngestAll(updates);
+
+      GraphDbEmuConfig db_config;  // 10 nodes
+      GraphDbDeployment tiger(plan, graphdb::TigerGraphProfile(), db_config);
+      tiger.IngestAll(updates);
+      GraphDbDeployment nebula(plan, graphdb::NebulaGraphProfile(), db_config);
+      nebula.IngestAll(updates);
+
+      for (const std::uint32_t conc : concurrencies) {
+        // Keep the closed loop meaningful: several rounds per client.
+        const std::uint64_t n = std::max<std::uint64_t>(requests, conc * 4ull);
+        row_cb({"Helios", spec.name, StrategyName(strategy), conc,
+                helios.EmulateServing(seeds, conc, n)});
+        row_cb({"TigerGraph", spec.name, StrategyName(strategy), conc,
+                tiger.EmulateServing(seeds, conc, n)});
+        row_cb({"NebulaGraph", spec.name, StrategyName(strategy), conc,
+                nebula.EmulateServing(seeds, conc, n)});
+      }
+    }
+  }
+}
+
+}  // namespace helios::bench

@@ -1,0 +1,80 @@
+// Table 1 (dataset statistics) and Table 2 (sampling queries).
+//
+// Regenerates the scaled synthetic datasets, loads each into a dynamic
+// graph store and prints the measured statistics next to the published
+// Table 1 numbers (the *ratios* — edge:vertex, max:avg degree — are what
+// the generators are calibrated to preserve; absolute counts are divided
+// by `scale`). Then prints the Table 2 query set as decomposed plans.
+//
+// Usage: table1_datasets [scale=2000]
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "graph/dynamic_graph.h"
+
+using namespace helios;
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  const std::uint64_t scale = bench::ScaleFromConfig(config, 2000);
+
+  bench::PrintHeader("Table 1: Dataset Statistics (scaled 1/" + std::to_string(scale) + ")",
+                     "dataset   vertices    edges       featdim  out-deg(max/min/avg)   "
+                     "paper(V/E/maxdeg/avgdeg)");
+  for (const auto& spec : gen::AllDatasets(scale)) {
+    graph::DynamicGraphStore store(spec.schema.edge_type_names.size());
+    gen::UpdateStream stream(spec);
+    graph::GraphUpdate u;
+    while (stream.Next(u)) store.Apply(u);
+
+    // Aggregate degree stats across edge types (out-degree over all types,
+    // as Table 1 reports).
+    std::uint64_t max_deg = 0, edges = 0;
+    for (std::size_t t = 0; t < spec.schema.edge_type_names.size(); ++t) {
+      const auto s = store.ComputeDegreeStats(static_cast<graph::EdgeTypeId>(t));
+      max_deg = std::max(max_deg, s.max_out_degree);
+      edges += s.edge_count;
+    }
+    const double avg = static_cast<double>(edges) / static_cast<double>(store.vertex_count());
+    const auto paper = gen::PaperStatsFor(spec.name);
+    std::printf("%-9s %-11llu %-11llu %-8zu %llu/0/%-14.2f %.2gB/%.2gB/%g/%g\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(store.vertex_count()),
+                static_cast<unsigned long long>(edges), spec.schema.feature_dim,
+                static_cast<unsigned long long>(max_deg), avg, paper.vertices / 1e9,
+                paper.edges / 1e9, paper.max_deg, paper.avg_deg);
+  }
+
+  bench::PrintHeader("Table 2: Sampling Queries", "dataset   pattern -> decomposed one-hop plan");
+  struct Row {
+    const char* dataset;
+    const char* pattern;
+    std::size_t hops;
+  };
+  const Row rows[] = {
+      {"BI", "Person-Knows-Person-Likes-Comment", 2},
+      {"INTER", "Forum-Has-Person-Knows-Person", 2},
+      {"FIN", "Account-TransferTo-Account-TransferTo-Account", 2},
+      {"Taobao", "User-Click-Item-CoPurchase-Item", 2},
+      {"INTER", "Forum-Has-Person-Knows-Person-Knows-Person", 3},
+  };
+  auto specs = gen::AllDatasets(scale);
+  for (const auto& row : rows) {
+    const gen::DatasetSpec* spec = nullptr;
+    for (const auto& s : specs) {
+      if (s.name == row.dataset) spec = &s;
+    }
+    const auto plan = bench::PaperQuery(*spec, Strategy::kTopK, row.hops);
+    std::printf("%-9s %s\n          fan-outs [", row.dataset, row.pattern);
+    for (std::size_t k = 0; k < plan.one_hop.size(); ++k) {
+      std::printf("%s%u", k ? "," : "", plan.one_hop[k].fanout);
+    }
+    std::printf("]  ->");
+    for (const auto& q : plan.one_hop) {
+      std::printf(" Q%u(%s on %s)", q.hop, StrategyName(q.strategy),
+                  spec->schema.edge_type_names[q.edge_type].c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

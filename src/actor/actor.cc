@@ -1,0 +1,133 @@
+#include "actor/actor.h"
+
+#include <chrono>
+#include <thread>
+
+namespace helios::actor {
+
+bool Actor::Tell(std::function<void()> fn) {
+  if (system_ == nullptr || system_->shutting_down()) return false;
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_mutex_);
+    if (stopped_) return false;
+    mailbox_.push_back(std::move(fn));
+    if (!scheduled_) {
+      scheduled_ = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) {
+    system_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (!pool_->Submit([this] { DrainSome(); })) {
+      // Pool already shut down: undo the scheduling claim.
+      system_->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      std::lock_guard<std::mutex> lock(mailbox_mutex_);
+      scheduled_ = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Actor::MailboxDepth() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mailbox_mutex_));
+  return mailbox_.size();
+}
+
+void Actor::DrainSome() {
+  std::size_t budget = kSliceBudget;
+  while (budget > 0) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mutex_);
+      if (mailbox_.empty()) {
+        scheduled_ = false;
+        system_->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
+      fn = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    fn();
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    --budget;
+  }
+  // Budget exhausted but mailbox non-empty: reschedule so peers on this
+  // pool get a turn. If the pool is gone we are shutting down; the system's
+  // Shutdown drains remaining messages synchronously.
+  if (!pool_->Submit([this] { DrainSome(); })) {
+    std::lock_guard<std::mutex> lock(mailbox_mutex_);
+    scheduled_ = false;
+    system_->in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+ActorSystem::~ActorSystem() { Shutdown(); }
+
+util::Status ActorSystem::AddPool(const std::string& name, std::size_t num_threads) {
+  if (num_threads == 0) return util::Status::InvalidArgument("pool needs >= 1 thread");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pools_.count(name)) return util::Status::AlreadyExists("pool exists: " + name);
+  pools_.emplace(name, std::make_unique<util::ThreadPool>(name, num_threads));
+  return util::Status::Ok();
+}
+
+util::Status ActorSystem::Attach(const std::shared_ptr<Actor>& actor, const std::string& pool) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pools_.find(pool);
+  if (it == pools_.end()) return util::Status::NotFound("no such pool: " + pool);
+  if (actor->system_ != nullptr) return util::Status::FailedPrecondition("actor already attached");
+  actor->system_ = this;
+  actor->pool_ = it->second.get();
+  actors_.push_back(actor);
+  return util::Status::Ok();
+}
+
+void ActorSystem::Shutdown() {
+  bool expected = false;
+  if (!shutting_down_.compare_exchange_strong(expected, true)) return;
+
+  std::vector<std::shared_ptr<Actor>> actors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    actors = actors_;
+  }
+  // Stop pools first (drains queued slices), then drain leftover mailbox
+  // entries synchronously so no message is silently dropped.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, pool] : pools_) pool->Shutdown();
+  }
+  for (auto& actor : actors) {
+    std::deque<std::function<void()>> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(actor->mailbox_mutex_);
+      leftovers.swap(actor->mailbox_);
+      actor->stopped_ = true;
+    }
+    for (auto& fn : leftovers) {
+      fn();
+      actor->processed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ActorSystem::Quiesce() const {
+  while (true) {
+    if (in_flight_.load(std::memory_order_acquire) == 0) {
+      bool all_empty = true;
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& actor : actors_) {
+        if (actor->MailboxDepth() != 0) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (all_empty) return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace helios::actor

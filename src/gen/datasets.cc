@@ -1,0 +1,110 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+
+namespace helios::gen {
+
+std::uint64_t DatasetSpec::TotalVertices() const {
+  std::uint64_t n = 0;
+  for (auto v : vertices_per_type) n += v;
+  return n;
+}
+
+std::uint64_t DatasetSpec::TotalEdges() const {
+  std::uint64_t n = 0;
+  for (const auto& e : edge_streams) n += e.count;
+  return n;
+}
+
+PaperStats PaperStatsFor(const std::string& dataset_name) {
+  // Table 1 of the paper.
+  if (dataset_name == "BI") return {1.9e9, 2.4e9, 10, 8525, 1.26};
+  if (dataset_name == "INTER") return {40e6, 3.8e9, 10, 3632, 95};
+  if (dataset_name == "FIN") return {2e6, 2.2e9, 10, 9831, 5.5};
+  if (dataset_name == "Taobao") return {1.8e6, 8.6e6, 128, 3726, 4.8};
+  return {};
+}
+
+namespace {
+std::uint64_t Scaled(double published, std::uint64_t scale, std::uint64_t floor_value) {
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(published / static_cast<double>(scale)),
+                                 floor_value);
+}
+}  // namespace
+
+DatasetSpec MakeBI(std::uint64_t scale) {
+  // LDBC-Business: Person-Knows-Person-Likes-Comment. Sparse on average
+  // (avg deg 1.26) with heavy supernode skew (max 8525).
+  DatasetSpec spec;
+  spec.name = "BI";
+  spec.schema.vertex_type_names = {"Person", "Comment"};
+  spec.schema.edge_type_names = {"Knows", "Likes"};
+  spec.schema.edge_endpoints = {{0, 0}, {0, 1}};
+  spec.schema.feature_dim = 10;
+  spec.vertices_per_type = {Scaled(0.9e9, scale, 2000), Scaled(1.0e9, scale, 2000)};
+  spec.edge_streams = {
+      {0, Scaled(1.0e9, scale, 4000), 0.70, 1.05},
+      {1, Scaled(1.4e9, scale, 4000), 0.70, 1.10},
+  };
+  spec.seed = 0xB1;
+  return spec;
+}
+
+DatasetSpec MakeInter(std::uint64_t scale) {
+  // LDBC-Interactive: Forum-Has-Person-Knows-Person. Very dense (avg deg
+  // ~95) — the default motivation/stress dataset of the paper.
+  DatasetSpec spec;
+  spec.name = "INTER";
+  spec.schema.vertex_type_names = {"Forum", "Person"};
+  spec.schema.edge_type_names = {"Has", "Knows"};
+  spec.schema.edge_endpoints = {{0, 1}, {1, 1}};
+  spec.schema.feature_dim = 10;
+  spec.vertices_per_type = {Scaled(10e6, scale, 1000), Scaled(30e6, scale, 3000)};
+  spec.edge_streams = {
+      {0, Scaled(0.9e9, scale, 20000), 1.10, 1.02},
+      {1, Scaled(2.9e9, scale, 60000), 0.55, 1.05},
+  };
+  spec.seed = 0x17;
+  return spec;
+}
+
+DatasetSpec MakeFin(std::uint64_t scale) {
+  // LDBC-FinBench: Account-TransferTo-Account. Few vertices, enormous edge
+  // multiplicity (the paper replays edges 200x), extreme supernodes.
+  DatasetSpec spec;
+  spec.name = "FIN";
+  spec.schema.vertex_type_names = {"Account"};
+  spec.schema.edge_type_names = {"TransferTo"};
+  spec.schema.edge_endpoints = {{0, 0}};
+  spec.schema.feature_dim = 10;
+  spec.vertices_per_type = {Scaled(2e6, scale, 1000)};
+  spec.edge_streams = {
+      {0, Scaled(2.2e9, scale, 50000), 1.00, 1.10},
+  };
+  spec.seed = 0xF1;
+  return spec;
+}
+
+DatasetSpec MakeTaobao(std::uint64_t scale) {
+  // Industrial e-commerce graph: User-Click-Item-CoPurchase-Item with
+  // 128-dim features; small enough that the paper trains GraphSAGE on it.
+  DatasetSpec spec;
+  spec.name = "Taobao";
+  spec.schema.vertex_type_names = {"User", "Item"};
+  spec.schema.edge_type_names = {"Click", "CoPurchase"};
+  spec.schema.edge_endpoints = {{0, 1}, {1, 1}};
+  spec.schema.feature_dim = 128;
+  spec.vertices_per_type = {Scaled(1.0e6, scale, 2000), Scaled(0.8e6, scale, 2000)};
+  spec.edge_streams = {
+      {0, Scaled(5.0e6, scale, 10000), 0.62, 1.10},
+      {1, Scaled(3.6e6, scale, 8000), 0.62, 1.10},
+  };
+  spec.seed = 0x7A0;
+  return spec;
+}
+
+std::vector<DatasetSpec> AllDatasets(std::uint64_t scale) {
+  return {MakeBI(scale), MakeInter(scale), MakeFin(scale), MakeTaobao(std::max<std::uint64_t>(scale / 100, 1))};
+}
+
+}  // namespace helios::gen

@@ -1,0 +1,72 @@
+// Synthetic dataset specifications matching the *shape* of the paper's
+// datasets (Table 1): LDBC-Business (BI), LDBC-Interactive (INTER),
+// LDBC-FinBench (FIN) and the industrial Taobao graph.
+//
+// We cannot ship the proprietary/billion-edge originals, so each spec
+// records the published statistics (vertex/edge counts, feature dim, degree
+// skew) and a generator reproduces a scaled-down stream with the same
+// vertex:edge ratio, power-law out-degree (calibrated so max/avg degree
+// ratios are of the paper's order) and monotonically increasing event
+// timestamps. `scale` divides the published counts; the default 2000 gives
+// million-edge streams that run in seconds on one core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace helios::gen {
+
+// Vertex ids encode their type in the top 16 bits so heterogeneous graphs
+// share one id space (matches how Helios partitions by plain vertex id).
+inline graph::VertexId MakeVertexId(graph::VertexTypeId type, std::uint64_t index) {
+  return (static_cast<std::uint64_t>(type) << 48) | index;
+}
+inline graph::VertexTypeId VertexTypeOf(graph::VertexId id) {
+  return static_cast<graph::VertexTypeId>(id >> 48);
+}
+inline std::uint64_t VertexIndexOf(graph::VertexId id) {
+  return id & ((1ULL << 48) - 1);
+}
+
+// One homogeneous edge stream inside a dataset (e.g. all Click edges).
+struct EdgeStreamSpec {
+  graph::EdgeTypeId type = 0;
+  std::uint64_t count = 0;
+  // Zipf exponents controlling source activity / destination popularity
+  // skew. Higher = more skew (more supernodes, §3.1).
+  double src_zipf = 1.0;
+  double dst_zipf = 1.0;
+};
+
+struct DatasetSpec {
+  std::string name;
+  graph::GraphSchema schema;
+  std::vector<std::uint64_t> vertices_per_type;  // indexed by VertexTypeId
+  std::vector<EdgeStreamSpec> edge_streams;
+  std::uint64_t seed = 1;
+
+  std::uint64_t TotalVertices() const;
+  std::uint64_t TotalEdges() const;
+};
+
+// Published Table 1 statistics, kept for EXPERIMENTS.md comparisons.
+struct PaperStats {
+  double vertices = 0, edges = 0;
+  std::size_t feature_dim = 0;
+  double max_deg = 0, avg_deg = 0;
+};
+PaperStats PaperStatsFor(const std::string& dataset_name);
+
+// Factories. `scale` divides the published sizes (>= 1).
+DatasetSpec MakeBI(std::uint64_t scale = 2000);
+DatasetSpec MakeInter(std::uint64_t scale = 2000);
+DatasetSpec MakeFin(std::uint64_t scale = 2000);
+DatasetSpec MakeTaobao(std::uint64_t scale = 10);  // already small in the paper
+
+// All four, in Table 1 order.
+std::vector<DatasetSpec> AllDatasets(std::uint64_t scale = 2000);
+
+}  // namespace helios::gen

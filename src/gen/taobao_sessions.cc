@@ -1,0 +1,129 @@
+#include "gen/taobao_sessions.h"
+
+#include <algorithm>
+
+namespace helios::gen {
+
+namespace {
+// Noisy centroid feature: centroid[c] is a fixed random unit-ish vector.
+graph::Feature ClusterFeature(std::uint64_t cluster, std::size_t dim, util::Rng& rng,
+                              std::uint64_t feature_seed) {
+  util::Rng centroid_rng(feature_seed ^ (cluster * 0x9E3779B97F4A7C15ULL));
+  graph::Feature f(dim);
+  for (auto& v : f) {
+    v = static_cast<float>(centroid_rng.UniformDouble()) * 2.f - 1.f +
+        0.25f * (static_cast<float>(rng.UniformDouble()) * 2.f - 1.f);
+  }
+  return f;
+}
+}  // namespace
+
+SessionTaobao::SessionTaobao(const SessionTaobaoOptions& options) : options_(options) {
+  schema_.vertex_type_names = {"User", "Item"};
+  schema_.edge_type_names = {"Click", "CoPurchase"};
+  schema_.edge_endpoints = {{0, 1}, {1, 1}};
+  schema_.feature_dim = options_.feature_dim;
+
+  util::Rng rng(options_.seed);
+  user_cluster_a_.resize(options_.users);
+  user_cluster_b_.resize(options_.users);
+  for (std::uint64_t u = 0; u < options_.users; ++u) {
+    user_cluster_a_[u] = rng.Uniform(options_.clusters);
+    // Drift to a different cluster.
+    user_cluster_b_[u] = (user_cluster_a_[u] + 1 + rng.Uniform(options_.clusters - 1)) %
+                         options_.clusters;
+  }
+  item_cluster_.resize(options_.items);
+  for (std::uint64_t i = 0; i < options_.items; ++i) {
+    item_cluster_[i] = rng.Uniform(options_.clusters);
+  }
+  // Index items per cluster for sampling.
+  std::vector<std::vector<std::uint64_t>> items_in(options_.clusters);
+  for (std::uint64_t i = 0; i < options_.items; ++i) items_in[item_cluster_[i]].push_back(i);
+  // Guarantee every cluster is non-empty.
+  for (std::uint64_t c = 0; c < options_.clusters; ++c) {
+    if (items_in[c].empty()) {
+      const std::uint64_t i = rng.Uniform(options_.items);
+      item_cluster_[i] = c;
+      items_in[c].push_back(i);
+    }
+  }
+
+  graph::Timestamp now = options_.ts_step;
+  // Vertex phase.
+  for (std::uint64_t u = 0; u < options_.users; ++u) {
+    graph::VertexUpdate v;
+    v.type = 0;
+    v.id = MakeVertexId(0, u);
+    v.ts = now;
+    v.feature = ClusterFeature(user_cluster_a_[u], options_.feature_dim, rng, options_.seed);
+    updates_.emplace_back(std::move(v));
+    now += options_.ts_step;
+  }
+  for (std::uint64_t i = 0; i < options_.items; ++i) {
+    graph::VertexUpdate v;
+    v.type = 1;
+    v.id = MakeVertexId(1, i);
+    v.ts = now;
+    v.feature = ClusterFeature(item_cluster_[i], options_.feature_dim, rng, options_.seed);
+    updates_.emplace_back(std::move(v));
+    now += options_.ts_step;
+  }
+
+  // Edge phase: interleave clicks and co-purchases; drift at the midpoint.
+  const std::uint64_t total_edges = options_.click_edges + options_.copurchase_edges;
+  drift_ts_ = now + static_cast<graph::Timestamp>(total_edges / 2) * options_.ts_step;
+  std::uint64_t clicks_left = options_.click_edges;
+  std::uint64_t cop_left = options_.copurchase_edges;
+  auto pick_item_in = [&](std::uint64_t cluster) {
+    const auto& pool = items_in[cluster];
+    return pool[rng.Uniform(pool.size())];
+  };
+  while (clicks_left + cop_left > 0) {
+    const bool click = rng.Uniform(clicks_left + cop_left) < clicks_left;
+    graph::EdgeUpdate e;
+    e.ts = now;
+    e.weight = 1.0f;
+    if (click) {
+      clicks_left--;
+      e.type = 0;
+      const std::uint64_t u = rng.Uniform(options_.users);
+      const std::uint64_t cluster = ClusterOfUserNow(MakeVertexId(0, u), now);
+      const std::uint64_t c = rng.Bernoulli(options_.in_cluster_prob)
+                                  ? cluster
+                                  : rng.Uniform(options_.clusters);
+      e.src = MakeVertexId(0, u);
+      e.dst = MakeVertexId(1, pick_item_in(c));
+      clicks_.push_back(e);
+    } else {
+      cop_left--;
+      e.type = 1;
+      // Co-purchases connect same-cluster items (with a little noise).
+      const std::uint64_t c = rng.Uniform(options_.clusters);
+      e.src = MakeVertexId(1, pick_item_in(c));
+      const std::uint64_t c2 = rng.Bernoulli(0.9) ? c : rng.Uniform(options_.clusters);
+      e.dst = MakeVertexId(1, pick_item_in(c2));
+    }
+    updates_.emplace_back(e);
+    now += options_.ts_step;
+  }
+}
+
+std::uint64_t SessionTaobao::ClusterOfUserNow(graph::VertexId user, graph::Timestamp ts) const {
+  const std::uint64_t u = VertexIndexOf(user);
+  return ts < drift_ts_ ? user_cluster_a_[u] : user_cluster_b_[u];
+}
+
+std::uint64_t SessionTaobao::ClusterOfItem(graph::VertexId item) const {
+  return item_cluster_[VertexIndexOf(item)];
+}
+
+graph::VertexId SessionTaobao::NegativeItem(util::Rng& rng, std::uint64_t avoid_cluster) const {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::uint64_t i = rng.Uniform(options_.items);
+    if (item_cluster_[i] != avoid_cluster) return MakeVertexId(1, i);
+  }
+  return MakeVertexId(1, rng.Uniform(options_.items));
+}
+
+}  // namespace helios::gen

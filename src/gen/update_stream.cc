@@ -1,0 +1,99 @@
+#include "gen/update_stream.h"
+
+namespace helios::gen {
+
+UpdateStream::UpdateStream(const DatasetSpec& spec, StreamOptions options)
+    : spec_(spec), options_(options), rng_(spec.seed), now_(options.base_ts) {
+  for (const auto& es : spec_.edge_streams) {
+    const auto& ep = spec_.schema.edge_endpoints[es.type];
+    src_zipf_.emplace_back(spec_.vertices_per_type[ep.src_type], es.src_zipf);
+    dst_zipf_.emplace_back(spec_.vertices_per_type[ep.dst_type], es.dst_zipf);
+    edges_remaining_.push_back(es.count);
+    edges_remaining_total_ += es.count;
+  }
+  total_ = edges_remaining_total_ + (options_.vertices_first ? spec_.TotalVertices() : 0);
+}
+
+void UpdateStream::Reset() {
+  rng_.Seed(spec_.seed);
+  edges_remaining_total_ = 0;
+  for (std::size_t i = 0; i < spec_.edge_streams.size(); ++i) {
+    edges_remaining_[i] = spec_.edge_streams[i].count;
+    edges_remaining_total_ += edges_remaining_[i];
+  }
+  vertex_type_ = 0;
+  vertex_index_ = 0;
+  emitted_ = 0;
+  now_ = options_.base_ts;
+}
+
+bool UpdateStream::Next(graph::GraphUpdate& out) {
+  if (options_.vertices_first && NextVertex(out)) return true;
+  return NextEdge(out);
+}
+
+bool UpdateStream::NextVertex(graph::GraphUpdate& out) {
+  while (vertex_type_ < spec_.vertices_per_type.size() &&
+         vertex_index_ >= spec_.vertices_per_type[vertex_type_]) {
+    vertex_type_++;
+    vertex_index_ = 0;
+  }
+  if (vertex_type_ >= spec_.vertices_per_type.size()) return false;
+
+  graph::VertexUpdate v;
+  v.type = vertex_type_;
+  v.id = MakeVertexId(vertex_type_, vertex_index_);
+  v.ts = now_;
+  v.feature.resize(spec_.schema.feature_dim);
+  for (auto& f : v.feature) f = static_cast<float>(rng_.UniformDouble()) * 2.0f - 1.0f;
+  out = std::move(v);
+
+  vertex_index_++;
+  now_ += options_.ts_step;
+  emitted_++;
+  return true;
+}
+
+bool UpdateStream::NextEdge(graph::GraphUpdate& out) {
+  if (edges_remaining_total_ == 0) return false;
+  // Pick a stream with probability proportional to its remaining edge
+  // budget — a deterministic interleave matching the paper's replay of
+  // multiple edge files in timestamp order.
+  std::uint64_t pick = rng_.Uniform(edges_remaining_total_);
+  std::size_t stream = 0;
+  while (pick >= edges_remaining_[stream]) {
+    pick -= edges_remaining_[stream];
+    stream++;
+  }
+
+  const auto& es = spec_.edge_streams[stream];
+  const auto& ep = spec_.schema.edge_endpoints[es.type];
+  graph::EdgeUpdate e;
+  e.type = es.type;
+  e.src = MakeVertexId(ep.src_type, src_zipf_[stream].Sample(rng_));
+  e.dst = MakeVertexId(ep.dst_type, dst_zipf_[stream].Sample(rng_));
+  if (e.src == e.dst) {
+    // Resample once to avoid most self-loops; a rare residual self-loop is
+    // harmless (real logs contain them too).
+    e.dst = MakeVertexId(ep.dst_type, dst_zipf_[stream].Sample(rng_));
+  }
+  e.ts = now_;
+  e.weight = static_cast<float>(rng_.UniformDouble());
+  out = e;
+
+  edges_remaining_[stream]--;
+  edges_remaining_total_--;
+  now_ += options_.ts_step;
+  emitted_++;
+  return true;
+}
+
+std::vector<graph::GraphUpdate> UpdateStream::Drain() {
+  std::vector<graph::GraphUpdate> all;
+  all.reserve(total_ - emitted_);
+  graph::GraphUpdate u;
+  while (Next(u)) all.push_back(std::move(u));
+  return all;
+}
+
+}  // namespace helios::gen

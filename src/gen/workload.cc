@@ -1,0 +1,23 @@
+#include "gen/workload.h"
+
+namespace helios::gen {
+
+SeedGenerator::SeedGenerator(graph::VertexTypeId seed_type, std::uint64_t population,
+                             double zipf_s, std::uint64_t seed)
+    : seed_type_(seed_type), population_(population), rng_(seed) {
+  if (zipf_s > 0) zipf_.emplace(population_, zipf_s);
+}
+
+graph::VertexId SeedGenerator::Next() {
+  const std::uint64_t index = zipf_ ? zipf_->Sample(rng_) : rng_.Uniform(population_);
+  return MakeVertexId(seed_type_, index);
+}
+
+std::vector<graph::VertexId> SeedGenerator::Batch(std::size_t n) {
+  std::vector<graph::VertexId> seeds;
+  seeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) seeds.push_back(Next());
+  return seeds;
+}
+
+}  // namespace helios::gen

@@ -1,0 +1,56 @@
+// Inference-request workload generators.
+//
+// §7.1: "each time we randomly select 10,000 vertices as seed nodes of the
+// sampling queries"; the serving experiments sweep *request concurrency*
+// (closed-loop clients). SeedGenerator draws seed vertices from the query's
+// seed vertex-type population — uniformly, or Zipf-skewed to model hot
+// accounts/users. ArrivalProcess models open-loop Poisson arrivals for the
+// ingestion-side experiments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace helios::gen {
+
+class SeedGenerator {
+ public:
+  // Draws from the `population` vertices of `seed_type`. zipf_s <= 0 means
+  // uniform.
+  SeedGenerator(graph::VertexTypeId seed_type, std::uint64_t population, double zipf_s,
+                std::uint64_t seed);
+
+  graph::VertexId Next();
+  // A fixed batch of distinct-ish seeds (the paper's 10,000-seed batches).
+  std::vector<graph::VertexId> Batch(std::size_t n);
+
+ private:
+  graph::VertexTypeId seed_type_;
+  std::uint64_t population_;
+  util::Rng rng_;
+  std::optional<util::Zipf> zipf_;
+};
+
+// Open-loop Poisson arrival process over virtual microseconds.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(double events_per_second, std::uint64_t seed)
+      : rate_per_us_(events_per_second / 1e6), rng_(seed) {}
+
+  // Time of the next arrival strictly after `now`.
+  graph::Timestamp NextAfter(graph::Timestamp now) {
+    const double gap = rng_.Exponential(rate_per_us_);
+    return now + std::max<graph::Timestamp>(1, static_cast<graph::Timestamp>(gap));
+  }
+
+ private:
+  double rate_per_us_;
+  util::Rng rng_;
+};
+
+}  // namespace helios::gen

@@ -1,0 +1,131 @@
+#include "gnn/graphsage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace helios::gnn {
+
+namespace {
+// Glorot-style deterministic init.
+void InitMatrix(Matrix& m, util::Rng& rng) {
+  const float scale = std::sqrt(6.f / static_cast<float>(m.rows() + m.cols()));
+  for (auto& v : m.data()) {
+    v = (static_cast<float>(rng.UniformDouble()) * 2.f - 1.f) * scale;
+  }
+}
+}  // namespace
+
+GraphSageEncoder::GraphSageEncoder(const SageConfig& config) : config_(config) {
+  util::Rng rng(config_.seed);
+  layers_.resize(config_.num_layers);
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const std::size_t in = l == 0 ? config_.input_dim : config_.hidden_dim;
+    const std::size_t out = l + 1 == config_.num_layers ? config_.output_dim
+                                                        : config_.hidden_dim;
+    layers_[l].w_self = Matrix(in, out);
+    layers_[l].w_neigh = Matrix(in, out);
+    layers_[l].bias.assign(out, 0.f);
+    InitMatrix(layers_[l].w_self, rng);
+    InitMatrix(layers_[l].w_neigh, rng);
+  }
+}
+
+void GraphSageEncoder::Apply(const Layer& layer, const std::vector<float>& self,
+                             const std::vector<float>& neigh_mean, std::vector<float>& out,
+                             bool relu) const {
+  const std::size_t in = layer.w_self.rows();
+  const std::size_t width = layer.w_self.cols();
+  out.assign(width, 0.f);
+  for (std::size_t k = 0; k < in; ++k) {
+    const float s = k < self.size() ? self[k] : 0.f;
+    const float n = k < neigh_mean.size() ? neigh_mean[k] : 0.f;
+    if (s == 0.f && n == 0.f) continue;
+    const float* ws = layer.w_self.Row(k);
+    const float* wn = layer.w_neigh.Row(k);
+    for (std::size_t j = 0; j < width; ++j) out[j] += s * ws[j] + n * wn[j];
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    out[j] += layer.bias[j];
+    if (relu && out[j] < 0.f) out[j] = 0.f;
+  }
+}
+
+std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) const {
+  const std::size_t depth = sample.layers.size();  // K + 1 node depths
+  if (depth == 0) return std::vector<float>(config_.output_dim, 0.f);
+
+  // h[d][i]: current activation of node i at depth d. Initialize from raw
+  // features, padding/truncating to input_dim; missing features are zero
+  // (eventual-consistency miss, §6).
+  std::vector<std::vector<std::vector<float>>> h(depth);
+  for (std::size_t d = 0; d < depth; ++d) {
+    h[d].resize(sample.layers[d].size());
+    for (std::size_t i = 0; i < sample.layers[d].size(); ++i) {
+      auto& dst = h[d][i];
+      dst.assign(config_.input_dim, 0.f);
+      auto it = sample.features.find(sample.layers[d][i].vertex);
+      if (it != sample.features.end()) {
+        const std::size_t n = std::min(config_.input_dim, it->second.size());
+        std::copy(it->second.begin(), it->second.begin() + static_cast<std::ptrdiff_t>(n),
+                  dst.begin());
+      }
+    }
+  }
+
+  const std::size_t effective_layers = std::min(config_.num_layers, depth - 1 + 1);
+  std::vector<float> neigh_mean;
+  for (std::size_t l = 0; l < effective_layers; ++l) {
+    const bool last = l + 1 == config_.num_layers;
+    // After layer l, depths 0 .. depth-2-l hold fresh activations.
+    const std::size_t top = depth >= l + 2 ? depth - l - 1 : 1;
+    std::vector<std::vector<std::vector<float>>> next(top);
+    for (std::size_t d = 0; d < top; ++d) {
+      next[d].resize(h[d].size());
+      for (std::size_t i = 0; i < h[d].size(); ++i) {
+        // Mean of children activations at depth d+1.
+        neigh_mean.assign(h[d][i].size(), 0.f);
+        std::size_t n_children = 0;
+        if (d + 1 < h.size()) {
+          for (std::size_t c = 0; c < sample.layers[d + 1].size(); ++c) {
+            if (sample.layers[d + 1][c].parent != i) continue;
+            const auto& child = h[d + 1][c];
+            for (std::size_t j = 0; j < neigh_mean.size() && j < child.size(); ++j) {
+              neigh_mean[j] += child[j];
+            }
+            n_children++;
+          }
+        }
+        if (n_children > 0) {
+          for (auto& v : neigh_mean) v /= static_cast<float>(n_children);
+        }
+        Apply(layers_[l], h[d][i], neigh_mean, next[d][i], /*relu=*/!last);
+      }
+    }
+    h = std::move(next);
+  }
+  std::vector<float> out = h[0].empty() ? std::vector<float>(config_.output_dim, 0.f)
+                                        : std::move(h[0][0]);
+  out.resize(config_.output_dim, 0.f);
+  L2NormalizeRow(out.data(), out.size());
+  return out;
+}
+
+float LinkPredictor::Score(const std::vector<float>& zu, const std::vector<float>& zi) const {
+  float s = b_;
+  const std::size_t n = std::min({w_.size(), zu.size(), zi.size()});
+  for (std::size_t j = 0; j < n; ++j) s += w_[j] * zu[j] * zi[j];
+  return Sigmoid(s);
+}
+
+float LinkPredictor::Train(const std::vector<float>& zu, const std::vector<float>& zi,
+                           float label, float lr) {
+  const float p = Score(zu, zi);
+  const float grad = p - label;
+  const std::size_t n = std::min({w_.size(), zu.size(), zi.size()});
+  for (std::size_t j = 0; j < n; ++j) w_[j] -= lr * grad * zu[j] * zi[j];
+  b_ -= lr * grad;
+  const float eps = 1e-7f;
+  return label > 0.5f ? -std::log(p + eps) : -std::log(1.f - p + eps);
+}
+
+}  // namespace helios::gnn

@@ -1,0 +1,93 @@
+// GraphSAGE (mean aggregator) inference over layered K-hop samples, the
+// model-service substrate of §7.4/§7.5 (TensorFlow Serving substitute).
+//
+// The encoder runs L = K layers over the sampled tree produced by
+// helios::ServingCore::Serve(): layer l computes, for every node that still
+// needs an activation at depth l, h_l = ReLU(W_self h_{l-1}(v) + W_neigh
+// mean(h_{l-1}(children)) + b), exactly Equation (1) of §2.1. Weights are
+// deterministic functions of a seed; TrainLinkHead() learns the logistic
+// link-prediction head on top of frozen encoder embeddings (documented
+// substitution: the paper fine-tunes a full GraphSAGE offline, we freeze
+// the encoder and train the head — staleness affects both the same way,
+// through the sampled neighborhood).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/tensor.h"
+#include "graph/types.h"
+#include "helios/serving_core.h"
+#include "util/rng.h"
+
+namespace helios::gnn {
+
+struct SageConfig {
+  std::size_t input_dim = 16;
+  std::size_t hidden_dim = 16;
+  std::size_t output_dim = 16;
+  std::size_t num_layers = 2;
+  std::uint64_t seed = 1234;
+};
+
+class GraphSageEncoder {
+ public:
+  explicit GraphSageEncoder(const SageConfig& config);
+
+  // Embeds the seed of a layered sample (missing features are treated as
+  // zero vectors — the eventual-consistency case).
+  std::vector<float> EmbedSeed(const SampledSubgraph& sample) const;
+
+  const SageConfig& config() const { return config_; }
+
+ private:
+  struct Layer {
+    Matrix w_self;   // in x out
+    Matrix w_neigh;  // in x out
+    std::vector<float> bias;
+  };
+
+  // h-out for one node given its own h-in and its children's mean h-in.
+  void Apply(const Layer& layer, const std::vector<float>& self,
+             const std::vector<float>& neigh_mean, std::vector<float>& out,
+             bool relu) const;
+
+  SageConfig config_;
+  std::vector<Layer> layers_;
+};
+
+// Logistic link-prediction head: P(link u->i) = sigmoid(w . (z_u ⊙ z_i) + b).
+class LinkPredictor {
+ public:
+  explicit LinkPredictor(std::size_t dim) : w_(dim, 0.f) {}
+
+  float Score(const std::vector<float>& zu, const std::vector<float>& zi) const;
+
+  // One SGD step on a labelled pair; returns the loss.
+  float Train(const std::vector<float>& zu, const std::vector<float>& zi, float label,
+              float lr);
+
+ private:
+  std::vector<float> w_;
+  float b_ = 0.f;
+};
+
+// The model service of Fig 3/Fig 19: embeds sampled subgraphs and scores
+// candidate links. Stateless per request; one instance per serving replica.
+class ModelServer {
+ public:
+  ModelServer(const SageConfig& config) : encoder_(config), predictor_(config.output_dim) {}
+
+  GraphSageEncoder& encoder() { return encoder_; }
+  LinkPredictor& predictor() { return predictor_; }
+
+  std::vector<float> Infer(const SampledSubgraph& sample) const {
+    return encoder_.EmbedSeed(sample);
+  }
+
+ private:
+  GraphSageEncoder encoder_;
+  LinkPredictor predictor_;
+};
+
+}  // namespace helios::gnn

@@ -1,0 +1,78 @@
+// Minimal dense row-major matrix math for the GNN substrate.
+//
+// Only what GraphSAGE inference/training needs: matmul, bias add, ReLU,
+// row-wise mean, dot products, L2 normalization. Deliberately simple loops
+// — at the (layers x fan-out x hidden-dim) sizes of online inference these
+// are cache-resident and the compiler vectorizes them.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace helios::gnn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.f) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  float* Row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* Row(std::size_t r) const { return data_.data() + r * cols_; }
+  float& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<float> data_;
+};
+
+// out = a (r x k) * b (k x c). out must be r x c; accumulates from zero.
+inline void MatMul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows() && out.rows() == a.rows() && out.cols() == b.cols());
+  std::fill(out.data().begin(), out.data().end(), 0.f);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.At(i, k);
+      if (aik == 0.f) continue;
+      const float* brow = b.Row(k);
+      float* orow = out.Row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+inline void AddBiasRelu(Matrix& m, const std::vector<float>& bias, bool relu) {
+  assert(bias.size() == m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.Row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      row[j] += bias[j];
+      if (relu && row[j] < 0.f) row[j] = 0.f;
+    }
+  }
+}
+
+inline float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  assert(a.size() == b.size());
+  float s = 0.f;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline void L2NormalizeRow(float* row, std::size_t n) {
+  float norm = 0.f;
+  for (std::size_t i = 0; i < n; ++i) norm += row[i] * row[i];
+  norm = std::sqrt(norm);
+  if (norm < 1e-12f) return;
+  for (std::size_t i = 0; i < n; ++i) row[i] /= norm;
+}
+
+inline float Sigmoid(float x) { return 1.f / (1.f + std::exp(-x)); }
+
+}  // namespace helios::gnn

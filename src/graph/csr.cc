@@ -1,0 +1,29 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace helios::graph {
+
+CsrSnapshot CsrSnapshot::Build(const DynamicGraphStore& store, EdgeTypeId type) {
+  CsrSnapshot snap;
+  snap.vertex_ids_ = store.VerticesWithEdges(type);
+  std::sort(snap.vertex_ids_.begin(), snap.vertex_ids_.end());
+
+  snap.offsets_.reserve(snap.vertex_ids_.size() + 1);
+  snap.offsets_.push_back(0);
+  std::vector<Edge> scratch;
+  for (std::size_t i = 0; i < snap.vertex_ids_.size(); ++i) {
+    store.Neighbors(type, snap.vertex_ids_[i], scratch);
+    snap.edges_.insert(snap.edges_.end(), scratch.begin(), scratch.end());
+    snap.offsets_.push_back(snap.edges_.size());
+    snap.index_.emplace(snap.vertex_ids_[i], i);
+  }
+  return snap;
+}
+
+std::int64_t CsrSnapshot::IndexOf(VertexId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? -1 : static_cast<std::int64_t>(it->second);
+}
+
+}  // namespace helios::graph

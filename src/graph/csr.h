@@ -1,0 +1,45 @@
+// Immutable CSR snapshot of one edge type of a dynamic graph.
+//
+// Used where a frozen view is the right tool: GraphSAGE training for the
+// Fig 18 accuracy experiment, and the Fig 4(c) skewness study which needs a
+// stable population of seed vertices. Building a snapshot compacts the
+// hash-map adjacency into two flat arrays (Per.16/Per.19: contiguous,
+// predictable scans).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/types.h"
+
+namespace helios::graph {
+
+class CsrSnapshot {
+ public:
+  // Snapshot the adjacency of `type` from `store` at call time.
+  static CsrSnapshot Build(const DynamicGraphStore& store, EdgeTypeId type);
+
+  std::size_t num_vertices() const { return vertex_ids_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  // Vertex ids with at least one out-edge, in index order.
+  const std::vector<VertexId>& vertex_ids() const { return vertex_ids_; }
+
+  // Neighbors of the i-th vertex as a contiguous span [begin, end).
+  const Edge* NeighborsBegin(std::size_t index) const { return edges_.data() + offsets_[index]; }
+  const Edge* NeighborsEnd(std::size_t index) const { return edges_.data() + offsets_[index + 1]; }
+  std::size_t Degree(std::size_t index) const { return offsets_[index + 1] - offsets_[index]; }
+
+  // Maps a vertex id back to its snapshot index, or -1 if absent.
+  std::int64_t IndexOf(VertexId id) const;
+
+ private:
+  std::vector<VertexId> vertex_ids_;
+  std::vector<std::size_t> offsets_;  // size num_vertices()+1
+  std::vector<Edge> edges_;
+  std::unordered_map<VertexId, std::size_t> index_;
+};
+
+}  // namespace helios::graph

@@ -1,0 +1,153 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace helios::graph {
+
+int GraphSchema::VertexTypeByName(const std::string& name) const {
+  for (std::size_t i = 0; i < vertex_type_names.size(); ++i) {
+    if (vertex_type_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int GraphSchema::EdgeTypeByName(const std::string& name) const {
+  for (std::size_t i = 0; i < edge_type_names.size(); ++i) {
+    if (edge_type_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+DynamicGraphStore::DynamicGraphStore(std::size_t num_edge_types)
+    : num_edge_types_(num_edge_types) {
+  for (auto& stripe : stripes_) stripe.adjacency.resize(num_edge_types_);
+}
+
+std::size_t DynamicGraphStore::StripeOf(VertexId id) const {
+  return util::MixHash(id) % kStripes;
+}
+
+void DynamicGraphStore::AddEdge(const EdgeUpdate& e) {
+  Stripe& stripe = stripes_[StripeOf(e.src)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.adjacency[e.type][e.src].push_back(Edge{e.dst, e.ts, e.weight});
+}
+
+void DynamicGraphStore::UpsertVertex(const VertexUpdate& v) {
+  Stripe& stripe = stripes_[StripeOf(v.id)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.features[v.id] = v.feature;
+}
+
+void DynamicGraphStore::Apply(const GraphUpdate& u) {
+  if (const auto* e = std::get_if<EdgeUpdate>(&u)) {
+    AddEdge(*e);
+  } else {
+    UpsertVertex(std::get<VertexUpdate>(u));
+  }
+}
+
+std::size_t DynamicGraphStore::Neighbors(EdgeTypeId type, VertexId src,
+                                         std::vector<Edge>& out) const {
+  out.clear();
+  const Stripe& stripe = stripes_[StripeOf(src)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.adjacency[type].find(src);
+  if (it == stripe.adjacency[type].end()) return 0;
+  out = it->second;
+  return out.size();
+}
+
+std::size_t DynamicGraphStore::OutDegree(EdgeTypeId type, VertexId src) const {
+  const Stripe& stripe = stripes_[StripeOf(src)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.adjacency[type].find(src);
+  return it == stripe.adjacency[type].end() ? 0 : it->second.size();
+}
+
+bool DynamicGraphStore::GetFeature(VertexId id, Feature& out) const {
+  const Stripe& stripe = stripes_[StripeOf(id)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.features.find(id);
+  if (it == stripe.features.end()) return false;
+  out = it->second;
+  return true;
+}
+
+bool DynamicGraphStore::HasVertex(VertexId id) const {
+  const Stripe& stripe = stripes_[StripeOf(id)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.features.count(id) > 0;
+}
+
+std::size_t DynamicGraphStore::PruneOlderThan(Timestamp cutoff) {
+  std::size_t removed = 0;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (auto& per_type : stripe.adjacency) {
+      for (auto& [src, edges] : per_type) {
+        auto keep_end = std::remove_if(edges.begin(), edges.end(),
+                                       [cutoff](const Edge& e) { return e.ts < cutoff; });
+        removed += static_cast<std::size_t>(edges.end() - keep_end);
+        edges.erase(keep_end, edges.end());
+      }
+    }
+  }
+  return removed;
+}
+
+std::uint64_t DynamicGraphStore::edge_count() const {
+  std::uint64_t count = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& per_type : stripe.adjacency) {
+      for (const auto& [src, edges] : per_type) count += edges.size();
+    }
+  }
+  return count;
+}
+
+std::uint64_t DynamicGraphStore::vertex_count() const {
+  std::uint64_t count = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    count += stripe.features.size();
+  }
+  return count;
+}
+
+DegreeStats DynamicGraphStore::ComputeDegreeStats(EdgeTypeId type) const {
+  DegreeStats stats;
+  bool first = true;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [src, edges] : stripe.adjacency[type]) {
+      stats.vertex_count++;
+      stats.edge_count += edges.size();
+      stats.max_out_degree = std::max<std::uint64_t>(stats.max_out_degree, edges.size());
+      if (first || edges.size() < stats.min_out_degree) {
+        stats.min_out_degree = edges.size();
+        first = false;
+      }
+    }
+  }
+  stats.avg_out_degree = stats.vertex_count
+                             ? static_cast<double>(stats.edge_count) / stats.vertex_count
+                             : 0.0;
+  return stats;
+}
+
+std::vector<VertexId> DynamicGraphStore::VerticesWithEdges(EdgeTypeId type) const {
+  std::vector<VertexId> out;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [src, edges] : stripe.adjacency[type]) {
+      if (!edges.empty()) out.push_back(src);
+    }
+  }
+  return out;
+}
+
+}  // namespace helios::graph

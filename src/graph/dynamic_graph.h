@@ -1,0 +1,77 @@
+// Append-only dynamic graph store with per-edge timestamps and TTL pruning.
+//
+// This is the storage substrate of the graph-database baseline (each
+// MiniGraphDB partition holds one DynamicGraphStore) and of offline tooling
+// (dataset statistics, CSR snapshots, the Fig 18 ground-truth sampler).
+// Helios's own sampling workers deliberately do NOT keep full adjacency —
+// that is the point of event-driven reservoir pre-sampling — but the
+// baseline must, because ad-hoc TopK sampling traverses all neighbors.
+//
+// Concurrency: striped locks over vertex buckets (CP.3: minimize shared
+// writable state). Readers of a vertex's adjacency copy the slice out under
+// the stripe lock; adjacency vectors are append-only between TTL prunes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace helios::graph {
+
+struct DegreeStats {
+  std::uint64_t vertex_count = 0;
+  std::uint64_t edge_count = 0;
+  std::uint64_t max_out_degree = 0;
+  std::uint64_t min_out_degree = 0;
+  double avg_out_degree = 0.0;
+};
+
+class DynamicGraphStore {
+ public:
+  explicit DynamicGraphStore(std::size_t num_edge_types);
+
+  // Applies an edge insertion. Thread-safe.
+  void AddEdge(const EdgeUpdate& e);
+  // Applies a vertex insertion / feature refresh. Thread-safe.
+  void UpsertVertex(const VertexUpdate& v);
+  void Apply(const GraphUpdate& u);
+
+  // Copies out the adjacency of (src, edge_type). Returns the number of
+  // neighbors (also the traversal cost an ad-hoc sampler pays).
+  std::size_t Neighbors(EdgeTypeId type, VertexId src, std::vector<Edge>& out) const;
+  std::size_t OutDegree(EdgeTypeId type, VertexId src) const;
+
+  // Latest feature of a vertex; returns false if the vertex is unknown.
+  bool GetFeature(VertexId id, Feature& out) const;
+  bool HasVertex(VertexId id) const;
+
+  // Removes edges strictly older than `cutoff` (the TTL threshold of §4.2).
+  // Returns the number of edges removed.
+  std::size_t PruneOlderThan(Timestamp cutoff);
+
+  std::uint64_t edge_count() const;
+  std::uint64_t vertex_count() const;
+  DegreeStats ComputeDegreeStats(EdgeTypeId type) const;
+  // All vertex ids currently holding adjacency for `type` (for snapshots).
+  std::vector<VertexId> VerticesWithEdges(EdgeTypeId type) const;
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  std::size_t StripeOf(VertexId id) const;
+
+  struct Stripe {
+    mutable std::mutex mutex;
+    // adjacency[edge_type][src] -> edges
+    std::vector<std::unordered_map<VertexId, std::vector<Edge>>> adjacency;
+    std::unordered_map<VertexId, Feature> features;
+  };
+
+  std::size_t num_edge_types_;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace helios::graph

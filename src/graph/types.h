@@ -1,0 +1,87 @@
+// Core graph value types shared by every library in the repository.
+//
+// Helios models property graphs with typed vertices and typed, timestamped,
+// weighted edges (§2, §4.2). Updates are append-only: a vertex update is an
+// insertion or feature refresh, an edge update is always an insertion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace helios::graph {
+
+using VertexId = std::uint64_t;
+using VertexTypeId = std::uint16_t;
+using EdgeTypeId = std::uint16_t;
+// Event time in microseconds. Generators produce monotonically increasing
+// timestamps; TopK sampling orders by this field.
+using Timestamp = std::int64_t;
+
+constexpr VertexId kInvalidVertex = ~0ULL;
+
+// Dense feature vector attached to a vertex. Dim is fixed per dataset
+// (Table 1: 10 for the LDBC graphs, 128 for Taobao).
+using Feature = std::vector<float>;
+
+// One directed adjacency entry. 16 bytes + weight keeps neighbor scans
+// cache-friendly (Per.16).
+struct Edge {
+  VertexId dst = kInvalidVertex;
+  Timestamp ts = 0;
+  float weight = 1.0f;
+
+  bool operator==(const Edge&) const = default;
+};
+
+// VertexUpdate(V_i): insertion of a new vertex or feature refresh (§4.2).
+struct VertexUpdate {
+  VertexTypeId type = 0;
+  VertexId id = kInvalidVertex;
+  Timestamp ts = 0;
+  Feature feature;
+};
+
+// EdgeUpdate(E_i): insertion of a new edge src --type--> dst (§4.2).
+struct EdgeUpdate {
+  EdgeTypeId type = 0;
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  Timestamp ts = 0;
+  float weight = 1.0f;
+};
+
+// A graph update event as it flows through the update queue.
+using GraphUpdate = std::variant<VertexUpdate, EdgeUpdate>;
+
+inline Timestamp UpdateTimestamp(const GraphUpdate& u) {
+  return std::visit([](const auto& x) { return x.ts; }, u);
+}
+
+// Edge storage / partitioning policy for directed graphs (§4.2).
+enum class EdgePlacement {
+  kBySrc,   // partition by source vertex id
+  kByDest,  // partition by destination vertex id
+  kBoth,    // replicate to both partitions (also used for undirected graphs)
+};
+
+// Schema metadata: human-readable names for vertex/edge types, used by the
+// query DSL ("User", "Click", ...) and by dataset generators.
+struct GraphSchema {
+  std::vector<std::string> vertex_type_names;
+  std::vector<std::string> edge_type_names;
+  // For each edge type, the vertex types of its endpoints.
+  struct EdgeEndpoints {
+    VertexTypeId src_type = 0;
+    VertexTypeId dst_type = 0;
+  };
+  std::vector<EdgeEndpoints> edge_endpoints;
+  std::size_t feature_dim = 0;
+
+  // Returns the id for `name`, or -1 if absent.
+  int VertexTypeByName(const std::string& name) const;
+  int EdgeTypeByName(const std::string& name) const;
+};
+
+}  // namespace helios::graph

@@ -1,0 +1,57 @@
+#include "graph/update_codec.h"
+
+namespace helios::graph {
+
+namespace {
+constexpr std::uint8_t kVertexTag = 1;
+constexpr std::uint8_t kEdgeTag = 2;
+}  // namespace
+
+std::string EncodeUpdate(const GraphUpdate& update) {
+  ByteWriter w;
+  if (const auto* v = std::get_if<VertexUpdate>(&update)) {
+    w.PutU8(kVertexTag);
+    w.PutU16(v->type);
+    w.PutU64(v->id);
+    w.PutI64(v->ts);
+    w.PutFloats(v->feature);
+  } else {
+    const auto& e = std::get<EdgeUpdate>(update);
+    w.PutU8(kEdgeTag);
+    w.PutU16(e.type);
+    w.PutU64(e.src);
+    w.PutU64(e.dst);
+    w.PutI64(e.ts);
+    w.PutF32(e.weight);
+  }
+  return w.Take();
+}
+
+bool DecodeUpdate(const std::string& payload, GraphUpdate& out) {
+  ByteReader r(payload);
+  const std::uint8_t tag = r.GetU8();
+  if (tag == kVertexTag) {
+    VertexUpdate v;
+    v.type = r.GetU16();
+    v.id = r.GetU64();
+    v.ts = r.GetI64();
+    v.feature = r.GetFloats();
+    if (!r.ok()) return false;
+    out = std::move(v);
+    return true;
+  }
+  if (tag == kEdgeTag) {
+    EdgeUpdate e;
+    e.type = r.GetU16();
+    e.src = r.GetU64();
+    e.dst = r.GetU64();
+    e.ts = r.GetI64();
+    e.weight = r.GetF32();
+    if (!r.ok()) return false;
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace helios::graph

@@ -1,0 +1,83 @@
+// Coordinator (§4.1): query registration and decomposition, worker
+// registry with heartbeat liveness, and periodic checkpoint scheduling.
+//
+// The coordinator is deliberately thin — it sits on no data path. It
+// registers the user's sampling query, validates and decomposes it into the
+// one-hop DAG (QueryPlan) that it hands to every worker, tracks worker
+// liveness via heartbeats, and decides when a checkpoint is due. Drivers
+// (ThreadedCluster, the emulator, tests) call into it; it never calls out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "helios/query.h"
+#include "helios/shard_map.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace helios {
+
+enum class WorkerKind : std::uint8_t { kSampling = 0, kServing = 1 };
+
+struct WorkerInfo {
+  WorkerKind kind = WorkerKind::kSampling;
+  std::uint32_t id = 0;
+  util::Micros last_heartbeat = 0;
+  bool alive = true;
+};
+
+class Coordinator {
+ public:
+  struct Options {
+    util::Micros heartbeat_timeout = 5'000'000;   // 5 s
+    util::Micros checkpoint_interval = 60'000'000;  // 60 s
+  };
+
+  Coordinator(ShardMap map, Options options);
+  explicit Coordinator(ShardMap map) : Coordinator(map, Options{}) {}
+
+  // Registers the user-specified query: parses the DSL, decomposes it into
+  // one-hop queries (§5.1), and stores the plan for distribution. Only one
+  // query may be registered (re-registration replaces it; live workers are
+  // expected to be restarted, as in the paper's deployment model).
+  util::StatusOr<QueryPlan> RegisterQuery(const std::string& dsl,
+                                          const graph::GraphSchema& schema,
+                                          const std::string& query_id);
+  util::StatusOr<QueryPlan> RegisterQuery(const SamplingQuery& query,
+                                          const graph::GraphSchema& schema);
+
+  std::optional<QueryPlan> plan() const;
+  const ShardMap& shard_map() const { return map_; }
+
+  // ---- liveness
+  void RegisterWorker(WorkerKind kind, std::uint32_t id, util::Micros now);
+  void Heartbeat(WorkerKind kind, std::uint32_t id, util::Micros now);
+  // Marks and returns workers whose last heartbeat is older than the
+  // timeout.
+  std::vector<WorkerInfo> CheckLiveness(util::Micros now);
+  std::vector<WorkerInfo> Workers() const;
+
+  // ---- checkpoint cadence
+  bool CheckpointDue(util::Micros now) const;
+  void MarkCheckpointed(util::Micros now);
+
+ private:
+  static std::uint64_t KeyOf(WorkerKind kind, std::uint32_t id) {
+    return (static_cast<std::uint64_t>(kind) << 32) | id;
+  }
+
+  ShardMap map_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::optional<QueryPlan> plan_;
+  std::map<std::uint64_t, WorkerInfo> workers_;
+  util::Micros last_checkpoint_ = 0;
+};
+
+}  // namespace helios

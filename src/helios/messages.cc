@@ -1,0 +1,146 @@
+#include "helios/messages.h"
+
+#include "graph/update_codec.h"
+
+namespace helios {
+
+namespace {
+void PutEdges(graph::ByteWriter& w, const std::vector<graph::Edge>& edges) {
+  w.PutU32(static_cast<std::uint32_t>(edges.size()));
+  for (const auto& e : edges) {
+    w.PutU64(e.dst);
+    w.PutI64(e.ts);
+    w.PutF32(e.weight);
+  }
+}
+
+bool GetEdges(graph::ByteReader& r, std::vector<graph::Edge>& edges) {
+  const std::uint32_t n = r.GetU32();
+  edges.clear();
+  edges.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    graph::Edge e;
+    e.dst = r.GetU64();
+    e.ts = r.GetI64();
+    e.weight = r.GetF32();
+    if (!r.ok()) return false;
+    edges.push_back(e);
+  }
+  return r.ok();
+}
+}  // namespace
+
+std::string EncodeServingMessage(const ServingMessage& m) {
+  graph::ByteWriter w;
+  w.PutU8(static_cast<std::uint8_t>(m.kind));
+  switch (m.kind) {
+    case ServingMessage::Kind::kSample:
+      w.PutU32(m.sample.level);
+      w.PutU64(m.sample.vertex);
+      w.PutI64(m.sample.event_ts);
+      w.PutI64(m.sample.origin_us);
+      PutEdges(w, m.sample.samples);
+      break;
+    case ServingMessage::Kind::kFeature:
+      w.PutU64(m.feature.vertex);
+      w.PutI64(m.feature.event_ts);
+      w.PutI64(m.feature.origin_us);
+      w.PutFloats(m.feature.feature);
+      break;
+    case ServingMessage::Kind::kRetract:
+      w.PutU32(m.retract.level);
+      w.PutU64(m.retract.vertex);
+      break;
+    case ServingMessage::Kind::kSampleDelta:
+      w.PutU32(m.delta.level);
+      w.PutU64(m.delta.vertex);
+      w.PutU64(m.delta.added.dst);
+      w.PutI64(m.delta.added.ts);
+      w.PutF32(m.delta.added.weight);
+      w.PutU64(m.delta.evicted);
+      w.PutI64(m.delta.event_ts);
+      w.PutI64(m.delta.origin_us);
+      break;
+  }
+  return w.Take();
+}
+
+bool DecodeServingMessage(const std::string& payload, ServingMessage& out) {
+  graph::ByteReader r(payload);
+  const std::uint8_t kind = r.GetU8();
+  switch (kind) {
+    case 1: {
+      out.kind = ServingMessage::Kind::kSample;
+      out.sample.level = r.GetU32();
+      out.sample.vertex = r.GetU64();
+      out.sample.event_ts = r.GetI64();
+      out.sample.origin_us = r.GetI64();
+      if (!GetEdges(r, out.sample.samples)) return false;
+      return r.ok();
+    }
+    case 2: {
+      out.kind = ServingMessage::Kind::kFeature;
+      out.feature.vertex = r.GetU64();
+      out.feature.event_ts = r.GetI64();
+      out.feature.origin_us = r.GetI64();
+      out.feature.feature = r.GetFloats();
+      return r.ok();
+    }
+    case 3: {
+      out.kind = ServingMessage::Kind::kRetract;
+      out.retract.level = r.GetU32();
+      out.retract.vertex = r.GetU64();
+      return r.ok();
+    }
+    case 4: {
+      out.kind = ServingMessage::Kind::kSampleDelta;
+      out.delta.level = r.GetU32();
+      out.delta.vertex = r.GetU64();
+      out.delta.added.dst = r.GetU64();
+      out.delta.added.ts = r.GetI64();
+      out.delta.added.weight = r.GetF32();
+      out.delta.evicted = r.GetU64();
+      out.delta.event_ts = r.GetI64();
+      out.delta.origin_us = r.GetI64();
+      return r.ok();
+    }
+    default:
+      return false;
+  }
+}
+
+std::string EncodeSubscriptionDelta(const SubscriptionDelta& d) {
+  graph::ByteWriter w;
+  w.PutU32(d.level);
+  w.PutU64(d.vertex);
+  w.PutU32(d.serving_worker);
+  w.PutU32(static_cast<std::uint32_t>(d.delta));
+  return w.Take();
+}
+
+bool DecodeSubscriptionDelta(const std::string& payload, SubscriptionDelta& out) {
+  graph::ByteReader r(payload);
+  out.level = r.GetU32();
+  out.vertex = r.GetU64();
+  out.serving_worker = r.GetU32();
+  out.delta = static_cast<std::int32_t>(r.GetU32());
+  return r.ok();
+}
+
+std::size_t WireSize(const ServingMessage& m) {
+  switch (m.kind) {
+    case ServingMessage::Kind::kSample:
+      return 1 + 4 + 8 + 8 + 4 + m.sample.samples.size() * 20;
+    case ServingMessage::Kind::kFeature:
+      return 1 + 8 + 8 + 4 + m.feature.feature.size() * 4;
+    case ServingMessage::Kind::kRetract:
+      return 1 + 4 + 8;
+    case ServingMessage::Kind::kSampleDelta:
+      return 1 + 4 + 8 + 20 + 8 + 8 + 8;
+  }
+  return 1;
+}
+
+std::size_t WireSize(const SubscriptionDelta&) { return 20; }
+
+}  // namespace helios

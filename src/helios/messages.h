@@ -1,0 +1,138 @@
+// Wire messages exchanged between sampling shards and serving workers
+// (§5.3, Fig 7), with binary codecs for queue transport.
+//
+// Data plane (sampling worker -> serving worker sample queues):
+//   SampleUpdate  — the full refreshed cell of (level, vertex). Cells are
+//                   small (<= fan-out entries) so full-state push is cheaper
+//                   and more robust than deltas: a lost/duplicated message
+//                   cannot corrupt the cache (idempotent apply).
+//   FeatureUpdate — latest feature of a vertex.
+//   Retract       — the vertex left this worker's subscription set; evict
+//                   its cached cell/feature ("when vertices are no longer
+//                   under the subscription of a specific serving worker, the
+//                   sampling workers also enqueue an update message").
+//
+// Control plane (sampling shard -> sampling shard):
+//   SubscriptionDelta — +1/-1 refcount for (level, vertex, serving worker),
+//                   the peer-notify of Fig 7 (SAW_1 telling SAW_M that SEW_1
+//                   now needs V4's Q2 samples).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace helios {
+
+struct SampleUpdate {
+  std::uint32_t level = 0;  // 1-based hop (cell belongs to Q_level)
+  graph::VertexId vertex = graph::kInvalidVertex;
+  std::vector<graph::Edge> samples;
+  graph::Timestamp event_ts = 0;  // event time of the triggering update
+  std::int64_t origin_us = 0;     // wall/virtual time the triggering graph
+                                  // update entered the system (Fig 17)
+};
+
+struct FeatureUpdate {
+  graph::VertexId vertex = graph::kInvalidVertex;
+  graph::Feature feature;
+  graph::Timestamp event_ts = 0;
+  std::int64_t origin_us = 0;
+};
+
+// Incremental refresh of an already-cached cell: one sample in, at most
+// one sample out (~40B on the wire vs a full fan-out-sized cell). Full
+// SampleUpdate snapshots are sent only when a subscription starts; at the
+// sustained update rates of §7.2 the dissemination traffic would otherwise
+// exceed the 10 Gbps NICs.
+struct SampleDelta {
+  std::uint32_t level = 0;
+  graph::VertexId vertex = graph::kInvalidVertex;
+  graph::Edge added;
+  graph::VertexId evicted = graph::kInvalidVertex;  // kInvalidVertex = none
+  graph::Timestamp event_ts = 0;
+  std::int64_t origin_us = 0;
+};
+
+struct Retract {
+  std::uint32_t level = 0;  // 0 = all levels (full eviction)
+  graph::VertexId vertex = graph::kInvalidVertex;
+};
+
+struct SubscriptionDelta {
+  std::uint32_t level = 0;
+  graph::VertexId vertex = graph::kInvalidVertex;
+  std::uint32_t serving_worker = 0;
+  std::int32_t delta = 0;  // +1 subscribe, -1 unsubscribe
+};
+
+// A tagged union of everything a serving worker's sample queue can carry.
+struct ServingMessage {
+  enum class Kind : std::uint8_t { kSample = 1, kFeature = 2, kRetract = 3, kSampleDelta = 4 };
+  Kind kind = Kind::kSample;
+  SampleUpdate sample;
+  FeatureUpdate feature;
+  Retract retract;
+  SampleDelta delta;
+
+  static ServingMessage Of(SampleUpdate u) {
+    ServingMessage m;
+    m.kind = Kind::kSample;
+    m.sample = std::move(u);
+    return m;
+  }
+  static ServingMessage Of(FeatureUpdate u) {
+    ServingMessage m;
+    m.kind = Kind::kFeature;
+    m.feature = std::move(u);
+    return m;
+  }
+  static ServingMessage Of(Retract u) {
+    ServingMessage m;
+    m.kind = Kind::kRetract;
+    m.retract = u;
+    return m;
+  }
+  static ServingMessage Of(SampleDelta u) {
+    ServingMessage m;
+    m.kind = Kind::kSampleDelta;
+    m.delta = u;
+    return m;
+  }
+
+  // The cache key the message touches (used to sub-shard data-updating
+  // threads while preserving per-key order).
+  graph::VertexId TargetVertex() const {
+    switch (kind) {
+      case Kind::kSample: return sample.vertex;
+      case Kind::kFeature: return feature.vertex;
+      case Kind::kRetract: return retract.vertex;
+      case Kind::kSampleDelta: return delta.vertex;
+    }
+    return graph::kInvalidVertex;
+  }
+  std::int64_t OriginMicros() const {
+    switch (kind) {
+      case Kind::kSample: return sample.origin_us;
+      case Kind::kFeature: return feature.origin_us;
+      case Kind::kSampleDelta: return delta.origin_us;
+      case Kind::kRetract: return 0;
+    }
+    return 0;
+  }
+};
+
+// Codecs (round-trip property-tested).
+std::string EncodeServingMessage(const ServingMessage& m);
+bool DecodeServingMessage(const std::string& payload, ServingMessage& out);
+std::string EncodeSubscriptionDelta(const SubscriptionDelta& d);
+bool DecodeSubscriptionDelta(const std::string& payload, SubscriptionDelta& out);
+
+// Approximate wire size without encoding (used by the cluster emulator to
+// price network transfers).
+std::size_t WireSize(const ServingMessage& m);
+std::size_t WireSize(const SubscriptionDelta& d);
+
+}  // namespace helios

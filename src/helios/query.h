@@ -1,0 +1,86 @@
+// Sampling query model, DSL parser and K-hop → one-hop decomposition (§5.1).
+//
+// A GNN model is trained with a fixed sampling pattern (hop count, fan-outs,
+// strategies); inference must reuse it (§1). Users register the pattern with
+// the coordinator either programmatically (SamplingQuery) or in the Gremlin-
+// flavoured DSL of Fig 1:
+//
+//   g.V('User').outV('Click').sample(25).by('Random')
+//              .outV('CoPurchase').sample(10).by('TopK')
+//
+// Decompose() turns a K-hop query into K one-hop queries Q1..QK whose data
+// dependency is a chain (the general DAG degenerates to a chain for the
+// linear meta-paths of Table 2; the plan still records parent indices so
+// tree-shaped fan-outs can be added without protocol changes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace helios {
+
+enum class Strategy : std::uint8_t {
+  kRandom = 0,     // uniform reservoir (Vitter's Algorithm R)
+  kTopK = 1,       // largest-timestamp neighbors
+  kEdgeWeight = 2  // weight-proportional reservoir (A-Res)
+};
+
+const char* StrategyName(Strategy s);
+
+// One hop of a K-hop sampling query.
+struct HopSpec {
+  graph::EdgeTypeId edge_type = 0;
+  std::uint32_t fanout = 0;
+  Strategy strategy = Strategy::kRandom;
+};
+
+// A registered K-hop sampling query.
+struct SamplingQuery {
+  std::string id;                     // registration name, e.g. "q-inter-2hop"
+  graph::VertexTypeId seed_type = 0;  // type of inference seed vertices
+  std::vector<HopSpec> hops;
+};
+
+// Q_k of §5.1: a one-hop query whose reservoir-table keys are vertices of
+// `target_type` and whose inputs are edge updates of `edge_type`.
+struct OneHopQuery {
+  std::uint32_t hop = 0;  // 1-based, matching the paper's Q1..QK
+  graph::EdgeTypeId edge_type = 0;
+  graph::VertexTypeId target_type = 0;  // key-vertex type (source side of the hop)
+  std::uint32_t fanout = 0;
+  Strategy strategy = Strategy::kRandom;
+  int parent = -1;  // index into QueryPlan::one_hop of the upstream query
+};
+
+// The decomposed plan the coordinator broadcasts to all workers (§4.1).
+struct QueryPlan {
+  SamplingQuery query;
+  std::vector<OneHopQuery> one_hop;
+
+  std::size_t num_hops() const { return one_hop.size(); }
+  // §6: lookups to assemble a K-hop result = prod_{i<K} C_i sample-table
+  // lookups and prod_{i<=K} C_i feature-table lookups.
+  std::uint64_t SampleTableLookups() const;
+  std::uint64_t FeatureTableLookups() const;
+  // Subscription levels run 1..K+1 (level K+1 is feature-only, for the
+  // leaves of the sampled tree).
+  std::uint32_t NumLevels() const { return static_cast<std::uint32_t>(one_hop.size()) + 1; }
+};
+
+// Validates hop chain against the schema (edge endpoints must compose) and
+// produces the plan.
+util::StatusOr<QueryPlan> Decompose(const SamplingQuery& query, const graph::GraphSchema& schema);
+
+// Parses the DSL; vertex/edge type names are resolved against `schema`.
+// Grammar (whitespace/newlines ignored, single quotes required):
+//   query  := "g.V(" name ")" hop+
+//   hop    := ".outV(" name ").sample(" int ").by(" strategy ")"
+//   strategy := 'Random' | 'TopK' | 'EdgeWeight'
+util::StatusOr<SamplingQuery> ParseQuery(const std::string& text,
+                                         const graph::GraphSchema& schema);
+
+}  // namespace helios

@@ -1,0 +1,88 @@
+#include "helios/reservoir.h"
+
+#include <cmath>
+
+namespace helios {
+
+ReservoirCell::ReservoirCell(Strategy strategy, std::uint32_t capacity)
+    : strategy_(strategy), capacity_(capacity == 0 ? 1 : capacity) {
+  samples_.reserve(capacity_);
+  if (strategy_ == Strategy::kEdgeWeight) keys_.reserve(capacity_);
+}
+
+OfferOutcome ReservoirCell::Offer(const graph::Edge& edge, util::Rng& rng) {
+  seen_++;
+  switch (strategy_) {
+    case Strategy::kRandom: return OfferRandom(edge, rng);
+    case Strategy::kTopK: return OfferTopK(edge);
+    case Strategy::kEdgeWeight: return OfferEdgeWeight(edge, rng);
+  }
+  return {};
+}
+
+OfferOutcome ReservoirCell::OfferRandom(const graph::Edge& edge, util::Rng& rng) {
+  OfferOutcome outcome;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(edge);
+    outcome.selected = true;
+    return outcome;
+  }
+  // §5.2: draw p in [1, x]; if p <= C, the p-th item is replaced.
+  const std::uint64_t p = rng.Uniform(seen_);  // p in [0, seen)
+  if (p < capacity_) {
+    outcome.selected = true;
+    outcome.evicted = samples_[p].dst;
+    samples_[p] = edge;
+  }
+  return outcome;
+}
+
+OfferOutcome ReservoirCell::OfferTopK(const graph::Edge& edge) {
+  OfferOutcome outcome;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(edge);
+    outcome.selected = true;
+    return outcome;
+  }
+  // Find the oldest sample; capacity is a fan-out (<= dozens), so a linear
+  // scan beats a heap on cache behaviour (Per.16/Per.19).
+  std::size_t oldest = 0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].ts < samples_[oldest].ts) oldest = i;
+  }
+  if (edge.ts > samples_[oldest].ts) {
+    outcome.selected = true;
+    outcome.evicted = samples_[oldest].dst;
+    samples_[oldest] = edge;
+  }
+  return outcome;
+}
+
+OfferOutcome ReservoirCell::OfferEdgeWeight(const graph::Edge& edge, util::Rng& rng) {
+  OfferOutcome outcome;
+  // A-Res: key = u^(1/w). Zero/negative weights never displace a sample
+  // but may fill an empty slot (key 0).
+  double u = rng.UniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double key = edge.weight > 0 ? std::pow(u, 1.0 / static_cast<double>(edge.weight)) : 0.0;
+
+  if (samples_.size() < capacity_) {
+    samples_.push_back(edge);
+    keys_.push_back(key);
+    outcome.selected = true;
+    return outcome;
+  }
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < keys_.size(); ++i) {
+    if (keys_[i] < keys_[smallest]) smallest = i;
+  }
+  if (key > keys_[smallest]) {
+    outcome.selected = true;
+    outcome.evicted = samples_[smallest].dst;
+    samples_[smallest] = edge;
+    keys_[smallest] = key;
+  }
+  return outcome;
+}
+
+}  // namespace helios

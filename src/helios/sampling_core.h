@@ -1,0 +1,148 @@
+// SamplingShardCore — the single-threaded owner of one logical shard of the
+// pre-sampling state (§4.2, §5).
+//
+// A sampling worker hosts S of these cores (one per sampling thread); each
+// core owns, for the vertices that hash to its shard:
+//   * one reservoir table per one-hop query Qk (key vertex -> value cell);
+//   * the feature table entries of its vertices;
+//   * the subscription tables: which serving workers need the samples /
+//     features of which of its vertices, with reference counts.
+//
+// The core is deliberately pure: it consumes one input event at a time and
+// appends the messages it wants delivered to an Outputs sink. Drivers (the
+// threaded cluster, the DES cluster emulator, unit tests) decide how those
+// messages travel. This is what lets the same code run under real threads
+// and under virtual time.
+//
+// Subscription protocol (Fig 7). Levels run 1..K+1:
+//   level l <= K : "SEW j needs the Ql cell of vertex v and v's feature";
+//   level  K+1   : "SEW j needs v's feature only" (leaves of the tree).
+// Seeds self-subscribe at level 1 when first observed (the owner shard and
+// the responsible serving worker are both pure functions of the vertex id).
+// When a subscribed cell's contents change (w sampled in, x evicted), the
+// owner cascades +1/-1 deltas at level l+1 to the owners of w and x for
+// every subscribed serving worker. A refcount reaching zero triggers a
+// Retract so the serving cache can evict, and a cascaded -1 for the cell's
+// current children.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "graph/types.h"
+#include "graph/update_codec.h"
+#include "helios/messages.h"
+#include "helios/query.h"
+#include "helios/reservoir.h"
+#include "helios/shard_map.h"
+#include "util/rng.h"
+
+namespace helios {
+
+class SamplingShardCore {
+ public:
+  struct Options {
+    // Remove samples older than (latest event ts - ttl) when Prune() runs.
+    // 0 disables TTL.
+    graph::Timestamp ttl = 0;
+  };
+
+  struct Stats {
+    std::uint64_t updates_processed = 0;
+    std::uint64_t edges_offered = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t sample_updates_sent = 0;   // full-cell snapshots
+    std::uint64_t sample_deltas_sent = 0;    // incremental refreshes
+    std::uint64_t feature_updates_sent = 0;
+    std::uint64_t retracts_sent = 0;
+    std::uint64_t sub_deltas_sent = 0;
+    std::uint64_t features_stored = 0;
+  };
+
+  // Message sink filled by the event handlers.
+  struct Outputs {
+    std::vector<std::pair<std::uint32_t, ServingMessage>> to_serving;   // (N-id, msg)
+    std::vector<std::pair<std::uint32_t, SubscriptionDelta>> to_shards; // (shard, delta)
+
+    void Clear() {
+      to_serving.clear();
+      to_shards.clear();
+    }
+  };
+
+  SamplingShardCore(QueryPlan plan, ShardMap map, std::uint32_t shard_id,
+                    std::uint64_t seed, Options options);
+  SamplingShardCore(QueryPlan plan, ShardMap map, std::uint32_t shard_id, std::uint64_t seed)
+      : SamplingShardCore(std::move(plan), map, shard_id, seed, Options{}) {}
+
+  // Ingests one graph update previously routed to this shard.
+  // `origin_us` is the (wall or virtual) time the update entered the
+  // system; it is propagated on every resulting message so serving workers
+  // can measure ingestion latency (Fig 17).
+  void OnGraphUpdate(const graph::GraphUpdate& update, std::int64_t origin_us, Outputs& out);
+
+  // Handles a subscription delta addressed to this shard (owner of
+  // delta.vertex). Self-addressed deltas are processed inline by
+  // OnGraphUpdate, so drivers only route cross-shard ones here.
+  void OnSubscriptionDelta(const SubscriptionDelta& delta, std::int64_t origin_us, Outputs& out);
+
+  // TTL pass (§4.2): drops samples with ts < cutoff, pushing refreshed
+  // cells / cascaded unsubscribes for anything that changed.
+  void Prune(graph::Timestamp cutoff, Outputs& out);
+
+  const Stats& stats() const { return stats_; }
+  const QueryPlan& plan() const { return plan_; }
+  std::uint32_t shard_id() const { return shard_id_; }
+
+  // Approximate resident bytes of all tables (reservoir + feature + subs).
+  std::size_t ApproximateBytes() const;
+
+  // Checkpointing (§4.1: "periodically triggers checkpointing for fault
+  // tolerance"). Serializes every table; Restore rebuilds an identical
+  // core (modulo RNG state, which restarts from the original seed).
+  void Serialize(graph::ByteWriter& w) const;
+  static bool Deserialize(graph::ByteReader& r, SamplingShardCore& core);
+
+  // Test / inspection hooks.
+  const ReservoirCell* CellOf(std::uint32_t level, graph::VertexId v) const;
+  bool HasFeature(graph::VertexId v) const;
+  std::uint32_t CellSubscribers(std::uint32_t level, graph::VertexId v) const;
+
+ private:
+  using SubCounts = std::unordered_map<std::uint32_t, std::uint32_t>;  // sew -> refcount
+
+  void OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t origin_us, Outputs& out);
+  void OnVertexUpdate(const graph::VertexUpdate& v, std::int64_t origin_us, Outputs& out);
+  void EnsureSeedSubscription(graph::VertexId v, std::int64_t origin_us, Outputs& out);
+  // Routes a delta to its owner shard — inline if local, queued otherwise.
+  void RouteDelta(const SubscriptionDelta& delta, std::int64_t origin_us, Outputs& out);
+  void SendSampleUpdate(std::uint32_t level, graph::VertexId v, const ReservoirCell& cell,
+                        std::int64_t origin_us, graph::Timestamp event_ts,
+                        std::uint32_t sew, Outputs& out);
+  void SendFeatureUpdate(graph::VertexId v, std::int64_t origin_us, std::uint32_t sew,
+                         Outputs& out);
+
+  QueryPlan plan_;
+  ShardMap map_;
+  std::uint32_t shard_id_ = 0;
+  Options options_;
+  util::Rng rng_;
+  std::uint64_t seed_ = 0;
+
+  // reservoir_[k] is the table of Q_{k+1}.
+  std::vector<std::unordered_map<graph::VertexId, ReservoirCell>> reservoir_;
+  std::unordered_map<graph::VertexId, graph::Feature> features_;
+  // cell_subs_[k]: subscribers of Q_{k+1} cells.
+  std::vector<std::unordered_map<graph::VertexId, SubCounts>> cell_subs_;
+  // Union over all levels (incl. K+1): who needs a vertex's feature.
+  std::unordered_map<graph::VertexId, SubCounts> feature_subs_;
+  std::unordered_set<graph::VertexId> seeds_seen_;
+  graph::Timestamp latest_event_ts_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace helios

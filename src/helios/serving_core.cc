@@ -1,0 +1,204 @@
+#include "helios/serving_core.h"
+
+#include <algorithm>
+
+#include <cstring>
+
+#include "graph/update_codec.h"
+
+namespace helios {
+
+namespace {
+std::string EncodeCell(const std::vector<graph::Edge>& samples, graph::Timestamp event_ts) {
+  graph::ByteWriter w;
+  w.PutI64(event_ts);
+  w.PutU32(static_cast<std::uint32_t>(samples.size()));
+  for (const auto& e : samples) {
+    w.PutU64(e.dst);
+    w.PutI64(e.ts);
+    w.PutF32(e.weight);
+  }
+  return w.Take();
+}
+
+bool DecodeCell(const std::string& value, std::vector<graph::Edge>& out,
+                graph::Timestamp* event_ts = nullptr) {
+  graph::ByteReader r(value);
+  const graph::Timestamp ts = r.GetI64();
+  if (event_ts != nullptr) *event_ts = ts;
+  const std::uint32_t n = r.GetU32();
+  out.clear();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    graph::Edge e;
+    e.dst = r.GetU64();
+    e.ts = r.GetI64();
+    e.weight = r.GetF32();
+    out.push_back(e);
+  }
+  return r.ok();
+}
+
+std::string EncodeFeature(const graph::Feature& f) {
+  graph::ByteWriter w;
+  w.PutFloats(f);
+  return w.Take();
+}
+}  // namespace
+
+ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options options)
+    : plan_(std::move(plan)), worker_id_(worker_id), options_(std::move(options)) {
+  store_ = std::make_unique<kv::KvStore>(options_.kv);
+}
+
+std::string ServingCore::SampleKey(std::uint32_t level, graph::VertexId v) {
+  // Binary key: "s" + level byte + 8-byte vertex id. Cheaper than decimal
+  // formatting on the cache-update hot path; prefix scans still work ("s").
+  std::string key(10, '\0');
+  key[0] = 's';
+  key[1] = static_cast<char>('0' + level);
+  std::memcpy(key.data() + 2, &v, sizeof(v));
+  return key;
+}
+
+std::string ServingCore::FeatureKey(graph::VertexId v) {
+  std::string key(9, '\0');
+  key[0] = 'f';
+  std::memcpy(key.data() + 1, &v, sizeof(v));
+  return key;
+}
+
+void ServingCore::Apply(const ServingMessage& message) {
+  switch (message.kind) {
+    case ServingMessage::Kind::kSample: {
+      const SampleUpdate& u = message.sample;
+      store_->Put(SampleKey(u.level, u.vertex), EncodeCell(u.samples, u.event_ts));
+      stats_.sample_updates_applied++;
+      stats_.latest_event_ts = std::max(stats_.latest_event_ts, u.event_ts);
+      break;
+    }
+    case ServingMessage::Kind::kFeature: {
+      const FeatureUpdate& u = message.feature;
+      store_->Put(FeatureKey(u.vertex), EncodeFeature(u.feature));
+      stats_.feature_updates_applied++;
+      stats_.latest_event_ts = std::max(stats_.latest_event_ts, u.event_ts);
+      break;
+    }
+    case ServingMessage::Kind::kRetract: {
+      const Retract& u = message.retract;
+      if (u.level == 0) {
+        store_->Delete(FeatureKey(u.vertex));
+      } else {
+        store_->Delete(SampleKey(u.level, u.vertex));
+      }
+      stats_.retracts_applied++;
+      break;
+    }
+    case ServingMessage::Kind::kSampleDelta: {
+      const SampleDelta& u = message.delta;
+      // Read-modify-write of the cached cell. A missing cell (snapshot
+      // still in flight) is created from the delta alone — eventually
+      // consistent self-healing.
+      std::vector<graph::Edge> cell;
+      std::string value;
+      if (store_->Get(SampleKey(u.level, u.vertex), value).ok()) {
+        DecodeCell(value, cell);
+      }
+      if (u.evicted != graph::kInvalidVertex) {
+        for (std::size_t i = 0; i < cell.size(); ++i) {
+          if (cell[i].dst == u.evicted) {
+            cell.erase(cell.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+      cell.push_back(u.added);
+      // Clamp to the hop's fan-out (lost-retract or duplicate defence).
+      if (u.level >= 1 && u.level <= plan_.num_hops()) {
+        const std::size_t cap = plan_.one_hop[u.level - 1].fanout;
+        if (cell.size() > cap) cell.erase(cell.begin());
+      }
+      store_->Put(SampleKey(u.level, u.vertex), EncodeCell(cell, u.event_ts));
+      stats_.sample_deltas_applied++;
+      stats_.latest_event_ts = std::max(stats_.latest_event_ts, u.event_ts);
+      break;
+    }
+  }
+}
+
+bool ServingCore::LoadCell(std::uint32_t level, graph::VertexId v,
+                           std::vector<graph::Edge>& out) const {
+  std::string value;
+  if (!store_->Get(SampleKey(level, v), value).ok()) return false;
+  return DecodeCell(value, out);
+}
+
+SampledSubgraph ServingCore::Serve(graph::VertexId seed) const {
+  SampledSubgraph result;
+  result.seed = seed;
+  result.layers.resize(plan_.num_hops() + 1);
+  result.layers[0].push_back({seed, 0});
+
+  std::vector<graph::Edge> cell;
+  for (std::size_t k = 0; k < plan_.num_hops(); ++k) {
+    const std::uint32_t level = plan_.one_hop[k].hop;
+    auto& frontier = result.layers[k];
+    auto& next = result.layers[k + 1];
+    for (std::uint32_t parent = 0; parent < frontier.size(); ++parent) {
+      result.sample_lookups++;
+      if (!LoadCell(level, frontier[parent].vertex, cell)) {
+        result.missing_cells++;
+        continue;
+      }
+      for (const auto& edge : cell) {
+        next.push_back({edge.dst, parent});
+      }
+    }
+  }
+
+  // Feature fetch for the seed and every sampled vertex.
+  std::string value;
+  for (const auto& layer : result.layers) {
+    for (const auto& node : layer) {
+      if (result.features.count(node.vertex)) continue;
+      result.feature_lookups++;
+      if (store_->Get(FeatureKey(node.vertex), value).ok()) {
+        graph::ByteReader r(value);
+        result.features.emplace(node.vertex, r.GetFloats());
+      } else {
+        result.missing_features++;
+      }
+    }
+  }
+
+  stats_.queries_served++;
+  stats_.cache_miss_cells += result.missing_cells;
+  stats_.cache_miss_features += result.missing_features;
+  return result;
+}
+
+std::size_t ServingCore::EvictOlderThan(graph::Timestamp cutoff) {
+  // Collect expired sample keys first (Scan holds shard locks).
+  std::vector<std::string> expired;
+  store_->Scan("s", [&](const std::string& key, const std::string& value) {
+    std::vector<graph::Edge> cell;
+    graph::Timestamp newest = 0;
+    if (DecodeCell(value, cell)) {
+      for (const auto& e : cell) newest = std::max(newest, e.ts);
+    }
+    if (newest < cutoff) expired.push_back(key);
+    return true;
+  });
+  for (const auto& key : expired) store_->Delete(key);
+  return expired.size();
+}
+
+bool ServingCore::HasCell(std::uint32_t level, graph::VertexId v) const {
+  return store_->Contains(SampleKey(level, v));
+}
+
+bool ServingCore::HasFeature(graph::VertexId v) const {
+  return store_->Contains(FeatureKey(v));
+}
+
+}  // namespace helios

@@ -1,0 +1,114 @@
+// ServingCore — the query-aware sample cache and K-hop query assembly (§6).
+//
+// Each serving worker owns one partition of the inference seed vertices and
+// keeps, in a hybrid memory/disk KV store (kv::KvStore, the RocksDB
+// substitute), exactly the state needed to answer K-hop sampling queries
+// for its seeds with local lookups only:
+//   * a sample table per one-hop query: key "s/<level>/<vertex>" -> the
+//     pre-sampled cell pushed by the sampling workers;
+//   * a feature table: key "f/<vertex>" -> the latest feature.
+// Serve() assembles the full K-hop result by iterative cell lookups —
+// exactly prod_{i<K} C_i sample-table and prod_{i<=K} C_i feature-table
+// lookups in the worst case, independent of the seed's real degree, which
+// is the tail-latency argument of the paper.
+//
+// Consistency is eventual (§6): updates are applied as the sample queue
+// drains; a lookup may miss entries that are still in flight. Serve()
+// reports how many lookups missed so experiments can quantify staleness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "helios/messages.h"
+#include "helios/query.h"
+#include "kv/kv_store.h"
+#include "util/status.h"
+
+namespace helios {
+
+// The layered K-hop sample produced for one inference request. Layer 0 is
+// the seed; layer k holds the hop-k samples with a parent index into layer
+// k-1 (enough structure for message-passing GNN aggregation).
+struct SampledSubgraph {
+  graph::VertexId seed = graph::kInvalidVertex;
+  struct Node {
+    graph::VertexId vertex = graph::kInvalidVertex;
+    std::uint32_t parent = 0;  // index into the previous layer
+  };
+  std::vector<std::vector<Node>> layers;  // layers[0] = {seed}
+  std::unordered_map<graph::VertexId, graph::Feature> features;
+
+  std::uint64_t sample_lookups = 0;
+  std::uint64_t feature_lookups = 0;
+  std::uint64_t missing_cells = 0;     // cells not (yet) in the cache
+  std::uint64_t missing_features = 0;
+
+  std::size_t TotalSampled() const {
+    std::size_t n = 0;
+    for (std::size_t k = 1; k < layers.size(); ++k) n += layers[k].size();
+    return n;
+  }
+};
+
+class ServingCore {
+ public:
+  struct Options {
+    kv::KvOptions kv;  // cache backing store (memory-only by default)
+    graph::Timestamp ttl = 0;  // 0 disables TTL eviction
+  };
+
+  struct Stats {
+    std::uint64_t sample_updates_applied = 0;
+    std::uint64_t sample_deltas_applied = 0;
+    std::uint64_t feature_updates_applied = 0;
+    std::uint64_t retracts_applied = 0;
+    std::uint64_t queries_served = 0;
+    std::uint64_t cache_miss_cells = 0;
+    std::uint64_t cache_miss_features = 0;
+    // max(apply_time - origin_us) style staleness is tracked by drivers;
+    // the core records event-time staleness of applied updates instead.
+    graph::Timestamp latest_event_ts = 0;
+  };
+
+  ServingCore(QueryPlan plan, std::uint32_t worker_id, Options options);
+  ServingCore(QueryPlan plan, std::uint32_t worker_id)
+      : ServingCore(std::move(plan), worker_id, Options{}) {}
+
+  // ---- cache update path (data-updating threads, §4.3)
+  void Apply(const ServingMessage& message);
+
+  // ---- request path (serving threads, §4.3)
+  // Assembles the K-hop sampling result for `seed` from the local cache.
+  SampledSubgraph Serve(graph::VertexId seed) const;
+
+  // TTL pass over the sample table: drops cached samples whose newest entry
+  // is older than `cutoff`.
+  std::size_t EvictOlderThan(graph::Timestamp cutoff);
+
+  const Stats& stats() const { return stats_; }
+  const QueryPlan& plan() const { return plan_; }
+  std::uint32_t worker_id() const { return worker_id_; }
+  kv::KvStats CacheStats() const { return store_->GetStats(); }
+
+  // Test hooks.
+  bool HasCell(std::uint32_t level, graph::VertexId v) const;
+  bool HasFeature(graph::VertexId v) const;
+
+ private:
+  static std::string SampleKey(std::uint32_t level, graph::VertexId v);
+  static std::string FeatureKey(graph::VertexId v);
+  bool LoadCell(std::uint32_t level, graph::VertexId v, std::vector<graph::Edge>& out) const;
+
+  QueryPlan plan_;
+  std::uint32_t worker_id_ = 0;
+  Options options_;
+  std::unique_ptr<kv::KvStore> store_;
+  mutable Stats stats_;
+};
+
+}  // namespace helios

@@ -1,0 +1,44 @@
+// Cluster topology and deterministic routing (§4.1).
+//
+// A Helios deployment has M sampling workers, each running S sampling
+// threads; the unit of data ownership is the *logical shard* (M x S total):
+// every vertex id maps to exactly one shard, which owns its reservoir-table
+// cells (for all one-hop queries), its feature-table entry and its
+// subscription lists. Inference requests map to one of N serving workers by
+// seed vertex id. All parties (front-end, sampling workers, serving
+// workers, the coordinator) share this map, so routing needs no directory
+// service.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+#include "util/hash.h"
+
+namespace helios {
+
+struct ShardMap {
+  std::uint32_t sampling_workers = 1;    // M
+  std::uint32_t shards_per_worker = 1;   // S (sampling threads per worker)
+  std::uint32_t serving_workers = 1;     // N
+
+  std::uint32_t TotalShards() const { return sampling_workers * shards_per_worker; }
+
+  // Global shard id owning a vertex's tables.
+  std::uint32_t ShardOf(graph::VertexId v) const {
+    return util::PartitionOf(v, TotalShards());
+  }
+  // The sampling worker hosting a shard.
+  std::uint32_t WorkerOfShard(std::uint32_t shard) const { return shard / shards_per_worker; }
+  std::uint32_t WorkerOf(graph::VertexId v) const { return WorkerOfShard(ShardOf(v)); }
+
+  // Serving worker owning a seed vertex's inference requests.
+  std::uint32_t ServingWorkerOf(graph::VertexId seed) const {
+    // Mixed differently from ShardOf so sampling and serving partitions are
+    // statistically independent.
+    return static_cast<std::uint32_t>(util::MixHash(seed ^ 0x5EB1A5ED5EB1A5EDULL) %
+                                      serving_workers);
+  }
+};
+
+}  // namespace helios

@@ -1,0 +1,441 @@
+#include "helios/threaded_cluster.h"
+
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <fstream>
+#include <thread>
+
+#include "graph/update_codec.h"
+#include "util/logging.h"
+
+namespace helios {
+
+namespace {
+constexpr const char* kUpdatesTopic = "updates";
+constexpr const char* kSamplesTopic = "samples";
+}  // namespace
+
+// One logical shard: owns a SamplingShardCore; all access is serialized by
+// the actor mailbox. Outputs are routed here: data plane to the publisher
+// of this shard's worker, control plane directly to peer shard actors.
+class ThreadedCluster::ShardActor : public actor::Actor {
+ public:
+  ShardActor(ThreadedCluster* cluster, std::uint32_t shard_id)
+      : cluster_(cluster),
+        core_(cluster->plan_, cluster->options_.map, shard_id,
+              cluster->options_.seed,
+              SamplingShardCore::Options{cluster->options_.ttl}) {}
+
+  void IngestBatch(std::vector<mq::Record> records) {
+    Tell([this, records = std::move(records)] {
+      SamplingShardCore::Outputs out;
+      graph::GraphUpdate update;
+      for (const auto& r : records) {
+        if (!graph::DecodeUpdate(r.value, update)) {
+          HLOG(kWarn, "shard") << "undecodable update at offset " << r.offset;
+          continue;
+        }
+        core_.OnGraphUpdate(update, r.append_time, out);
+        cluster_->updates_processed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Dispatch(out);
+    });
+  }
+
+  void DeliverDelta(SubscriptionDelta delta, std::int64_t origin_us) {
+    Tell([this, delta, origin_us] {
+      SamplingShardCore::Outputs out;
+      core_.OnSubscriptionDelta(delta, origin_us, out);
+      cluster_->ctrl_processed_.fetch_add(1, std::memory_order_relaxed);
+      Dispatch(out);
+    });
+  }
+
+  void Prune(graph::Timestamp cutoff) {
+    Tell([this, cutoff] {
+      SamplingShardCore::Outputs out;
+      core_.Prune(cutoff, out);
+      Dispatch(out);
+    });
+  }
+
+  // Runs fn with exclusive access to the core (blocking the caller).
+  template <typename F>
+  void WithCore(F&& fn) {
+    std::promise<void> done;
+    if (!Tell([&] {
+          fn(core_);
+          done.set_value();
+        })) {
+      // System shutting down: the core is quiescent, access it directly.
+      fn(core_);
+      return;
+    }
+    done.get_future().wait();
+  }
+
+ private:
+  void Dispatch(SamplingShardCore::Outputs& out);
+
+  ThreadedCluster* cluster_;
+  SamplingShardCore core_;
+};
+
+// Publisher actor (§4.2 publisher threads): encodes data-plane messages and
+// appends them to the serving workers' sample queues.
+class ThreadedCluster::PublisherActor : public actor::Actor {
+ public:
+  explicit PublisherActor(ThreadedCluster* cluster) : cluster_(cluster) {}
+
+  void Publish(std::vector<std::pair<std::uint32_t, ServingMessage>> messages) {
+    Tell([this, messages = std::move(messages)] {
+      mq::Producer producer(*cluster_->broker_);
+      for (const auto& [sew, msg] : messages) {
+        producer.Send(kSamplesTopic, std::string(), EncodeServingMessage(msg),
+                      static_cast<int>(sew));
+        cluster_->serving_published_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+ private:
+  ThreadedCluster* cluster_;
+};
+
+void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
+  if (!out.to_serving.empty()) {
+    const std::uint32_t worker = cluster_->options_.map.WorkerOfShard(core_.shard_id());
+    cluster_->publishers_[worker]->Publish(std::move(out.to_serving));
+  }
+  for (auto& [shard, delta] : out.to_shards) {
+    cluster_->ctrl_sent_.fetch_add(1, std::memory_order_relaxed);
+    cluster_->shards_[shard]->DeliverDelta(delta, 0);
+  }
+  out.Clear();
+}
+
+// Polling actor of one sampling worker (§4.2 polling threads): drains the
+// worker's update partitions and hands record batches to shard actors.
+class ThreadedCluster::SamplingPollActor : public actor::Actor {
+ public:
+  SamplingPollActor(ThreadedCluster* cluster, std::uint32_t worker_id)
+      : cluster_(cluster), worker_id_(worker_id) {
+    const auto& map = cluster_->options_.map;
+    std::vector<std::uint32_t> partitions;
+    for (std::uint32_t s = 0; s < map.shards_per_worker; ++s) {
+      partitions.push_back(worker_id * map.shards_per_worker + s);
+    }
+    consumer_ = std::make_unique<mq::Consumer>(*cluster_->broker_, "sampling", kUpdatesTopic,
+                                               partitions);
+  }
+
+  void Loop() {
+    Tell([this] {
+      if (!cluster_->running_.load(std::memory_order_acquire)) return;
+      cluster_->coordinator_->Heartbeat(WorkerKind::kSampling, worker_id_, util::NowMicros());
+      std::vector<mq::Record> records;
+      std::vector<std::uint32_t> partitions;
+      consumer_->PollWithPartitions(cluster_->options_.poll_batch, records, partitions);
+      if (records.empty()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else {
+        // Group per shard, preserving order within each shard.
+        std::vector<std::vector<mq::Record>> per_shard(
+            cluster_->options_.map.shards_per_worker);
+        const std::uint32_t base = worker_id_ * cluster_->options_.map.shards_per_worker;
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          per_shard[partitions[i] - base].push_back(std::move(records[i]));
+        }
+        for (std::uint32_t s = 0; s < per_shard.size(); ++s) {
+          if (!per_shard[s].empty()) {
+            cluster_->shards_[base + s]->IngestBatch(std::move(per_shard[s]));
+          }
+        }
+        consumer_->Commit();
+      }
+      Loop();
+    });
+  }
+
+ private:
+  ThreadedCluster* cluster_;
+  std::uint32_t worker_id_;
+  std::unique_ptr<mq::Consumer> consumer_;
+};
+
+// Data-updating actor of one serving worker (§4.3): applies sample/feature
+// updates to the cache in queue order.
+class ThreadedCluster::ServingUpdateActor : public actor::Actor {
+ public:
+  ServingUpdateActor(ThreadedCluster* cluster, std::uint32_t worker_id)
+      : cluster_(cluster), worker_id_(worker_id) {}
+
+  void ApplyBatch(std::vector<mq::Record> records) {
+    Tell([this, records = std::move(records)] {
+      ServingCore& core = *cluster_->serving_cores_[worker_id_];
+      ServingMessage msg;
+      const util::Micros now = util::NowMicros();
+      for (const auto& r : records) {
+        if (!DecodeServingMessage(r.value, msg)) continue;
+        core.Apply(msg);
+        cluster_->serving_applied_.fetch_add(1, std::memory_order_relaxed);
+        const std::int64_t origin = msg.OriginMicros();
+        if (origin > 0 && now > origin) {
+          std::lock_guard<std::mutex> lock(hist_mutex_);
+          ingest_latency_.Record(static_cast<std::uint64_t>(now - origin));
+        }
+      }
+    });
+  }
+
+  util::Histogram SnapshotLatency() const {
+    std::lock_guard<std::mutex> lock(hist_mutex_);
+    return ingest_latency_;
+  }
+
+ private:
+  ThreadedCluster* cluster_;
+  std::uint32_t worker_id_;
+  mutable std::mutex hist_mutex_;
+  util::Histogram ingest_latency_;
+};
+
+// Polling actor of one serving worker (§4.3): drains the sample queue.
+class ThreadedCluster::ServingPollActor : public actor::Actor {
+ public:
+  ServingPollActor(ThreadedCluster* cluster, std::uint32_t worker_id)
+      : cluster_(cluster), worker_id_(worker_id) {
+    consumer_ = std::make_unique<mq::Consumer>(*cluster_->broker_, "serving", kSamplesTopic,
+                                               std::vector<std::uint32_t>{worker_id});
+  }
+
+  void Loop() {
+    Tell([this] {
+      if (!cluster_->running_.load(std::memory_order_acquire)) return;
+      cluster_->coordinator_->Heartbeat(WorkerKind::kServing, worker_id_, util::NowMicros());
+      std::vector<mq::Record> records;
+      consumer_->Poll(cluster_->options_.poll_batch, records);
+      if (records.empty()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else {
+        cluster_->serving_updaters_[worker_id_]->ApplyBatch(std::move(records));
+        consumer_->Commit();
+      }
+      Loop();
+    });
+  }
+
+ private:
+  ThreadedCluster* cluster_;
+  std::uint32_t worker_id_;
+  std::unique_ptr<mq::Consumer> consumer_;
+};
+
+ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
+    : plan_(std::move(plan)), options_(std::move(options)) {
+  broker_ = std::make_unique<mq::Broker>();
+  broker_->CreateTopic(kUpdatesTopic, options_.map.TotalShards());
+  broker_->CreateTopic(kSamplesTopic, options_.map.serving_workers);
+  coordinator_ = std::make_unique<Coordinator>(options_.map);
+  system_ = std::make_unique<actor::ActorSystem>();
+
+  // One thread per workload class and worker, as in §4.2/§4.3. Pools are
+  // sized so each shard / poller / publisher can run concurrently.
+  system_->AddPool("sampling", options_.map.TotalShards());
+  system_->AddPool("poll", options_.map.sampling_workers + options_.map.serving_workers);
+  system_->AddPool("publish", options_.map.sampling_workers);
+  system_->AddPool("update", options_.map.serving_workers);
+
+  for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) {
+    auto shard = std::make_shared<ShardActor>(this, s);
+    system_->Attach(shard, "sampling");
+    shards_.push_back(std::move(shard));
+  }
+  for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
+    auto publisher = std::make_shared<PublisherActor>(this);
+    system_->Attach(publisher, "publish");
+    publishers_.push_back(std::move(publisher));
+    auto poller = std::make_shared<SamplingPollActor>(this, w);
+    system_->Attach(poller, "poll");
+    sampling_pollers_.push_back(std::move(poller));
+    coordinator_->RegisterWorker(WorkerKind::kSampling, w, util::NowMicros());
+  }
+  for (std::uint32_t w = 0; w < options_.map.serving_workers; ++w) {
+    ServingCore::Options so;
+    so.kv = options_.serving_kv;
+    if (!so.kv.spill_dir.empty()) {
+      so.kv.spill_dir += "/sew-" + std::to_string(w);
+    }
+    so.ttl = options_.ttl;
+    serving_cores_.push_back(std::make_unique<ServingCore>(plan_, w, std::move(so)));
+    auto updater = std::make_shared<ServingUpdateActor>(this, w);
+    system_->Attach(updater, "update");
+    serving_updaters_.push_back(std::move(updater));
+    auto poller = std::make_shared<ServingPollActor>(this, w);
+    system_->Attach(poller, "poll");
+    serving_pollers_.push_back(std::move(poller));
+    coordinator_->RegisterWorker(WorkerKind::kServing, w, util::NowMicros());
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() { Stop(); }
+
+void ThreadedCluster::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  for (auto& poller : sampling_pollers_) poller->Loop();
+  for (auto& poller : serving_pollers_) poller->Loop();
+}
+
+void ThreadedCluster::Stop() {
+  running_.store(false, std::memory_order_release);
+  system_->Shutdown();
+}
+
+void ThreadedCluster::PublishUpdate(const graph::GraphUpdate& update) {
+  mq::Producer producer(*broker_);
+  auto publish_to = [&](graph::VertexId owner, const graph::GraphUpdate& u) {
+    producer.Send(kUpdatesTopic, std::string(), graph::EncodeUpdate(u),
+                  static_cast<int>(options_.map.ShardOf(owner)));
+    updates_published_.fetch_add(1, std::memory_order_relaxed);
+  };
+  if (const auto* v = std::get_if<graph::VertexUpdate>(&update)) {
+    publish_to(v->id, update);
+    return;
+  }
+  const auto& e = std::get<graph::EdgeUpdate>(update);
+  // §4.2 edge storage policies. BySrc keys out-neighbor sampling at the
+  // source; ByDest stores the reversed edge at the destination (in-
+  // neighbor sampling); Both replicates to both partitions (undirected).
+  if (options_.edge_placement != graph::EdgePlacement::kByDest) {
+    publish_to(e.src, update);
+  }
+  if (options_.edge_placement != graph::EdgePlacement::kBySrc) {
+    graph::EdgeUpdate reversed = e;
+    std::swap(reversed.src, reversed.dst);
+    publish_to(reversed.src, graph::GraphUpdate{reversed});
+  }
+}
+
+void ThreadedCluster::WaitForIngestIdle() {
+  // Idle = all counters balanced and stable over two consecutive probes.
+  std::uint64_t last_fingerprint = ~0ULL;
+  int stable = 0;
+  while (stable < 2) {
+    const std::uint64_t published = updates_published_.load();
+    const std::uint64_t processed = updates_processed_.load();
+    const std::uint64_t spub = serving_published_.load();
+    const std::uint64_t sapp = serving_applied_.load();
+    const std::uint64_t csent = ctrl_sent_.load();
+    const std::uint64_t cproc = ctrl_processed_.load();
+    const bool balanced = published == processed && spub == sapp && csent == cproc;
+    const std::uint64_t fingerprint =
+        processed * 1000003ULL + sapp * 10007ULL + cproc * 101ULL + spub + csent;
+    if (balanced && fingerprint == last_fingerprint) {
+      stable++;
+    } else {
+      stable = 0;
+    }
+    last_fingerprint = fingerprint;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
+  const std::uint32_t worker = options_.map.ServingWorkerOf(seed);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return serving_cores_[worker]->Serve(seed);
+}
+
+void ThreadedCluster::PruneTTL(graph::Timestamp cutoff) {
+  for (auto& shard : shards_) shard->Prune(cutoff);
+  // Barrier: a no-op behind each Prune in every mailbox guarantees the
+  // prune itself ran; WaitForIngestIdle then drains whatever it emitted.
+  // (ActorSystem::Quiesce cannot be used here — the polling actors
+  // perpetually reschedule themselves, so the system is never "idle".)
+  for (auto& shard : shards_) shard->WithCore([](SamplingShardCore&) {});
+  WaitForIngestIdle();
+  for (auto& core : serving_cores_) core->EvictOlderThan(cutoff);
+}
+
+util::Status ThreadedCluster::Checkpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    graph::ByteWriter w;
+    shards_[s]->WithCore([&w](SamplingShardCore& core) { core.Serialize(w); });
+    std::ofstream out(dir + "/shard-" + std::to_string(s) + ".ckpt", std::ios::binary);
+    if (!out) return util::Status::Internal("cannot write checkpoint for shard " +
+                                            std::to_string(s));
+    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+  }
+  coordinator_->MarkCheckpointed(util::NowMicros());
+  return util::Status::Ok();
+}
+
+util::Status ThreadedCluster::Restore(const std::string& dir) {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    std::ifstream in(dir + "/shard-" + std::to_string(s) + ".ckpt", std::ios::binary);
+    if (!in) return util::Status::NotFound("missing checkpoint for shard " + std::to_string(s));
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    bool ok = true;
+    shards_[s]->WithCore([&bytes, &ok](SamplingShardCore& core) {
+      graph::ByteReader r(bytes);
+      ok = SamplingShardCore::Deserialize(r, core);
+    });
+    if (!ok) return util::Status::Internal("corrupt checkpoint for shard " + std::to_string(s));
+  }
+  return util::Status::Ok();
+}
+
+ClusterStats ThreadedCluster::Stats() const {
+  ClusterStats stats;
+  stats.updates_published = updates_published_.load();
+  stats.updates_processed = updates_processed_.load();
+  stats.serving_msgs_published = serving_published_.load();
+  stats.serving_msgs_applied = serving_applied_.load();
+  stats.ctrl_sent = ctrl_sent_.load();
+  stats.ctrl_processed = ctrl_processed_.load();
+  stats.queries_served = queries_served_.load();
+  for (const auto& shard : shards_) {
+    const_cast<ShardActor&>(*shard).WithCore([&stats](SamplingShardCore& core) {
+      const auto& s = core.stats();
+      stats.sampling.updates_processed += s.updates_processed;
+      stats.sampling.edges_offered += s.edges_offered;
+      stats.sampling.cells += s.cells;
+      stats.sampling.sample_updates_sent += s.sample_updates_sent;
+      stats.sampling.feature_updates_sent += s.feature_updates_sent;
+      stats.sampling.retracts_sent += s.retracts_sent;
+      stats.sampling.sub_deltas_sent += s.sub_deltas_sent;
+      stats.sampling.features_stored += s.features_stored;
+    });
+  }
+  for (const auto& core : serving_cores_) {
+    const auto& s = core->stats();
+    stats.serving.sample_updates_applied += s.sample_updates_applied;
+    stats.serving.feature_updates_applied += s.feature_updates_applied;
+    stats.serving.retracts_applied += s.retracts_applied;
+    stats.serving.queries_served += s.queries_served;
+    stats.serving.cache_miss_cells += s.cache_miss_cells;
+    stats.serving.cache_miss_features += s.cache_miss_features;
+  }
+  return stats;
+}
+
+util::Histogram ThreadedCluster::IngestionLatency() const {
+  util::Histogram merged;
+  for (const auto& updater : serving_updaters_) {
+    merged.Merge(updater->SnapshotLatency());
+  }
+  return merged;
+}
+
+std::vector<kv::KvStats> ThreadedCluster::ServingCacheStats() const {
+  std::vector<kv::KvStats> stats;
+  stats.reserve(serving_cores_.size());
+  for (const auto& core : serving_cores_) stats.push_back(core->CacheStats());
+  return stats;
+}
+
+}  // namespace helios

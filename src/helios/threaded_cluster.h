@@ -1,0 +1,137 @@
+// ThreadedCluster — the real-threads single-process deployment of Helios.
+//
+// Wires the full §4 architecture inside one process: M sampling workers
+// (each S shard actors + a polling actor + a publisher actor), N serving
+// workers (a polling actor + a data-updating actor each), a Kafka-style
+// broker carrying the "updates" topic (one partition per logical shard) and
+// the "samples" topic (one partition per serving worker), and a coordinator
+// for query registration / heartbeats / checkpoints. Control-plane
+// subscription deltas travel directly between shard actors (FIFO per
+// sender, like the actor-framework messaging the paper describes).
+//
+// This runtime is functionally complete and is what the tests and examples
+// drive. On this workspace's single core it cannot exhibit parallel
+// speedup; the scalability figures instead use the DES emulator
+// (bench/emu_*), which runs the same SamplingShardCore / ServingCore logic
+// under virtual time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "actor/actor.h"
+#include "gen/datasets.h"
+#include "graph/types.h"
+#include "helios/coordinator.h"
+#include "helios/messages.h"
+#include "helios/query.h"
+#include "helios/sampling_core.h"
+#include "helios/serving_core.h"
+#include "helios/shard_map.h"
+#include "mq/mq.h"
+#include "util/histogram.h"
+
+namespace helios {
+
+struct ClusterOptions {
+  ShardMap map;                       // M, S, N
+  std::size_t poll_batch = 512;       // records per poll
+  std::uint64_t seed = 42;
+  graph::Timestamp ttl = 0;           // 0 disables TTL pruning
+  kv::KvOptions serving_kv;           // serving cache backing store
+  // §4.2 edge storage policy. kBySrc partitions an edge by its source (the
+  // key vertex of out-neighbor sampling). kByDest stores the *reversed*
+  // edge at the destination's owner (in-neighbor sampling). kBoth does
+  // both — the undirected-graph treatment.
+  graph::EdgePlacement edge_placement = graph::EdgePlacement::kBySrc;
+};
+
+struct ClusterStats {
+  std::uint64_t updates_published = 0;
+  std::uint64_t updates_processed = 0;
+  std::uint64_t serving_msgs_published = 0;
+  std::uint64_t serving_msgs_applied = 0;
+  std::uint64_t ctrl_sent = 0;
+  std::uint64_t ctrl_processed = 0;
+  std::uint64_t queries_served = 0;
+  SamplingShardCore::Stats sampling;  // aggregated over shards
+  ServingCore::Stats serving;         // aggregated over workers
+};
+
+class ThreadedCluster {
+ public:
+  ThreadedCluster(QueryPlan plan, ClusterOptions options);
+  ~ThreadedCluster();
+
+  ThreadedCluster(const ThreadedCluster&) = delete;
+  ThreadedCluster& operator=(const ThreadedCluster&) = delete;
+
+  // Starts polling pipelines. Must be called before updates flow.
+  void Start();
+  // Stops pipelines and joins every thread. Idempotent.
+  void Stop();
+
+  // ---- ingestion path (what a Kafka producer upstream would do)
+  void PublishUpdate(const graph::GraphUpdate& update);
+
+  // Blocks until every published update and every message it spawned has
+  // been fully processed (queues drained, actors idle).
+  void WaitForIngestIdle();
+
+  // ---- request path (front-end, §4.3): routes by seed vertex and
+  // assembles the K-hop result from the owning worker's local cache.
+  SampledSubgraph Serve(graph::VertexId seed);
+  // The serving worker a seed routes to (exposed for tests / benches).
+  std::uint32_t RouteOf(graph::VertexId seed) const { return options_.map.ServingWorkerOf(seed); }
+
+  // ---- operations
+  // TTL pass on sampling shards and serving caches (§4.2/§6).
+  void PruneTTL(graph::Timestamp cutoff);
+  // Serializes every sampling shard to <dir>/shard-<i>.ckpt (§4.1).
+  util::Status Checkpoint(const std::string& dir);
+  // Restores shard state from a checkpoint directory (call before Start()).
+  util::Status Restore(const std::string& dir);
+
+  ClusterStats Stats() const;
+  // End-to-end ingestion latency (publish -> applied at serving cache).
+  util::Histogram IngestionLatency() const;
+  // Per-serving-worker cache footprint.
+  std::vector<kv::KvStats> ServingCacheStats() const;
+
+  Coordinator& coordinator() { return *coordinator_; }
+  const QueryPlan& plan() const { return plan_; }
+
+ private:
+  class ShardActor;
+  class SamplingPollActor;
+  class PublisherActor;
+  class ServingPollActor;
+  class ServingUpdateActor;
+
+  QueryPlan plan_;
+  ClusterOptions options_;
+  std::unique_ptr<mq::Broker> broker_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<actor::ActorSystem> system_;
+
+  std::vector<std::shared_ptr<ShardActor>> shards_;
+  std::vector<std::shared_ptr<SamplingPollActor>> sampling_pollers_;
+  std::vector<std::shared_ptr<PublisherActor>> publishers_;
+  std::vector<std::shared_ptr<ServingPollActor>> serving_pollers_;
+  std::vector<std::shared_ptr<ServingUpdateActor>> serving_updaters_;
+  std::vector<std::unique_ptr<ServingCore>> serving_cores_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> updates_published_{0};
+  std::atomic<std::uint64_t> updates_processed_{0};
+  std::atomic<std::uint64_t> serving_published_{0};
+  std::atomic<std::uint64_t> serving_applied_{0};
+  std::atomic<std::uint64_t> ctrl_sent_{0};
+  std::atomic<std::uint64_t> ctrl_processed_{0};
+  std::atomic<std::uint64_t> queries_served_{0};
+};
+
+}  // namespace helios

@@ -1,0 +1,300 @@
+#include "kv/kv_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace helios::kv {
+
+namespace {
+// Per-entry bookkeeping overhead charged to the memory budget (hash-map
+// node, pointers). An estimate; only relative sizes matter for Fig 16.
+constexpr std::size_t kEntryOverhead = 64;
+
+std::size_t EntryBytes(const std::string& key, const std::string& value) {
+  return key.size() + value.size() + kEntryOverhead;
+}
+}  // namespace
+
+struct DiskLocation {
+  int run_id = -1;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;  // value length
+};
+
+struct RunFile {
+  int fd = -1;
+  std::uint64_t size = 0;
+  std::string path;
+};
+
+struct KvStore::Shard {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, std::string> memtable;
+  std::size_t memtable_bytes = 0;
+  std::unordered_map<std::string, DiskLocation> disk_index;
+  std::vector<RunFile> runs;
+  std::size_t disk_live_bytes = 0;
+  std::size_t disk_garbage_bytes = 0;
+  std::uint64_t spills = 0;
+  mutable std::atomic<std::uint64_t> disk_reads{0};
+  std::string dir;  // per-shard spill directory; empty = memory-only
+  int next_run_id = 0;
+
+  ~Shard() {
+    for (auto& run : runs) {
+      if (run.fd >= 0) ::close(run.fd);
+    }
+  }
+
+  // Drops a disk entry from the index, accounting its bytes as garbage.
+  void DropDiskEntry(const std::string& key) {
+    auto it = disk_index.find(key);
+    if (it == disk_index.end()) return;
+    const std::size_t bytes = key.size() + it->second.length;
+    disk_live_bytes -= std::min(disk_live_bytes, bytes);
+    disk_garbage_bytes += bytes;
+    disk_index.erase(it);
+  }
+};
+
+KvStore::KvStore(KvOptions options) : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (!options_.spill_dir.empty()) {
+      shard->dir = options_.spill_dir + "/shard-" + std::to_string(i);
+      std::filesystem::create_directories(shard->dir);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+KvStore::~KvStore() = default;
+
+std::size_t KvStore::ShardOf(const std::string& key) const {
+  return util::FnvHash(key) % shards_.size();
+}
+
+util::Status KvStore::Put(const std::string& key, const std::string& value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.memtable.try_emplace(key, value);
+  if (inserted) {
+    shard.memtable_bytes += EntryBytes(key, value);
+  } else {
+    shard.memtable_bytes += value.size();
+    shard.memtable_bytes -= std::min(shard.memtable_bytes, it->second.size());
+    it->second = value;
+  }
+  // The memtable entry supersedes any spilled copy.
+  shard.DropDiskEntry(key);
+
+  if (!shard.dir.empty() && options_.memory_budget_bytes > 0 &&
+      shard.memtable_bytes > options_.memory_budget_bytes / shards_.size()) {
+    return SpillShard(shard);
+  }
+  return util::Status::Ok();
+}
+
+util::Status KvStore::Get(const std::string& key, std::string& value) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto mit = shard.memtable.find(key);
+  if (mit != shard.memtable.end()) {
+    value = mit->second;
+    return util::Status::Ok();
+  }
+  auto dit = shard.disk_index.find(key);
+  if (dit == shard.disk_index.end()) return util::Status::NotFound();
+  const DiskLocation& loc = dit->second;
+  value.resize(loc.length);
+  const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
+  const ssize_t n = ::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset));
+  shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
+  if (n != static_cast<ssize_t>(loc.length)) {
+    return util::Status::Internal("short read from run file " + run.path);
+  }
+  return util::Status::Ok();
+}
+
+bool KvStore::Contains(const std::string& key) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.memtable.count(key) > 0 || shard.disk_index.count(key) > 0;
+}
+
+util::Status KvStore::Delete(const std::string& key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto mit = shard.memtable.find(key);
+  if (mit != shard.memtable.end()) {
+    shard.memtable_bytes -= std::min(shard.memtable_bytes, EntryBytes(key, mit->second));
+    shard.memtable.erase(mit);
+  }
+  shard.DropDiskEntry(key);
+  return util::Status::Ok();
+}
+
+void KvStore::Scan(const std::string& prefix,
+                   const std::function<bool(const std::string&, const std::string&)>& fn) const {
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, value] : shard.memtable) {
+      if (key.rfind(prefix, 0) != 0) continue;
+      if (!fn(key, value)) return;
+    }
+    for (const auto& [key, loc] : shard.disk_index) {
+      if (key.rfind(prefix, 0) != 0) continue;
+      std::string value(loc.length, '\0');
+      const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
+      if (::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset)) !=
+          static_cast<ssize_t>(loc.length)) {
+        continue;
+      }
+      shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
+      if (!fn(key, value)) return;
+    }
+  }
+}
+
+util::Status KvStore::SpillShard(Shard& shard) {
+  RunFile run;
+  run.path = shard.dir + "/run-" + std::to_string(shard.next_run_id);
+  run.fd = ::open(run.path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  if (run.fd < 0) return util::Status::Internal("cannot create run file " + run.path);
+
+  // Serialize the whole memtable into one buffer, one write syscall.
+  std::string buffer;
+  std::vector<std::pair<const std::string*, DiskLocation>> locations;
+  locations.reserve(shard.memtable.size());
+  for (const auto& [key, value] : shard.memtable) {
+    DiskLocation loc;
+    loc.run_id = shard.next_run_id;
+    loc.offset = buffer.size();
+    loc.length = static_cast<std::uint32_t>(value.size());
+    buffer.append(value);
+    locations.emplace_back(&key, loc);
+  }
+  if (::write(run.fd, buffer.data(), buffer.size()) != static_cast<ssize_t>(buffer.size())) {
+    ::close(run.fd);
+    return util::Status::Internal("short write to run file " + run.path);
+  }
+  run.size = buffer.size();
+
+  const int run_index = shard.next_run_id;
+  shard.next_run_id++;
+  if (static_cast<std::size_t>(run_index) != shard.runs.size()) {
+    return util::Status::Internal("run id / slot mismatch");
+  }
+  shard.runs.push_back(run);
+
+  for (auto& [key_ptr, loc] : locations) {
+    // A spilled key may still have an older disk copy; mark it garbage.
+    shard.DropDiskEntry(*key_ptr);
+    shard.disk_index.emplace(*key_ptr, loc);
+    shard.disk_live_bytes += key_ptr->size() + loc.length;
+  }
+  shard.memtable.clear();
+  shard.memtable_bytes = 0;
+  shard.spills++;
+  return util::Status::Ok();
+}
+
+util::Status KvStore::Flush() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.dir.empty() || shard.memtable.empty()) continue;
+    auto status = SpillShard(shard);
+    if (!status.ok()) return status;
+  }
+  return util::Status::Ok();
+}
+
+util::Status KvStore::Compact() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.dir.empty() || shard.disk_index.empty()) {
+      // Nothing live on disk: just drop any garbage-only runs.
+      for (auto& run : shard.runs) {
+        if (run.fd >= 0) ::close(run.fd);
+        if (!run.path.empty()) std::filesystem::remove(run.path);
+      }
+      shard.runs.clear();
+      shard.next_run_id = 0;
+      shard.disk_garbage_bytes = 0;
+      continue;
+    }
+    // Read all live values, rewrite into a single fresh run.
+    std::vector<std::pair<std::string, std::string>> live;
+    live.reserve(shard.disk_index.size());
+    for (const auto& [key, loc] : shard.disk_index) {
+      std::string value(loc.length, '\0');
+      const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
+      if (::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset)) !=
+          static_cast<ssize_t>(loc.length)) {
+        return util::Status::Internal("compaction read failed");
+      }
+      live.emplace_back(key, std::move(value));
+    }
+    for (auto& run : shard.runs) {
+      if (run.fd >= 0) ::close(run.fd);
+      std::filesystem::remove(run.path);
+    }
+    shard.runs.clear();
+    shard.disk_index.clear();
+    shard.disk_live_bytes = 0;
+    shard.disk_garbage_bytes = 0;
+    shard.next_run_id = 0;
+
+    RunFile run;
+    run.path = shard.dir + "/run-0";
+    run.fd = ::open(run.path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+    if (run.fd < 0) return util::Status::Internal("cannot create run file " + run.path);
+    std::string buffer;
+    for (auto& [key, value] : live) {
+      DiskLocation loc;
+      loc.run_id = 0;
+      loc.offset = buffer.size();
+      loc.length = static_cast<std::uint32_t>(value.size());
+      buffer.append(value);
+      shard.disk_index.emplace(key, loc);
+      shard.disk_live_bytes += key.size() + value.size();
+    }
+    if (::write(run.fd, buffer.data(), buffer.size()) != static_cast<ssize_t>(buffer.size())) {
+      ::close(run.fd);
+      return util::Status::Internal("compaction write failed");
+    }
+    run.size = buffer.size();
+    shard.runs.push_back(run);
+    shard.next_run_id = 1;
+  }
+  return util::Status::Ok();
+}
+
+KvStats KvStore::GetStats() const {
+  KvStats stats;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.memory_bytes += shard.memtable_bytes;
+    stats.disk_bytes += shard.disk_live_bytes;
+    stats.garbage_bytes += shard.disk_garbage_bytes;
+    stats.num_keys += shard.memtable.size() + shard.disk_index.size();
+    stats.spills += shard.spills;
+    stats.disk_reads += shard.disk_reads.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace helios::kv

@@ -1,0 +1,87 @@
+// Hybrid memory/disk key-value store (RocksDB substitute).
+//
+// The query-aware sample cache (§6) keeps its sample table and feature table
+// in "the hybrid-memory-disk mode of RocksDB". This store reproduces the
+// behaviour Helios depends on:
+//   * point Get/Put/Delete with bounded cost;
+//   * a memory budget: when the in-memory table exceeds it, entries spill to
+//     sorted run files on disk and are served from disk afterwards;
+//   * approximate memory/disk footprint accounting (drives Fig 16);
+//   * prefix scans (used by checkpointing and the cache-ratio bench).
+//
+// Layout: keys are hash-sharded; each shard owns a mutex, a memtable
+// (unordered_map) and an index of spilled entries (key -> file location).
+// Spill appends the shard's memtable to a new run file; superseded disk
+// entries become garbage that Compact() rewrites away. This is an LSM with
+// one level and an in-memory index — point lookups never touch more than
+// one file read, which preserves the "bounded cache lookup cost" property
+// that Helios's tail-latency argument rests on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace helios::kv {
+
+struct KvOptions {
+  // Total in-memory budget across all shards. 0 = unlimited (never spill).
+  std::size_t memory_budget_bytes = 0;
+  // Directory for run files. Empty = memory-only mode (budget is ignored).
+  std::string spill_dir;
+  std::size_t num_shards = 16;
+};
+
+struct KvStats {
+  std::size_t memory_bytes = 0;    // memtable footprint
+  std::size_t disk_bytes = 0;      // live bytes in run files
+  std::size_t garbage_bytes = 0;   // superseded bytes awaiting compaction
+  std::uint64_t num_keys = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t disk_reads = 0;
+};
+
+class KvStore {
+ public:
+  explicit KvStore(KvOptions options);
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  util::Status Put(const std::string& key, const std::string& value);
+  // Returns kNotFound when absent.
+  util::Status Get(const std::string& key, std::string& value) const;
+  bool Contains(const std::string& key) const;
+  util::Status Delete(const std::string& key);
+
+  // Visits every live (key, value) whose key starts with `prefix`.
+  // Visitation order is unspecified. fn returning false stops the scan.
+  void Scan(const std::string& prefix,
+            const std::function<bool(const std::string&, const std::string&)>& fn) const;
+
+  // Forces all memtable entries of all shards to disk (no-op in memory-only
+  // mode). Used by checkpointing.
+  util::Status Flush();
+
+  // Rewrites run files keeping only live entries; reclaims garbage.
+  util::Status Compact();
+
+  KvStats GetStats() const;
+
+ private:
+  struct Shard;
+  std::size_t ShardOf(const std::string& key) const;
+  util::Status SpillShard(Shard& shard);  // caller holds shard.mutex
+
+  KvOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace helios::kv

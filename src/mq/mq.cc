@@ -1,0 +1,206 @@
+#include "mq/mq.h"
+
+#include <algorithm>
+
+namespace helios::mq {
+
+// ---------------------------------------------------------------- Partition
+
+std::uint64_t Partition::Append(std::string key, std::string value, util::Micros now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Record r;
+  r.offset = start_offset_ + records_.size();
+  r.append_time = now;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  bytes_ += r.key.size() + r.value.size() + sizeof(Record);
+  records_.push_back(std::move(r));
+  return records_.back().offset;
+}
+
+std::size_t Partition::ReadFrom(std::uint64_t offset, std::size_t max_records,
+                                std::vector<Record>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t snapped = std::max(offset, start_offset_);
+  if (snapped >= start_offset_ + records_.size()) return 0;
+  std::size_t idx = static_cast<std::size_t>(snapped - start_offset_);
+  std::size_t n = std::min(max_records, records_.size() - idx);
+  out.insert(out.end(), records_.begin() + static_cast<std::ptrdiff_t>(idx),
+             records_.begin() + static_cast<std::ptrdiff_t>(idx + n));
+  return n;
+}
+
+std::uint64_t Partition::start_offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return start_offset_;
+}
+
+std::uint64_t Partition::end_offset() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return start_offset_ + records_.size();
+}
+
+std::size_t Partition::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t Partition::TruncateOlderThan(util::Micros cutoff) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Records are in append order, so the prefix with append_time < cutoff is
+  // exactly what retention drops.
+  std::size_t drop = 0;
+  while (drop < records_.size() && records_[drop].append_time < cutoff) ++drop;
+  if (drop == 0) return 0;
+  for (std::size_t i = 0; i < drop; ++i) {
+    bytes_ -= records_[i].key.size() + records_[i].value.size() + sizeof(Record);
+  }
+  records_.erase(records_.begin(), records_.begin() + static_cast<std::ptrdiff_t>(drop));
+  start_offset_ += drop;
+  return drop;
+}
+
+// -------------------------------------------------------------------- Topic
+
+Topic::Topic(std::string name, std::uint32_t num_partitions) : name_(std::move(name)) {
+  partitions_.reserve(num_partitions);
+  for (std::uint32_t i = 0; i < num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>());
+  }
+}
+
+std::uint64_t Topic::TotalRecords() const {
+  std::uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->end_offset() - p->start_offset();
+  return n;
+}
+
+std::size_t Topic::TotalBytes() const {
+  std::size_t n = 0;
+  for (const auto& p : partitions_) n += p->SizeBytes();
+  return n;
+}
+
+// ------------------------------------------------------------------- Broker
+
+util::Status Broker::CreateTopic(const std::string& name, std::uint32_t num_partitions) {
+  if (num_partitions == 0) return util::Status::InvalidArgument("topic needs >= 1 partition");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (topics_.count(name)) return util::Status::AlreadyExists("topic exists: " + name);
+  topics_.emplace(name, std::make_unique<Topic>(name, num_partitions));
+  return util::Status::Ok();
+}
+
+Topic* Broker::GetTopic(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = topics_.find(name);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+std::string OffsetKey(const std::string& group, const std::string& topic, std::uint32_t p) {
+  return group + "/" + topic + "/" + std::to_string(p);
+}
+}  // namespace
+
+void Broker::CommitOffset(const std::string& group, const std::string& topic,
+                          std::uint32_t partition, std::uint64_t next_offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  committed_[OffsetKey(group, topic, partition)] = next_offset;
+}
+
+std::uint64_t Broker::CommittedOffset(const std::string& group, const std::string& topic,
+                                      std::uint32_t partition) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = committed_.find(OffsetKey(group, topic, partition));
+  return it == committed_.end() ? 0 : it->second;
+}
+
+std::size_t Broker::TruncateOlderThan(util::Micros cutoff) {
+  std::vector<Topic*> topics;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    topics.reserve(topics_.size());
+    for (auto& [name, topic] : topics_) topics.push_back(topic.get());
+  }
+  std::size_t dropped = 0;
+  for (Topic* t : topics) {
+    for (std::uint32_t p = 0; p < t->num_partitions(); ++p) {
+      dropped += t->partition(p).TruncateOlderThan(cutoff);
+    }
+  }
+  return dropped;
+}
+
+// ----------------------------------------------------------------- Producer
+
+util::StatusOr<std::uint64_t> Producer::Send(const std::string& topic, std::string key,
+                                             std::string value, int partition) {
+  Topic* t = broker_.GetTopic(topic);
+  if (t == nullptr) return util::Status::NotFound("no such topic: " + topic);
+  std::uint32_t p = partition >= 0 ? static_cast<std::uint32_t>(partition)
+                                   : t->PartitionForKey(key);
+  if (p >= t->num_partitions()) return util::Status::InvalidArgument("partition out of range");
+  return t->partition(p).Append(std::move(key), std::move(value), util::NowMicros());
+}
+
+// ----------------------------------------------------------------- Consumer
+
+Consumer::Consumer(Broker& broker, std::string group, std::string topic,
+                   std::vector<std::uint32_t> partitions)
+    : broker_(broker),
+      group_(std::move(group)),
+      topic_(std::move(topic)),
+      partitions_(std::move(partitions)) {
+  positions_.reserve(partitions_.size());
+  for (std::uint32_t p : partitions_) {
+    positions_.push_back(broker_.CommittedOffset(group_, topic_, p));
+  }
+}
+
+std::size_t Consumer::Poll(std::size_t max_records, std::vector<Record>& out) {
+  std::vector<std::uint32_t> ignored;
+  return PollWithPartitions(max_records, out, ignored);
+}
+
+std::size_t Consumer::PollWithPartitions(std::size_t max_records, std::vector<Record>& out,
+                                         std::vector<std::uint32_t>& partitions_out) {
+  Topic* t = broker_.GetTopic(topic_);
+  if (t == nullptr || partitions_.empty()) return 0;
+  std::size_t total = 0;
+  // Round-robin over assigned partitions so one hot partition cannot starve
+  // the others (matters for the skew experiments).
+  for (std::size_t scanned = 0; scanned < partitions_.size() && total < max_records; ++scanned) {
+    const std::size_t i = next_partition_index_;
+    next_partition_index_ = (next_partition_index_ + 1) % partitions_.size();
+    const std::uint32_t p = partitions_[i];
+    const std::size_t before = out.size();
+    const std::size_t n = t->partition(p).ReadFrom(positions_[i], max_records - total, out);
+    if (n == 0) continue;
+    // Position advances to just past the last record actually returned
+    // (records before start_offset may have been truncated away).
+    positions_[i] = out.back().offset + 1;
+    partitions_out.insert(partitions_out.end(), out.size() - before, p);
+    total += n;
+  }
+  return total;
+}
+
+void Consumer::Commit() {
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    broker_.CommitOffset(group_, topic_, partitions_[i], positions_[i]);
+  }
+}
+
+std::uint64_t Consumer::Lag() const {
+  Topic* t = broker_.GetTopic(topic_);
+  if (t == nullptr) return 0;
+  std::uint64_t lag = 0;
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const std::uint64_t end = t->partition(partitions_[i]).end_offset();
+    if (end > positions_[i]) lag += end - positions_[i];
+  }
+  return lag;
+}
+
+}  // namespace helios::mq

@@ -1,0 +1,150 @@
+// In-process Kafka substitute: partitioned, offset-addressed append-only logs.
+//
+// Helios (§4.1) uses Kafka to persistently store and transfer the inputs of
+// sampling and serving workers: graph updates flow into an "updates" topic
+// partitioned by vertex hash across M sampling workers; pre-sampled results
+// flow through per-serving-worker "samples" topics. This library reproduces
+// the semantics that matter to Helios:
+//   * per-partition total order, offset addressing, replayable reads;
+//   * producers decoupled from consumers (at-least-once delivery);
+//   * consumer groups with committed offsets (so a restarted worker resumes
+//     from its checkpointed position — used by fault-tolerance tests);
+//   * time-based retention (TTL truncation, §4.2).
+// Everything is in memory; persistence durability is out of scope but the
+// interface (offsets + commits) is identical to the durable version.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace helios::mq {
+
+// One record in a partition log.
+struct Record {
+  std::uint64_t offset = 0;
+  util::Micros append_time = 0;  // broker-side arrival time
+  std::string key;
+  std::string value;
+};
+
+// A single append-only log. Offsets are dense and start at the log's
+// start_offset (which moves forward under retention truncation).
+class Partition {
+ public:
+  // Returns the offset assigned to the record.
+  std::uint64_t Append(std::string key, std::string value, util::Micros now);
+
+  // Copies up to max_records starting at `offset` into out; returns the
+  // number copied. Reading before start_offset() snaps to start_offset().
+  std::size_t ReadFrom(std::uint64_t offset, std::size_t max_records,
+                       std::vector<Record>& out) const;
+
+  std::uint64_t start_offset() const;
+  std::uint64_t end_offset() const;  // offset the next append will get
+  std::size_t SizeBytes() const;
+
+  // Drops records with append_time < cutoff. Returns records dropped.
+  std::size_t TruncateOlderThan(util::Micros cutoff);
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t start_offset_ = 0;
+  std::vector<Record> records_;
+  std::size_t bytes_ = 0;
+};
+
+// A named set of partitions.
+class Topic {
+ public:
+  Topic(std::string name, std::uint32_t num_partitions);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t num_partitions() const { return static_cast<std::uint32_t>(partitions_.size()); }
+  Partition& partition(std::uint32_t p) { return *partitions_[p]; }
+  const Partition& partition(std::uint32_t p) const { return *partitions_[p]; }
+
+  // Key-hash routing used when the producer does not pick a partition.
+  std::uint32_t PartitionForKey(const std::string& key) const {
+    return static_cast<std::uint32_t>(util::FnvHash(key) % num_partitions());
+  }
+
+  std::uint64_t TotalRecords() const;
+  std::size_t TotalBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+// The broker owns topics and consumer-group offsets.
+class Broker {
+ public:
+  util::Status CreateTopic(const std::string& name, std::uint32_t num_partitions);
+  Topic* GetTopic(const std::string& name);
+
+  // Committed offset bookkeeping: (group, topic, partition) -> next offset.
+  void CommitOffset(const std::string& group, const std::string& topic, std::uint32_t partition,
+                    std::uint64_t next_offset);
+  std::uint64_t CommittedOffset(const std::string& group, const std::string& topic,
+                                std::uint32_t partition) const;
+
+  // Applies retention to every partition of every topic.
+  std::size_t TruncateOlderThan(util::Micros cutoff);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Topic>> topics_;
+  std::map<std::string, std::uint64_t> committed_;  // "group/topic/partition"
+};
+
+// Thin producer handle.
+class Producer {
+ public:
+  explicit Producer(Broker& broker) : broker_(broker) {}
+
+  // Sends to the key-hashed partition (or `partition` if >= 0). Returns the
+  // assigned offset, or an error if the topic does not exist.
+  util::StatusOr<std::uint64_t> Send(const std::string& topic, std::string key, std::string value,
+                                     int partition = -1);
+
+ private:
+  Broker& broker_;
+};
+
+// Consumer bound to a fixed set of partitions of one topic (Helios assigns
+// partitions statically: worker i owns partition i). Poll() reads from the
+// in-memory position; Commit() persists it to the broker for restart.
+class Consumer {
+ public:
+  Consumer(Broker& broker, std::string group, std::string topic,
+           std::vector<std::uint32_t> partitions);
+
+  // Reads up to max_records across assigned partitions (round-robin).
+  std::size_t Poll(std::size_t max_records, std::vector<Record>& out);
+  // Like Poll but also reports the source partition of each record.
+  std::size_t PollWithPartitions(std::size_t max_records, std::vector<Record>& out,
+                                 std::vector<std::uint32_t>& partitions_out);
+
+  void Commit();
+  // Total records available but not yet consumed (the consumer lag —
+  // Helios's ingestion-latency experiments watch this).
+  std::uint64_t Lag() const;
+
+ private:
+  Broker& broker_;
+  std::string group_;
+  std::string topic_;
+  std::vector<std::uint32_t> partitions_;
+  std::vector<std::uint64_t> positions_;  // next offset to read, per partition
+  std::size_t next_partition_index_ = 0;  // round-robin cursor
+};
+
+}  // namespace helios::mq

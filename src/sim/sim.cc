@@ -1,0 +1,101 @@
+#include "sim/sim.h"
+
+#include <cmath>
+#include <memory>
+
+namespace helios::sim {
+
+void SimEnv::ScheduleAt(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void SimEnv::Run() {
+  while (!heap_.empty()) {
+    Event e = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    processed_++;
+    e.fn();
+  }
+}
+
+bool SimEnv::RunUntil(SimTime limit) {
+  while (!heap_.empty() && heap_.top().at <= limit) {
+    Event e = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = e.at;
+    processed_++;
+    e.fn();
+  }
+  if (now_ < limit) now_ = limit;
+  return !heap_.empty();
+}
+
+Resource::Resource(SimEnv& env, std::size_t servers)
+    : env_(env), servers_(servers == 0 ? 1 : servers) {}
+
+void Resource::Enqueue(SimTime service_time, std::function<void()> done) {
+  Job job{service_time < 0 ? 0 : service_time, std::move(done)};
+  if (busy_ < servers_) {
+    StartService(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void Resource::StartService(Job job) {
+  busy_++;
+  busy_time_ += job.service_time;
+  auto done = std::move(job.done);
+  env_.ScheduleAfter(job.service_time, [this, done = std::move(done)]() mutable {
+    OnComplete();
+    done();
+  });
+}
+
+void Resource::OnComplete() {
+  busy_--;
+  if (!waiting_.empty() && busy_ < servers_) {
+    Job next = std::move(waiting_.front());
+    waiting_.pop_front();
+    StartService(std::move(next));
+  }
+}
+
+Link::Link(SimEnv& env, SimTime latency_us, double bytes_per_us)
+    : env_(env), latency_us_(latency_us < 0 ? 0 : latency_us),
+      bytes_per_us_(bytes_per_us <= 0 ? 1.0 : bytes_per_us) {}
+
+void Link::Transfer(std::size_t bytes, std::function<void()> delivered) {
+  const SimTime serialization =
+      static_cast<SimTime>(std::ceil(static_cast<double>(bytes) / bytes_per_us_));
+  const SimTime start = busy_until_ > env_.now() ? busy_until_ : env_.now();
+  busy_until_ = start + serialization;
+  env_.ScheduleAt(busy_until_ + latency_us_, std::move(delivered));
+}
+
+SimCluster::SimCluster(SimEnv& env, const Options& options) : env_(env) {
+  const std::size_t n = options.num_nodes == 0 ? 1 : options.num_nodes;
+  const double bytes_per_us = options.gbps * 1e9 / 8.0 / 1e6;
+  cpus_.reserve(n);
+  nics_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpus_.push_back(std::make_unique<Resource>(env_, options.cores_per_node));
+    nics_.push_back(std::make_unique<Link>(env_, options.net_latency_us, bytes_per_us));
+  }
+}
+
+void SimCluster::Send(std::size_t from, std::size_t to, std::size_t bytes,
+                      std::function<void()> then) {
+  if (from == to) {
+    // Loopback: no NIC, no propagation.
+    env_.ScheduleAfter(0, std::move(then));
+    return;
+  }
+  messages_++;
+  bytes_ += bytes;
+  nics_[from]->Transfer(bytes, std::move(then));
+}
+
+}  // namespace helios::sim

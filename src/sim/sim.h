@@ -1,0 +1,151 @@
+// Discrete-event cluster emulator.
+//
+// The paper's evaluation runs on a 10-node cluster (32 HT threads and a
+// 10 Gbps NIC per node). This workspace has one core, so the distributed
+// experiments are reproduced on virtual time: node handlers execute the
+// *real* Helios / MiniGraphDB code, their measured wall-clock cost becomes
+// virtual service time on a node's CPU resource (a k-server FIFO queue),
+// and messages pay latency + size/bandwidth on Link objects. Only the
+// parallelism and the wire are modelled — compute costs are measured, which
+// is what makes the reproduced curves meaningful.
+//
+// The primitives:
+//   SimEnv    — the event heap and virtual clock.
+//   Resource  — k identical servers with one FIFO queue (a node's cores, or
+//               a worker's thread pool).
+//   Link      — serialization (bytes/bandwidth) + propagation latency.
+//
+// Determinism: ties in the event heap break by insertion sequence number,
+// so a given seed always yields the same trace.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace helios::sim {
+
+using SimTime = std::int64_t;  // virtual microseconds
+
+class SimEnv {
+ public:
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Runs events until the heap is empty.
+  void Run();
+  // Runs events with time <= limit; returns true if events remain.
+  bool RunUntil(SimTime limit);
+
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+// k identical servers, one FIFO queue. Models a node's cores or a worker's
+// dedicated thread pool (§4.2's per-workload pools map 1:1 onto Resources).
+class Resource {
+ public:
+  Resource(SimEnv& env, std::size_t servers);
+
+  // Requests `service_time` on one server; `done` runs at completion time.
+  void Enqueue(SimTime service_time, std::function<void()> done);
+
+  std::size_t queue_depth() const { return waiting_.size(); }
+  std::size_t busy_servers() const { return busy_; }
+  std::size_t servers() const { return servers_; }
+  // Total busy time accumulated across servers (for utilization reports).
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  struct Job {
+    SimTime service_time;
+    std::function<void()> done;
+  };
+  void StartService(Job job);
+  void OnComplete();
+
+  SimEnv& env_;
+  std::size_t servers_;
+  std::size_t busy_ = 0;
+  SimTime busy_time_ = 0;
+  std::deque<Job> waiting_;
+};
+
+// A unidirectional network pipe: messages serialize at `bytes_per_us`, then
+// propagate with fixed `latency_us`. 10 Gbps ≈ 1250 bytes/us.
+class Link {
+ public:
+  Link(SimEnv& env, SimTime latency_us, double bytes_per_us);
+
+  void Transfer(std::size_t bytes, std::function<void()> delivered);
+
+  SimTime latency_us() const { return latency_us_; }
+
+ private:
+  SimEnv& env_;
+  SimTime latency_us_;
+  double bytes_per_us_;
+  SimTime busy_until_ = 0;
+};
+
+// Convenience bundle: N nodes, each with a CPU resource and a NIC link to
+// the fabric. Send() pays the sender NIC + latency (receive-side CPU cost
+// is whatever handler the caller enqueues on the destination's cpu()).
+// Loopback messages are free, matching the paper's observation that
+// single-machine sampling avoids the network entirely (§3.2).
+class SimCluster {
+ public:
+  struct Options {
+    std::size_t num_nodes = 1;
+    std::size_t cores_per_node = 32;   // paper: 2 x 16 HT threads
+    SimTime net_latency_us = 120;      // intra-DC RTT/2 incl. stack cost
+    double gbps = 10.0;
+  };
+
+  SimCluster(SimEnv& env, const Options& options);
+
+  SimEnv& env() { return env_; }
+  std::size_t num_nodes() const { return cpus_.size(); }
+  Resource& cpu(std::size_t node) { return *cpus_[node]; }
+
+  // Delivers `then` at the destination after network transfer (or
+  // immediately for loopback). The caller decides what CPU time the
+  // handling costs by enqueueing on cpu(to).
+  void Send(std::size_t from, std::size_t to, std::size_t bytes, std::function<void()> then);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  SimEnv& env_;
+  std::vector<std::unique_ptr<Resource>> cpus_;
+  std::vector<std::unique_ptr<Link>> nics_;  // egress pipe per node
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace helios::sim

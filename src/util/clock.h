@@ -1,0 +1,60 @@
+// Time sources.
+//
+// Real components use WallClock (steady, monotonic). The cluster emulator
+// advances a VirtualClock; both expose microseconds so latencies recorded by
+// real code and emulated code land in the same Histogram units.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace helios::util {
+
+using Micros = std::int64_t;
+
+// Monotonic wall time in microseconds.
+inline Micros NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Measures the wall-clock duration of a callable, in microseconds. The
+// emulator uses this to convert real compute cost into virtual service time.
+template <typename F>
+Micros TimeIt(F&& fn) {
+  const Micros start = NowMicros();
+  fn();
+  return NowMicros() - start;
+}
+
+using Nanos = std::int64_t;
+
+inline Nanos NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Nanosecond-resolution variant for sub-microsecond operations (the
+// emulator accumulates these with a carry so no compute is lost to
+// quantization).
+template <typename F>
+Nanos TimeItNanos(F&& fn) {
+  const Nanos start = NowNanos();
+  fn();
+  return NowNanos() - start;
+}
+
+// A stopwatch for ad-hoc scopes.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+  Micros ElapsedMicros() const { return NowMicros() - start_; }
+  void Restart() { start_ = NowMicros(); }
+
+ private:
+  Micros start_;
+};
+
+}  // namespace helios::util

@@ -1,0 +1,41 @@
+// Hashing and partitioning helpers.
+//
+// Helios partitions graph updates across M sampling workers and inference
+// requests across N serving workers by hashing vertex IDs (§4.1). The hash
+// must be stable across processes and runs, so we use our own mixers rather
+// than std::hash (whose result is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace helios::util {
+
+// Stateless splitmix64-style finalizer; good avalanche for 64-bit keys.
+inline std::uint64_t MixHash(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// FNV-1a for strings (topic names, query ids).
+inline std::uint64_t FnvHash(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Maps a vertex id to one of `partitions` buckets. This is the "pre-defined
+// hash function" of §4.2; sampling workers, serving workers and the
+// front-end all agree on it.
+inline std::uint32_t PartitionOf(std::uint64_t vertex_id, std::uint32_t partitions) {
+  return static_cast<std::uint32_t>(MixHash(vertex_id) % partitions);
+}
+
+}  // namespace helios::util

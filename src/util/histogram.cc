@@ -1,0 +1,88 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace helios::util {
+
+namespace {
+// 6 sub-buckets per power of two: relative error <= 1/64 within a bucket
+// would need 64 sub-buckets; 16 gives ~6% which is plenty for latency
+// reporting. We use 16 sub-buckets and 48 powers of two.
+constexpr unsigned kSubBucketBits = 4;
+constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+constexpr unsigned kMaxExponent = 48;
+constexpr std::size_t kNumBuckets = static_cast<std::size_t>(kMaxExponent) * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::BucketFor(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned exponent = msb - kSubBucketBits + 1;
+  const std::uint64_t sub = value >> exponent;  // in [kSubBuckets, 2*kSubBuckets)
+  std::size_t idx = static_cast<std::size_t>(exponent) * kSubBuckets + static_cast<std::size_t>(sub);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::BucketUpper(std::size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const std::uint64_t exponent = bucket / kSubBuckets;
+  const std::uint64_t sub = bucket % kSubBuckets;
+  return ((sub + 1) << exponent) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  const std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpper(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary(const char* unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu avg=%.1f%s p50=%llu%s p95=%llu%s p99=%llu%s max=%llu%s",
+                static_cast<unsigned long long>(count_), Mean(), unit,
+                static_cast<unsigned long long>(P50()), unit,
+                static_cast<unsigned long long>(P95()), unit,
+                static_cast<unsigned long long>(P99()), unit,
+                static_cast<unsigned long long>(max_), unit);
+  return buf;
+}
+
+}  // namespace helios::util

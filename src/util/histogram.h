@@ -1,0 +1,49 @@
+// HDR-style latency histogram with logarithmic buckets.
+//
+// Used by every bench to report avg / P50 / P95 / P99 / max, matching the
+// metrics the paper plots in Figures 4, 10, 14, 15, 17 and 19. Values are
+// recorded in arbitrary integer units (the benches use microseconds of
+// virtual or wall time). Recording is O(1) and allocation-free (Per.15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace helios::util {
+
+class Histogram {
+ public:
+  // Covers [0, 2^48) with ~1.5% relative bucket width.
+  Histogram();
+
+  void Record(std::uint64_t value);
+  // Merge another histogram into this one (used to combine per-worker stats).
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+  // q in [0, 1]; returns an upper bound of the bucket containing quantile q.
+  std::uint64_t Quantile(double q) const;
+  std::uint64_t P50() const { return Quantile(0.50); }
+  std::uint64_t P95() const { return Quantile(0.95); }
+  std::uint64_t P99() const { return Quantile(0.99); }
+
+  // "n=... avg=... p50=... p99=... max=..." one-line summary.
+  std::string Summary(const char* unit = "us") const;
+
+ private:
+  static std::size_t BucketFor(std::uint64_t value);
+  static std::uint64_t BucketUpper(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace helios::util

@@ -1,0 +1,53 @@
+// Minimal leveled logger used across all Helios libraries.
+//
+// Design notes (CP.3 / Per.15): the logger holds no per-call allocations on
+// the hot path when the level is filtered out; formatting only happens when
+// the message will actually be emitted. A single global sink guarded by a
+// mutex is sufficient for our workloads because logging never sits on a
+// latency-critical path (benches run with level >= kWarn).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace helios::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level. Defaults to kInfo; benches raise it to kWarn.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+// Emits one formatted line ("<level> <module>: <msg>\n") to stderr.
+void LogLine(LogLevel level, const char* module, const std::string& msg);
+}  // namespace internal
+
+// Stream-style log statement: HLOG(kInfo, "mq") << "started " << n;
+// The stream body is not evaluated when the level is filtered out.
+#define HLOG(level, module)                                                 \
+  if (::helios::util::LogLevel::level < ::helios::util::GetLogLevel()) {   \
+  } else                                                                    \
+    ::helios::util::internal::LogCapture(::helios::util::LogLevel::level, module)
+
+namespace internal {
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* module) : level_(level), module_(module) {}
+  ~LogCapture() { LogLine(level_, module_, stream_.str()); }
+  template <typename T>
+  LogCapture& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* module_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace helios::util

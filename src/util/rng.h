@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for all of Helios.
+//
+// Every stochastic component (reservoir sampling, workload generators, the
+// cluster emulator) takes an explicit Rng so experiments are reproducible
+// bit-for-bit across runs. xoshiro256** is used for speed (Per.19: tight,
+// branch-free state transitions) and quality; seeding goes through
+// splitmix64 as recommended by the xoshiro authors.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace helios::util {
+
+// splitmix64 step — also exported as a general-purpose integer mixer.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** generator. Not thread-safe; use one instance per thread/actor.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's multiply-shift
+  // rejection-free mapping (bias is negligible for bound << 2^64).
+  std::uint64_t Uniform(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(Uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Exponentially distributed with the given rate (for Poisson arrivals).
+  double Exponential(double rate) {
+    double u = UniformDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -std::log(u) / rate;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over {0, .., n-1} with exponent s, used to model
+// the power-law degree and popularity skew of real-world graphs (§3.1).
+// Uses the rejection-inversion method of Hörmann & Derflinger, O(1) per draw.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double s) : n_(n), s_(s) {
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+    dist_ = h_n_ - h_x1_;
+    threshold_ = 2.0 - HInv(H(2.5) - std::exp(-std::log(2.0) * s_));
+  }
+
+  std::uint64_t Sample(Rng& rng) {
+    while (true) {
+      const double u = h_x1_ + rng.UniformDouble() * dist_;
+      const double x = HInv(u);
+      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (static_cast<double>(k) - x <= threshold_ ||
+          u >= H(static_cast<double>(k) + 0.5) - std::exp(-std::log(static_cast<double>(k)) * s_)) {
+        return k - 1;  // zero-based
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s; special-cased near s == 1.
+  double H(double x) const {
+    const double log_x = std::log(x);
+    if (std::fabs(1.0 - s_) < 1e-9) return log_x;
+    return std::exp((1.0 - s_) * log_x) / (1.0 - s_);
+  }
+  double HInv(double x) const {
+    if (std::fabs(1.0 - s_) < 1e-9) return std::exp(x);
+    return std::exp(std::log((1.0 - s_) * x) / (1.0 - s_));
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0, h_n_ = 0, dist_ = 0, threshold_ = 0;
+};
+
+}  // namespace helios::util

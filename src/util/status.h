@@ -1,0 +1,81 @@
+// Lightweight Status / StatusOr for recoverable errors.
+//
+// Helios components return Status for operations that can fail for data
+// reasons (missing key, closed queue, bad query text) and reserve exceptions
+// for programming errors. This keeps hot paths allocation-free on success
+// (the message string is only populated on failure).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace helios::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kUnavailable,
+  kAlreadyExists,
+  kInternal,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return "error(" + std::to_string(static_cast<int>(code_)) + "): " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error. Access to value() asserts ok() in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : data_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : data_(std::move(status)) { // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "OK status must carry a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T ValueOr(T fallback) const { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace helios::util

@@ -1,0 +1,30 @@
+#include "util/thread_pool.h"
+
+namespace helios::util {
+
+ThreadPool::ThreadPool(std::string name, std::size_t num_threads) : name_(std::move(name)) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) { return tasks_.Push(std::move(task)); }
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace helios::util

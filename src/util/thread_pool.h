@@ -1,0 +1,44 @@
+// Fixed-size thread pool with named workers.
+//
+// The actor runtime builds one pool per workload class ("polling",
+// "sampling", "publishing", "serving") so workloads are physically isolated
+// onto distinct threads exactly as §4.2/§4.3 describe. Tasks are type-erased
+// closures; the pool drains remaining tasks on Shutdown() so tests are
+// deterministic.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/queue.h"
+
+namespace helios::util {
+
+class ThreadPool {
+ public:
+  ThreadPool(std::string name, std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task; returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  // Stop accepting tasks, run everything already queued, join all threads.
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace helios::util

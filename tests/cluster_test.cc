@@ -1,0 +1,340 @@
+// End-to-end integration tests: the full threaded Helios deployment
+// (broker + sampling workers + serving workers + coordinator) against a
+// ground-truth dynamic graph oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "gen/datasets.h"
+#include "gen/update_stream.h"
+#include "graph/dynamic_graph.h"
+#include "helios/threaded_cluster.h"
+
+namespace helios {
+namespace {
+
+using gen::MakeVertexId;
+
+graph::GraphSchema Schema() {
+  graph::GraphSchema schema;
+  schema.vertex_type_names = {"User", "Item"};
+  schema.edge_type_names = {"Click", "CoPurchase"};
+  schema.edge_endpoints = {{0, 1}, {1, 1}};
+  schema.feature_dim = 4;
+  return schema;
+}
+
+QueryPlan Plan(Strategy s, std::uint32_t f1 = 2, std::uint32_t f2 = 2) {
+  SamplingQuery q;
+  q.id = "it";
+  q.seed_type = 0;
+  q.hops = {{0, f1, s}, {1, f2, s}};
+  return Decompose(q, Schema()).value();
+}
+
+gen::DatasetSpec SmallSpec() {
+  gen::DatasetSpec spec;
+  spec.name = "small";
+  spec.schema = Schema();
+  spec.vertices_per_type = {200, 300};
+  spec.edge_streams = {{0, 3000, 1.05, 1.05}, {1, 4000, 1.05, 1.05}};
+  spec.seed = 7;
+  return spec;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void RunStream(ThreadedCluster& cluster, graph::DynamicGraphStore* oracle = nullptr) {
+    gen::UpdateStream stream(SmallSpec());
+    graph::GraphUpdate u;
+    while (stream.Next(u)) {
+      cluster.PublishUpdate(u);
+      if (oracle != nullptr) oracle->Apply(u);
+    }
+    cluster.WaitForIngestIdle();
+  }
+};
+
+TEST_F(ClusterTest, IngestsEverythingAndBalances) {
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  cluster.Start();
+  RunStream(cluster);
+  const auto stats = cluster.Stats();
+  EXPECT_EQ(stats.updates_published, stats.updates_processed);
+  EXPECT_EQ(stats.updates_published, 200u + 300u + 3000u + 4000u);
+  EXPECT_EQ(stats.serving_msgs_published, stats.serving_msgs_applied);
+  EXPECT_EQ(stats.ctrl_sent, stats.ctrl_processed);
+  EXPECT_GT(stats.serving_msgs_applied, 0u);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, ServedSamplesAreRealEdgesWithCorrectTypes) {
+  ClusterOptions options;
+  options.map = {2, 2, 3};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  graph::DynamicGraphStore oracle(2);
+  cluster.Start();
+  RunStream(cluster, &oracle);
+
+  int served_nonempty = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto seed = MakeVertexId(0, i);
+    const auto result = cluster.Serve(seed);
+    if (result.layers[1].empty()) continue;
+    served_nonempty++;
+    ASSERT_EQ(result.layers.size(), 3u);
+    EXPECT_LE(result.layers[1].size(), 2u);
+    EXPECT_LE(result.layers[2].size(), 4u);
+    // Every hop-1 sample is a genuine Click neighbor of the seed.
+    std::vector<graph::Edge> neighbors;
+    oracle.Neighbors(0, seed, neighbors);
+    std::set<graph::VertexId> truth;
+    for (const auto& e : neighbors) truth.insert(e.dst);
+    for (const auto& node : result.layers[1]) {
+      EXPECT_TRUE(truth.count(node.vertex)) << "phantom hop-1 sample";
+      EXPECT_EQ(gen::VertexTypeOf(node.vertex), 1);
+    }
+    // Every hop-2 sample is a CoPurchase neighbor of its parent.
+    for (const auto& node : result.layers[2]) {
+      const auto parent = result.layers[1][node.parent].vertex;
+      oracle.Neighbors(1, parent, neighbors);
+      bool found = false;
+      for (const auto& e : neighbors) found |= e.dst == node.vertex;
+      EXPECT_TRUE(found) << "phantom hop-2 sample";
+    }
+  }
+  EXPECT_GT(served_nonempty, 100);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, TopKServesNewestNeighbors) {
+  ClusterOptions options;
+  options.map = {1, 2, 2};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  graph::DynamicGraphStore oracle(2);
+  cluster.Start();
+  RunStream(cluster, &oracle);
+
+  int checked = 0;
+  for (std::uint64_t i = 0; i < 200 && checked < 50; ++i) {
+    const auto seed = MakeVertexId(0, i);
+    std::vector<graph::Edge> neighbors;
+    if (oracle.Neighbors(0, seed, neighbors) < 3) continue;  // need eviction pressure
+    const auto result = cluster.Serve(seed);
+    ASSERT_EQ(result.layers[1].size(), 2u) << "full cell expected";
+    // The two served samples must be the two newest Click edges.
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const graph::Edge& a, const graph::Edge& b) { return a.ts > b.ts; });
+    std::set<graph::VertexId> newest{neighbors[0].dst, neighbors[1].dst};
+    for (const auto& node : result.layers[1]) {
+      EXPECT_TRUE(newest.count(node.vertex)) << "TopK served a stale neighbor";
+    }
+    checked++;
+  }
+  EXPECT_GT(checked, 10);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, FeaturesArriveForSampledVertices) {
+  ClusterOptions options;
+  options.map = {2, 1, 2};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  cluster.Start();
+  RunStream(cluster);
+  std::uint64_t present = 0, missing = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto result = cluster.Serve(MakeVertexId(0, i));
+    present += result.feature_lookups - result.missing_features;
+    missing += result.missing_features;
+  }
+  // The stream announces every vertex feature up front, so after idle the
+  // cache must hold features for everything it serves.
+  EXPECT_EQ(missing, 0u);
+  EXPECT_GT(present, 0u);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, IngestionLatencyRecorded) {
+  ClusterOptions options;
+  options.map = {1, 1, 1};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  cluster.Start();
+  RunStream(cluster);
+  const auto hist = cluster.IngestionLatency();
+  EXPECT_GT(hist.count(), 0u);
+  EXPECT_GT(hist.Mean(), 0.0);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, ServingStableWhileIngesting) {
+  // Sampling/serving separation smoke test (§7.2.3): queries succeed and
+  // stay bounded while updates pour in concurrently.
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  ThreadedCluster cluster(Plan(Strategy::kRandom), options);
+  cluster.Start();
+  std::thread ingester([&] {
+    gen::UpdateStream stream(SmallSpec());
+    graph::GraphUpdate u;
+    while (stream.Next(u)) cluster.PublishUpdate(u);
+  });
+  std::uint64_t served = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      const auto result = cluster.Serve(MakeVertexId(0, i));
+      EXPECT_LE(result.layers[1].size(), 2u);
+      served++;
+    }
+  }
+  ingester.join();
+  cluster.WaitForIngestIdle();
+  EXPECT_EQ(served, 1000u);
+  EXPECT_EQ(cluster.Stats().queries_served, 1000u);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, CheckpointAndRestoreIntoFreshCluster) {
+  const auto dir = std::filesystem::temp_directory_path() / "helios_cluster_ckpt";
+  std::filesystem::remove_all(dir);
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  const auto plan = Plan(Strategy::kTopK);
+
+  ThreadedCluster first(plan, options);
+  first.Start();
+  RunStream(first);
+  ASSERT_TRUE(first.Checkpoint(dir.string()).ok());
+  const auto before = first.Stats();
+  first.Stop();
+
+  ThreadedCluster second(plan, options);
+  ASSERT_TRUE(second.Restore(dir.string()).ok());
+  // Restored reservoir/subscription tables: replaying one more edge for a
+  // known seed must flow through to serving.
+  second.Start();
+  second.WaitForIngestIdle();
+  const auto after = second.Stats();
+  EXPECT_EQ(after.sampling.cells, before.sampling.cells);
+  second.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ClusterTest, RestoreFailsOnMissingDirectory) {
+  ClusterOptions options;
+  options.map = {1, 1, 1};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  EXPECT_FALSE(cluster.Restore("/nonexistent/helios/ckpt").ok());
+}
+
+TEST_F(ClusterTest, CoordinatorTracksWorkers) {
+  ClusterOptions options;
+  options.map = {2, 1, 3};
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  EXPECT_EQ(cluster.coordinator().Workers().size(), 5u);  // 2 sampling + 3 serving
+  cluster.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Heartbeats flowed; nothing is dead.
+  EXPECT_TRUE(cluster.coordinator().CheckLiveness(util::NowMicros()).empty());
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, TtlPruneShrinksState) {
+  ClusterOptions options;
+  options.map = {1, 1, 1};
+  options.ttl = 1;
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  cluster.Start();
+  RunStream(cluster);
+  const auto before = cluster.Stats();
+  ASSERT_GT(before.serving_msgs_applied, 0u);
+  // Everything is older than a cutoff beyond the stream's last event time.
+  cluster.PruneTTL(/*cutoff=*/10'000'000);
+  cluster.WaitForIngestIdle();
+  // Serving now returns empty hop-1 layers (cells were pruned/evicted).
+  std::size_t nonempty = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    nonempty += !cluster.Serve(MakeVertexId(0, i)).layers[1].empty();
+  }
+  EXPECT_EQ(nonempty, 0u);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, RandomStrategyEndToEnd) {
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  ThreadedCluster cluster(Plan(Strategy::kRandom, 3, 2), options);
+  graph::DynamicGraphStore oracle(2);
+  cluster.Start();
+  RunStream(cluster, &oracle);
+  std::uint64_t phantom = 0, total = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto seed = MakeVertexId(0, i);
+    const auto result = cluster.Serve(seed);
+    std::vector<graph::Edge> neighbors;
+    oracle.Neighbors(0, seed, neighbors);
+    std::set<graph::VertexId> truth;
+    for (const auto& e : neighbors) truth.insert(e.dst);
+    for (const auto& node : result.layers[1]) {
+      total++;
+      phantom += !truth.count(node.vertex);
+    }
+  }
+  EXPECT_GT(total, 100u);
+  EXPECT_EQ(phantom, 0u);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, EdgePlacementBoth) {
+  // kBoth: every edge is also stored reversed, so a CoPurchase i->j makes
+  // j a sampleable neighbor of i AND i a sampleable neighbor of j.
+  ClusterOptions options;
+  options.map = {1, 2, 1};
+  options.edge_placement = graph::EdgePlacement::kBoth;
+  // Item-Item query so reversal stays type-correct.
+  SamplingQuery q;
+  q.seed_type = 1;
+  q.hops = {{1, 2, Strategy::kTopK}};
+  graph::GraphSchema schema = Schema();
+  ThreadedCluster cluster(Decompose(q, schema).value(), options);
+  cluster.Start();
+  const auto i = MakeVertexId(1, 1), j = MakeVertexId(1, 2);
+  cluster.PublishUpdate(graph::EdgeUpdate{1, i, j, 10, 1.f});
+  cluster.WaitForIngestIdle();
+  const auto from_i = cluster.Serve(i);
+  const auto from_j = cluster.Serve(j);
+  ASSERT_EQ(from_i.layers[1].size(), 1u);
+  EXPECT_EQ(from_i.layers[1][0].vertex, j);
+  ASSERT_EQ(from_j.layers[1].size(), 1u);
+  EXPECT_EQ(from_j.layers[1][0].vertex, i);
+  EXPECT_EQ(cluster.Stats().updates_published, 2u);  // original + mirror
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, EdgePlacementByDest) {
+  // kByDest: only the reversed edge is stored — sampling sees in-neighbors.
+  ClusterOptions options;
+  options.map = {1, 1, 1};
+  options.edge_placement = graph::EdgePlacement::kByDest;
+  SamplingQuery q;
+  q.seed_type = 1;
+  q.hops = {{1, 2, Strategy::kTopK}};
+  graph::GraphSchema schema = Schema();
+  ThreadedCluster cluster(Decompose(q, schema).value(), options);
+  cluster.Start();
+  const auto i = MakeVertexId(1, 1), j = MakeVertexId(1, 2);
+  cluster.PublishUpdate(graph::EdgeUpdate{1, i, j, 10, 1.f});
+  cluster.WaitForIngestIdle();
+  EXPECT_TRUE(cluster.Serve(i).layers[1].empty());
+  const auto from_j = cluster.Serve(j);
+  ASSERT_EQ(from_j.layers[1].size(), 1u);
+  EXPECT_EQ(from_j.layers[1][0].vertex, i);
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace helios

@@ -1,0 +1,183 @@
+// Round-trip property tests for all binary codecs (graph updates, serving
+// messages, subscription deltas) — the wire formats every queue carries.
+#include <gtest/gtest.h>
+
+#include "graph/update_codec.h"
+#include "helios/messages.h"
+#include "util/rng.h"
+
+namespace helios {
+namespace {
+
+using graph::ByteReader;
+using graph::ByteWriter;
+
+TEST(ByteCodec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU16(65535);
+  w.PutU32(123456789);
+  w.PutU64(0xDEADBEEFCAFEBABEULL);
+  w.PutI64(-42);
+  w.PutF32(3.25f);
+  w.PutBytes("hello");
+  w.PutFloats({1.f, -2.f});
+  const std::string buf = w.Take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetU8(), 7);
+  EXPECT_EQ(r.GetU16(), 65535);
+  EXPECT_EQ(r.GetU32(), 123456789u);
+  EXPECT_EQ(r.GetU64(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_FLOAT_EQ(r.GetF32(), 3.25f);
+  EXPECT_EQ(r.GetBytes(), "hello");
+  EXPECT_EQ(r.GetFloats(), (std::vector<float>{1.f, -2.f}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteCodec, UnderflowSetsNotOk) {
+  ByteWriter w;
+  w.PutU8(1);
+  const std::string buf = w.Take();
+  ByteReader r(buf);
+  r.GetU8();
+  r.GetU64();  // underflow
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(UpdateCodec, EdgeRoundTrip) {
+  graph::EdgeUpdate e{3, 123456789ULL, 987654321ULL, 55555, 0.75f};
+  graph::GraphUpdate u = e;
+  graph::GraphUpdate out;
+  ASSERT_TRUE(graph::DecodeUpdate(graph::EncodeUpdate(u), out));
+  const auto& d = std::get<graph::EdgeUpdate>(out);
+  EXPECT_EQ(d.type, e.type);
+  EXPECT_EQ(d.src, e.src);
+  EXPECT_EQ(d.dst, e.dst);
+  EXPECT_EQ(d.ts, e.ts);
+  EXPECT_FLOAT_EQ(d.weight, e.weight);
+}
+
+TEST(UpdateCodec, VertexRoundTrip) {
+  graph::VertexUpdate v{1, 42ULL, 777, {0.1f, 0.2f, 0.3f}};
+  graph::GraphUpdate u = v;
+  graph::GraphUpdate out;
+  ASSERT_TRUE(graph::DecodeUpdate(graph::EncodeUpdate(u), out));
+  const auto& d = std::get<graph::VertexUpdate>(out);
+  EXPECT_EQ(d.type, v.type);
+  EXPECT_EQ(d.id, v.id);
+  EXPECT_EQ(d.ts, v.ts);
+  EXPECT_EQ(d.feature, v.feature);
+}
+
+TEST(UpdateCodec, RejectsGarbage) {
+  graph::GraphUpdate out;
+  EXPECT_FALSE(graph::DecodeUpdate("", out));
+  EXPECT_FALSE(graph::DecodeUpdate("\x09garbage", out));
+  EXPECT_FALSE(graph::DecodeUpdate("\x02short", out));
+}
+
+// Property: random updates round-trip exactly.
+TEST(UpdateCodec, RandomizedRoundTrip) {
+  util::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    graph::GraphUpdate u;
+    if (rng.Bernoulli(0.5)) {
+      graph::VertexUpdate v;
+      v.type = static_cast<graph::VertexTypeId>(rng.Uniform(4));
+      v.id = rng.Next();
+      v.ts = static_cast<graph::Timestamp>(rng.Uniform(1 << 30));
+      const std::size_t dim = rng.Uniform(16);
+      for (std::size_t d = 0; d < dim; ++d) {
+        v.feature.push_back(static_cast<float>(rng.UniformDouble()));
+      }
+      u = std::move(v);
+    } else {
+      graph::EdgeUpdate e;
+      e.type = static_cast<graph::EdgeTypeId>(rng.Uniform(4));
+      e.src = rng.Next();
+      e.dst = rng.Next();
+      e.ts = static_cast<graph::Timestamp>(rng.Uniform(1 << 30));
+      e.weight = static_cast<float>(rng.UniformDouble());
+      u = e;
+    }
+    graph::GraphUpdate out;
+    ASSERT_TRUE(graph::DecodeUpdate(graph::EncodeUpdate(u), out));
+    EXPECT_EQ(graph::EncodeUpdate(out), graph::EncodeUpdate(u));
+  }
+}
+
+TEST(ServingMessageCodec, SampleRoundTrip) {
+  SampleUpdate su;
+  su.level = 2;
+  su.vertex = 12345;
+  su.event_ts = 999;
+  su.origin_us = 123456;
+  su.samples = {{1, 10, 0.5f}, {2, 20, 1.5f}};
+  ServingMessage m = ServingMessage::Of(su);
+  ServingMessage out;
+  ASSERT_TRUE(DecodeServingMessage(EncodeServingMessage(m), out));
+  EXPECT_EQ(out.kind, ServingMessage::Kind::kSample);
+  EXPECT_EQ(out.sample.level, 2u);
+  EXPECT_EQ(out.sample.vertex, 12345u);
+  EXPECT_EQ(out.sample.event_ts, 999);
+  EXPECT_EQ(out.sample.origin_us, 123456);
+  EXPECT_EQ(out.sample.samples, su.samples);
+}
+
+TEST(ServingMessageCodec, FeatureRoundTrip) {
+  FeatureUpdate fu;
+  fu.vertex = 777;
+  fu.feature = {1.f, 2.f, 3.f};
+  fu.event_ts = 5;
+  fu.origin_us = 6;
+  ServingMessage out;
+  ASSERT_TRUE(DecodeServingMessage(EncodeServingMessage(ServingMessage::Of(fu)), out));
+  EXPECT_EQ(out.kind, ServingMessage::Kind::kFeature);
+  EXPECT_EQ(out.feature.vertex, 777u);
+  EXPECT_EQ(out.feature.feature, fu.feature);
+  EXPECT_EQ(out.feature.event_ts, 5);
+  EXPECT_EQ(out.feature.origin_us, 6);
+}
+
+TEST(ServingMessageCodec, RetractRoundTrip) {
+  ServingMessage out;
+  ASSERT_TRUE(DecodeServingMessage(EncodeServingMessage(ServingMessage::Of(Retract{3, 42})), out));
+  EXPECT_EQ(out.kind, ServingMessage::Kind::kRetract);
+  EXPECT_EQ(out.retract.level, 3u);
+  EXPECT_EQ(out.retract.vertex, 42u);
+}
+
+TEST(ServingMessageCodec, RejectsGarbage) {
+  ServingMessage out;
+  EXPECT_FALSE(DecodeServingMessage("", out));
+  EXPECT_FALSE(DecodeServingMessage("\x07rubbish", out));
+}
+
+TEST(SubscriptionDeltaCodec, RoundTripBothSigns) {
+  for (std::int32_t delta : {+1, -1}) {
+    SubscriptionDelta d{4, 99999, 7, delta};
+    SubscriptionDelta out;
+    ASSERT_TRUE(DecodeSubscriptionDelta(EncodeSubscriptionDelta(d), out));
+    EXPECT_EQ(out.level, 4u);
+    EXPECT_EQ(out.vertex, 99999u);
+    EXPECT_EQ(out.serving_worker, 7u);
+    EXPECT_EQ(out.delta, delta);
+  }
+}
+
+TEST(WireSize, TracksPayload) {
+  SampleUpdate su;
+  su.samples.resize(10);
+  const auto small = WireSize(ServingMessage::Of(SampleUpdate{}));
+  const auto big = WireSize(ServingMessage::Of(su));
+  EXPECT_GT(big, small);
+  FeatureUpdate fu;
+  fu.feature.resize(128);
+  EXPECT_GT(WireSize(ServingMessage::Of(fu)), WireSize(ServingMessage::Of(FeatureUpdate{})));
+}
+
+}  // namespace
+}  // namespace helios

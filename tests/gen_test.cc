@@ -1,0 +1,162 @@
+// Tests for dataset specs, the update-stream generator and workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/datasets.h"
+#include "gen/update_stream.h"
+#include "gen/workload.h"
+#include "graph/dynamic_graph.h"
+
+namespace helios::gen {
+namespace {
+
+TEST(VertexIds, EncodeDecode) {
+  const auto id = MakeVertexId(3, 123456);
+  EXPECT_EQ(VertexTypeOf(id), 3);
+  EXPECT_EQ(VertexIndexOf(id), 123456u);
+  EXPECT_NE(MakeVertexId(0, 5), MakeVertexId(1, 5));
+}
+
+TEST(Datasets, AllFourHaveSaneShapes) {
+  for (const auto& spec : AllDatasets(4000)) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_FALSE(spec.schema.vertex_type_names.empty());
+    EXPECT_EQ(spec.schema.edge_type_names.size(), spec.schema.edge_endpoints.size());
+    EXPECT_EQ(spec.vertices_per_type.size(), spec.schema.vertex_type_names.size());
+    EXPECT_GT(spec.TotalVertices(), 0u);
+    EXPECT_GT(spec.TotalEdges(), 0u);
+    EXPECT_GT(spec.schema.feature_dim, 0u);
+    for (const auto& es : spec.edge_streams) {
+      EXPECT_LT(es.type, spec.schema.edge_endpoints.size());
+    }
+    const auto paper = PaperStatsFor(spec.name);
+    EXPECT_GT(paper.edges, 0.0) << "missing paper stats";
+    EXPECT_EQ(spec.schema.feature_dim, paper.feature_dim);
+  }
+}
+
+TEST(Datasets, EdgeVertexRatioTracksPaper) {
+  // The scaled edge:vertex ratio should be within 2x of Table 1's ratio.
+  for (const auto& spec : AllDatasets(4000)) {
+    SCOPED_TRACE(spec.name);
+    const auto paper = PaperStatsFor(spec.name);
+    const double paper_ratio = paper.edges / paper.vertices;
+    const double ours = static_cast<double>(spec.TotalEdges()) /
+                        static_cast<double>(spec.TotalVertices());
+    EXPECT_GT(ours, paper_ratio / 2.5);
+    EXPECT_LT(ours, paper_ratio * 2.5);
+  }
+}
+
+TEST(UpdateStream, EmitsExactCountsAndMonotoneTimestamps) {
+  const auto spec = MakeFin(200000);
+  UpdateStream stream(spec);
+  graph::GraphUpdate u;
+  std::uint64_t vertices = 0, edges = 0;
+  graph::Timestamp last_ts = 0;
+  while (stream.Next(u)) {
+    const auto ts = graph::UpdateTimestamp(u);
+    EXPECT_GT(ts, last_ts);
+    last_ts = ts;
+    if (std::holds_alternative<graph::VertexUpdate>(u)) {
+      vertices++;
+    } else {
+      edges++;
+    }
+  }
+  EXPECT_EQ(vertices, spec.TotalVertices());
+  EXPECT_EQ(edges, spec.TotalEdges());
+  EXPECT_EQ(stream.Emitted(), stream.TotalUpdates());
+}
+
+TEST(UpdateStream, DeterministicAndResettable) {
+  const auto spec = MakeTaobao(2000);
+  UpdateStream a(spec), b(spec);
+  graph::GraphUpdate ua, ub;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a.Next(ua), b.Next(ub));
+    EXPECT_EQ(graph::UpdateTimestamp(ua), graph::UpdateTimestamp(ub));
+  }
+  a.Reset();
+  UpdateStream c(spec);
+  graph::GraphUpdate uc;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.Next(ua));
+    ASSERT_TRUE(c.Next(uc));
+    EXPECT_EQ(graph::UpdateTimestamp(ua), graph::UpdateTimestamp(uc));
+  }
+}
+
+TEST(UpdateStream, EdgesRespectSchemaEndpoints) {
+  const auto spec = MakeInter(400000);
+  UpdateStream stream(spec, {.vertices_first = false});
+  graph::GraphUpdate u;
+  int checked = 0;
+  while (stream.Next(u) && checked < 5000) {
+    const auto& e = std::get<graph::EdgeUpdate>(u);
+    const auto& ep = spec.schema.edge_endpoints[e.type];
+    EXPECT_EQ(VertexTypeOf(e.src), ep.src_type);
+    EXPECT_EQ(VertexTypeOf(e.dst), ep.dst_type);
+    EXPECT_LT(VertexIndexOf(e.src), spec.vertices_per_type[ep.src_type]);
+    EXPECT_LT(VertexIndexOf(e.dst), spec.vertices_per_type[ep.dst_type]);
+    checked++;
+  }
+  EXPECT_GT(checked, 1000);
+}
+
+TEST(UpdateStream, ProducesPowerLawSkew) {
+  // Loading the FIN stream (the most supernode-heavy spec) must produce a
+  // heavy-tailed out-degree: max degree far above the average (Table 1's
+  // premise, and what drives the paper's long-tail motivation in §3.1).
+  const auto spec = MakeFin(200000);
+  graph::DynamicGraphStore store(spec.schema.edge_type_names.size());
+  UpdateStream stream(spec, {.vertices_first = false});
+  graph::GraphUpdate u;
+  while (stream.Next(u)) store.Apply(u);
+  const auto stats = store.ComputeDegreeStats(0);  // TransferTo
+  EXPECT_GT(stats.avg_out_degree, 1.0);
+  EXPECT_GT(static_cast<double>(stats.max_out_degree), stats.avg_out_degree * 20)
+      << "degree distribution is not skewed enough";
+}
+
+TEST(UpdateStream, DrainMatchesTotal) {
+  const auto spec = MakeBI(4000000);
+  UpdateStream stream(spec);
+  const auto all = stream.Drain();
+  EXPECT_EQ(all.size(), stream.TotalUpdates());
+}
+
+TEST(SeedGenerator, UniformCoversPopulation) {
+  SeedGenerator gen(1, 10, /*zipf_s=*/0.0, 42);
+  std::map<graph::VertexId, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[gen.Next()]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_EQ(VertexTypeOf(v), 1);
+    EXPECT_GT(c, 700);
+  }
+}
+
+TEST(SeedGenerator, ZipfSkewsTowardHotSeeds) {
+  SeedGenerator gen(0, 1000, /*zipf_s=*/1.2, 42);
+  std::map<graph::VertexId, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.Next()]++;
+  EXPECT_GT(counts[MakeVertexId(0, 0)], 20000 / 20);
+}
+
+TEST(SeedGenerator, BatchSize) {
+  SeedGenerator gen(0, 100, 0.0, 1);
+  EXPECT_EQ(gen.Batch(123).size(), 123u);
+}
+
+TEST(ArrivalProcess, MeanGapMatchesRate) {
+  ArrivalProcess arrivals(10000.0, 7);  // 10k/s => 100us mean gap
+  graph::Timestamp now = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) now = arrivals.NextAfter(now);
+  EXPECT_NEAR(static_cast<double>(now) / n, 100.0, 10.0);
+}
+
+}  // namespace
+}  // namespace helios::gen

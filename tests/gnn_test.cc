@@ -1,0 +1,182 @@
+// Tests for the GNN substrate: tensor ops, GraphSAGE encoding over layered
+// samples, and the trainable link-prediction head.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/datasets.h"
+#include "gnn/graphsage.h"
+#include "gnn/tensor.h"
+#include "util/rng.h"
+
+namespace helios::gnn {
+namespace {
+
+using gen::MakeVertexId;
+
+TEST(Tensor, MatMulKnownValues) {
+  Matrix a(2, 3), b(3, 2), out(2, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  MatMul(a, b, out);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(out.At(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 154.f);
+}
+
+TEST(Tensor, AddBiasReluClampsNegatives) {
+  Matrix m(1, 3);
+  m.At(0, 0) = -5.f;
+  m.At(0, 1) = 0.5f;
+  m.At(0, 2) = 2.f;
+  AddBiasRelu(m, {1.f, -1.f, 0.f}, /*relu=*/true);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 0.f);
+  EXPECT_FLOAT_EQ(m.At(0, 2), 2.f);
+}
+
+TEST(Tensor, DotAndNormalize) {
+  std::vector<float> a{3.f, 4.f};
+  EXPECT_FLOAT_EQ(Dot(a, a), 25.f);
+  L2NormalizeRow(a.data(), a.size());
+  EXPECT_NEAR(Dot(a, a), 1.f, 1e-6);
+  EXPECT_FLOAT_EQ(Sigmoid(0.f), 0.5f);
+  EXPECT_GT(Sigmoid(10.f), 0.99f);
+}
+
+SampledSubgraph MakeSample(float seed_val, float hop1_val, float hop2_val) {
+  SampledSubgraph s;
+  s.seed = MakeVertexId(0, 1);
+  s.layers.resize(3);
+  s.layers[0].push_back({s.seed, 0});
+  s.layers[1].push_back({MakeVertexId(1, 1), 0});
+  s.layers[1].push_back({MakeVertexId(1, 2), 0});
+  s.layers[2].push_back({MakeVertexId(1, 11), 0});
+  s.layers[2].push_back({MakeVertexId(1, 12), 1});
+  s.features[s.seed] = {seed_val, seed_val};
+  s.features[MakeVertexId(1, 1)] = {hop1_val, hop1_val};
+  s.features[MakeVertexId(1, 2)] = {hop1_val, -hop1_val};
+  s.features[MakeVertexId(1, 11)] = {hop2_val, 0.f};
+  s.features[MakeVertexId(1, 12)] = {0.f, hop2_val};
+  return s;
+}
+
+SageConfig SmallConfig() {
+  SageConfig c;
+  c.input_dim = 2;
+  c.hidden_dim = 4;
+  c.output_dim = 4;
+  c.num_layers = 2;
+  c.seed = 7;
+  return c;
+}
+
+TEST(GraphSage, DeterministicForSeed) {
+  GraphSageEncoder a(SmallConfig()), b(SmallConfig());
+  const auto sample = MakeSample(1.f, 0.5f, 0.25f);
+  EXPECT_EQ(a.EmbedSeed(sample), b.EmbedSeed(sample));
+}
+
+TEST(GraphSage, OutputIsUnitNorm) {
+  GraphSageEncoder enc(SmallConfig());
+  const auto z = enc.EmbedSeed(MakeSample(1.f, 0.5f, 0.25f));
+  ASSERT_EQ(z.size(), 4u);
+  float norm = 0;
+  for (float v : z) norm += v * v;
+  EXPECT_NEAR(norm, 1.f, 1e-5);
+}
+
+TEST(GraphSage, NeighborhoodChangesEmbedding) {
+  GraphSageEncoder enc(SmallConfig());
+  const auto z1 = enc.EmbedSeed(MakeSample(1.f, 0.5f, 0.25f));
+  const auto z2 = enc.EmbedSeed(MakeSample(1.f, -0.9f, 0.25f));  // same seed feature
+  EXPECT_NE(z1, z2) << "hop-1 features must influence the seed embedding";
+  const auto z3 = enc.EmbedSeed(MakeSample(1.f, 0.5f, -0.9f));
+  EXPECT_NE(z1, z3) << "hop-2 features must influence the seed embedding";
+}
+
+TEST(GraphSage, HandlesEmptyAndPartialSamples) {
+  GraphSageEncoder enc(SmallConfig());
+  SampledSubgraph empty;
+  empty.seed = MakeVertexId(0, 1);
+  empty.layers.resize(3);
+  empty.layers[0].push_back({empty.seed, 0});
+  // No features at all (total cache miss): embedding is well-defined.
+  const auto z = enc.EmbedSeed(empty);
+  EXPECT_EQ(z.size(), 4u);
+  for (float v : z) EXPECT_TRUE(std::isfinite(v));
+
+  SampledSubgraph none;
+  const auto z0 = enc.EmbedSeed(none);
+  EXPECT_EQ(z0.size(), 4u);
+}
+
+TEST(GraphSage, MissingFeatureTreatedAsZero) {
+  GraphSageEncoder enc(SmallConfig());
+  auto with = MakeSample(1.f, 0.5f, 0.25f);
+  auto without = with;
+  without.features.erase(MakeVertexId(1, 11));
+  auto zeroed = with;
+  zeroed.features[MakeVertexId(1, 11)] = {0.f, 0.f};
+  EXPECT_EQ(enc.EmbedSeed(without), enc.EmbedSeed(zeroed));
+}
+
+TEST(LinkPredictor, LearnsSeparableSigns) {
+  // Positives: embeddings agree (elementwise product positive);
+  // negatives: disagree. A logistic head must learn this quickly.
+  LinkPredictor head(4);
+  util::Rng rng(3);
+  auto vec = [&rng](float sign) {
+    std::vector<float> v(4);
+    for (auto& x : v) {
+      x = sign * (0.5f + 0.5f * static_cast<float>(rng.UniformDouble()));
+    }
+    return v;
+  };
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    const auto u = vec(1.f);
+    head.Train(u, vec(1.f), 1.f, 0.1f);
+    const auto u2 = vec(1.f);
+    head.Train(u2, vec(-1.f), 0.f, 0.1f);
+  }
+  int correct = 0;
+  for (int t = 0; t < 100; ++t) {
+    correct += head.Score(vec(1.f), vec(1.f)) > 0.5f;
+    correct += head.Score(vec(1.f), vec(-1.f)) < 0.5f;
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(ModelServer, InferMatchesEncoder) {
+  ModelServer server(SmallConfig());
+  const auto sample = MakeSample(1.f, 0.5f, 0.25f);
+  EXPECT_EQ(server.Infer(sample), server.encoder().EmbedSeed(sample));
+}
+
+// Parameterized sweep over layer counts and dims: output shape contract.
+class SageShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SageShapeSweep, OutputDimMatchesConfig) {
+  const auto [layers, out_dim] = GetParam();
+  SageConfig c;
+  c.input_dim = 2;
+  c.hidden_dim = 8;
+  c.output_dim = out_dim;
+  c.num_layers = layers;
+  GraphSageEncoder enc(c);
+  const auto z = enc.EmbedSeed(MakeSample(1.f, 0.5f, 0.25f));
+  EXPECT_EQ(z.size(), out_dim);
+  for (float v : z) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SageShapeSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(4u, 16u, 32u)));
+
+}  // namespace
+}  // namespace helios::gnn

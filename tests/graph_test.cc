@@ -1,0 +1,138 @@
+// Tests for the dynamic graph store and CSR snapshots.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/csr.h"
+#include "graph/dynamic_graph.h"
+
+namespace helios::graph {
+namespace {
+
+EdgeUpdate E(EdgeTypeId type, VertexId src, VertexId dst, Timestamp ts, float w = 1.0f) {
+  return EdgeUpdate{type, src, dst, ts, w};
+}
+
+TEST(DynamicGraph, AddAndReadNeighbors) {
+  DynamicGraphStore g(2);
+  g.AddEdge(E(0, 1, 2, 10));
+  g.AddEdge(E(0, 1, 3, 11));
+  g.AddEdge(E(1, 1, 4, 12));
+  std::vector<Edge> out;
+  EXPECT_EQ(g.Neighbors(0, 1, out), 2u);
+  EXPECT_EQ(out[0].dst, 2u);
+  EXPECT_EQ(out[1].dst, 3u);
+  EXPECT_EQ(g.Neighbors(1, 1, out), 1u);
+  EXPECT_EQ(out[0].dst, 4u);
+  EXPECT_EQ(g.Neighbors(0, 99, out), 0u);
+}
+
+TEST(DynamicGraph, OutDegreeTracksInsertions) {
+  DynamicGraphStore g(1);
+  EXPECT_EQ(g.OutDegree(0, 5), 0u);
+  for (int i = 0; i < 7; ++i) g.AddEdge(E(0, 5, 100 + i, i));
+  EXPECT_EQ(g.OutDegree(0, 5), 7u);
+}
+
+TEST(DynamicGraph, FeatureUpsertAndOverwrite) {
+  DynamicGraphStore g(1);
+  g.UpsertVertex({0, 9, 1, {1.f, 2.f}});
+  Feature f;
+  ASSERT_TRUE(g.GetFeature(9, f));
+  EXPECT_EQ(f, (Feature{1.f, 2.f}));
+  g.UpsertVertex({0, 9, 2, {3.f}});
+  ASSERT_TRUE(g.GetFeature(9, f));
+  EXPECT_EQ(f, (Feature{3.f}));
+  EXPECT_FALSE(g.GetFeature(10, f));
+  EXPECT_TRUE(g.HasVertex(9));
+  EXPECT_FALSE(g.HasVertex(10));
+}
+
+TEST(DynamicGraph, ApplyDispatchesVariant) {
+  DynamicGraphStore g(1);
+  g.Apply(GraphUpdate{E(0, 1, 2, 5)});
+  g.Apply(GraphUpdate{VertexUpdate{0, 1, 5, {0.5f}}});
+  EXPECT_EQ(g.OutDegree(0, 1), 1u);
+  EXPECT_TRUE(g.HasVertex(1));
+}
+
+TEST(DynamicGraph, PruneRemovesOldEdges) {
+  DynamicGraphStore g(1);
+  for (Timestamp t = 0; t < 10; ++t) g.AddEdge(E(0, 1, 100 + t, t));
+  EXPECT_EQ(g.PruneOlderThan(5), 5u);
+  std::vector<Edge> out;
+  g.Neighbors(0, 1, out);
+  EXPECT_EQ(out.size(), 5u);
+  for (const auto& e : out) EXPECT_GE(e.ts, 5);
+}
+
+TEST(DynamicGraph, CountsAndDegreeStats) {
+  DynamicGraphStore g(1);
+  g.AddEdge(E(0, 1, 2, 0));
+  g.AddEdge(E(0, 1, 3, 1));
+  g.AddEdge(E(0, 2, 3, 2));
+  g.UpsertVertex({0, 1, 0, {}});
+  g.UpsertVertex({0, 2, 0, {}});
+  g.UpsertVertex({0, 3, 0, {}});
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  const auto stats = g.ComputeDegreeStats(0);
+  EXPECT_EQ(stats.vertex_count, 2u);  // vertices with out-edges
+  EXPECT_EQ(stats.edge_count, 3u);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.min_out_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 1.5);
+}
+
+TEST(DynamicGraph, ConcurrentWritersDontLoseEdges) {
+  DynamicGraphStore g(1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.AddEdge(EdgeUpdate{0, static_cast<VertexId>(t * kPerThread + i),
+                             static_cast<VertexId>(i), i, 1.0f});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.edge_count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(GraphSchema, NameLookup) {
+  GraphSchema schema;
+  schema.vertex_type_names = {"User", "Item"};
+  schema.edge_type_names = {"Click", "CoPurchase"};
+  EXPECT_EQ(schema.VertexTypeByName("User"), 0);
+  EXPECT_EQ(schema.VertexTypeByName("Item"), 1);
+  EXPECT_EQ(schema.VertexTypeByName("Nope"), -1);
+  EXPECT_EQ(schema.EdgeTypeByName("CoPurchase"), 1);
+  EXPECT_EQ(schema.EdgeTypeByName("Nope"), -1);
+}
+
+TEST(Csr, SnapshotMatchesStore) {
+  DynamicGraphStore g(1);
+  g.AddEdge(E(0, 5, 50, 1));
+  g.AddEdge(E(0, 5, 51, 2));
+  g.AddEdge(E(0, 7, 70, 3));
+  const auto snap = CsrSnapshot::Build(g, 0);
+  EXPECT_EQ(snap.num_vertices(), 2u);
+  EXPECT_EQ(snap.num_edges(), 3u);
+  const auto idx5 = snap.IndexOf(5);
+  ASSERT_GE(idx5, 0);
+  EXPECT_EQ(snap.Degree(static_cast<std::size_t>(idx5)), 2u);
+  EXPECT_EQ(snap.NeighborsBegin(static_cast<std::size_t>(idx5))->dst, 50u);
+  EXPECT_EQ(snap.IndexOf(999), -1);
+}
+
+TEST(Csr, EmptyStore) {
+  DynamicGraphStore g(1);
+  const auto snap = CsrSnapshot::Build(g, 0);
+  EXPECT_EQ(snap.num_vertices(), 0u);
+  EXPECT_EQ(snap.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace helios::graph

@@ -1,0 +1,226 @@
+// Tests for the hybrid memory/disk KV store.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "kv/kv_store.h"
+#include "util/rng.h"
+
+namespace helios::kv {
+namespace {
+
+class KvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kv_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(KvTest, PutGetDeleteMemoryOnly) {
+  KvStore store({});
+  EXPECT_TRUE(store.Put("a", "1").ok());
+  std::string v;
+  EXPECT_TRUE(store.Get("a", v).ok());
+  EXPECT_EQ(v, "1");
+  EXPECT_TRUE(store.Contains("a"));
+  EXPECT_FALSE(store.Get("b", v).ok());
+  EXPECT_TRUE(store.Delete("a").ok());
+  EXPECT_FALSE(store.Contains("a"));
+}
+
+TEST_F(KvTest, OverwriteKeepsLatest) {
+  KvStore store({});
+  store.Put("k", "v1");
+  store.Put("k", "v2");
+  std::string v;
+  ASSERT_TRUE(store.Get("k", v).ok());
+  EXPECT_EQ(v, "v2");
+  EXPECT_EQ(store.GetStats().num_keys, 1u);
+}
+
+TEST_F(KvTest, SpillsWhenOverBudget) {
+  KvOptions options;
+  options.memory_budget_bytes = 4096;
+  options.spill_dir = dir_.string();
+  options.num_shards = 2;
+  KvStore store(options);
+  for (int i = 0; i < 200; ++i) {
+    store.Put("key-" + std::to_string(i), std::string(100, 'v'));
+  }
+  const auto stats = store.GetStats();
+  EXPECT_GT(stats.spills, 0u);
+  EXPECT_GT(stats.disk_bytes, 0u);
+  EXPECT_EQ(stats.num_keys, 200u);
+  // Every key still readable, from memtable or disk.
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store.Get("key-" + std::to_string(i), v).ok()) << i;
+    EXPECT_EQ(v, std::string(100, 'v'));
+  }
+  EXPECT_GT(store.GetStats().disk_reads, 0u);
+}
+
+TEST_F(KvTest, OverwriteAfterSpillSupersedesDiskCopy) {
+  KvOptions options;
+  options.memory_budget_bytes = 1024;
+  options.spill_dir = dir_.string();
+  options.num_shards = 1;
+  KvStore store(options);
+  for (int i = 0; i < 50; ++i) store.Put("k" + std::to_string(i), "old");
+  ASSERT_TRUE(store.Flush().ok());
+  store.Put("k7", "new");
+  std::string v;
+  ASSERT_TRUE(store.Get("k7", v).ok());
+  EXPECT_EQ(v, "new");
+  EXPECT_GT(store.GetStats().garbage_bytes, 0u);
+}
+
+TEST_F(KvTest, DeleteRemovesDiskEntries) {
+  KvOptions options;
+  options.memory_budget_bytes = 1;
+  options.spill_dir = dir_.string();
+  options.num_shards = 1;
+  KvStore store(options);
+  store.Put("gone", "bye");
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_TRUE(store.Contains("gone"));
+  store.Delete("gone");
+  EXPECT_FALSE(store.Contains("gone"));
+  std::string v;
+  EXPECT_FALSE(store.Get("gone", v).ok());
+}
+
+TEST_F(KvTest, ScanWithPrefixCoversMemoryAndDisk) {
+  KvOptions options;
+  options.memory_budget_bytes = 512;
+  options.spill_dir = dir_.string();
+  options.num_shards = 2;
+  KvStore store(options);
+  for (int i = 0; i < 30; ++i) store.Put("s/1/" + std::to_string(i), "cell");
+  ASSERT_TRUE(store.Flush().ok());
+  for (int i = 30; i < 40; ++i) store.Put("s/1/" + std::to_string(i), "cell");
+  store.Put("f/9", "feature");
+
+  std::set<std::string> keys;
+  store.Scan("s/1/", [&](const std::string& k, const std::string& v) {
+    EXPECT_EQ(v, "cell");
+    keys.insert(k);
+    return true;
+  });
+  EXPECT_EQ(keys.size(), 40u);
+
+  int count = 0;
+  store.Scan("f/", [&](const std::string&, const std::string&) {
+    count++;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(KvTest, ScanEarlyStop) {
+  KvStore store({});
+  for (int i = 0; i < 10; ++i) store.Put("p/" + std::to_string(i), "v");
+  int seen = 0;
+  store.Scan("p/", [&](const std::string&, const std::string&) {
+    seen++;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_F(KvTest, CompactReclaimsGarbage) {
+  KvOptions options;
+  options.memory_budget_bytes = 256;
+  options.spill_dir = dir_.string();
+  options.num_shards = 1;
+  KvStore store(options);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      store.Put("k" + std::to_string(i), "round-" + std::to_string(round));
+    }
+    store.Flush();
+  }
+  EXPECT_GT(store.GetStats().garbage_bytes, 0u);
+  ASSERT_TRUE(store.Compact().ok());
+  EXPECT_EQ(store.GetStats().garbage_bytes, 0u);
+  std::string v;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Get("k" + std::to_string(i), v).ok());
+    EXPECT_EQ(v, "round-4");
+  }
+}
+
+TEST_F(KvTest, StatsFootprintMovesMemoryToDisk) {
+  KvOptions options;
+  options.memory_budget_bytes = 1 << 20;
+  options.spill_dir = dir_.string();
+  KvStore store(options);
+  for (int i = 0; i < 100; ++i) store.Put("k" + std::to_string(i), std::string(50, 'x'));
+  const auto before = store.GetStats();
+  EXPECT_GT(before.memory_bytes, 0u);
+  EXPECT_EQ(before.disk_bytes, 0u);
+  store.Flush();
+  const auto after = store.GetStats();
+  EXPECT_EQ(after.memory_bytes, 0u);
+  EXPECT_GT(after.disk_bytes, 0u);
+}
+
+TEST_F(KvTest, ConcurrentReadersAndWriters) {
+  KvOptions options;
+  options.num_shards = 8;
+  KvStore store(options);
+  constexpr int kKeys = 2000;
+  std::thread writer([&] {
+    for (int i = 0; i < kKeys; ++i) store.Put("k" + std::to_string(i), std::to_string(i));
+  });
+  std::thread reader([&] {
+    std::string v;
+    for (int i = 0; i < kKeys; ++i) {
+      if (store.Get("k" + std::to_string(i % 100), v).ok()) {
+        EXPECT_EQ(v, std::to_string(i % 100));
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(store.GetStats().num_keys, kKeys);
+}
+
+// Property sweep over shard counts: behaviour is shard-count independent.
+class KvShardTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KvShardTest, AllKeysSurviveRandomWorkload) {
+  KvOptions options;
+  options.num_shards = GetParam();
+  KvStore store(options);
+  util::Rng rng(5);
+  std::set<std::string> live;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(500));
+    if (rng.Bernoulli(0.7)) {
+      store.Put(key, key + "-value");
+      live.insert(key);
+    } else {
+      store.Delete(key);
+      live.erase(key);
+    }
+  }
+  EXPECT_EQ(store.GetStats().num_keys, live.size());
+  std::string v;
+  for (const auto& key : live) {
+    ASSERT_TRUE(store.Get(key, v).ok());
+    EXPECT_EQ(v, key + "-value");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, KvShardTest, ::testing::Values(1, 2, 16, 64));
+
+}  // namespace
+}  // namespace helios::kv

@@ -1,0 +1,236 @@
+// Tests for ServingCore: the query-aware sample cache and K-hop assembly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gen/datasets.h"
+#include "helios/serving_core.h"
+
+namespace helios {
+namespace {
+
+using gen::MakeVertexId;
+
+graph::GraphSchema Schema() {
+  graph::GraphSchema schema;
+  schema.vertex_type_names = {"User", "Item"};
+  schema.edge_type_names = {"Click", "CoPurchase"};
+  schema.edge_endpoints = {{0, 1}, {1, 1}};
+  schema.feature_dim = 4;
+  return schema;
+}
+
+QueryPlan Plan(std::uint32_t f1 = 2, std::uint32_t f2 = 2) {
+  SamplingQuery q;
+  q.seed_type = 0;
+  q.hops = {{0, f1, Strategy::kTopK}, {1, f2, Strategy::kTopK}};
+  return Decompose(q, Schema()).value();
+}
+
+SampleUpdate Cell(std::uint32_t level, graph::VertexId v,
+                  std::vector<graph::VertexId> dsts, graph::Timestamp ts = 1) {
+  SampleUpdate su;
+  su.level = level;
+  su.vertex = v;
+  su.event_ts = ts;
+  for (auto d : dsts) su.samples.push_back({d, ts, 1.0f});
+  return su;
+}
+
+FeatureUpdate Feat(graph::VertexId v, float seed) {
+  FeatureUpdate fu;
+  fu.vertex = v;
+  fu.feature = {seed, seed + 1, seed + 2, seed + 3};
+  return fu;
+}
+
+TEST(ServingCore, AssemblesFullTwoHopResult) {
+  ServingCore core(Plan(), 0);
+  const auto user = MakeVertexId(0, 1);
+  const auto i1 = MakeVertexId(1, 1), i2 = MakeVertexId(1, 2);
+  const auto j1 = MakeVertexId(1, 11), j2 = MakeVertexId(1, 12);
+
+  core.Apply(ServingMessage::Of(Cell(1, user, {i1, i2})));
+  core.Apply(ServingMessage::Of(Cell(2, i1, {j1, j2})));
+  core.Apply(ServingMessage::Of(Cell(2, i2, {j2})));
+  for (auto v : {user, i1, i2, j1, j2}) {
+    core.Apply(ServingMessage::Of(Feat(v, static_cast<float>(v % 100))));
+  }
+
+  const auto result = core.Serve(user);
+  EXPECT_EQ(result.seed, user);
+  ASSERT_EQ(result.layers.size(), 3u);
+  EXPECT_EQ(result.layers[0].size(), 1u);
+  EXPECT_EQ(result.layers[1].size(), 2u);
+  EXPECT_EQ(result.layers[2].size(), 3u);  // 2 + 1
+  EXPECT_EQ(result.missing_cells, 0u);
+  EXPECT_EQ(result.missing_features, 0u);
+  EXPECT_EQ(result.TotalSampled(), 5u);
+  // Parent pointers are consistent.
+  for (const auto& node : result.layers[2]) {
+    EXPECT_LT(node.parent, result.layers[1].size());
+  }
+  // All features fetched.
+  EXPECT_EQ(result.features.size(), 5u);
+  ASSERT_TRUE(result.features.count(j1));
+  EXPECT_EQ(result.features.at(j1)[0], static_cast<float>(j1 % 100));
+}
+
+TEST(ServingCore, LookupCountsMatchPlanBounds) {
+  const auto plan = Plan(2, 2);
+  ServingCore core(plan, 0);
+  const auto user = MakeVertexId(0, 1);
+  const auto i1 = MakeVertexId(1, 1), i2 = MakeVertexId(1, 2);
+  core.Apply(ServingMessage::Of(Cell(1, user, {i1, i2})));
+  core.Apply(ServingMessage::Of(Cell(2, i1, {MakeVertexId(1, 11), MakeVertexId(1, 12)})));
+  core.Apply(ServingMessage::Of(Cell(2, i2, {MakeVertexId(1, 13), MakeVertexId(1, 14)})));
+  const auto result = core.Serve(user);
+  // Full fan-out: lookups equal the §6 formulas exactly.
+  EXPECT_EQ(result.sample_lookups, plan.SampleTableLookups());
+  EXPECT_EQ(result.feature_lookups, plan.FeatureTableLookups());
+}
+
+TEST(ServingCore, MissingCellsDegradeGracefully) {
+  ServingCore core(Plan(), 0);
+  const auto user = MakeVertexId(0, 1);
+  // Nothing cached at all: empty layers, 1 missing cell, seed feature miss.
+  auto result = core.Serve(user);
+  EXPECT_EQ(result.layers[1].size(), 0u);
+  EXPECT_EQ(result.missing_cells, 1u);
+  EXPECT_EQ(result.missing_features, 1u);
+
+  // Partial: first hop present, second missing.
+  core.Apply(ServingMessage::Of(Cell(1, user, {MakeVertexId(1, 1)})));
+  result = core.Serve(user);
+  EXPECT_EQ(result.layers[1].size(), 1u);
+  EXPECT_EQ(result.layers[2].size(), 0u);
+  EXPECT_EQ(result.missing_cells, 1u);  // the level-2 cell
+}
+
+TEST(ServingCore, SampleUpdateOverwritesCell) {
+  ServingCore core(Plan(), 0);
+  const auto user = MakeVertexId(0, 1);
+  core.Apply(ServingMessage::Of(Cell(1, user, {MakeVertexId(1, 1)})));
+  core.Apply(ServingMessage::Of(Cell(1, user, {MakeVertexId(1, 2), MakeVertexId(1, 3)})));
+  const auto result = core.Serve(user);
+  ASSERT_EQ(result.layers[1].size(), 2u);
+  EXPECT_EQ(result.layers[1][0].vertex, MakeVertexId(1, 2));
+}
+
+TEST(ServingCore, RetractEvictsCellAndFeature) {
+  ServingCore core(Plan(), 0);
+  const auto user = MakeVertexId(0, 1);
+  const auto item = MakeVertexId(1, 1);
+  core.Apply(ServingMessage::Of(Cell(1, user, {item})));
+  core.Apply(ServingMessage::Of(Cell(2, item, {MakeVertexId(1, 9)})));
+  core.Apply(ServingMessage::Of(Feat(item, 1.f)));
+  EXPECT_TRUE(core.HasCell(2, item));
+  EXPECT_TRUE(core.HasFeature(item));
+
+  core.Apply(ServingMessage::Of(Retract{2, item}));
+  EXPECT_FALSE(core.HasCell(2, item));
+  EXPECT_TRUE(core.HasFeature(item));  // feature retract is level 0
+
+  core.Apply(ServingMessage::Of(Retract{0, item}));
+  EXPECT_FALSE(core.HasFeature(item));
+}
+
+TEST(ServingCore, IdempotentApply) {
+  ServingCore core(Plan(), 0);
+  const auto user = MakeVertexId(0, 1);
+  const auto msg = ServingMessage::Of(Cell(1, user, {MakeVertexId(1, 1)}));
+  core.Apply(msg);
+  core.Apply(msg);  // duplicate delivery (at-least-once queue)
+  const auto result = core.Serve(user);
+  EXPECT_EQ(result.layers[1].size(), 1u);
+}
+
+TEST(ServingCore, StatsTrackAppliesAndMisses) {
+  ServingCore core(Plan(), 3);
+  EXPECT_EQ(core.worker_id(), 3u);
+  const auto user = MakeVertexId(0, 1);
+  core.Apply(ServingMessage::Of(Cell(1, user, {MakeVertexId(1, 1)}, /*ts=*/77)));
+  core.Apply(ServingMessage::Of(Feat(user, 1.f)));
+  core.Apply(ServingMessage::Of(Retract{1, MakeVertexId(0, 9)}));
+  core.Serve(user);
+  const auto& stats = core.stats();
+  EXPECT_EQ(stats.sample_updates_applied, 1u);
+  EXPECT_EQ(stats.feature_updates_applied, 1u);
+  EXPECT_EQ(stats.retracts_applied, 1u);
+  EXPECT_EQ(stats.queries_served, 1u);
+  EXPECT_GT(stats.cache_miss_cells + stats.cache_miss_features, 0u);
+  EXPECT_EQ(stats.latest_event_ts, 77);
+}
+
+TEST(ServingCore, TtlEvictsStaleCells) {
+  ServingCore core(Plan(), 0);
+  const auto user = MakeVertexId(0, 1);
+  const auto other = MakeVertexId(0, 2);
+  SampleUpdate old_cell = Cell(1, user, {MakeVertexId(1, 1)});
+  old_cell.samples[0].ts = 10;
+  SampleUpdate fresh_cell = Cell(1, other, {MakeVertexId(1, 2)});
+  fresh_cell.samples[0].ts = 1000;
+  core.Apply(ServingMessage::Of(old_cell));
+  core.Apply(ServingMessage::Of(fresh_cell));
+  EXPECT_EQ(core.EvictOlderThan(500), 1u);
+  EXPECT_FALSE(core.HasCell(1, user));
+  EXPECT_TRUE(core.HasCell(1, other));
+}
+
+TEST(ServingCore, HybridModeSpillsToDiskAndStillServes) {
+  const auto dir = std::filesystem::temp_directory_path() / "serving_core_hybrid_test";
+  std::filesystem::remove_all(dir);
+  ServingCore::Options options;
+  options.kv.memory_budget_bytes = 4096;
+  options.kv.spill_dir = dir.string();
+  options.kv.num_shards = 2;
+  ServingCore core(Plan(), 0, options);
+  // Populate enough state to force spills.
+  for (std::uint64_t u = 0; u < 200; ++u) {
+    const auto user = MakeVertexId(0, u);
+    const auto item = MakeVertexId(1, u);
+    core.Apply(ServingMessage::Of(Cell(1, user, {item})));
+    core.Apply(ServingMessage::Of(Cell(2, item, {MakeVertexId(1, 1000 + u)})));
+    core.Apply(ServingMessage::Of(Feat(user, 1.f)));
+    core.Apply(ServingMessage::Of(Feat(item, 2.f)));
+  }
+  const auto kv_stats = core.CacheStats();
+  EXPECT_GT(kv_stats.spills, 0u);
+  EXPECT_GT(kv_stats.disk_bytes, 0u);
+  // All queries still assemble completely (leaf features may be absent —
+  // we never pushed features for the 1000+ leaves).
+  for (std::uint64_t u = 0; u < 200; ++u) {
+    const auto result = core.Serve(MakeVertexId(0, u));
+    EXPECT_EQ(result.missing_cells, 0u) << u;
+    EXPECT_EQ(result.layers[1].size(), 1u);
+    EXPECT_EQ(result.layers[2].size(), 1u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Parameterized sweep over fan-outs: layer sizes track the plan.
+class FanoutSweep : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(FanoutSweep, LayerSizesBoundedByFanouts) {
+  const auto [f1, f2] = GetParam();
+  ServingCore core(Plan(f1, f2), 0);
+  const auto user = MakeVertexId(0, 1);
+  std::vector<graph::VertexId> hop1;
+  for (std::uint32_t i = 0; i < f1; ++i) hop1.push_back(MakeVertexId(1, i + 1));
+  core.Apply(ServingMessage::Of(Cell(1, user, hop1)));
+  for (std::uint32_t i = 0; i < f1; ++i) {
+    std::vector<graph::VertexId> hop2;
+    for (std::uint32_t j = 0; j < f2; ++j) hop2.push_back(MakeVertexId(1, 100 + i * f2 + j));
+    core.Apply(ServingMessage::Of(Cell(2, hop1[i], hop2)));
+  }
+  const auto result = core.Serve(user);
+  EXPECT_EQ(result.layers[1].size(), f1);
+  EXPECT_EQ(result.layers[2].size(), static_cast<std::size_t>(f1) * f2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweep,
+                         ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(2u, 5u),
+                                           std::make_tuple(25u, 10u)));
+
+}  // namespace
+}  // namespace helios

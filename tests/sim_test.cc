@@ -1,0 +1,181 @@
+// Tests for the discrete-event cluster emulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace helios::sim {
+namespace {
+
+TEST(SimEnv, EventsFireInTimeOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  env.ScheduleAt(30, [&] { order.push_back(3); });
+  env.ScheduleAt(10, [&] { order.push_back(1); });
+  env.ScheduleAt(20, [&] { order.push_back(2); });
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), 30);
+  EXPECT_EQ(env.events_processed(), 3u);
+}
+
+TEST(SimEnv, TiesBreakByInsertionOrder) {
+  SimEnv env;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    env.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimEnv, ScheduleAfterUsesCurrentTime) {
+  SimEnv env;
+  SimTime fired_at = -1;
+  env.ScheduleAt(100, [&] { env.ScheduleAfter(50, [&] { fired_at = env.now(); }); });
+  env.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimEnv, PastSchedulesClampToNow) {
+  SimEnv env;
+  SimTime fired_at = -1;
+  env.ScheduleAt(100, [&] { env.ScheduleAt(10, [&] { fired_at = env.now(); }); });
+  env.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimEnv, RunUntilStopsAtLimit) {
+  SimEnv env;
+  int fired = 0;
+  env.ScheduleAt(10, [&] { fired++; });
+  env.ScheduleAt(100, [&] { fired++; });
+  EXPECT_TRUE(env.RunUntil(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(env.now(), 50);
+  EXPECT_FALSE(env.RunUntil(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Resource, SingleServerSerializesJobs) {
+  SimEnv env;
+  Resource cpu(env, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Enqueue(10, [&] { completions.push_back(env.now()); });
+  }
+  env.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+  SimEnv env;
+  Resource cpu(env, 4);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Enqueue(10, [&] { completions.push_back(env.now()); });
+  }
+  env.Run();
+  EXPECT_EQ(completions, (std::vector<SimTime>(4, 10)));
+}
+
+TEST(Resource, FifoQueueingUnderOverload) {
+  SimEnv env;
+  Resource cpu(env, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    cpu.Enqueue(10, [&order, i] { order.push_back(i); });
+  }
+  env.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(env.now(), 30);  // 6 jobs / 2 servers * 10us
+  EXPECT_EQ(cpu.busy_time(), 60);
+}
+
+TEST(Resource, ScaleUpShortensMakespan) {
+  // The shape behind Fig 13/14: same work, more servers, ~linear speedup.
+  std::vector<SimTime> makespans;
+  for (std::size_t servers : {1, 2, 4, 8}) {
+    SimEnv env;
+    Resource cpu(env, servers);
+    for (int i = 0; i < 64; ++i) cpu.Enqueue(100, [] {});
+    env.Run();
+    makespans.push_back(env.now());
+  }
+  EXPECT_EQ(makespans[0], 6400);
+  EXPECT_EQ(makespans[1], 3200);
+  EXPECT_EQ(makespans[2], 1600);
+  EXPECT_EQ(makespans[3], 800);
+}
+
+TEST(Link, LatencyPlusSerialization) {
+  SimEnv env;
+  Link link(env, 100, 10.0);  // 100us latency, 10 bytes/us
+  SimTime delivered = -1;
+  link.Transfer(50, [&] { delivered = env.now(); });
+  env.Run();
+  EXPECT_EQ(delivered, 105);  // 5us serialization + 100us latency
+}
+
+TEST(Link, BackToBackTransfersSerialize) {
+  SimEnv env;
+  Link link(env, 0, 1.0);  // 1 byte/us, no latency
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    link.Transfer(10, [&] { deliveries.push_back(env.now()); });
+  }
+  env.Run();
+  EXPECT_EQ(deliveries, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(SimCluster, LoopbackIsFree) {
+  SimEnv env;
+  SimCluster cluster(env, {.num_nodes = 2, .cores_per_node = 1, .net_latency_us = 500});
+  SimTime local = -1, remote = -1;
+  cluster.Send(0, 0, 1000, [&] { local = env.now(); });
+  cluster.Send(0, 1, 1000, [&] { remote = env.now(); });
+  env.Run();
+  EXPECT_EQ(local, 0);
+  EXPECT_GE(remote, 500);
+  EXPECT_EQ(cluster.messages_sent(), 1u);  // loopback not counted
+  EXPECT_EQ(cluster.bytes_sent(), 1000u);
+}
+
+TEST(SimCluster, MultiHopChainsAccumulateLatency) {
+  // The shape behind Fig 4(d): each extra hop adds a network round.
+  SimEnv env;
+  SimCluster cluster(env, {.num_nodes = 3, .cores_per_node = 1, .net_latency_us = 100});
+  SimTime done2 = -1, done3 = -1;
+  // 2-hop: 0 -> 1 -> 0
+  cluster.Send(0, 1, 10, [&] { cluster.Send(1, 0, 10, [&] { done2 = env.now(); }); });
+  env.Run();
+  // 3-hop: 0 -> 1 -> 2 -> 0
+  SimEnv env2;
+  SimCluster cluster2(env2, {.num_nodes = 3, .cores_per_node = 1, .net_latency_us = 100});
+  cluster2.Send(0, 1, 10, [&] {
+    cluster2.Send(1, 2, 10, [&] { cluster2.Send(2, 0, 10, [&] { done3 = env2.now(); }); });
+  });
+  env2.Run();
+  EXPECT_GT(done3, done2);
+  EXPECT_NEAR(static_cast<double>(done3) / static_cast<double>(done2), 1.5, 0.05);
+}
+
+TEST(SimCluster, DeterministicAcrossRuns) {
+  auto run = [] {
+    SimEnv env;
+    SimCluster cluster(env, {.num_nodes = 4, .cores_per_node = 2, .net_latency_us = 50});
+    SimTime finish = 0;
+    for (int i = 0; i < 50; ++i) {
+      cluster.Send(i % 4, (i + 1) % 4, 100 + i, [&env, &cluster, &finish, i] {
+        cluster.cpu((i + 1) % 4).Enqueue(10 + i % 7, [&env, &finish] { finish = env.now(); });
+      });
+    }
+    env.Run();
+    return finish;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace helios::sim

@@ -1,0 +1,342 @@
+// Unit and property tests for the util substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/config.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/queue.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace helios::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 0.01;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 5.0);
+}
+
+// Property: Zipf with s ~ 1 is heavily skewed toward small indices and
+// stays in range.
+TEST(Zipf, RangeAndSkew) {
+  Rng rng(17);
+  Zipf zipf(1000, 1.1);
+  std::vector<int> counts(1000, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = zipf.Sample(rng);
+    ASSERT_LT(v, 1000u);
+    counts[v]++;
+  }
+  // Rank-0 should dominate rank-99 by roughly (100)^s.
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // Head mass: top-10 ranks should hold a large share.
+  const int head = std::accumulate(counts.begin(), counts.begin() + 10, 0);
+  EXPECT_GT(head, n / 3);
+}
+
+TEST(Zipf, NearUniformForTinyExponent) {
+  Rng rng(19);
+  Zipf zipf(10, 0.01);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LT(*max_it, *min_it * 2);
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(Hash, MixHashAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    const std::uint64_t a = MixHash(0x1234567890ABCDEFULL);
+    const std::uint64_t b = MixHash(0x1234567890ABCDEFULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_NEAR(total_flips / static_cast<double>(trials), 32.0, 6.0);
+}
+
+TEST(Hash, PartitionOfBalancesKeys) {
+  const std::uint32_t parts = 8;
+  std::vector<int> counts(parts, 0);
+  for (std::uint64_t v = 0; v < 80000; ++v) counts[PartitionOf(v, parts)]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Hash, FnvDistinguishesStrings) {
+  EXPECT_NE(FnvHash("samples-1"), FnvHash("samples-2"));
+  EXPECT_EQ(FnvHash("abc"), FnvHash("abc"));
+}
+
+// ------------------------------------------------------------ Histogram
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_NEAR(h.Mean(), 7.5, 1e-9);
+}
+
+TEST(Histogram, QuantilesWithinBucketError) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  // Buckets have <= ~6% relative width.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 50000.0, 50000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 99000.0, 99000.0 * 0.07);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.Uniform(1 << 20);
+    ((i % 2) ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.P50(), combined.P50());
+  EXPECT_EQ(a.P99(), combined.P99());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// Property sweep: a recorded value's quantile-1.0 bound is >= the value's
+// bucket lower bound and bounded by max.
+class HistogramRangeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramRangeTest, SingleValueQuantiles) {
+  Histogram h;
+  h.Record(GetParam());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), GetParam());
+  EXPECT_LE(h.Quantile(1.0), GetParam());
+  EXPECT_GE(h.Quantile(1.0), GetParam() - GetParam() / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HistogramRangeTest,
+                         ::testing::Values(0ull, 1ull, 15ull, 16ull, 1000ull, 123456ull,
+                                           (1ull << 32), (1ull << 47)));
+
+// ---------------------------------------------------------------- Queue
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.Pop().value(), i);
+}
+
+TEST(MpmcQueue, TryPushRespectsCapacity) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(MpmcQueue, CloseUnblocksPop) {
+  MpmcQueue<int> q;
+  std::thread t([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  q.Close();
+  t.join();
+}
+
+TEST(MpmcQueue, CloseDrainsRemaining) {
+  MpmcQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpmcQueue, PopBatchDrainsUpToLimit) {
+  MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.Size(), 6u);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  MpmcQueue<int> q(128);
+  constexpr int kPerProducer = 2000;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        popped++;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ----------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool("test", 4);
+    for (int i = 0; i < 100; ++i) pool.Submit([&count] { count++; });
+    pool.Shutdown();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool("test", 1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+// --------------------------------------------------------------- Status
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  auto s = Status::NotFound("key k1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.ToString().find("key k1"), std::string::npos);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.ValueOr(-1), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.ValueOr(-1), -1);
+}
+
+// --------------------------------------------------------------- Config
+
+TEST(Config, ParsesArgs) {
+  const char* argv[] = {"prog", "threads=8", "name=inter", "rate=1.5", "flag=true",
+                        "fanouts=25,10"};
+  Config c = Config::FromArgs(6, const_cast<char**>(argv));
+  EXPECT_EQ(c.GetInt("threads", 0), 8);
+  EXPECT_EQ(c.GetString("name", ""), "inter");
+  EXPECT_DOUBLE_EQ(c.GetDouble("rate", 0), 1.5);
+  EXPECT_TRUE(c.GetBool("flag", false));
+  EXPECT_EQ(c.GetIntList("fanouts", {}), (std::vector<std::int64_t>{25, 10}));
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.GetInt("missing", 7), 7);
+  EXPECT_EQ(c.GetString("missing", "x"), "x");
+  EXPECT_FALSE(c.GetBool("missing", false));
+  EXPECT_EQ(c.GetIntList("missing", {1, 2}), (std::vector<std::int64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace helios::util
