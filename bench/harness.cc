@@ -90,13 +90,16 @@ HeliosDeployment::HeliosDeployment(QueryPlan plan, HeliosEmuConfig config)
   map_.shards_per_worker = config_.sampling_threads;
   map_.serving_workers = config_.serving_nodes;
   for (std::uint32_t s = 0; s < map_.TotalShards(); ++s) {
-    shards_.push_back(std::make_unique<SamplingShardCore>(plan_, map_, s, config_.seed,
-                                                          SamplingShardCore::Options{}));
+    SamplingShardCore::Options opts;
+    opts.registry = &registry_;
+    shards_.push_back(
+        std::make_unique<SamplingShardCore>(plan_, map_, s, config_.seed, opts));
   }
   for (std::uint32_t n = 0; n < map_.serving_workers; ++n) {
     ServingCore::Options so;
     so.kv = config_.serving_kv;
     if (!so.kv.spill_dir.empty()) so.kv.spill_dir += "/sew-" + std::to_string(n);
+    so.registry = &registry_;
     serving_.push_back(std::make_unique<ServingCore>(plan_, n, std::move(so)));
   }
 }
@@ -137,8 +140,14 @@ void HeliosDeployment::IngestAll(const std::vector<graph::GraphUpdate>& updates)
 }
 
 IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
-                                                double offered_rate_mps) {
+                                                double offered_rate_mps,
+                                                obs::TraceBuffer* trace) {
   sim::SimEnv env;
+  // Identical instrumentation to the threaded runtime, but clocked on the
+  // DES virtual time: per-run registry so repeated emulations do not mix.
+  obs::MetricsRegistry run_registry;
+  obs::FunctionClock virtual_clock([&env] { return env.now(); });
+  obs::StageTracer tracer(&run_registry, &virtual_clock, trace);
   // Nodes 0..M-1 sampling, M..M+N-1 serving.
   const std::uint32_t M = config_.sampling_nodes;
   const std::uint32_t N = config_.serving_nodes;
@@ -157,6 +166,18 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   }
   for (std::uint32_t n = 0; n < N; ++n) {
     serving_cpu.push_back(std::make_unique<sim::Resource>(env, config_.serving_threads));
+  }
+  if (trace != nullptr) {
+    for (std::uint32_t m = 0; m < M; ++m) {
+      trace->SetProcessName(m, "sampling-node-" + std::to_string(m));
+      sampling_cpu[m]->EnableTrace(trace, 2000 + m, "cpu");
+      trace->SetProcessName(2000 + m, "sampling-node-" + std::to_string(m) + "-cpu");
+    }
+    for (std::uint32_t n = 0; n < N; ++n) {
+      trace->SetProcessName(M + n, "serving-node-" + std::to_string(n));
+      serving_cpu[n]->EnableTrace(trace, 2000 + M + n, "cpu");
+      trace->SetProcessName(2000 + M + n, "serving-node-" + std::to_string(n) + "-cpu");
+    }
   }
 
   std::vector<SerialQueue> shard_queues(map_.TotalShards());
@@ -197,12 +218,10 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                          const auto t = util::TimeItNanos([&] {
                            for (const auto& m : batch) serving_[sew]->Apply(m);
                          });
+                         tracer.RecordSpan(obs::Stage::kCacheApply, env.now(), t / 1000,
+                                           M + sew, 0);
                          for (const auto& m : batch) {
-                           const std::int64_t origin = m.OriginMicros();
-                           if (origin >= 0 && env.now() >= origin) {
-                             report.latency_us.Record(
-                                 static_cast<std::uint64_t>(env.now() - origin));
-                           }
+                           tracer.RecordEndToEnd(m.OriginMicros(), env.now());
                            applied_at_serving++;
                          }
                          return t;
@@ -245,9 +264,17 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
     auto out = std::make_shared<SamplingShardCore::Outputs>();
     shard_queues[shard].Submit(
         [&, shard, batch = std::move(batch), origin, out]() -> util::Nanos {
-          return util::TimeItNanos([&] {
+          // Queue wait: update entered the system -> shard core dispatch.
+          if (env.now() >= origin) {
+            tracer.RecordDuration(obs::Stage::kIngest,
+                                  static_cast<std::uint64_t>(env.now() - origin));
+          }
+          const auto t = util::TimeItNanos([&] {
             for (const auto& u : batch) shards_[shard]->OnGraphUpdate(u, origin, *out);
           });
+          tracer.RecordSpan(obs::Stage::kSample, env.now(), t / 1000,
+                            map_.WorkerOfShard(shard), shard);
+          return t;
         },
         [&, shard, origin, out] { route_outputs(shard, *out, origin); });
   };
@@ -257,9 +284,12 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
     auto out = std::make_shared<SamplingShardCore::Outputs>();
     shard_queues[shard].Submit(
         [&, shard, deltas = std::move(deltas), origin, out]() -> util::Nanos {
-          return util::TimeItNanos([&] {
+          const auto t = util::TimeItNanos([&] {
             for (const auto& d : deltas) shards_[shard]->OnSubscriptionDelta(d, origin, *out);
           });
+          tracer.RecordSpan(obs::Stage::kCascade, env.now(), t / 1000,
+                            map_.WorkerOfShard(shard), shard);
+          return t;
         },
         [&, shard, origin, out] { route_outputs(shard, *out, origin); });
   };
@@ -310,6 +340,13 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   for (const auto& cpu : sampling_cpu) report.sampling_busy_us.push_back(cpu->busy_time());
   for (const auto& cpu : serving_cpu) report.serving_busy_us.push_back(cpu->busy_time());
   (void)applied_at_serving;
+
+  const auto snapshot = run_registry.TakeSnapshot();
+  report.latency_us = snapshot.LatencyTotal("pipeline.ingest_e2e");
+  report.stage_ingest_us = snapshot.LatencyTotal("pipeline.stage.ingest");
+  report.stage_sample_us = snapshot.LatencyTotal("pipeline.stage.sample");
+  report.stage_cascade_us = snapshot.LatencyTotal("pipeline.stage.cascade");
+  report.stage_cache_apply_us = snapshot.LatencyTotal("pipeline.stage.cache_apply");
   return report;
 }
 
@@ -717,6 +754,60 @@ void PrintServeRow(const std::string& system, const std::string& dataset,
               system.c_str(), dataset.c_str(), strategy.c_str(), concurrency, report.qps,
               report.latency_us.Mean() / 1000.0,
               static_cast<double>(report.latency_us.P99()) / 1000.0);
+}
+
+void IngestReport::PrintStageBreakdown() const {
+  struct Row {
+    const char* name;
+    const util::Histogram* hist;
+  };
+  const Row rows[] = {{"ingest (queue wait)", &stage_ingest_us},
+                      {"sample (shard core)", &stage_sample_us},
+                      {"cascade (sub-delta)", &stage_cascade_us},
+                      {"cache_apply (serving)", &stage_cache_apply_us},
+                      {"e2e (publish->applied)", &latency_us}};
+  std::printf("  %-24s %10s %10s %10s %10s %10s\n", "stage", "count", "mean_us", "p50_us",
+              "p99_us", "p999_us");
+  for (const auto& row : rows) {
+    std::printf("  %-24s %10llu %10.1f %10llu %10llu %10llu\n", row.name,
+                static_cast<unsigned long long>(row.hist->count()), row.hist->Mean(),
+                static_cast<unsigned long long>(row.hist->P50()),
+                static_cast<unsigned long long>(row.hist->P99()),
+                static_cast<unsigned long long>(row.hist->P999()));
+  }
+}
+
+void DumpObservability(const util::Config& config,
+                       const obs::MetricsRegistry::Snapshot* snapshot,
+                       const obs::TraceBuffer* trace) {
+  const std::string metrics_path = config.GetString("metrics", "");
+  if (!metrics_path.empty() && snapshot != nullptr) {
+    const bool json = metrics_path.size() > 5 &&
+                      metrics_path.compare(metrics_path.size() - 5, 5, ".json") == 0;
+    const std::string body = json ? snapshot->ToJson() : snapshot->Dump();
+    if (metrics_path == "-") {
+      std::printf("%s", body.c_str());
+    } else if (std::FILE* f = std::fopen(metrics_path.c_str(), "wb")) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("  metrics snapshot -> %s\n", metrics_path.c_str());
+    } else {
+      std::printf("  ! cannot write metrics file %s\n", metrics_path.c_str());
+    }
+  }
+  const std::string trace_path = config.GetString("trace", "");
+  if (!trace_path.empty() && trace != nullptr) {
+    const auto status = trace->WriteFile(trace_path);
+    if (status.ok()) {
+      std::printf("  trace (%zu events) -> %s\n", trace->size(), trace_path.c_str());
+    } else {
+      std::printf("  ! %s\n", status.message().c_str());
+    }
+  }
+}
+
+bool TraceRequested(const util::Config& config) {
+  return !config.GetString("trace", "").empty();
 }
 
 std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback) {

@@ -27,6 +27,8 @@
 #include "helios/sampling_core.h"
 #include "helios/serving_core.h"
 #include "helios/shard_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/sim.h"
 #include "util/config.h"
 #include "util/histogram.h"
@@ -51,6 +53,16 @@ struct IngestReport {
   // Per-node CPU busy time (utilization diagnostics).
   std::vector<sim::SimTime> sampling_busy_us;
   std::vector<sim::SimTime> serving_busy_us;
+  // Per-stage breakdown of the ingestion pipeline (virtual µs), recorded by
+  // the same StageTracer the threaded runtime uses: queue wait, shard core
+  // processing, sub-delta cascade, serving-cache apply.
+  util::Histogram stage_ingest_us;
+  util::Histogram stage_sample_us;
+  util::Histogram stage_cascade_us;
+  util::Histogram stage_cache_apply_us;
+
+  // Prints the "stage  count  mean  p50/p99/p999" breakdown table.
+  void PrintStageBreakdown() const;
 };
 
 // ------------------------------------------------------------ deployments
@@ -81,9 +93,12 @@ class HeliosDeployment {
   void IngestAll(const std::vector<graph::GraphUpdate>& updates);
 
   // Emulated ingestion of `updates`. offered_rate_mps == 0 means
-  // saturation (everything offered at t=0; throughput = capacity).
+  // saturation (everything offered at t=0; throughput = capacity). When
+  // `trace` is set, every pipeline stage also lands in the Chrome-trace
+  // buffer on virtual time.
   IngestReport EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
-                                double offered_rate_mps);
+                                double offered_rate_mps,
+                                obs::TraceBuffer* trace = nullptr);
 
   // Closed-loop serving: `concurrency` clients each keep one request in
   // flight until `total_requests` complete. If `model` is set, responses
@@ -101,6 +116,9 @@ class HeliosDeployment {
   ServingCore& serving_core(std::uint32_t i) { return *serving_[i]; }
   SamplingShardCore& shard(std::uint32_t s) { return *shards_[s]; }
   std::uint32_t num_shards() const { return map_.TotalShards(); }
+  // Deployment-wide registry shared by every core and the emulation
+  // tracers.
+  obs::MetricsRegistry& registry() { return registry_; }
   // Total bytes of all serving caches + total sampling-side state.
   std::size_t ServingCacheBytes() const;
   std::size_t SamplingStateBytes() const;
@@ -112,6 +130,8 @@ class HeliosDeployment {
   QueryPlan plan_;
   HeliosEmuConfig config_;
   ShardMap map_;
+  // Declared before the cores so their metric handles outlive them.
+  obs::MetricsRegistry registry_;
   std::vector<std::unique_ptr<SamplingShardCore>> shards_;
   std::vector<std::unique_ptr<ServingCore>> serving_;
 };
@@ -161,5 +181,14 @@ void PrintServeRow(const std::string& system, const std::string& dataset,
 
 // Common CLI: scale=<n> (dataset scale divisor), requests=<n>, quick=1.
 std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback);
+
+// Observability sinks shared by every bench: metrics=<path> dumps a registry
+// snapshot ("-" = stdout, *.json = JSON exposition), trace=<path> writes the
+// Chrome-trace buffer (chrome://tracing / Perfetto). No-ops when the keys
+// are absent or the sources are null/empty.
+void DumpObservability(const util::Config& config, const obs::MetricsRegistry::Snapshot* snapshot,
+                       const obs::TraceBuffer* trace);
+// True when the bench should allocate a TraceBuffer (trace=<path> given).
+bool TraceRequested(const util::Config& config);
 
 }  // namespace helios::bench

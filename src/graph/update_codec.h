@@ -46,10 +46,12 @@ class ByteWriter {
 };
 
 // Sequential byte reader; ok() turns false on underflow instead of throwing
-// so malformed payloads are a recoverable error.
+// so malformed payloads are a recoverable error. Holds a reference: `buf`
+// must outlive the reader (in particular, don't pass a temporary).
 class ByteReader {
  public:
   explicit ByteReader(const std::string& buf) : buf_(buf) {}
+  explicit ByteReader(std::string&& buf) = delete;  // would dangle
 
   std::uint8_t GetU8() { std::uint8_t v = 0; GetRaw(&v, sizeof(v)); return v; }
   std::uint16_t GetU16() { std::uint16_t v = 0; GetRaw(&v, sizeof(v)); return v; }

@@ -16,11 +16,42 @@ SamplingShardCore::SamplingShardCore(QueryPlan plan, ShardMap map, std::uint32_t
       seed_(seed) {
   reservoir_.resize(plan_.num_hops());
   cell_subs_.resize(plan_.num_hops());
+
+  registry_ = options_.registry;
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  const obs::Labels labels{{"shard", std::to_string(shard_id_)},
+                           {"worker", std::to_string(map_.WorkerOfShard(shard_id_))}};
+  m_.updates_processed = registry_->GetCounter("sampling.updates_processed", labels);
+  m_.edges_offered = registry_->GetCounter("sampling.edges_offered", labels);
+  m_.cells = registry_->GetGauge("sampling.cells", labels);
+  m_.sample_updates_sent = registry_->GetCounter("sampling.sample_updates_sent", labels);
+  m_.sample_deltas_sent = registry_->GetCounter("sampling.sample_deltas_sent", labels);
+  m_.feature_updates_sent = registry_->GetCounter("sampling.feature_updates_sent", labels);
+  m_.retracts_sent = registry_->GetCounter("sampling.retracts_sent", labels);
+  m_.sub_deltas_sent = registry_->GetCounter("sampling.sub_deltas_sent", labels);
+  m_.features_stored = registry_->GetGauge("sampling.features_stored", labels);
+}
+
+SamplingShardCore::Stats SamplingShardCore::stats() const {
+  Stats s;
+  s.updates_processed = m_.updates_processed->Value();
+  s.edges_offered = m_.edges_offered->Value();
+  s.cells = static_cast<std::uint64_t>(m_.cells->Value());
+  s.sample_updates_sent = m_.sample_updates_sent->Value();
+  s.sample_deltas_sent = m_.sample_deltas_sent->Value();
+  s.feature_updates_sent = m_.feature_updates_sent->Value();
+  s.retracts_sent = m_.retracts_sent->Value();
+  s.sub_deltas_sent = m_.sub_deltas_sent->Value();
+  s.features_stored = static_cast<std::uint64_t>(m_.features_stored->Value());
+  return s;
 }
 
 void SamplingShardCore::OnGraphUpdate(const graph::GraphUpdate& update, std::int64_t origin_us,
                                       Outputs& out) {
-  stats_.updates_processed++;
+  m_.updates_processed->Add(1);
   latest_event_ts_ = std::max(latest_event_ts_, graph::UpdateTimestamp(update));
   if (const auto* e = std::get_if<graph::EdgeUpdate>(&update)) {
     OnEdgeUpdate(*e, origin_us, out);
@@ -46,10 +77,10 @@ void SamplingShardCore::OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t or
     if (gen::VertexTypeOf(e.src) != q.target_type) continue;
 
     auto [it, created] = reservoir_[k].try_emplace(e.src, q.strategy, q.fanout);
-    if (created) stats_.cells++;
+    if (created) m_.cells->Add(1);
     ReservoirCell& cell = it->second;
     const OfferOutcome outcome = cell.Offer(edge, rng_);
-    stats_.edges_offered++;
+    m_.edges_offered->Add(1);
     if (!outcome.selected) continue;
 
     // Cell changed: push an incremental delta to subscribers and cascade
@@ -69,7 +100,7 @@ void SamplingShardCore::OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t or
       delta.event_ts = e.ts;
       delta.origin_us = origin_us;
       out.to_serving.emplace_back(sew, ServingMessage::Of(delta));
-      stats_.sample_deltas_sent++;
+      m_.sample_deltas_sent->Add(1);
       // New sample in, evicted sample out, one level down.
       RouteDelta({level + 1, e.dst, sew, +1}, origin_us, out);
       if (outcome.evicted != graph::kInvalidVertex && outcome.evicted != e.dst) {
@@ -82,7 +113,7 @@ void SamplingShardCore::OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t or
 void SamplingShardCore::OnVertexUpdate(const graph::VertexUpdate& v, std::int64_t origin_us,
                                        Outputs& out) {
   features_.insert_or_assign(v.id, v.feature);
-  stats_.features_stored = features_.size();
+  m_.features_stored->Set(static_cast<std::int64_t>(features_.size()));
   if (v.type == plan_.query.seed_type) {
     EnsureSeedSubscription(v.id, origin_us, out);
   }
@@ -96,7 +127,7 @@ void SamplingShardCore::OnVertexUpdate(const graph::VertexUpdate& v, std::int64_
     fu.event_ts = v.ts;
     fu.origin_us = origin_us;
     out.to_serving.emplace_back(sew, ServingMessage::Of(std::move(fu)));
-    stats_.feature_updates_sent++;
+    m_.feature_updates_sent->Add(1);
   }
 }
 
@@ -116,7 +147,7 @@ void SamplingShardCore::RouteDelta(const SubscriptionDelta& delta, std::int64_t 
     OnSubscriptionDelta(delta, origin_us, out);
   } else {
     out.to_shards.emplace_back(owner, delta);
-    stats_.sub_deltas_sent++;
+    m_.sub_deltas_sent->Add(1);
   }
 }
 
@@ -148,7 +179,7 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
         // Feature no longer needed by this serving worker at any level.
         out.to_serving.emplace_back(delta.serving_worker,
                                     ServingMessage::Of(Retract{0, delta.vertex}));
-        stats_.retracts_sent++;
+        m_.retracts_sent->Add(1);
       }
     }
   }
@@ -185,7 +216,7 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
     if (counts.empty()) cell_subs_[k].erase(delta.vertex);
     out.to_serving.emplace_back(delta.serving_worker,
                                 ServingMessage::Of(Retract{delta.level, delta.vertex}));
-    stats_.retracts_sent++;
+    m_.retracts_sent->Add(1);
     if (cell_it != reservoir_[k].end()) {
       for (const auto& edge : cell_it->second.samples()) {
         RouteDelta({delta.level + 1, edge.dst, delta.serving_worker, -1}, origin_us, out);
@@ -205,7 +236,7 @@ void SamplingShardCore::SendSampleUpdate(std::uint32_t level, graph::VertexId v,
   su.event_ts = event_ts;
   su.origin_us = origin_us;
   out.to_serving.emplace_back(sew, ServingMessage::Of(std::move(su)));
-  stats_.sample_updates_sent++;
+  m_.sample_updates_sent->Add(1);
 }
 
 void SamplingShardCore::SendFeatureUpdate(graph::VertexId v, std::int64_t origin_us,
@@ -218,7 +249,7 @@ void SamplingShardCore::SendFeatureUpdate(graph::VertexId v, std::int64_t origin
   fu.event_ts = latest_event_ts_;
   fu.origin_us = origin_us;
   out.to_serving.emplace_back(sew, ServingMessage::Of(std::move(fu)));
-  stats_.feature_updates_sent++;
+  m_.feature_updates_sent->Add(1);
 }
 
 void SamplingShardCore::Prune(graph::Timestamp cutoff, Outputs& out) {
@@ -254,7 +285,7 @@ void SamplingShardCore::Prune(graph::Timestamp cutoff, Outputs& out) {
         // Keep empty cells only if subscribed (so future edges notify).
         if (cell_subs_[k].find(it->first) == cell_subs_[k].end()) {
           it = reservoir_[k].erase(it);
-          stats_.cells--;
+          m_.cells->Add(-1);
           continue;
         }
       }
@@ -378,7 +409,7 @@ bool SamplingShardCore::Deserialize(graph::ByteReader& r, SamplingShardCore& cor
       }
       if (!r.ok()) return false;
       core.reservoir_[k].emplace(v, std::move(cell));
-      core.stats_.cells++;
+      core.m_.cells->Add(1);
     }
   }
   const std::uint32_t nf = r.GetU32();
@@ -386,6 +417,9 @@ bool SamplingShardCore::Deserialize(graph::ByteReader& r, SamplingShardCore& cor
     const graph::VertexId v = r.GetU64();
     core.features_.emplace(v, r.GetFloats());
   }
+  // Restore the feature-table gauge so post-restore metrics match the
+  // pre-checkpoint core (the seed code dropped this).
+  core.m_.features_stored->Set(static_cast<std::int64_t>(core.features_.size()));
   auto get_subs = [&r](SubCounts& subs) {
     const std::uint32_t n = r.GetU32();
     for (std::uint32_t i = 0; i < n; ++i) {

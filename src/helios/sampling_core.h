@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "helios/query.h"
 #include "helios/reservoir.h"
 #include "helios/shard_map.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace helios {
@@ -48,8 +50,15 @@ class SamplingShardCore {
     // Remove samples older than (latest event ts - ttl) when Prune() runs.
     // 0 disables TTL.
     graph::Timestamp ttl = 0;
+    // Shared metrics registry; the core registers its "sampling.*" metrics
+    // there labelled {shard=<id>, worker=<owner>} so drivers aggregate
+    // per-shard -> per-worker -> cluster. Null = the core keeps a private
+    // registry (unit tests, standalone use).
+    obs::MetricsRegistry* registry = nullptr;
   };
 
+  // Legacy view of the registry metrics (kept so existing callers and
+  // benches read one struct; see stats()).
   struct Stats {
     std::uint64_t updates_processed = 0;
     std::uint64_t edges_offered = 0;
@@ -93,7 +102,12 @@ class SamplingShardCore {
   // cells / cascaded unsubscribes for anything that changed.
   void Prune(graph::Timestamp cutoff, Outputs& out);
 
-  const Stats& stats() const { return stats_; }
+  // Thin view assembled from the registry handles (not a reference: the
+  // authoritative cells live in the MetricsRegistry).
+  Stats stats() const;
+  // The registry this core records into (the shared one, or the private
+  // fallback when Options.registry was null).
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
   const QueryPlan& plan() const { return plan_; }
   std::uint32_t shard_id() const { return shard_id_; }
 
@@ -142,7 +156,22 @@ class SamplingShardCore {
   std::unordered_set<graph::VertexId> seeds_seen_;
   graph::Timestamp latest_event_ts_ = 0;
 
-  Stats stats_;
+  // Registry-backed metric handles (resolved once at construction; hot-path
+  // recording is a relaxed atomic op per event).
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;  // when none shared
+  obs::MetricsRegistry* registry_ = nullptr;
+  struct MetricHandles {
+    obs::Counter* updates_processed;
+    obs::Counter* edges_offered;
+    obs::Gauge* cells;
+    obs::Counter* sample_updates_sent;
+    obs::Counter* sample_deltas_sent;
+    obs::Counter* feature_updates_sent;
+    obs::Counter* retracts_sent;
+    obs::Counter* sub_deltas_sent;
+    obs::Gauge* features_stored;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace helios

@@ -49,6 +49,38 @@ std::string EncodeFeature(const graph::Feature& f) {
 ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options options)
     : plan_(std::move(plan)), worker_id_(worker_id), options_(std::move(options)) {
   store_ = std::make_unique<kv::KvStore>(options_.kv);
+
+  registry_ = options_.registry;
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  const obs::Labels labels{{"worker", std::to_string(worker_id_)}};
+  m_.sample_updates_applied = registry_->GetCounter("serving.sample_updates_applied", labels);
+  m_.sample_deltas_applied = registry_->GetCounter("serving.sample_deltas_applied", labels);
+  m_.feature_updates_applied = registry_->GetCounter("serving.feature_updates_applied", labels);
+  m_.retracts_applied = registry_->GetCounter("serving.retracts_applied", labels);
+  m_.queries_served = registry_->GetCounter("serving.queries_served", labels);
+  m_.cache_miss_cells = registry_->GetCounter("serving.cache_miss_cells", labels);
+  m_.cache_miss_features = registry_->GetCounter("serving.cache_miss_features", labels);
+  m_.latest_event_ts = registry_->GetGauge("serving.latest_event_ts", labels);
+}
+
+ServingCore::Stats ServingCore::stats() const {
+  Stats s;
+  s.sample_updates_applied = m_.sample_updates_applied->Value();
+  s.sample_deltas_applied = m_.sample_deltas_applied->Value();
+  s.feature_updates_applied = m_.feature_updates_applied->Value();
+  s.retracts_applied = m_.retracts_applied->Value();
+  s.queries_served = m_.queries_served->Value();
+  s.cache_miss_cells = m_.cache_miss_cells->Value();
+  s.cache_miss_features = m_.cache_miss_features->Value();
+  s.latest_event_ts = m_.latest_event_ts->Value();
+  return s;
+}
+
+void ServingCore::PublishCacheStats() {
+  store_->PublishTo(registry_, {{"worker", std::to_string(worker_id_)}});
 }
 
 std::string ServingCore::SampleKey(std::uint32_t level, graph::VertexId v) {
@@ -73,15 +105,15 @@ void ServingCore::Apply(const ServingMessage& message) {
     case ServingMessage::Kind::kSample: {
       const SampleUpdate& u = message.sample;
       store_->Put(SampleKey(u.level, u.vertex), EncodeCell(u.samples, u.event_ts));
-      stats_.sample_updates_applied++;
-      stats_.latest_event_ts = std::max(stats_.latest_event_ts, u.event_ts);
+      m_.sample_updates_applied->Add(1);
+      m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
     }
     case ServingMessage::Kind::kFeature: {
       const FeatureUpdate& u = message.feature;
       store_->Put(FeatureKey(u.vertex), EncodeFeature(u.feature));
-      stats_.feature_updates_applied++;
-      stats_.latest_event_ts = std::max(stats_.latest_event_ts, u.event_ts);
+      m_.feature_updates_applied->Add(1);
+      m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
     }
     case ServingMessage::Kind::kRetract: {
@@ -91,7 +123,7 @@ void ServingCore::Apply(const ServingMessage& message) {
       } else {
         store_->Delete(SampleKey(u.level, u.vertex));
       }
-      stats_.retracts_applied++;
+      m_.retracts_applied->Add(1);
       break;
     }
     case ServingMessage::Kind::kSampleDelta: {
@@ -119,8 +151,8 @@ void ServingCore::Apply(const ServingMessage& message) {
         if (cell.size() > cap) cell.erase(cell.begin());
       }
       store_->Put(SampleKey(u.level, u.vertex), EncodeCell(cell, u.event_ts));
-      stats_.sample_deltas_applied++;
-      stats_.latest_event_ts = std::max(stats_.latest_event_ts, u.event_ts);
+      m_.sample_deltas_applied->Add(1);
+      m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
     }
   }
@@ -171,9 +203,9 @@ SampledSubgraph ServingCore::Serve(graph::VertexId seed) const {
     }
   }
 
-  stats_.queries_served++;
-  stats_.cache_miss_cells += result.missing_cells;
-  stats_.cache_miss_features += result.missing_features;
+  m_.queries_served->Add(1);
+  m_.cache_miss_cells->Add(result.missing_cells);
+  m_.cache_miss_features->Add(result.missing_features);
   return result;
 }
 

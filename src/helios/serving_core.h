@@ -27,6 +27,7 @@
 #include "helios/messages.h"
 #include "helios/query.h"
 #include "kv/kv_store.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace helios {
@@ -60,8 +61,12 @@ class ServingCore {
   struct Options {
     kv::KvOptions kv;  // cache backing store (memory-only by default)
     graph::Timestamp ttl = 0;  // 0 disables TTL eviction
+    // Shared metrics registry; the core registers its "serving.*" metrics
+    // there labelled {worker=<id>}. Null = private registry.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
+  // Legacy view assembled from the registry handles (see stats()).
   struct Stats {
     std::uint64_t sample_updates_applied = 0;
     std::uint64_t sample_deltas_applied = 0;
@@ -90,10 +95,15 @@ class ServingCore {
   // is older than `cutoff`.
   std::size_t EvictOlderThan(graph::Timestamp cutoff);
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+  // The registry this core records into.
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
   const QueryPlan& plan() const { return plan_; }
   std::uint32_t worker_id() const { return worker_id_; }
   kv::KvStats CacheStats() const { return store_->GetStats(); }
+  // Refreshes the "serving.cache.*" gauges from the KV store's counters so
+  // a registry snapshot includes the cache footprint.
+  void PublishCacheStats();
 
   // Test hooks.
   bool HasCell(std::uint32_t level, graph::VertexId v) const;
@@ -108,7 +118,21 @@ class ServingCore {
   std::uint32_t worker_id_ = 0;
   Options options_;
   std::unique_ptr<kv::KvStore> store_;
-  mutable Stats stats_;
+
+  // Registry-backed metric handles (see sampling_core.h for the pattern).
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  struct MetricHandles {
+    obs::Counter* sample_updates_applied;
+    obs::Counter* sample_deltas_applied;
+    obs::Counter* feature_updates_applied;
+    obs::Counter* retracts_applied;
+    obs::Counter* queries_served;
+    obs::Counter* cache_miss_cells;
+    obs::Counter* cache_miss_features;
+    obs::Gauge* latest_event_ts;
+  };
+  MetricHandles m_;
 };
 
 }  // namespace helios

@@ -14,6 +14,9 @@ namespace helios {
 namespace {
 constexpr const char* kUpdatesTopic = "updates";
 constexpr const char* kSamplesTopic = "samples";
+// Trace lanes: sampling workers use pid = worker id; serving workers sit in
+// a disjoint pid range so both runtimes render the same way in Perfetto.
+constexpr std::uint32_t kServingPidBase = 1000;
 }  // namespace
 
 // One logical shard: owns a SamplingShardCore; all access is serialized by
@@ -25,20 +28,32 @@ class ThreadedCluster::ShardActor : public actor::Actor {
       : cluster_(cluster),
         core_(cluster->plan_, cluster->options_.map, shard_id,
               cluster->options_.seed,
-              SamplingShardCore::Options{cluster->options_.ttl}) {}
+              SamplingShardCore::Options{cluster->options_.ttl, &cluster->registry_}),
+        worker_id_(cluster->options_.map.WorkerOfShard(shard_id)),
+        tracer_(&cluster->registry_, &cluster->wall_clock_, cluster->options_.trace,
+                obs::Labels{{"shard", std::to_string(shard_id)},
+                            {"worker", std::to_string(worker_id_)}}) {}
 
   void IngestBatch(std::vector<mq::Record> records) {
     Tell([this, records = std::move(records)] {
       SamplingShardCore::Outputs out;
       graph::GraphUpdate update;
+      const std::int64_t dequeue_us = tracer_.Now();
       for (const auto& r : records) {
         if (!graph::DecodeUpdate(r.value, update)) {
           HLOG(kWarn, "shard") << "undecodable update at offset " << r.offset;
           continue;
         }
+        // Queue-wait stage: broker append -> shard core dequeue.
+        if (dequeue_us > r.append_time) {
+          tracer_.RecordDuration(obs::Stage::kIngest,
+                                 static_cast<std::uint64_t>(dequeue_us - r.append_time));
+        }
         core_.OnGraphUpdate(update, r.append_time, out);
-        cluster_->updates_processed_.fetch_add(1, std::memory_order_relaxed);
+        cluster_->flow_.updates_processed->Add(1);
       }
+      tracer_.RecordSpan(obs::Stage::kSample, dequeue_us, tracer_.Now() - dequeue_us, worker_id_,
+                         core_.shard_id());
       Dispatch(out);
     });
   }
@@ -46,8 +61,11 @@ class ThreadedCluster::ShardActor : public actor::Actor {
   void DeliverDelta(SubscriptionDelta delta, std::int64_t origin_us) {
     Tell([this, delta, origin_us] {
       SamplingShardCore::Outputs out;
-      core_.OnSubscriptionDelta(delta, origin_us, out);
-      cluster_->ctrl_processed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        obs::ScopedStage span(tracer_, obs::Stage::kCascade, worker_id_, core_.shard_id());
+        core_.OnSubscriptionDelta(delta, origin_us, out);
+      }
+      cluster_->flow_.ctrl_processed->Add(1);
       Dispatch(out);
     });
   }
@@ -80,6 +98,8 @@ class ThreadedCluster::ShardActor : public actor::Actor {
 
   ThreadedCluster* cluster_;
   SamplingShardCore core_;
+  std::uint32_t worker_id_;
+  obs::StageTracer tracer_;
 };
 
 // Publisher actor (§4.2 publisher threads): encodes data-plane messages and
@@ -94,7 +114,7 @@ class ThreadedCluster::PublisherActor : public actor::Actor {
       for (const auto& [sew, msg] : messages) {
         producer.Send(kSamplesTopic, std::string(), EncodeServingMessage(msg),
                       static_cast<int>(sew));
-        cluster_->serving_published_.fetch_add(1, std::memory_order_relaxed);
+        cluster_->flow_.serving_published->Add(1);
       }
     });
   }
@@ -109,7 +129,7 @@ void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
     cluster_->publishers_[worker]->Publish(std::move(out.to_serving));
   }
   for (auto& [shard, delta] : out.to_shards) {
-    cluster_->ctrl_sent_.fetch_add(1, std::memory_order_relaxed);
+    cluster_->flow_.ctrl_sent->Add(1);
     cluster_->shards_[shard]->DeliverDelta(delta, 0);
   }
   out.Clear();
@@ -174,31 +194,26 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
   void ApplyBatch(std::vector<mq::Record> records) {
     Tell([this, records = std::move(records)] {
       ServingCore& core = *cluster_->serving_cores_[worker_id_];
+      obs::StageTracer& tracer = *cluster_->serving_tracers_[worker_id_];
       ServingMessage msg;
-      const util::Micros now = util::NowMicros();
+      const std::int64_t start_us = tracer.Now();
       for (const auto& r : records) {
         if (!DecodeServingMessage(r.value, msg)) continue;
         core.Apply(msg);
-        cluster_->serving_applied_.fetch_add(1, std::memory_order_relaxed);
-        const std::int64_t origin = msg.OriginMicros();
-        if (origin > 0 && now > origin) {
-          std::lock_guard<std::mutex> lock(hist_mutex_);
-          ingest_latency_.Record(static_cast<std::uint64_t>(now - origin));
-        }
+        cluster_->flow_.serving_applied->Add(1);
+        // origin == 0 means unstamped under wall time (e.g. prune-spawned
+        // messages); only measure stamped updates.
+        if (msg.OriginMicros() > 0) tracer.RecordEndToEnd(msg.OriginMicros(), start_us);
       }
+      // Cache-apply stage: one span per drained batch on this worker's lane.
+      tracer.RecordSpan(obs::Stage::kCacheApply, start_us, tracer.Now() - start_us,
+                        kServingPidBase + worker_id_, 0);
     });
-  }
-
-  util::Histogram SnapshotLatency() const {
-    std::lock_guard<std::mutex> lock(hist_mutex_);
-    return ingest_latency_;
   }
 
  private:
   ThreadedCluster* cluster_;
   std::uint32_t worker_id_;
-  mutable std::mutex hist_mutex_;
-  util::Histogram ingest_latency_;
 };
 
 // Polling actor of one serving worker (§4.3): drains the sample queue.
@@ -234,6 +249,13 @@ class ThreadedCluster::ServingPollActor : public actor::Actor {
 
 ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
     : plan_(std::move(plan)), options_(std::move(options)) {
+  flow_.updates_published = registry_.GetCounter("cluster.updates_published");
+  flow_.updates_processed = registry_.GetCounter("cluster.updates_processed");
+  flow_.serving_published = registry_.GetCounter("cluster.serving_msgs_published");
+  flow_.serving_applied = registry_.GetCounter("cluster.serving_msgs_applied");
+  flow_.ctrl_sent = registry_.GetCounter("cluster.ctrl_sent");
+  flow_.ctrl_processed = registry_.GetCounter("cluster.ctrl_processed");
+  flow_.queries_served = registry_.GetCounter("cluster.queries_served");
   broker_ = std::make_unique<mq::Broker>();
   broker_->CreateTopic(kUpdatesTopic, options_.map.TotalShards());
   broker_->CreateTopic(kSamplesTopic, options_.map.serving_workers);
@@ -268,7 +290,11 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
       so.kv.spill_dir += "/sew-" + std::to_string(w);
     }
     so.ttl = options_.ttl;
+    so.registry = &registry_;
     serving_cores_.push_back(std::make_unique<ServingCore>(plan_, w, std::move(so)));
+    serving_tracers_.push_back(std::make_unique<obs::StageTracer>(
+        &registry_, &wall_clock_, options_.trace,
+        obs::Labels{{"worker", std::to_string(w)}}));
     auto updater = std::make_shared<ServingUpdateActor>(this, w);
     system_->Attach(updater, "update");
     serving_updaters_.push_back(std::move(updater));
@@ -276,6 +302,15 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
     system_->Attach(poller, "poll");
     serving_pollers_.push_back(std::move(poller));
     coordinator_->RegisterWorker(WorkerKind::kServing, w, util::NowMicros());
+  }
+
+  if (options_.trace != nullptr) {
+    for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
+      options_.trace->SetProcessName(w, "sampling-worker-" + std::to_string(w));
+    }
+    for (std::uint32_t w = 0; w < options_.map.serving_workers; ++w) {
+      options_.trace->SetProcessName(kServingPidBase + w, "serving-worker-" + std::to_string(w));
+    }
   }
 }
 
@@ -298,7 +333,7 @@ void ThreadedCluster::PublishUpdate(const graph::GraphUpdate& update) {
   auto publish_to = [&](graph::VertexId owner, const graph::GraphUpdate& u) {
     producer.Send(kUpdatesTopic, std::string(), graph::EncodeUpdate(u),
                   static_cast<int>(options_.map.ShardOf(owner)));
-    updates_published_.fetch_add(1, std::memory_order_relaxed);
+    flow_.updates_published->Add(1);
   };
   if (const auto* v = std::get_if<graph::VertexUpdate>(&update)) {
     publish_to(v->id, update);
@@ -323,12 +358,12 @@ void ThreadedCluster::WaitForIngestIdle() {
   std::uint64_t last_fingerprint = ~0ULL;
   int stable = 0;
   while (stable < 2) {
-    const std::uint64_t published = updates_published_.load();
-    const std::uint64_t processed = updates_processed_.load();
-    const std::uint64_t spub = serving_published_.load();
-    const std::uint64_t sapp = serving_applied_.load();
-    const std::uint64_t csent = ctrl_sent_.load();
-    const std::uint64_t cproc = ctrl_processed_.load();
+    const std::uint64_t published = flow_.updates_published->Value();
+    const std::uint64_t processed = flow_.updates_processed->Value();
+    const std::uint64_t spub = flow_.serving_published->Value();
+    const std::uint64_t sapp = flow_.serving_applied->Value();
+    const std::uint64_t csent = flow_.ctrl_sent->Value();
+    const std::uint64_t cproc = flow_.ctrl_processed->Value();
     const bool balanced = published == processed && spub == sapp && csent == cproc;
     const std::uint64_t fingerprint =
         processed * 1000003ULL + sapp * 10007ULL + cproc * 101ULL + spub + csent;
@@ -344,7 +379,9 @@ void ThreadedCluster::WaitForIngestIdle() {
 
 SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
   const std::uint32_t worker = options_.map.ServingWorkerOf(seed);
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  flow_.queries_served->Add(1);
+  obs::ScopedStage span(*serving_tracers_[worker], obs::Stage::kServe, kServingPidBase + worker,
+                        1);
   return serving_cores_[worker]->Serve(seed);
 }
 
@@ -391,13 +428,13 @@ util::Status ThreadedCluster::Restore(const std::string& dir) {
 
 ClusterStats ThreadedCluster::Stats() const {
   ClusterStats stats;
-  stats.updates_published = updates_published_.load();
-  stats.updates_processed = updates_processed_.load();
-  stats.serving_msgs_published = serving_published_.load();
-  stats.serving_msgs_applied = serving_applied_.load();
-  stats.ctrl_sent = ctrl_sent_.load();
-  stats.ctrl_processed = ctrl_processed_.load();
-  stats.queries_served = queries_served_.load();
+  stats.updates_published = flow_.updates_published->Value();
+  stats.updates_processed = flow_.updates_processed->Value();
+  stats.serving_msgs_published = flow_.serving_published->Value();
+  stats.serving_msgs_applied = flow_.serving_applied->Value();
+  stats.ctrl_sent = flow_.ctrl_sent->Value();
+  stats.ctrl_processed = flow_.ctrl_processed->Value();
+  stats.queries_served = flow_.queries_served->Value();
   for (const auto& shard : shards_) {
     const_cast<ShardActor&>(*shard).WithCore([&stats](SamplingShardCore& core) {
       const auto& s = core.stats();
@@ -405,6 +442,7 @@ ClusterStats ThreadedCluster::Stats() const {
       stats.sampling.edges_offered += s.edges_offered;
       stats.sampling.cells += s.cells;
       stats.sampling.sample_updates_sent += s.sample_updates_sent;
+      stats.sampling.sample_deltas_sent += s.sample_deltas_sent;
       stats.sampling.feature_updates_sent += s.feature_updates_sent;
       stats.sampling.retracts_sent += s.retracts_sent;
       stats.sampling.sub_deltas_sent += s.sub_deltas_sent;
@@ -414,6 +452,7 @@ ClusterStats ThreadedCluster::Stats() const {
   for (const auto& core : serving_cores_) {
     const auto& s = core->stats();
     stats.serving.sample_updates_applied += s.sample_updates_applied;
+    stats.serving.sample_deltas_applied += s.sample_deltas_applied;
     stats.serving.feature_updates_applied += s.feature_updates_applied;
     stats.serving.retracts_applied += s.retracts_applied;
     stats.serving.queries_served += s.queries_served;
@@ -424,11 +463,13 @@ ClusterStats ThreadedCluster::Stats() const {
 }
 
 util::Histogram ThreadedCluster::IngestionLatency() const {
-  util::Histogram merged;
-  for (const auto& updater : serving_updaters_) {
-    merged.Merge(updater->SnapshotLatency());
-  }
-  return merged;
+  return registry_.TakeSnapshot().LatencyTotal("pipeline.ingest_e2e");
+}
+
+obs::MetricsRegistry::Snapshot ThreadedCluster::MetricsSnapshot() {
+  broker_->PublishTo(&registry_);
+  for (auto& core : serving_cores_) core->PublishCacheStats();
+  return registry_.TakeSnapshot();
 }
 
 std::vector<kv::KvStats> ThreadedCluster::ServingCacheStats() const {

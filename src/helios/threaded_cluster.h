@@ -32,6 +32,8 @@
 #include "helios/serving_core.h"
 #include "helios/shard_map.h"
 #include "mq/mq.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/histogram.h"
 
 namespace helios {
@@ -47,6 +49,10 @@ struct ClusterOptions {
   // edge at the destination's owner (in-neighbor sampling). kBoth does
   // both — the undirected-graph treatment.
   graph::EdgePlacement edge_placement = graph::EdgePlacement::kBySrc;
+  // Optional Chrome-trace sink: when set, every pipeline stage also emits a
+  // timeline span (pid = worker lane, tid = shard/stage) on top of the
+  // registry histograms. Must outlive the cluster.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 struct ClusterStats {
@@ -96,10 +102,17 @@ class ThreadedCluster {
   util::Status Restore(const std::string& dir);
 
   ClusterStats Stats() const;
-  // End-to-end ingestion latency (publish -> applied at serving cache).
+  // End-to-end ingestion latency (publish -> applied at serving cache);
+  // merged "pipeline.ingest_e2e" cells of the registry.
   util::Histogram IngestionLatency() const;
   // Per-serving-worker cache footprint.
   std::vector<kv::KvStats> ServingCacheStats() const;
+
+  // The cluster-wide metrics registry every core/actor records into.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  // Refreshes broker/cache gauges, then snapshots the registry — the one
+  // call benches use to dump observability state.
+  obs::MetricsRegistry::Snapshot MetricsSnapshot();
 
   Coordinator& coordinator() { return *coordinator_; }
   const QueryPlan& plan() const { return plan_; }
@@ -113,9 +126,16 @@ class ThreadedCluster {
 
   QueryPlan plan_;
   ClusterOptions options_;
+  // Declared before the actors/cores so handles resolved against it stay
+  // valid for their whole lifetime.
+  obs::MetricsRegistry registry_;
+  obs::WallClock wall_clock_;
   std::unique_ptr<mq::Broker> broker_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<actor::ActorSystem> system_;
+  // Per-serving-worker stage tracers ({worker=<w>}), shared by the
+  // data-updating actor (cache-apply + e2e) and Serve() (serve stage).
+  std::vector<std::unique_ptr<obs::StageTracer>> serving_tracers_;
 
   std::vector<std::shared_ptr<ShardActor>> shards_;
   std::vector<std::shared_ptr<SamplingPollActor>> sampling_pollers_;
@@ -125,13 +145,19 @@ class ThreadedCluster {
   std::vector<std::unique_ptr<ServingCore>> serving_cores_;
 
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> updates_published_{0};
-  std::atomic<std::uint64_t> updates_processed_{0};
-  std::atomic<std::uint64_t> serving_published_{0};
-  std::atomic<std::uint64_t> serving_applied_{0};
-  std::atomic<std::uint64_t> ctrl_sent_{0};
-  std::atomic<std::uint64_t> ctrl_processed_{0};
-  std::atomic<std::uint64_t> queries_served_{0};
+  // Cluster-level flow counters, registry-backed ("cluster.*"). The idle
+  // detector compares producer/consumer pairs, so these must be the
+  // authoritative cells, not copies.
+  struct FlowCounters {
+    obs::Counter* updates_published;
+    obs::Counter* updates_processed;
+    obs::Counter* serving_published;
+    obs::Counter* serving_applied;
+    obs::Counter* ctrl_sent;
+    obs::Counter* ctrl_processed;
+    obs::Counter* queries_served;
+  };
+  FlowCounters flow_;
 };
 
 }  // namespace helios

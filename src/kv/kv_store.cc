@@ -297,4 +297,15 @@ KvStats KvStore::GetStats() const {
   return stats;
 }
 
+void KvStore::PublishTo(obs::MetricsRegistry* registry, const obs::Labels& labels) const {
+  const KvStats stats = GetStats();
+  registry->GetGauge("kv.memory_bytes", labels)->Set(static_cast<std::int64_t>(stats.memory_bytes));
+  registry->GetGauge("kv.disk_bytes", labels)->Set(static_cast<std::int64_t>(stats.disk_bytes));
+  registry->GetGauge("kv.garbage_bytes", labels)
+      ->Set(static_cast<std::int64_t>(stats.garbage_bytes));
+  registry->GetGauge("kv.num_keys", labels)->Set(static_cast<std::int64_t>(stats.num_keys));
+  registry->GetGauge("kv.spills", labels)->Set(static_cast<std::int64_t>(stats.spills));
+  registry->GetGauge("kv.disk_reads", labels)->Set(static_cast<std::int64_t>(stats.disk_reads));
+}
+
 }  // namespace helios::kv

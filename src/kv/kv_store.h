@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace helios::kv {
@@ -74,6 +75,10 @@ class KvStore {
   util::Status Compact();
 
   KvStats GetStats() const;
+
+  // Publishes the current KvStats as "kv.*" gauges into `registry`, tagged
+  // with `labels` (callers add {worker=..}). Call before snapshotting.
+  void PublishTo(obs::MetricsRegistry* registry, const obs::Labels& labels) const;
 
  private:
   struct Shard;

@@ -132,6 +132,23 @@ std::size_t Broker::TruncateOlderThan(util::Micros cutoff) {
   return dropped;
 }
 
+void Broker::PublishTo(obs::MetricsRegistry* registry) const {
+  std::vector<const Topic*> topics;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    topics.reserve(topics_.size());
+    for (const auto& [name, topic] : topics_) topics.push_back(topic.get());
+  }
+  for (const Topic* t : topics) {
+    const obs::Labels labels{{"topic", t->name()}};
+    registry->GetGauge("mq.topic.records", labels)
+        ->Set(static_cast<std::int64_t>(t->TotalRecords()));
+    registry->GetGauge("mq.topic.bytes", labels)->Set(static_cast<std::int64_t>(t->TotalBytes()));
+    registry->GetGauge("mq.topic.partitions", labels)
+        ->Set(static_cast<std::int64_t>(t->num_partitions()));
+  }
+}
+
 // ----------------------------------------------------------------- Producer
 
 util::StatusOr<std::uint64_t> Producer::Send(const std::string& topic, std::string key,

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/hash.h"
 #include "util/status.h"
@@ -98,6 +99,10 @@ class Broker {
 
   // Applies retention to every partition of every topic.
   std::size_t TruncateOlderThan(util::Micros cutoff);
+
+  // Publishes per-topic record/byte gauges ("mq.topic.records{topic=..}")
+  // into `registry`. Call before snapshotting.
+  void PublishTo(obs::MetricsRegistry* registry) const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace helios::obs {
+
+std::string CanonicalLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first + "=" + sorted[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+std::string CellKey(const std::string& name, const Labels& labels) {
+  return name + CanonicalLabels(labels);
+}
+
+const std::string* LabelValue(const Labels& labels, const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void AppendJsonLabels(std::ostringstream& os, const Labels& labels) {
+  os << "{";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << sorted[i].first << "\":\"" << sorted[i].second << "\"";
+  }
+  os << "}";
+}
+}  // namespace
+
+template <typename M>
+M* MetricsRegistry::GetIn(std::map<std::string, std::unique_ptr<M>>& family,
+                          const std::string& name, const Labels& labels,
+                          std::map<std::string, Labels>& label_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string key = CellKey(name, labels);
+  auto it = family.find(key);
+  if (it == family.end()) {
+    it = family.emplace(key, std::make_unique<M>()).first;
+    label_index.emplace(key, labels);
+    name_index_.emplace(key, name);
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const Labels& labels) {
+  return GetIn(counters_, name, labels, label_index_);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const Labels& labels) {
+  return GetIn(gauges_, name, labels, label_index_);
+}
+
+LatencyMetric* MetricsRegistry::GetLatency(const std::string& name, const Labels& labels) {
+  return GetIn(latencies_, name, labels, label_index_);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [key, counter] : counters_) {
+    snap.counters[name_index_.at(key)].push_back({label_index_.at(key), counter->Value()});
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges[name_index_.at(key)].push_back({label_index_.at(key), gauge->Value()});
+  }
+  for (const auto& [key, latency] : latencies_) {
+    snap.latencies[name_index_.at(key)].push_back({label_index_.at(key), latency->Snapshot()});
+  }
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::Snapshot::CounterTotal(const std::string& name) const {
+  std::uint64_t total = 0;
+  auto it = counters.find(name);
+  if (it == counters.end()) return 0;
+  for (const auto& cell : it->second) total += cell.value;
+  return total;
+}
+
+std::int64_t MetricsRegistry::Snapshot::GaugeTotal(const std::string& name) const {
+  std::int64_t total = 0;
+  auto it = gauges.find(name);
+  if (it == gauges.end()) return 0;
+  for (const auto& cell : it->second) total += cell.value;
+  return total;
+}
+
+util::Histogram MetricsRegistry::Snapshot::LatencyTotal(const std::string& name) const {
+  util::Histogram merged;
+  auto it = latencies.find(name);
+  if (it == latencies.end()) return merged;
+  for (const auto& cell : it->second) merged.Merge(cell.value);
+  return merged;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::Snapshot::CounterBy(
+    const std::string& name, const std::string& label_key) const {
+  std::map<std::string, std::uint64_t> grouped;
+  auto it = counters.find(name);
+  if (it == counters.end()) return grouped;
+  for (const auto& cell : it->second) {
+    const std::string* v = LabelValue(cell.labels, label_key);
+    grouped[v != nullptr ? *v : std::string()] += cell.value;
+  }
+  return grouped;
+}
+
+std::map<std::string, util::Histogram> MetricsRegistry::Snapshot::LatencyBy(
+    const std::string& name, const std::string& label_key) const {
+  std::map<std::string, util::Histogram> grouped;
+  auto it = latencies.find(name);
+  if (it == latencies.end()) return grouped;
+  for (const auto& cell : it->second) {
+    const std::string* v = LabelValue(cell.labels, label_key);
+    grouped[v != nullptr ? *v : std::string()].Merge(cell.value);
+  }
+  return grouped;
+}
+
+std::string MetricsRegistry::Snapshot::Dump() const {
+  std::ostringstream os;
+  for (const auto& [name, cells] : counters) {
+    for (const auto& cell : cells) {
+      os << name << CanonicalLabels(cell.labels) << " " << cell.value << "\n";
+    }
+  }
+  for (const auto& [name, cells] : gauges) {
+    for (const auto& cell : cells) {
+      os << name << CanonicalLabels(cell.labels) << " " << cell.value << "\n";
+    }
+  }
+  for (const auto& [name, cells] : latencies) {
+    for (const auto& cell : cells) {
+      os << name << CanonicalLabels(cell.labels) << " " << cell.value.Summary() << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::Snapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\":[";
+  bool first = true;
+  for (const auto& [name, cells] : counters) {
+    for (const auto& cell : cells) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << name << "\",\"labels\":";
+      AppendJsonLabels(os, cell.labels);
+      os << ",\"value\":" << cell.value << "}";
+    }
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const auto& [name, cells] : gauges) {
+    for (const auto& cell : cells) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << name << "\",\"labels\":";
+      AppendJsonLabels(os, cell.labels);
+      os << ",\"value\":" << cell.value << "}";
+    }
+  }
+  os << "],\"latencies\":[";
+  first = true;
+  for (const auto& [name, cells] : latencies) {
+    for (const auto& cell : cells) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << name << "\",\"labels\":";
+      AppendJsonLabels(os, cell.labels);
+      os << ",\"hist\":" << cell.value.ToJson() << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace helios::obs

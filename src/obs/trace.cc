@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace helios::obs {
+
+namespace {
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+}  // namespace
+
+void TraceBuffer::AddComplete(const std::string& name, const std::string& category,
+                              std::int64_t ts_us, std::int64_t dur_us, std::uint32_t pid,
+                              std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({'X', name, category, ts_us, dur_us < 0 ? 0 : dur_us, 0, pid, tid});
+}
+
+void TraceBuffer::AddInstant(const std::string& name, const std::string& category,
+                             std::int64_t ts_us, std::uint32_t pid, std::uint32_t tid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({'i', name, category, ts_us, 0, 0, pid, tid});
+}
+
+void TraceBuffer::AddCounter(const std::string& name, std::int64_t ts_us, std::uint32_t pid,
+                             const std::string& series, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({'C', name, series, ts_us, 0, value, pid, 0});
+}
+
+void TraceBuffer::SetProcessName(std::uint32_t pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({'M', "process_name", name, 0, 0, 0, pid, 0});
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceBuffer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"";
+    AppendEscaped(os, e.name);
+    os << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us << ",\"pid\":" << e.pid;
+    switch (e.phase) {
+      case 'X':
+        os << ",\"tid\":" << e.tid << ",\"dur\":" << e.dur_us << ",\"cat\":\"";
+        AppendEscaped(os, e.category);
+        os << "\"";
+        break;
+      case 'i':
+        os << ",\"tid\":" << e.tid << ",\"s\":\"t\",\"cat\":\"";
+        AppendEscaped(os, e.category);
+        os << "\"";
+        break;
+      case 'C':
+        os << ",\"args\":{\"";
+        AppendEscaped(os, e.category);
+        os << "\":" << e.value << "}";
+        break;
+      case 'M':
+        os << ",\"args\":{\"name\":\"";
+        AppendEscaped(os, e.category);
+        os << "\"}";
+        break;
+      default:
+        break;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+util::Status TraceBuffer::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Internal("cannot open trace file " + path);
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return out ? util::Status::Ok() : util::Status::Internal("short write to " + path);
+}
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIngest: return "ingest";
+    case Stage::kSample: return "sample";
+    case Stage::kCascade: return "cascade";
+    case Stage::kCacheApply: return "cache_apply";
+    case Stage::kServe: return "serve";
+  }
+  return "?";
+}
+
+StageTracer::StageTracer(MetricsRegistry* registry, const Clock* clock, TraceBuffer* trace,
+                         const Labels& labels)
+    : clock_(clock), trace_(trace) {
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    stages_[s] = registry->GetLatency(
+        std::string("pipeline.stage.") + StageName(static_cast<Stage>(s)), labels);
+  }
+  e2e_ = registry->GetLatency("pipeline.ingest_e2e", labels);
+}
+
+void StageTracer::RecordSpan(Stage stage, std::int64_t start_us, std::int64_t dur_us,
+                             std::uint32_t pid, std::uint32_t tid) {
+  if (dur_us < 0) dur_us = 0;
+  stages_[static_cast<std::size_t>(stage)]->Record(static_cast<std::uint64_t>(dur_us));
+  if (trace_ != nullptr) {
+    trace_->AddComplete(StageName(stage), "pipeline", start_us, dur_us, pid, tid);
+  }
+}
+
+void StageTracer::RecordEndToEnd(std::int64_t origin_us, std::int64_t now_us) {
+  if (origin_us < 0 || now_us < origin_us) return;
+  e2e_->Record(static_cast<std::uint64_t>(now_us - origin_us));
+}
+
+}  // namespace helios::obs

@@ -1,0 +1,168 @@
+// Per-stage pipeline tracing with a pluggable time source, plus a Chrome
+// trace (chrome://tracing / Perfetto) JSON exporter.
+//
+// The ingestion pipeline of §4 has well-defined stages a message passes
+// through:
+//
+//   kIngest     queue wait: update published -> shard core dequeues it
+//   kSample     shard core processes the graph update (reservoir offer)
+//   kCascade    cross-shard subscription-delta processing (Fig 7 peer
+//               notifications spawned by the update)
+//   kCacheApply serving worker applies the resulting sample/feature message
+//   kServe      inference-side read: K-hop assembly from the local cache
+//
+// A StageTracer records each stage into registry latency metrics
+// ("pipeline.stage.<name>") and, when a TraceBuffer is attached, emits
+// Chrome-trace complete events so a run can be inspected visually. Time
+// comes from a Clock, so the identical instrumentation code runs under wall
+// time (ThreadedCluster) and virtual time (the heliossim DES emulator) —
+// that is what turns the single end-to-end Fig 17 number into a per-stage
+// breakdown in both runtimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace helios::obs {
+
+// ------------------------------------------------------------------ clocks
+
+// Time source for stamps. Implementations must be monotone non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t NowMicros() const = 0;
+};
+
+// Real monotonic time (ThreadedCluster, benches measuring wall cost).
+class WallClock : public Clock {
+ public:
+  std::int64_t NowMicros() const override { return util::NowMicros(); }
+};
+
+// Adapts any time source, e.g. [&env] { return env.now(); } for a SimEnv.
+class FunctionClock : public Clock {
+ public:
+  explicit FunctionClock(std::function<std::int64_t()> fn) : fn_(std::move(fn)) {}
+  std::int64_t NowMicros() const override { return fn_(); }
+
+ private:
+  std::function<std::int64_t()> fn_;
+};
+
+// Hand-advanced clock for unit tests.
+class ManualClock : public Clock {
+ public:
+  std::int64_t NowMicros() const override { return now_; }
+  void Set(std::int64_t t) { now_ = t; }
+  void Advance(std::int64_t d) { now_ += d; }
+
+ private:
+  std::int64_t now_ = 0;
+};
+
+// ------------------------------------------------------------- trace sink
+
+// Accumulates Chrome-trace events ("Trace Event Format"); ToJson() emits a
+// {"traceEvents":[...]} document loadable by chrome://tracing and Perfetto.
+// pid/tid are free-form lanes: runtimes use pid = node/worker and tid =
+// shard/stage so the timeline groups the way the paper's figures slice.
+class TraceBuffer {
+ public:
+  // A completed span ("ph":"X").
+  void AddComplete(const std::string& name, const std::string& category, std::int64_t ts_us,
+                   std::int64_t dur_us, std::uint32_t pid, std::uint32_t tid);
+  // A point event ("ph":"i").
+  void AddInstant(const std::string& name, const std::string& category, std::int64_t ts_us,
+                  std::uint32_t pid, std::uint32_t tid);
+  // A sampled counter series ("ph":"C"), e.g. a node's busy servers.
+  void AddCounter(const std::string& name, std::int64_t ts_us, std::uint32_t pid,
+                  const std::string& series, double value);
+  // Names a pid lane ("process_name" metadata event).
+  void SetProcessName(std::uint32_t pid, const std::string& name);
+
+  std::size_t size() const;
+  std::string ToJson() const;
+  util::Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X', 'i', 'C', 'M'
+    std::string name;
+    std::string category;  // or counter series / process name
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    double value = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+// ------------------------------------------------------------ stage tracer
+
+enum class Stage : std::uint8_t { kIngest = 0, kSample, kCascade, kCacheApply, kServe };
+inline constexpr std::size_t kNumStages = 5;
+const char* StageName(Stage stage);
+
+class StageTracer {
+ public:
+  // Registers "pipeline.stage.<name>" latency metrics (plus
+  // "pipeline.ingest_e2e") under `labels` in `registry`. `trace` may be
+  // null (metrics only). The clock must outlive the tracer.
+  StageTracer(MetricsRegistry* registry, const Clock* clock, TraceBuffer* trace = nullptr,
+              const Labels& labels = {});
+
+  std::int64_t Now() const { return clock_->NowMicros(); }
+
+  // Records a completed stage span [start_us, start_us + dur_us). pid/tid
+  // only matter when a TraceBuffer is attached.
+  void RecordSpan(Stage stage, std::int64_t start_us, std::int64_t dur_us, std::uint32_t pid = 0,
+                  std::uint32_t tid = 0);
+  // Duration-only variant (histogram, no trace event).
+  void RecordDuration(Stage stage, std::uint64_t dur_us) {
+    stages_[static_cast<std::size_t>(stage)]->Record(dur_us);
+  }
+  // End-to-end ingestion latency: origin (update entered the system) ->
+  // now (applied at the serving cache). Ignores negative (unstamped)
+  // origins; 0 is a valid origin under virtual time (saturation offers
+  // everything at t=0). Wall-clock callers filter origin == 0 themselves.
+  void RecordEndToEnd(std::int64_t origin_us, std::int64_t now_us);
+
+  const Clock& clock() const { return *clock_; }
+  TraceBuffer* trace() const { return trace_; }
+
+ private:
+  LatencyMetric* stages_[kNumStages];
+  LatencyMetric* e2e_;
+  const Clock* clock_;
+  TraceBuffer* trace_;
+};
+
+// Times one stage with the tracer's clock; records on destruction.
+class ScopedStage {
+ public:
+  ScopedStage(StageTracer& tracer, Stage stage, std::uint32_t pid = 0, std::uint32_t tid = 0)
+      : tracer_(tracer), stage_(stage), pid_(pid), tid_(tid), start_(tracer.Now()) {}
+  ~ScopedStage() { tracer_.RecordSpan(stage_, start_, tracer_.Now() - start_, pid_, tid_); }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTracer& tracer_;
+  Stage stage_;
+  std::uint32_t pid_, tid_;
+  std::int64_t start_;
+};
+
+}  // namespace helios::obs

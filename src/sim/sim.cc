@@ -47,8 +47,18 @@ void Resource::Enqueue(SimTime service_time, std::function<void()> done) {
 void Resource::StartService(Job job) {
   busy_++;
   busy_time_ += job.service_time;
+  const SimTime start = env_.now();
+  // The slot index only labels the trace lane; FIFO start order makes
+  // busy_-1 a stable approximation of "which server took the job".
+  const std::uint32_t slot = static_cast<std::uint32_t>(busy_ - 1);
+  EmitOccupancy();
   auto done = std::move(job.done);
-  env_.ScheduleAfter(job.service_time, [this, done = std::move(done)]() mutable {
+  env_.ScheduleAfter(job.service_time,
+                     [this, done = std::move(done), start, slot,
+                      service = job.service_time]() mutable {
+    if (trace_ != nullptr && service > 0) {
+      trace_->AddComplete(trace_name_, "sim", start, service, trace_pid_, slot);
+    }
     OnComplete();
     done();
   });
@@ -56,11 +66,24 @@ void Resource::StartService(Job job) {
 
 void Resource::OnComplete() {
   busy_--;
+  EmitOccupancy();
   if (!waiting_.empty() && busy_ < servers_) {
     Job next = std::move(waiting_.front());
     waiting_.pop_front();
     StartService(std::move(next));
   }
+}
+
+void Resource::EnableTrace(obs::TraceBuffer* trace, std::uint32_t pid, std::string name) {
+  trace_ = trace;
+  trace_pid_ = pid;
+  trace_name_ = std::move(name);
+}
+
+void Resource::EmitOccupancy() {
+  if (trace_ == nullptr) return;
+  trace_->AddCounter(trace_name_ + ".occupancy", env_.now(), trace_pid_, "busy",
+                     static_cast<double>(busy_));
 }
 
 Link::Link(SimEnv& env, SimTime latency_us, double bytes_per_us)
@@ -83,6 +106,14 @@ SimCluster::SimCluster(SimEnv& env, const Options& options) : env_(env) {
   for (std::size_t i = 0; i < n; ++i) {
     cpus_.push_back(std::make_unique<Resource>(env_, options.cores_per_node));
     nics_.push_back(std::make_unique<Link>(env_, options.net_latency_us, bytes_per_us));
+  }
+}
+
+void SimCluster::EnableTracing(obs::TraceBuffer* trace) {
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    const std::uint32_t pid = 2000 + static_cast<std::uint32_t>(i);
+    cpus_[i]->EnableTrace(trace, pid, "cpu");
+    trace->SetProcessName(pid, "sim-node-" + std::to_string(i));
   }
 }
 

@@ -24,7 +24,10 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace helios::sim {
 
@@ -80,6 +83,12 @@ class Resource {
   // Total busy time accumulated across servers (for utilization reports).
   SimTime busy_time() const { return busy_time_; }
 
+  // Attaches a Chrome-trace sink: every serviced job becomes a complete
+  // event on lane `pid` (tid = server slot) and the busy-server count is
+  // emitted as a counter series — the per-node occupancy timeline. The
+  // buffer must outlive the resource.
+  void EnableTrace(obs::TraceBuffer* trace, std::uint32_t pid, std::string name);
+
  private:
   struct Job {
     SimTime service_time;
@@ -87,12 +96,16 @@ class Resource {
   };
   void StartService(Job job);
   void OnComplete();
+  void EmitOccupancy();
 
   SimEnv& env_;
   std::size_t servers_;
   std::size_t busy_ = 0;
   SimTime busy_time_ = 0;
   std::deque<Job> waiting_;
+  obs::TraceBuffer* trace_ = nullptr;
+  std::uint32_t trace_pid_ = 0;
+  std::string trace_name_;
 };
 
 // A unidirectional network pipe: messages serialize at `bytes_per_us`, then
@@ -139,6 +152,11 @@ class SimCluster {
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
+
+  // Attaches a Chrome-trace sink to every node's CPU resource (pids
+  // 2000 + node, named "sim-node-<i>") so a DES run yields the same kind of
+  // Perfetto timeline as the threaded runtime.
+  void EnableTracing(obs::TraceBuffer* trace);
 
  private:
   SimEnv& env_;

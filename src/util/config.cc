@@ -7,7 +7,11 @@ namespace helios::util {
 Config Config::FromArgs(int argc, char** argv) {
   Config config;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept GNU-style "--key=value" as plain "key=value".
+    std::size_t start = 0;
+    while (start < arg.size() && arg[start] == '-') start++;
+    arg = arg.substr(start);
     const std::size_t eq = arg.find('=');
     if (eq == std::string::npos || eq == 0) continue;
     config.Set(arg.substr(0, eq), arg.substr(eq + 1));

@@ -54,7 +54,8 @@ void Histogram::Merge(const Histogram& other) {
 
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = sum_ = min_ = max_ = 0;
+  count_ = min_ = max_ = 0;
+  sum_ = 0;
 }
 
 double Histogram::Mean() const {
@@ -71,6 +72,34 @@ std::uint64_t Histogram::Quantile(double q) const {
     if (seen >= target) return std::min(BucketUpper(i), max_);
   }
   return max_;
+}
+
+std::string Histogram::ToJson() const {
+  std::string out;
+  out.reserve(256);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"mean\":%.3f,\"min\":%llu,\"max\":%llu,"
+                "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"p999\":%llu,\"buckets\":[",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(min()),
+                static_cast<unsigned long long>(max_),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P95()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(P999()));
+  out += buf;
+  bool first = true;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s[%llu,%llu]", first ? "" : ",",
+                  static_cast<unsigned long long>(BucketUpper(i)),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
 }
 
 std::string Histogram::Summary(const char* unit) const {

@@ -31,9 +31,13 @@ class Histogram {
   std::uint64_t P50() const { return Quantile(0.50); }
   std::uint64_t P95() const { return Quantile(0.95); }
   std::uint64_t P99() const { return Quantile(0.99); }
+  std::uint64_t P999() const { return Quantile(0.999); }
 
   // "n=... avg=... p50=... p99=... max=..." one-line summary.
   std::string Summary(const char* unit = "us") const;
+  // {"count":..,"mean":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..,
+  //  "p999":..,"buckets":[[upper,count],...]} with only non-empty buckets.
+  std::string ToJson() const;
 
  private:
   static std::size_t BucketFor(std::uint64_t value);
@@ -41,7 +45,10 @@ class Histogram {
 
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
+  // 128-bit: recording values near the 2^48 ceiling overflows a 64-bit sum
+  // after ~65k samples, silently corrupting Mean(); widening is cheaper
+  // than saturation checks on the hot path.
+  unsigned __int128 sum_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
 };

@@ -1,12 +1,39 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/clock.h"
 
 namespace helios::util {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+// Parses HELIOS_LOG_LEVEL ("debug"/"info"/"warn"/"error"/"off", case-
+// insensitive, or a numeric level). Read once at startup; SetLogLevel still
+// overrides at runtime.
+int LevelFromEnv() {
+  const char* env = std::getenv("HELIOS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kInfo);
+  if (std::isdigit(static_cast<unsigned char>(*env))) {
+    const int v = std::atoi(env);
+    return v < 0 ? 0 : (v > 4 ? 4 : v);
+  }
+  char lower[8] = {0};
+  for (std::size_t i = 0; i < sizeof(lower) - 1 && env[i] != '\0'; ++i) {
+    lower[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(lower, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(lower, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(lower, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(lower, "error") == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(lower, "off") == 0) return static_cast<int>(LogLevel::kOff);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_level{LevelFromEnv()};
 std::mutex g_sink_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -18,6 +45,21 @@ const char* LevelName(LogLevel level) {
     default: return "?????";
   }
 }
+
+// Monotonic microseconds since the first log line (process-relative, so
+// lines across threads order and diff trivially).
+Micros Elapsed() {
+  static const Micros start = NowMicros();
+  return NowMicros() - start;
+}
+
+// Small dense per-thread id (1, 2, 3, ...) — cheaper to read and stable
+// within a run, unlike pthread handles.
+std::uint32_t ThreadId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
@@ -26,8 +68,11 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::m
 
 namespace internal {
 void LogLine(LogLevel level, const char* module, const std::string& msg) {
+  const Micros us = Elapsed();
+  const std::uint32_t tid = ThreadId();
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %s: %s\n", LevelName(level), module, msg.c_str());
+  std::fprintf(stderr, "[%10.6f t%02u %s] %s: %s\n",
+               static_cast<double>(us) / 1e6, tid, LevelName(level), module, msg.c_str());
 }
 }  // namespace internal
 

@@ -16,12 +16,18 @@ namespace helios::util {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Process-wide minimum level. Defaults to kInfo; benches raise it to kWarn.
+// Process-wide minimum level. Defaults to kInfo, overridable once at startup
+// via the HELIOS_LOG_LEVEL environment variable ("debug"/"info"/"warn"/
+// "error"/"off" or 0-4); benches raise it to kWarn.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 namespace internal {
-// Emits one formatted line ("<level> <module>: <msg>\n") to stderr.
+// Emits one formatted line to stderr:
+//   [<seconds-since-start> t<thread-id> <LEVEL>] <module>: <msg>
+// The timestamp is monotonic (process-relative) and the thread id is a
+// small dense counter, so interleaved lines from worker threads stay
+// attributable and diffable.
 void LogLine(LogLevel level, const char* module, const std::string& msg);
 }  // namespace internal
 

@@ -369,10 +369,66 @@ TEST(SamplingCore, CheckpointRoundTripPreservesTables) {
   EXPECT_EQ(restored.CellSubscribers(2, item), 1u);
 }
 
+// Restoring a checkpoint must leave the registry consistent: the state
+// gauges (cells, features_stored) are repopulated from the restored tables,
+// and replaying the same post-checkpoint updates through the restored core
+// moves the metrics exactly as it moves the original's.
+TEST(SamplingCore, CheckpointRestoreKeepsRegistryMetricsConsistent) {
+  ShardMap map{1, 1, 1};
+  const auto plan = TwoHopPlan();
+  LocalMesh mesh(plan, map);
+  const auto user = MakeVertexId(0, 1);
+  mesh.Ingest(Vertex(0, user, 1));
+  // Strictly increasing weights keep the TopK reservoirs deterministic.
+  for (int i = 0; i < 20; ++i) {
+    mesh.Ingest(Edge(0, user, MakeVertexId(1, static_cast<std::uint64_t>(i)), 10 + i,
+                     static_cast<float>(i + 1)));
+  }
+  mesh.Ingest(Vertex(1, MakeVertexId(1, 2), 40));
+
+  graph::ByteWriter w;
+  mesh.core(0).Serialize(w);
+  graph::ByteReader r(w.buffer());
+  SamplingShardCore restored(plan, map, 0, 99, {});
+  ASSERT_TRUE(SamplingShardCore::Deserialize(r, restored));
+
+  // Restored state gauges match the checkpointed core immediately.
+  const auto before = mesh.core(0).stats();
+  EXPECT_EQ(restored.stats().cells, before.cells);
+  EXPECT_EQ(restored.stats().features_stored, before.features_stored);
+  EXPECT_GT(restored.stats().features_stored, 0u);
+  EXPECT_EQ(restored.metrics().TakeSnapshot().GaugeTotal("sampling.cells"),
+            static_cast<std::int64_t>(before.cells));
+
+  // Replay the same fresh updates through both cores (single shard: deltas
+  // are handled inline, outputs can be dropped).
+  auto replay = [&](SamplingShardCore& core) {
+    for (int i = 20; i < 30; ++i) {
+      SamplingShardCore::Outputs out;
+      core.OnGraphUpdate(Edge(0, user, MakeVertexId(1, static_cast<std::uint64_t>(i)), 100 + i,
+                              static_cast<float>(i + 1)),
+                         0, out);
+    }
+  };
+  replay(mesh.core(0));
+  replay(restored);
+  const auto after = mesh.core(0).stats();
+  const auto restored_stats = restored.stats();
+  EXPECT_EQ(restored_stats.updates_processed, after.updates_processed - before.updates_processed);
+  EXPECT_EQ(restored_stats.edges_offered, after.edges_offered - before.edges_offered);
+  EXPECT_EQ(restored_stats.sample_updates_sent + restored_stats.sample_deltas_sent,
+            after.sample_updates_sent + after.sample_deltas_sent - before.sample_updates_sent -
+                before.sample_deltas_sent);
+  // The state gauges track absolute table sizes, so they stay equal.
+  EXPECT_EQ(restored_stats.cells, after.cells);
+  EXPECT_EQ(restored_stats.features_stored, after.features_stored);
+}
+
 TEST(SamplingCore, CheckpointRejectsCorruptBytes) {
   ShardMap map{1, 1, 1};
   SamplingShardCore core(TwoHopPlan(), map, 0, 1, {});
-  graph::ByteReader r1(std::string("short"));
+  const std::string corrupt("short");  // ByteReader keeps a reference
+  graph::ByteReader r1(corrupt);
   SamplingShardCore target(TwoHopPlan(), map, 0, 1, {});
   EXPECT_FALSE(SamplingShardCore::Deserialize(r1, target));
 }

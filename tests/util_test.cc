@@ -171,6 +171,81 @@ TEST(Histogram, MergeEqualsCombinedRecording) {
   EXPECT_EQ(a.max(), combined.max());
 }
 
+TEST(Histogram, P999TracksTail) {
+  Histogram h;
+  // 998 small values + 2 large: P99 stays small (rank 990 of 1000), P999
+  // (rank 999) reaches the outliers' bucket.
+  for (int i = 0; i < 998; ++i) h.Record(10);
+  h.Record(1000000);
+  h.Record(1000000);
+  EXPECT_LE(h.P99(), 11u);
+  EXPECT_GE(h.P999(), 900000u);
+  EXPECT_EQ(h.P999(), h.Quantile(0.999));
+}
+
+// Quantile boundaries on exact bucket edges: in the exact (small-value)
+// region each value is its own bucket, so the cumulative cut between q and
+// q+epsilon lands precisely between adjacent values.
+TEST(Histogram, QuantileExactAtBucketBoundaries) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.Record(v);  // 10 one-count buckets
+  // Rank = floor(q * (count-1)) + 1, so edges sit at multiples of 1/9.
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(0.111), 1u);  // just below 1/9: still rank 1
+  EXPECT_EQ(h.Quantile(0.112), 2u);  // just past the edge: rank 2
+  EXPECT_EQ(h.Quantile(0.5), 5u);
+  EXPECT_EQ(h.Quantile(1.0), 10u);
+}
+
+TEST(Histogram, MergeDisjointRangesCoversBoth) {
+  Histogram low, high;
+  for (std::uint64_t v = 1; v <= 1000; ++v) low.Record(v);
+  for (std::uint64_t v = 1000000; v < 1001000; ++v) high.Record(v);
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 2000u);
+  EXPECT_EQ(low.min(), 1u);
+  EXPECT_EQ(low.max(), 1000999u);
+  // Half the mass is below 1000, half at ~1e6: P50 stays in the low range,
+  // P95 lands in the high range.
+  EXPECT_LE(low.P50(), 1100u);
+  EXPECT_GE(low.P95(), 900000u);
+  EXPECT_NEAR(low.Mean(), (500.5 * 1000 + 1000499.5 * 1000) / 2000.0,
+              low.Mean() * 0.01);
+}
+
+TEST(Histogram, ToJsonHasSummaryAndBuckets) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1);
+  h.Record(500);
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":500"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
+  EXPECT_NE(json.find("[1,2]"), std::string::npos);  // bucket upper 1, count 2
+}
+
+TEST(Histogram, ToJsonEmpty) {
+  const std::string json = Histogram().ToJson();
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[]"), std::string::npos);
+}
+
+// Regression: values near the 2^48 ceiling overflow a uint64 running sum
+// after ~65k samples (100k * (2^48-1) = ~2.8e19 > 2^64-1), which used to
+// corrupt Mean(). The sum is now 128-bit.
+TEST(Histogram, MeanSurvivesSumOverflowNear2Pow48) {
+  Histogram h;
+  const std::uint64_t big = (1ull << 48) - 1;
+  for (int i = 0; i < 100000; ++i) h.Record(big);
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_EQ(h.min(), big);
+  EXPECT_EQ(h.max(), big);
+  EXPECT_NEAR(h.Mean(), static_cast<double>(big), 1.0);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.Record(42);
