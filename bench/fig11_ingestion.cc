@@ -11,8 +11,43 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "helios/threaded_cluster.h"
 
 using namespace helios;
+
+namespace {
+
+// Real-threads counterpart of the DES stage breakdown: push a slice of the
+// stream through the ThreadedCluster runtime and print the same
+// dissemination.* counters, so the batching behaviour of both runtimes is
+// visible side by side. Capped so the single-core actor mesh stays a spot
+// check, not a benchmark.
+void ThreadedDisseminationSpotCheck(const gen::DatasetSpec& spec, std::size_t limit) {
+  const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
+  ClusterOptions options;
+  options.map = ShardMap{2, 2, 2};
+  ThreadedCluster cluster(plan, options);
+  cluster.Start();
+  gen::UpdateStream stream(spec);
+  auto updates = stream.Drain();
+  if (updates.size() > limit) updates.resize(limit);
+  for (const auto& u : updates) cluster.PublishUpdate(u);
+  cluster.WaitForIngestIdle();
+  auto snapshot = cluster.MetricsSnapshot();
+  const auto occupancy = snapshot.LatencyTotal("dissemination.batch_occupancy");
+  std::printf("ThreadedCluster spot check (%s, %zu updates, M=2 S=2 N=2):\n", spec.name.c_str(),
+              updates.size());
+  std::printf("  dissemination: %llu batches, %llu msgs (occupancy mean=%.1f p99=%llu), "
+              "%llu coalesced away, %.2f MB on wire\n\n",
+              static_cast<unsigned long long>(snapshot.CounterTotal("dissemination.batches")),
+              static_cast<unsigned long long>(snapshot.CounterTotal("dissemination.messages")),
+              occupancy.Mean(), static_cast<unsigned long long>(occupancy.P99()),
+              static_cast<unsigned long long>(snapshot.CounterTotal("dissemination.coalesced_msgs")),
+              static_cast<double>(snapshot.CounterTotal("dissemination.bytes_wire")) / 1e6);
+  cluster.Stop();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto config = util::Config::FromArgs(argc, argv);
@@ -32,6 +67,7 @@ int main(int argc, char** argv) {
       const auto report = helios.EmulateIngestion(updates, /*offered_rate_mps=*/0);
       std::printf("%-8s Helios-%-10s %.2f\n", spec.name.c_str(), StrategyName(strategy),
                   report.throughput_mps);
+      report.PrintStageBreakdown();
       helios_min = std::min(helios_min, report.throughput_mps);
     }
     const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
@@ -46,5 +82,6 @@ int main(int argc, char** argv) {
     std::printf("  -> Helios advantage on %s: %.2fx (paper: >= 1.32x)\n\n", spec.name.c_str(),
                 helios_min / baseline_max);
   }
+  ThreadedDisseminationSpotCheck(gen::MakeBI(scale), /*limit=*/20000);
   return 0;
 }

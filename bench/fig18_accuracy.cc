@@ -106,7 +106,9 @@ double RunWithDelay(const gen::SessionTaobao& data, const QueryPlan& plan,
     }
     // Ingest; pre-sampled outputs enter the delayed in-flight queue.
     sampler.OnGraphUpdate(u, now, out);
-    for (auto& [sew, msg] : out.to_serving) in_flight.emplace_back(now, std::move(msg));
+    out.to_serving.ForEach([&](std::uint32_t /*sew*/, const ServingMessage& msg) {
+      in_flight.emplace_back(now, msg);
+    });
     // Single shard: no cross-shard deltas expected.
     out.Clear();
     flush_until(now);

@@ -107,7 +107,9 @@ HeliosDeployment::HeliosDeployment(QueryPlan plan, HeliosEmuConfig config)
 void HeliosDeployment::DrainOutputs(SamplingShardCore::Outputs& out) {
   // Breadth-first delta pump, applying serving messages inline.
   std::deque<std::pair<std::uint32_t, SubscriptionDelta>> deltas;
-  for (auto& [sew, msg] : out.to_serving) serving_[sew]->Apply(msg);
+  out.to_serving.ForEach([&](std::uint32_t sew, const ServingMessage& msg) {
+    serving_[sew]->Apply(msg);
+  });
   for (auto& d : out.to_shards) deltas.push_back(d);
   out.Clear();
   SamplingShardCore::Outputs next;
@@ -115,7 +117,9 @@ void HeliosDeployment::DrainOutputs(SamplingShardCore::Outputs& out) {
     auto [shard, delta] = deltas.front();
     deltas.pop_front();
     shards_[shard]->OnSubscriptionDelta(delta, 0, next);
-    for (auto& [sew, msg] : next.to_serving) serving_[sew]->Apply(msg);
+    next.to_serving.ForEach([&](std::uint32_t sew, const ServingMessage& msg) {
+      serving_[sew]->Apply(msg);
+    });
     for (auto& d : next.to_shards) deltas.push_back(d);
     next.Clear();
   }
@@ -148,6 +152,12 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   obs::MetricsRegistry run_registry;
   obs::FunctionClock virtual_clock([&env] { return env.now(); });
   obs::StageTracer tracer(&run_registry, &virtual_clock, trace);
+  // Dissemination batching metrics, same names as the threaded runtime.
+  obs::Counter* diss_batches = run_registry.GetCounter("dissemination.batches");
+  obs::Counter* diss_messages = run_registry.GetCounter("dissemination.messages");
+  obs::Counter* diss_coalesced = run_registry.GetCounter("dissemination.coalesced_msgs");
+  obs::Counter* diss_bytes = run_registry.GetCounter("dissemination.bytes_wire");
+  obs::LatencyMetric* diss_occupancy = run_registry.GetLatency("dissemination.batch_occupancy");
   // Nodes 0..M-1 sampling, M..M+N-1 serving.
   const std::uint32_t M = config_.sampling_nodes;
   const std::uint32_t N = config_.serving_nodes;
@@ -202,11 +212,11 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   report.updates = updates.size();
   std::uint64_t applied_at_serving = 0;
 
-  // Delivery of serving-bound messages (carrying their origin time).
+  // Delivery of one serving-bound batch (carrying its origin time). The
+  // wire is priced at the framed ServingBatch size, computed incrementally
+  // by the builder — the in-process payload skips the byte codec.
   auto deliver_to_serving = [&](std::uint32_t from_node, std::uint32_t sew,
-                                std::vector<ServingMessage> batch) {
-    std::size_t bytes = 0;
-    for (const auto& m : batch) bytes += WireSize(m);
+                                std::vector<ServingMessage> batch, std::size_t bytes) {
     cluster.Send(from_node, M + sew, bytes,
                  [&, sew, batch = std::move(batch)]() mutable {
                    // Split across the worker's data-updating threads.
@@ -238,11 +248,18 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   auto route_outputs = [&](std::uint32_t shard, SamplingShardCore::Outputs& out,
                            std::int64_t origin) {
     const std::uint32_t node = map_.WorkerOfShard(shard);
-    // Group serving messages per destination worker.
-    std::vector<std::vector<ServingMessage>> per_sew(N);
-    for (auto& [sew, msg] : out.to_serving) per_sew[sew].push_back(std::move(msg));
-    for (std::uint32_t n = 0; n < N; ++n) {
-      if (!per_sew[n].empty()) deliver_to_serving(node, n, std::move(per_sew[n]));
+    // One ServingBatch frame per active destination worker (already grouped
+    // and coalesced by the Outputs batch builders).
+    for (const std::uint32_t sew : out.to_serving.active()) {
+      ServingBatchBuilder& b = out.to_serving.builder(sew);
+      if (b.empty()) continue;
+      const std::size_t bytes = b.WireBytes();
+      diss_batches->Add(1);
+      diss_messages->Add(b.size());
+      diss_coalesced->Add(b.coalesced());
+      diss_bytes->Add(bytes);
+      diss_occupancy->Record(b.size());
+      deliver_to_serving(node, sew, b.TakeMessages(), bytes);
     }
     // Batch control-plane deltas per destination shard (one message each).
     std::map<std::uint32_t, std::vector<SubscriptionDelta>> per_shard_deltas;
@@ -347,6 +364,11 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   report.stage_sample_us = snapshot.LatencyTotal("pipeline.stage.sample");
   report.stage_cascade_us = snapshot.LatencyTotal("pipeline.stage.cascade");
   report.stage_cache_apply_us = snapshot.LatencyTotal("pipeline.stage.cache_apply");
+  report.diss_batches = snapshot.CounterTotal("dissemination.batches");
+  report.diss_messages = snapshot.CounterTotal("dissemination.messages");
+  report.diss_coalesced = snapshot.CounterTotal("dissemination.coalesced_msgs");
+  report.diss_bytes_wire = snapshot.CounterTotal("dissemination.bytes_wire");
+  report.batch_occupancy = snapshot.LatencyTotal("dissemination.batch_occupancy");
   return report;
 }
 
@@ -774,6 +796,16 @@ void IngestReport::PrintStageBreakdown() const {
                 static_cast<unsigned long long>(row.hist->P50()),
                 static_cast<unsigned long long>(row.hist->P99()),
                 static_cast<unsigned long long>(row.hist->P999()));
+  }
+  if (diss_batches > 0) {
+    std::printf(
+        "  dissemination: %llu batches, %llu msgs (occupancy mean=%.1f p99=%llu), "
+        "%llu coalesced away, %.2f MB on wire\n",
+        static_cast<unsigned long long>(diss_batches),
+        static_cast<unsigned long long>(diss_messages), batch_occupancy.Mean(),
+        static_cast<unsigned long long>(batch_occupancy.P99()),
+        static_cast<unsigned long long>(diss_coalesced),
+        static_cast<double>(diss_bytes_wire) / 1e6);
   }
 }
 

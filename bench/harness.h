@@ -60,8 +60,17 @@ struct IngestReport {
   util::Histogram stage_sample_us;
   util::Histogram stage_cascade_us;
   util::Histogram stage_cache_apply_us;
+  // Dissemination-path batching stats ("dissemination.*" metrics): frames
+  // shipped sampler->server, messages inside them, deltas folded away by
+  // same-cell coalescing, and framed bytes on the wire.
+  std::uint64_t diss_batches = 0;
+  std::uint64_t diss_messages = 0;
+  std::uint64_t diss_coalesced = 0;
+  std::uint64_t diss_bytes_wire = 0;
+  util::Histogram batch_occupancy;  // messages per batch
 
-  // Prints the "stage  count  mean  p50/p99/p999" breakdown table.
+  // Prints the "stage  count  mean  p50/p99/p999" breakdown table plus the
+  // dissemination batching summary line.
   void PrintStageBreakdown() const;
 };
 

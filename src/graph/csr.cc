@@ -11,10 +11,9 @@ CsrSnapshot CsrSnapshot::Build(const DynamicGraphStore& store, EdgeTypeId type) 
 
   snap.offsets_.reserve(snap.vertex_ids_.size() + 1);
   snap.offsets_.push_back(0);
-  std::vector<Edge> scratch;
   for (std::size_t i = 0; i < snap.vertex_ids_.size(); ++i) {
-    store.Neighbors(type, snap.vertex_ids_[i], scratch);
-    snap.edges_.insert(snap.edges_.end(), scratch.begin(), scratch.end());
+    store.VisitNeighbors(type, snap.vertex_ids_[i],
+                         [&](const Edge& e) { snap.edges_.push_back(e); });
     snap.offsets_.push_back(snap.edges_.size());
     snap.index_.emplace(snap.vertex_ids_[i], i);
   }

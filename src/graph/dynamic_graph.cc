@@ -60,6 +60,16 @@ std::size_t DynamicGraphStore::Neighbors(EdgeTypeId type, VertexId src,
   return out.size();
 }
 
+std::size_t DynamicGraphStore::VisitNeighbors(EdgeTypeId type, VertexId src,
+                                              const std::function<void(const Edge&)>& fn) const {
+  const Stripe& stripe = stripes_[StripeOf(src)];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.adjacency[type].find(src);
+  if (it == stripe.adjacency[type].end()) return 0;
+  for (const Edge& e : it->second) fn(e);
+  return it->second.size();
+}
+
 std::size_t DynamicGraphStore::OutDegree(EdgeTypeId type, VertexId src) const {
   const Stripe& stripe = stripes_[StripeOf(src)];
   std::lock_guard<std::mutex> lock(stripe.mutex);

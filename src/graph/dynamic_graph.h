@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,13 @@ class DynamicGraphStore {
   // Copies out the adjacency of (src, edge_type). Returns the number of
   // neighbors (also the traversal cost an ad-hoc sampler pays).
   std::size_t Neighbors(EdgeTypeId type, VertexId src, std::vector<Edge>& out) const;
+  // Visits the adjacency of (src, edge_type) in place under the stripe
+  // lock, without copying the slice. Returns the number of edges visited.
+  // `fn` must be short and must not re-enter the store (the stripe mutex is
+  // held for the whole visit). Prefer this over Neighbors() when the caller
+  // only reads each edge once.
+  std::size_t VisitNeighbors(EdgeTypeId type, VertexId src,
+                             const std::function<void(const Edge&)>& fn) const;
   std::size_t OutDegree(EdgeTypeId type, VertexId src) const;
 
   // Latest feature of a vertex; returns false if the vertex is unknown.

@@ -36,6 +36,15 @@ class ByteWriter {
 
   std::string Take() { return std::move(buf_); }
   const std::string& buffer() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+  // Arena reuse: drop contents but keep the allocation, so a long-lived
+  // writer reaches a steady state with zero heap traffic per encode.
+  void Clear() { buf_.clear(); }
+  // Overwrites 4 already-written bytes at `pos` (length back-patching).
+  void PatchU32(std::size_t pos, std::uint32_t v) {
+    std::memcpy(buf_.data() + pos, &v, sizeof(v));
+  }
 
  private:
   void PutRaw(const void* p, std::size_t n) {

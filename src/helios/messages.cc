@@ -1,10 +1,15 @@
 #include "helios/messages.h"
 
-#include "graph/update_codec.h"
+#include "util/hash.h"
 
 namespace helios {
 
 namespace {
+// Fixed sizes of the SampleDelta record: header (kind, level, vertex,
+// origin, change count) and one change (added edge, evicted, event_ts).
+constexpr std::size_t kDeltaHeaderBytes = 1 + 4 + 8 + 8 + 2;
+constexpr std::size_t kDeltaChangeBytes = 20 + 8 + 8;
+
 void PutEdges(graph::ByteWriter& w, const std::vector<graph::Edge>& edges) {
   w.PutU32(static_cast<std::uint32_t>(edges.size()));
   for (const auto& e : edges) {
@@ -30,83 +35,118 @@ bool GetEdges(graph::ByteReader& r, std::vector<graph::Edge>& edges) {
 }
 }  // namespace
 
-std::string EncodeServingMessage(const ServingMessage& m) {
-  graph::ByteWriter w;
-  w.PutU8(static_cast<std::uint8_t>(m.kind));
-  switch (m.kind) {
-    case ServingMessage::Kind::kSample:
-      w.PutU32(m.sample.level);
-      w.PutU64(m.sample.vertex);
-      w.PutI64(m.sample.event_ts);
-      w.PutI64(m.sample.origin_us);
-      PutEdges(w, m.sample.samples);
+void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
+  w.PutU8(static_cast<std::uint8_t>(m.kind()));
+  switch (m.kind()) {
+    case ServingMessage::Kind::kSample: {
+      const SampleUpdate& u = m.sample();
+      w.PutU32(u.level);
+      w.PutU64(u.vertex);
+      w.PutI64(u.event_ts);
+      w.PutI64(u.origin_us);
+      PutEdges(w, u.samples);
       break;
-    case ServingMessage::Kind::kFeature:
-      w.PutU64(m.feature.vertex);
-      w.PutI64(m.feature.event_ts);
-      w.PutI64(m.feature.origin_us);
-      w.PutFloats(m.feature.feature);
+    }
+    case ServingMessage::Kind::kFeature: {
+      const FeatureUpdate& u = m.feature();
+      w.PutU64(u.vertex);
+      w.PutI64(u.event_ts);
+      w.PutI64(u.origin_us);
+      w.PutFloats(u.feature);
       break;
-    case ServingMessage::Kind::kRetract:
-      w.PutU32(m.retract.level);
-      w.PutU64(m.retract.vertex);
+    }
+    case ServingMessage::Kind::kRetract: {
+      const Retract& u = m.retract();
+      w.PutU32(u.level);
+      w.PutU64(u.vertex);
       break;
-    case ServingMessage::Kind::kSampleDelta:
-      w.PutU32(m.delta.level);
-      w.PutU64(m.delta.vertex);
-      w.PutU64(m.delta.added.dst);
-      w.PutI64(m.delta.added.ts);
-      w.PutF32(m.delta.added.weight);
-      w.PutU64(m.delta.evicted);
-      w.PutI64(m.delta.event_ts);
-      w.PutI64(m.delta.origin_us);
+    }
+    case ServingMessage::Kind::kSampleDelta: {
+      const SampleDelta& u = m.delta();
+      w.PutU32(u.level);
+      w.PutU64(u.vertex);
+      w.PutI64(u.origin_us);
+      w.PutU16(static_cast<std::uint16_t>(u.num_changes()));
+      auto put_change = [&w](const graph::Edge& added, graph::VertexId evicted,
+                             graph::Timestamp event_ts) {
+        w.PutU64(added.dst);
+        w.PutI64(added.ts);
+        w.PutF32(added.weight);
+        w.PutU64(evicted);
+        w.PutI64(event_ts);
+      };
+      put_change(u.added, u.evicted, u.event_ts);
+      for (const auto& c : u.more) put_change(c.added, c.evicted, c.event_ts);
       break;
+    }
   }
-  return w.Take();
 }
 
-bool DecodeServingMessage(const std::string& payload, ServingMessage& out) {
-  graph::ByteReader r(payload);
+bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
   const std::uint8_t kind = r.GetU8();
   switch (kind) {
     case 1: {
-      out.kind = ServingMessage::Kind::kSample;
-      out.sample.level = r.GetU32();
-      out.sample.vertex = r.GetU64();
-      out.sample.event_ts = r.GetI64();
-      out.sample.origin_us = r.GetI64();
-      if (!GetEdges(r, out.sample.samples)) return false;
+      SampleUpdate& u = out.payload.emplace<SampleUpdate>();
+      u.level = r.GetU32();
+      u.vertex = r.GetU64();
+      u.event_ts = r.GetI64();
+      u.origin_us = r.GetI64();
+      if (!GetEdges(r, u.samples)) return false;
       return r.ok();
     }
     case 2: {
-      out.kind = ServingMessage::Kind::kFeature;
-      out.feature.vertex = r.GetU64();
-      out.feature.event_ts = r.GetI64();
-      out.feature.origin_us = r.GetI64();
-      out.feature.feature = r.GetFloats();
+      FeatureUpdate& u = out.payload.emplace<FeatureUpdate>();
+      u.vertex = r.GetU64();
+      u.event_ts = r.GetI64();
+      u.origin_us = r.GetI64();
+      u.feature = r.GetFloats();
       return r.ok();
     }
     case 3: {
-      out.kind = ServingMessage::Kind::kRetract;
-      out.retract.level = r.GetU32();
-      out.retract.vertex = r.GetU64();
+      Retract& u = out.payload.emplace<Retract>();
+      u.level = r.GetU32();
+      u.vertex = r.GetU64();
       return r.ok();
     }
     case 4: {
-      out.kind = ServingMessage::Kind::kSampleDelta;
-      out.delta.level = r.GetU32();
-      out.delta.vertex = r.GetU64();
-      out.delta.added.dst = r.GetU64();
-      out.delta.added.ts = r.GetI64();
-      out.delta.added.weight = r.GetF32();
-      out.delta.evicted = r.GetU64();
-      out.delta.event_ts = r.GetI64();
-      out.delta.origin_us = r.GetI64();
+      SampleDelta& u = out.payload.emplace<SampleDelta>();
+      u.level = r.GetU32();
+      u.vertex = r.GetU64();
+      u.origin_us = r.GetI64();
+      const std::uint16_t changes = r.GetU16();
+      if (changes == 0) return false;
+      u.added.dst = r.GetU64();
+      u.added.ts = r.GetI64();
+      u.added.weight = r.GetF32();
+      u.evicted = r.GetU64();
+      u.event_ts = r.GetI64();
+      u.more.reserve(changes - 1);
+      for (std::uint16_t i = 1; i < changes; ++i) {
+        SampleDelta::Change c;
+        c.added.dst = r.GetU64();
+        c.added.ts = r.GetI64();
+        c.added.weight = r.GetF32();
+        c.evicted = r.GetU64();
+        c.event_ts = r.GetI64();
+        if (!r.ok()) return false;
+        u.more.push_back(c);
+      }
       return r.ok();
     }
     default:
       return false;
   }
+}
+
+std::string EncodeServingMessage(const ServingMessage& m) {
+  graph::ByteWriter w;
+  EncodeServingMessageTo(w, m);
+  return w.Take();
+}
+
+bool DecodeServingMessage(const std::string& payload, ServingMessage& out) {
+  graph::ByteReader r(payload);
+  return DecodeServingMessageFrom(r, out);
 }
 
 std::string EncodeSubscriptionDelta(const SubscriptionDelta& d) {
@@ -128,19 +168,138 @@ bool DecodeSubscriptionDelta(const std::string& payload, SubscriptionDelta& out)
 }
 
 std::size_t WireSize(const ServingMessage& m) {
-  switch (m.kind) {
+  switch (m.kind()) {
     case ServingMessage::Kind::kSample:
-      return 1 + 4 + 8 + 8 + 4 + m.sample.samples.size() * 20;
+      return 1 + 4 + 8 + 8 + 8 + 4 + m.sample().samples.size() * 20;
     case ServingMessage::Kind::kFeature:
-      return 1 + 8 + 8 + 4 + m.feature.feature.size() * 4;
+      return 1 + 8 + 8 + 8 + 4 + m.feature().feature.size() * 4;
     case ServingMessage::Kind::kRetract:
       return 1 + 4 + 8;
     case ServingMessage::Kind::kSampleDelta:
-      return 1 + 4 + 8 + 20 + 8 + 8 + 8;
+      return kDeltaHeaderBytes + kDeltaChangeBytes * m.delta().num_changes();
   }
   return 1;
 }
 
 std::size_t WireSize(const SubscriptionDelta&) { return 20; }
+
+// ------------------------------------------------------------ ServingBatch
+
+std::size_t ServingBatchBuilder::CellKeyHash::operator()(const CellKey& k) const {
+  return static_cast<std::size_t>(
+      util::MixHash(k.vertex ^ (static_cast<std::uint64_t>(k.level) << 56)));
+}
+
+void ServingBatchBuilder::Add(ServingMessage msg) {
+  switch (msg.kind()) {
+    case ServingMessage::Kind::kSampleDelta: {
+      SampleDelta& d = msg.delta();
+      const CellKey key{d.level, d.vertex};
+      auto it = pending_delta_.find(key);
+      if (it != pending_delta_.end()) {
+        // Fold into the pending delta for this cell; changes stay in
+        // emission order, so the apply result is identical to the
+        // per-message stream.
+        SampleDelta& head = messages_[it->second].delta();
+        head.more.push_back({d.added, d.evicted, d.event_ts});
+        for (const auto& c : d.more) head.more.push_back(c);
+        coalesced_ += d.num_changes();
+        body_bytes_ += kDeltaChangeBytes * d.num_changes();
+        return;
+      }
+      body_bytes_ += WireSize(msg);
+      pending_delta_.emplace(key, messages_.size());
+      messages_.push_back(std::move(msg));
+      return;
+    }
+    case ServingMessage::Kind::kSample:
+      // Snapshot fence: later deltas for this cell apply on top of the
+      // snapshot, never before it.
+      pending_delta_.erase(CellKey{msg.sample().level, msg.sample().vertex});
+      break;
+    case ServingMessage::Kind::kRetract:
+      // Cell retract fences too; level 0 only evicts the feature table.
+      if (msg.retract().level != 0) {
+        pending_delta_.erase(CellKey{msg.retract().level, msg.retract().vertex});
+      }
+      break;
+    case ServingMessage::Kind::kFeature:
+      break;
+  }
+  body_bytes_ += WireSize(msg);
+  messages_.push_back(std::move(msg));
+}
+
+const std::string& ServingBatchBuilder::EncodeToArena() {
+  arena_.Clear();
+  arena_.PutU32(0);  // body length, patched below
+  arena_.PutU32(static_cast<std::uint32_t>(messages_.size()));
+  for (const auto& m : messages_) EncodeServingMessageTo(arena_, m);
+  arena_.PatchU32(0, static_cast<std::uint32_t>(arena_.size() - kServingBatchHeaderBytes));
+  return arena_.buffer();
+}
+
+std::vector<ServingMessage> ServingBatchBuilder::TakeMessages() {
+  std::vector<ServingMessage> out = std::move(messages_);
+  messages_.clear();  // moved-from: make the reuse explicit
+  pending_delta_.clear();
+  coalesced_ = 0;
+  body_bytes_ = 0;
+  return out;
+}
+
+void ServingBatchBuilder::Clear() {
+  messages_.clear();
+  pending_delta_.clear();
+  coalesced_ = 0;
+  body_bytes_ = 0;
+}
+
+ServingBatchReader::ServingBatchReader(const std::string& payload) : r_(payload) {
+  const std::uint32_t body_len = r_.GetU32();
+  count_ = r_.GetU32();
+  if (!r_.ok() || static_cast<std::size_t>(body_len) + kServingBatchHeaderBytes !=
+                      payload.size()) {
+    ok_ = false;
+    count_ = 0;
+  }
+}
+
+bool ServingBatchReader::Next(ServingMessage& out) {
+  if (!ok_ || consumed_ >= count_) return false;
+  if (!DecodeServingMessageFrom(r_, out)) {
+    ok_ = false;
+    return false;
+  }
+  ++consumed_;
+  return true;
+}
+
+ServingBatchBuilder& ServingBatchSet::For(std::uint32_t sew) {
+  if (sew >= builders_.size()) {
+    builders_.resize(sew + 1);
+    is_active_.resize(sew + 1, 0);
+  }
+  if (!builders_[sew]) builders_[sew] = std::make_unique<ServingBatchBuilder>();
+  if (!is_active_[sew]) {
+    is_active_[sew] = 1;
+    active_.push_back(sew);
+  }
+  return *builders_[sew];
+}
+
+std::size_t ServingBatchSet::total_messages() const {
+  std::size_t n = 0;
+  for (const std::uint32_t sew : active_) n += builders_[sew]->size();
+  return n;
+}
+
+void ServingBatchSet::Clear() {
+  for (const std::uint32_t sew : active_) {
+    builders_[sew]->Clear();
+    is_active_[sew] = 0;
+  }
+  active_.clear();
+}
 
 }  // namespace helios

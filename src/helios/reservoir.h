@@ -16,6 +16,7 @@
 //     large-C limit; each edge draws key u^(1/w) and the top-C keys stay.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,13 @@ class ReservoirCell {
 
   const std::vector<graph::Edge>& samples() const { return samples_; }
   std::uint64_t offers_seen() const { return seen_; }
+  // Checkpoint restore ONLY: overwrites the offer counter so the sampling
+  // distribution continues from the snapshot (Random accepts with C/seen).
+  // Clamped so the counter never undercounts the current contents. Never
+  // call on a live cell.
+  void RestoreOffersSeen(std::uint64_t seen) {
+    seen_ = std::max<std::uint64_t>(seen, samples_.size());
+  }
   std::uint32_t capacity() const { return capacity_; }
   Strategy strategy() const { return strategy_; }
 

@@ -99,7 +99,7 @@ void SamplingShardCore::OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t or
       delta.evicted = outcome.evicted;
       delta.event_ts = e.ts;
       delta.origin_us = origin_us;
-      out.to_serving.emplace_back(sew, ServingMessage::Of(delta));
+      out.to_serving.Add(sew, ServingMessage::Of(delta));
       m_.sample_deltas_sent->Add(1);
       // New sample in, evicted sample out, one level down.
       RouteDelta({level + 1, e.dst, sew, +1}, origin_us, out);
@@ -126,7 +126,7 @@ void SamplingShardCore::OnVertexUpdate(const graph::VertexUpdate& v, std::int64_
     fu.feature = v.feature;
     fu.event_ts = v.ts;
     fu.origin_us = origin_us;
-    out.to_serving.emplace_back(sew, ServingMessage::Of(std::move(fu)));
+    out.to_serving.Add(sew, ServingMessage::Of(std::move(fu)));
     m_.feature_updates_sent->Add(1);
   }
 }
@@ -177,8 +177,7 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
         counts.erase(delta.serving_worker);
         if (counts.empty()) feature_subs_.erase(delta.vertex);
         // Feature no longer needed by this serving worker at any level.
-        out.to_serving.emplace_back(delta.serving_worker,
-                                    ServingMessage::Of(Retract{0, delta.vertex}));
+        out.to_serving.Add(delta.serving_worker, ServingMessage::Of(Retract{0, delta.vertex}));
         m_.retracts_sent->Add(1);
       }
     }
@@ -214,8 +213,8 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
     if (count != 0) return;
     counts.erase(delta.serving_worker);
     if (counts.empty()) cell_subs_[k].erase(delta.vertex);
-    out.to_serving.emplace_back(delta.serving_worker,
-                                ServingMessage::Of(Retract{delta.level, delta.vertex}));
+    out.to_serving.Add(delta.serving_worker,
+                       ServingMessage::Of(Retract{delta.level, delta.vertex}));
     m_.retracts_sent->Add(1);
     if (cell_it != reservoir_[k].end()) {
       for (const auto& edge : cell_it->second.samples()) {
@@ -235,7 +234,7 @@ void SamplingShardCore::SendSampleUpdate(std::uint32_t level, graph::VertexId v,
   su.samples = cell.samples();
   su.event_ts = event_ts;
   su.origin_us = origin_us;
-  out.to_serving.emplace_back(sew, ServingMessage::Of(std::move(su)));
+  out.to_serving.Add(sew, ServingMessage::Of(std::move(su)));
   m_.sample_updates_sent->Add(1);
 }
 
@@ -248,7 +247,7 @@ void SamplingShardCore::SendFeatureUpdate(graph::VertexId v, std::int64_t origin
   fu.feature = it->second;
   fu.event_ts = latest_event_ts_;
   fu.origin_us = origin_us;
-  out.to_serving.emplace_back(sew, ServingMessage::Of(std::move(fu)));
+  out.to_serving.Add(sew, ServingMessage::Of(std::move(fu)));
   m_.feature_updates_sent->Add(1);
 }
 
@@ -397,16 +396,10 @@ bool SamplingShardCore::Deserialize(graph::ByteReader& r, SamplingShardCore& cor
         e.weight = r.GetF32();
         cell.Offer(e, core.rng_);
       }
-      // Offer() bumped the counter n times; restore the checkpointed value.
-      // (ReservoirCell exposes no setter; rebuild via friend-free trick:
-      // offers_seen only affects Random acceptance probability, and `seen`
-      // >= n always, so re-offering preserved contents exactly.)
-      while (cell.offers_seen() < seen) {
-        // Synthetic no-op offers are not possible without distorting the
-        // cell; instead we accept the small distribution skew after a
-        // restore and record it.
-        break;
-      }
+      // Offer() bumped the counter n times; restore the checkpointed value
+      // so Random's acceptance probability (C/seen) continues from where
+      // the snapshot left off instead of restarting at C/n.
+      cell.RestoreOffersSeen(seen);
       if (!r.ok()) return false;
       core.reservoir_[k].emplace(v, std::move(cell));
       core.m_.cells->Add(1);

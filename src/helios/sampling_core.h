@@ -71,13 +71,16 @@ class SamplingShardCore {
     std::uint64_t features_stored = 0;
   };
 
-  // Message sink filled by the event handlers.
+  // Message sink filled by the event handlers. Serving-bound messages
+  // accumulate in per-destination batch builders (ServingBatchSet) that
+  // coalesce same-cell deltas and keep their allocations across windows —
+  // drivers flush one ServingBatch per active destination, then Clear().
   struct Outputs {
-    std::vector<std::pair<std::uint32_t, ServingMessage>> to_serving;   // (N-id, msg)
+    ServingBatchSet to_serving;                                         // per-SEW batches
     std::vector<std::pair<std::uint32_t, SubscriptionDelta>> to_shards; // (shard, delta)
 
     void Clear() {
-      to_serving.clear();
+      to_serving.Clear();
       to_shards.clear();
     }
   };

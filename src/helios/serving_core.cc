@@ -44,6 +44,55 @@ std::string EncodeFeature(const graph::Feature& f) {
   w.PutFloats(f);
   return w.Take();
 }
+
+// In-place binary patch of one encoded cell value (§6 delta apply). The
+// fixed layout — [i64 event_ts][u32 n][n × 20-byte records] — lets a delta
+// splice the evicted record out and the added record in without decoding
+// the cell into an Edge vector and re-encoding it. Byte-for-byte identical
+// to decode → mutate → encode for well-formed values.
+constexpr std::size_t kCellHeaderBytes = 12;
+constexpr std::size_t kCellRecordBytes = 20;
+
+void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evicted,
+               graph::Timestamp event_ts, std::size_t cap) {
+  if (value.size() < kCellHeaderBytes) {
+    // Absent (or truncated) cell: start from an empty one — eventually
+    // consistent self-healing when the snapshot is still in flight.
+    value.assign(kCellHeaderBytes, '\0');
+  }
+  std::uint32_t n = 0;
+  std::memcpy(&n, value.data() + 8, sizeof(n));
+  // Defend against a malformed count; also drops trailing garbage, which a
+  // decode/re-encode round-trip would have dropped too.
+  n = std::min<std::uint32_t>(
+      n, static_cast<std::uint32_t>((value.size() - kCellHeaderBytes) / kCellRecordBytes));
+  value.resize(kCellHeaderBytes + n * kCellRecordBytes);
+
+  if (evicted != graph::kInvalidVertex) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::size_t off = kCellHeaderBytes + i * kCellRecordBytes;
+      if (std::memcmp(value.data() + off, &evicted, sizeof(evicted)) == 0) {
+        value.erase(off, kCellRecordBytes);
+        --n;
+        break;
+      }
+    }
+  }
+  char rec[kCellRecordBytes];
+  std::memcpy(rec, &added.dst, 8);
+  std::memcpy(rec + 8, &added.ts, 8);
+  std::memcpy(rec + 16, &added.weight, 4);
+  value.append(rec, kCellRecordBytes);
+  ++n;
+  // Clamp to the hop's fan-out (lost-retract or duplicate defence): drop
+  // the oldest record, matching cell.erase(cell.begin()).
+  if (cap > 0 && n > cap) {
+    value.erase(kCellHeaderBytes, kCellRecordBytes);
+    --n;
+  }
+  std::memcpy(value.data(), &event_ts, sizeof(event_ts));
+  std::memcpy(value.data() + 8, &n, sizeof(n));
+}
 }  // namespace
 
 ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options options)
@@ -84,11 +133,13 @@ void ServingCore::PublishCacheStats() {
 }
 
 std::string ServingCore::SampleKey(std::uint32_t level, graph::VertexId v) {
-  // Binary key: "s" + level byte + 8-byte vertex id. Cheaper than decimal
-  // formatting on the cache-update hot path; prefix scans still work ("s").
+  // Binary key: "s" + raw level byte + 8-byte vertex id. Cheaper than
+  // decimal formatting on the cache-update hot path; prefix scans still
+  // work ("s"). The raw byte (not '0' + level) keeps levels distinct for
+  // the full uint8 range.
   std::string key(10, '\0');
   key[0] = 's';
-  key[1] = static_cast<char>('0' + level);
+  key[1] = static_cast<char>(level);
   std::memcpy(key.data() + 2, &v, sizeof(v));
   return key;
 }
@@ -101,23 +152,23 @@ std::string ServingCore::FeatureKey(graph::VertexId v) {
 }
 
 void ServingCore::Apply(const ServingMessage& message) {
-  switch (message.kind) {
+  switch (message.kind()) {
     case ServingMessage::Kind::kSample: {
-      const SampleUpdate& u = message.sample;
+      const SampleUpdate& u = message.sample();
       store_->Put(SampleKey(u.level, u.vertex), EncodeCell(u.samples, u.event_ts));
       m_.sample_updates_applied->Add(1);
       m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
     }
     case ServingMessage::Kind::kFeature: {
-      const FeatureUpdate& u = message.feature;
+      const FeatureUpdate& u = message.feature();
       store_->Put(FeatureKey(u.vertex), EncodeFeature(u.feature));
       m_.feature_updates_applied->Add(1);
       m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
     }
     case ServingMessage::Kind::kRetract: {
-      const Retract& u = message.retract;
+      const Retract& u = message.retract();
       if (u.level == 0) {
         store_->Delete(FeatureKey(u.vertex));
       } else {
@@ -127,32 +178,26 @@ void ServingCore::Apply(const ServingMessage& message) {
       break;
     }
     case ServingMessage::Kind::kSampleDelta: {
-      const SampleDelta& u = message.delta;
-      // Read-modify-write of the cached cell. A missing cell (snapshot
-      // still in flight) is created from the delta alone — eventually
-      // consistent self-healing.
-      std::vector<graph::Edge> cell;
-      std::string value;
-      if (store_->Get(SampleKey(u.level, u.vertex), value).ok()) {
-        DecodeCell(value, cell);
-      }
-      if (u.evicted != graph::kInvalidVertex) {
-        for (std::size_t i = 0; i < cell.size(); ++i) {
-          if (cell[i].dst == u.evicted) {
-            cell.erase(cell.begin() + static_cast<std::ptrdiff_t>(i));
-            break;
-          }
+      const SampleDelta& u = message.delta();
+      // In-place binary patch of the cached cell under one KV lock — no
+      // Get/decode/encode/Put round-trip. A missing cell (snapshot still
+      // in flight) is created from the delta alone — eventually consistent
+      // self-healing. Coalesced changes splice in emission order.
+      const std::size_t cap = (u.level >= 1 && u.level <= plan_.num_hops())
+                                  ? plan_.one_hop[u.level - 1].fanout
+                                  : 0;
+      graph::Timestamp newest_ts = u.event_ts;
+      store_->Merge(SampleKey(u.level, u.vertex), [&](std::string& value) {
+        PatchCell(value, u.added, u.evicted, u.event_ts, cap);
+        for (const auto& c : u.more) {
+          PatchCell(value, c.added, c.evicted, c.event_ts, cap);
+          newest_ts = std::max(newest_ts, c.event_ts);
         }
-      }
-      cell.push_back(u.added);
-      // Clamp to the hop's fan-out (lost-retract or duplicate defence).
-      if (u.level >= 1 && u.level <= plan_.num_hops()) {
-        const std::size_t cap = plan_.one_hop[u.level - 1].fanout;
-        if (cell.size() > cap) cell.erase(cell.begin());
-      }
-      store_->Put(SampleKey(u.level, u.vertex), EncodeCell(cell, u.event_ts));
-      m_.sample_deltas_applied->Add(1);
-      m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
+      });
+      // Count changes, not messages, so sampling-side sample_deltas_sent
+      // still balances this counter under coalescing.
+      m_.sample_deltas_applied->Add(static_cast<std::uint64_t>(u.num_changes()));
+      m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), newest_ts));
       break;
     }
   }
@@ -231,6 +276,15 @@ bool ServingCore::HasCell(std::uint32_t level, graph::VertexId v) const {
 
 bool ServingCore::HasFeature(graph::VertexId v) const {
   return store_->Contains(FeatureKey(v));
+}
+
+std::map<std::string, std::string> ServingCore::DumpCache() const {
+  std::map<std::string, std::string> out;
+  store_->Scan("", [&](const std::string& key, const std::string& value) {
+    out.emplace(key, value);
+    return true;
+  });
+  return out;
 }
 
 }  // namespace helios

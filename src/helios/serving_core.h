@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -108,6 +109,9 @@ class ServingCore {
   // Test hooks.
   bool HasCell(std::uint32_t level, graph::VertexId v) const;
   bool HasFeature(graph::VertexId v) const;
+  // Every live (key, encoded value) of the backing store, sorted by key.
+  // Used by determinism tests to compare whole cache states byte-for-byte.
+  std::map<std::string, std::string> DumpCache() const;
 
  private:
   static std::string SampleKey(std::uint32_t level, graph::VertexId v);

@@ -36,7 +36,7 @@ class ThreadedCluster::ShardActor : public actor::Actor {
 
   void IngestBatch(std::vector<mq::Record> records) {
     Tell([this, records = std::move(records)] {
-      SamplingShardCore::Outputs out;
+      SamplingShardCore::Outputs& out = out_;
       graph::GraphUpdate update;
       const std::int64_t dequeue_us = tracer_.Now();
       for (const auto& r : records) {
@@ -60,7 +60,7 @@ class ThreadedCluster::ShardActor : public actor::Actor {
 
   void DeliverDelta(SubscriptionDelta delta, std::int64_t origin_us) {
     Tell([this, delta, origin_us] {
-      SamplingShardCore::Outputs out;
+      SamplingShardCore::Outputs& out = out_;
       {
         obs::ScopedStage span(tracer_, obs::Stage::kCascade, worker_id_, core_.shard_id());
         core_.OnSubscriptionDelta(delta, origin_us, out);
@@ -72,9 +72,8 @@ class ThreadedCluster::ShardActor : public actor::Actor {
 
   void Prune(graph::Timestamp cutoff) {
     Tell([this, cutoff] {
-      SamplingShardCore::Outputs out;
-      core_.Prune(cutoff, out);
-      Dispatch(out);
+      core_.Prune(cutoff, out_);
+      Dispatch(out_);
     });
   }
 
@@ -100,21 +99,35 @@ class ThreadedCluster::ShardActor : public actor::Actor {
   SamplingShardCore core_;
   std::uint32_t worker_id_;
   obs::StageTracer tracer_;
+  // Long-lived output sink (mailbox-serialized): batch builders and the
+  // encode arena keep their allocations across dispatch windows, so the
+  // steady state does no per-message heap work.
+  SamplingShardCore::Outputs out_;
 };
 
-// Publisher actor (§4.2 publisher threads): encodes data-plane messages and
-// appends them to the serving workers' sample queues.
+// Publisher actor (§4.2 publisher threads): appends pre-encoded ServingBatch
+// frames to the serving workers' sample queues — one queue record per batch,
+// so the per-message publish cost collapses into the batch flush.
 class ThreadedCluster::PublisherActor : public actor::Actor {
  public:
   explicit PublisherActor(ThreadedCluster* cluster) : cluster_(cluster) {}
 
-  void Publish(std::vector<std::pair<std::uint32_t, ServingMessage>> messages) {
-    Tell([this, messages = std::move(messages)] {
+  // One encoded ServingBatch frame bound for one serving worker.
+  struct EncodedBatch {
+    std::uint32_t sew = 0;
+    std::uint32_t messages = 0;  // records inside the frame (post-coalesce)
+    std::string bytes;
+  };
+
+  void Publish(std::vector<EncodedBatch> batches) {
+    Tell([this, batches = std::move(batches)] {
       mq::Producer producer(*cluster_->broker_);
-      for (const auto& [sew, msg] : messages) {
-        producer.Send(kSamplesTopic, std::string(), EncodeServingMessage(msg),
-                      static_cast<int>(sew));
-        cluster_->flow_.serving_published->Add(1);
+      for (auto& b : batches) {
+        producer.Send(kSamplesTopic, std::string(), std::move(b.bytes),
+                      static_cast<int>(b.sew));
+        // Flow balance counts messages, not frames: the idle detector pairs
+        // this with one serving_applied per decoded record.
+        cluster_->flow_.serving_published->Add(b.messages);
       }
     });
   }
@@ -125,8 +138,28 @@ class ThreadedCluster::PublisherActor : public actor::Actor {
 
 void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
   if (!out.to_serving.empty()) {
-    const std::uint32_t worker = cluster_->options_.map.WorkerOfShard(core_.shard_id());
-    cluster_->publishers_[worker]->Publish(std::move(out.to_serving));
+    // Encode one frame per destination on the shard thread (the arena is
+    // per-builder, so this does not contend), then hand the frames to the
+    // worker's publisher.
+    std::vector<PublisherActor::EncodedBatch> batches;
+    batches.reserve(out.to_serving.active().size());
+    for (const std::uint32_t sew : out.to_serving.active()) {
+      ServingBatchBuilder& b = out.to_serving.builder(sew);
+      if (b.empty()) continue;
+      PublisherActor::EncodedBatch eb;
+      eb.sew = sew;
+      eb.messages = static_cast<std::uint32_t>(b.size());
+      eb.bytes = b.EncodeToArena();
+      cluster_->diss_.batches->Add(1);
+      cluster_->diss_.messages->Add(b.size());
+      cluster_->diss_.coalesced->Add(b.coalesced());
+      cluster_->diss_.bytes_wire->Add(eb.bytes.size());
+      cluster_->diss_.batch_occupancy->Record(b.size());
+      batches.push_back(std::move(eb));
+    }
+    if (!batches.empty()) {
+      cluster_->publishers_[worker_id_]->Publish(std::move(batches));
+    }
   }
   for (auto& [shard, delta] : out.to_shards) {
     cluster_->flow_.ctrl_sent->Add(1);
@@ -198,12 +231,19 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
       ServingMessage msg;
       const std::int64_t start_us = tracer.Now();
       for (const auto& r : records) {
-        if (!DecodeServingMessage(r.value, msg)) continue;
-        core.Apply(msg);
-        cluster_->flow_.serving_applied->Add(1);
-        // origin == 0 means unstamped under wall time (e.g. prune-spawned
-        // messages); only measure stamped updates.
-        if (msg.OriginMicros() > 0) tracer.RecordEndToEnd(msg.OriginMicros(), start_us);
+        // Each record is one ServingBatch frame; decode and apply its
+        // messages in order.
+        ServingBatchReader reader(r.value);
+        while (reader.Next(msg)) {
+          core.Apply(msg);
+          cluster_->flow_.serving_applied->Add(1);
+          // origin == 0 means unstamped under wall time (e.g. prune-spawned
+          // messages); only measure stamped updates.
+          if (msg.OriginMicros() > 0) tracer.RecordEndToEnd(msg.OriginMicros(), start_us);
+        }
+        if (!reader.ok()) {
+          HLOG(kWarn, "serving") << "malformed serving batch at offset " << r.offset;
+        }
       }
       // Cache-apply stage: one span per drained batch on this worker's lane.
       tracer.RecordSpan(obs::Stage::kCacheApply, start_us, tracer.Now() - start_us,
@@ -256,6 +296,11 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
   flow_.ctrl_sent = registry_.GetCounter("cluster.ctrl_sent");
   flow_.ctrl_processed = registry_.GetCounter("cluster.ctrl_processed");
   flow_.queries_served = registry_.GetCounter("cluster.queries_served");
+  diss_.batches = registry_.GetCounter("dissemination.batches");
+  diss_.messages = registry_.GetCounter("dissemination.messages");
+  diss_.coalesced = registry_.GetCounter("dissemination.coalesced_msgs");
+  diss_.bytes_wire = registry_.GetCounter("dissemination.bytes_wire");
+  diss_.batch_occupancy = registry_.GetLatency("dissemination.batch_occupancy");
   broker_ = std::make_unique<mq::Broker>();
   broker_->CreateTopic(kUpdatesTopic, options_.map.TotalShards());
   broker_->CreateTopic(kSamplesTopic, options_.map.serving_workers);

@@ -158,6 +158,17 @@ class ThreadedCluster {
     obs::Counter* queries_served;
   };
   FlowCounters flow_;
+  // Dissemination-path instrumentation ("dissemination.*"): one batch per
+  // destination per shard dispatch; messages/coalesced/bytes accumulate per
+  // flush, occupancy is the per-batch message-count distribution (fig11/17).
+  struct DissCounters {
+    obs::Counter* batches;
+    obs::Counter* messages;
+    obs::Counter* coalesced;
+    obs::Counter* bytes_wire;
+    obs::LatencyMetric* batch_occupancy;
+  };
+  DissCounters diss_;
 };
 
 }  // namespace helios

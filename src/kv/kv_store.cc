@@ -104,6 +104,44 @@ util::Status KvStore::Put(const std::string& key, const std::string& value) {
   return util::Status::Ok();
 }
 
+util::Status KvStore::Merge(const std::string& key,
+                            const std::function<void(std::string& value)>& patch) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto mit = shard.memtable.find(key);
+  if (mit != shard.memtable.end()) {
+    const std::size_t before = mit->second.size();
+    patch(mit->second);
+    shard.memtable_bytes += mit->second.size();
+    shard.memtable_bytes -= std::min(shard.memtable_bytes, before);
+  } else {
+    std::string value;
+    auto dit = shard.disk_index.find(key);
+    if (dit != shard.disk_index.end()) {
+      const DiskLocation& loc = dit->second;
+      value.resize(loc.length);
+      const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
+      const ssize_t n =
+          ::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset));
+      shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
+      if (n != static_cast<ssize_t>(loc.length)) {
+        return util::Status::Internal("short read from run file " + run.path);
+      }
+    }
+    patch(value);
+    shard.memtable_bytes += EntryBytes(key, value);
+    shard.memtable.emplace(key, std::move(value));
+  }
+  // The memtable entry supersedes any spilled copy.
+  shard.DropDiskEntry(key);
+
+  if (!shard.dir.empty() && options_.memory_budget_bytes > 0 &&
+      shard.memtable_bytes > options_.memory_budget_bytes / shards_.size()) {
+    return SpillShard(shard);
+  }
+  return util::Status::Ok();
+}
+
 util::Status KvStore::Get(const std::string& key, std::string& value) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);

@@ -57,6 +57,14 @@ class KvStore {
   KvStore& operator=(const KvStore&) = delete;
 
   util::Status Put(const std::string& key, const std::string& value);
+  // In-place read-modify-write: looks the key up once, hands the current
+  // value to `patch` (empty string when absent) and keeps the patched bytes
+  // as the new value — all under one shard lock, with no Get/Put round-trip
+  // or intermediate copy. Disk-resident entries are pulled back into the
+  // memtable (the patched value supersedes the spilled copy, which becomes
+  // garbage). Subject to the same spill policy as Put.
+  util::Status Merge(const std::string& key,
+                     const std::function<void(std::string& value)>& patch);
   // Returns kNotFound when absent.
   util::Status Get(const std::string& key, std::string& value) const;
   bool Contains(const std::string& key) const;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <map>
 #include <set>
 #include <thread>
 
@@ -170,6 +171,74 @@ TEST_F(KvTest, StatsFootprintMovesMemoryToDisk) {
   const auto after = store.GetStats();
   EXPECT_EQ(after.memory_bytes, 0u);
   EXPECT_GT(after.disk_bytes, 0u);
+}
+
+TEST_F(KvTest, MergeCreatesAndMutatesInPlace) {
+  KvStore store({});
+  // Missing key: patch sees an empty value and initialises it.
+  ASSERT_TRUE(store.Merge("cell", [](std::string& v) {
+                EXPECT_TRUE(v.empty());
+                v = "a";
+              }).ok());
+  std::string v;
+  ASSERT_TRUE(store.Get("cell", v).ok());
+  EXPECT_EQ(v, "a");
+  // Existing key: patch appends without a separate Get/Put round-trip.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Merge("cell", [](std::string& value) { value += "b"; }).ok());
+  }
+  ASSERT_TRUE(store.Get("cell", v).ok());
+  EXPECT_EQ(v, "abbbbb");
+  EXPECT_EQ(store.GetStats().num_keys, 1u);
+}
+
+TEST_F(KvTest, MergePullsSpilledEntriesBackAndStaysCorrect) {
+  KvOptions options;
+  options.memory_budget_bytes = 4096;
+  options.spill_dir = dir_.string();
+  options.num_shards = 2;
+  KvStore store(options);
+  // Random Merge workload against an in-memory model, with values large
+  // enough that the store keeps spilling while we patch.
+  util::Rng rng(17);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(100));
+    const char tag = static_cast<char>('a' + rng.Uniform(26));
+    auto patch = [&](std::string& value) {
+      if (value.empty()) value = std::string(64, '_');
+      value += tag;
+    };
+    ASSERT_TRUE(store.Merge(key, patch).ok());
+    patch(model[key]);
+    if (i % 400 == 399) {
+      ASSERT_TRUE(store.Flush().ok());
+    }
+  }
+  EXPECT_GT(store.GetStats().spills, 0u);
+  EXPECT_EQ(store.GetStats().num_keys, model.size());
+  std::string v;
+  for (const auto& [key, expected] : model) {
+    ASSERT_TRUE(store.Get(key, v).ok()) << key;
+    EXPECT_EQ(v, expected) << key;
+  }
+}
+
+TEST_F(KvTest, MergeOnDiskResidentEntrySupersedesDiskCopy) {
+  KvOptions options;
+  options.memory_budget_bytes = 1;
+  options.spill_dir = dir_.string();
+  options.num_shards = 1;
+  KvStore store(options);
+  store.Put("k", "base");
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_EQ(store.GetStats().memory_bytes, 0u);
+  ASSERT_TRUE(store.Merge("k", [](std::string& v) { v += "+patch"; }).ok());
+  std::string v;
+  ASSERT_TRUE(store.Get("k", v).ok());
+  EXPECT_EQ(v, "base+patch");
+  // The stale disk copy no longer counts as live.
+  EXPECT_GT(store.GetStats().garbage_bytes, 0u);
 }
 
 TEST_F(KvTest, ConcurrentReadersAndWriters) {

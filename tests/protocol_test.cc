@@ -100,7 +100,8 @@ class Mesh {
   void Pump(SamplingShardCore::Outputs& first) {
     std::deque<std::pair<std::uint32_t, SubscriptionDelta>> pending;
     auto absorb = [&](SamplingShardCore::Outputs& out) {
-      for (auto& [sew, msg] : out.to_serving) serving_[sew]->Apply(msg);
+      out.to_serving.ForEach(
+          [&](std::uint32_t sew, const ServingMessage& msg) { serving_[sew]->Apply(msg); });
       for (auto& [shard, delta] : out.to_shards) pending.emplace_back(shard, delta);
       out.Clear();
     };

@@ -99,12 +99,12 @@ class LocalMesh {
                                graph::VertexId v, std::uint32_t level = 0) {
     const ServingMessage* found = nullptr;
     for (const auto& m : inboxes_[sew]) {
-      if (m.kind != kind) continue;
+      if (m.kind() != kind) continue;
       const graph::VertexId mv = m.TargetVertex();
       std::uint32_t ml = 0;
-      if (kind == ServingMessage::Kind::kSample) ml = m.sample.level;
-      if (kind == ServingMessage::Kind::kRetract) ml = m.retract.level;
-      if (kind == ServingMessage::Kind::kSampleDelta) ml = m.delta.level;
+      if (kind == ServingMessage::Kind::kSample) ml = m.sample().level;
+      if (kind == ServingMessage::Kind::kRetract) ml = m.retract().level;
+      if (kind == ServingMessage::Kind::kSampleDelta) ml = m.delta().level;
       if (mv == v && (level == 0 || ml == level)) found = &m;
     }
     return found;
@@ -114,10 +114,10 @@ class LocalMesh {
   void Pump(SamplingShardCore::Outputs& first) {
     std::deque<std::pair<std::uint32_t, SubscriptionDelta>> pending;
     auto absorb = [&](SamplingShardCore::Outputs& out) {
-      for (auto& [sew, msg] : out.to_serving) {
+      out.to_serving.ForEach([&](std::uint32_t sew, const ServingMessage& msg) {
         View(sew).Apply(msg);
-        inboxes_[sew].push_back(std::move(msg));
-      }
+        inboxes_[sew].push_back(msg);
+      });
       for (auto& [shard, delta] : out.to_shards) pending.emplace_back(shard, delta);
       out.Clear();
     };
@@ -188,8 +188,8 @@ TEST(SamplingCore, SecondHopCellPushedWhenChildSubscribed) {
   EXPECT_EQ(mesh.core(0).CellSubscribers(2, item), 1u);
   const auto* q2 = mesh.Latest(0, ServingMessage::Kind::kSample, item, 2);
   ASSERT_NE(q2, nullptr);
-  ASSERT_EQ(q2->sample.samples.size(), 1u);
-  EXPECT_EQ(q2->sample.samples[0].dst, friend1);
+  ASSERT_EQ(q2->sample().samples.size(), 1u);
+  EXPECT_EQ(q2->sample().samples[0].dst, friend1);
 }
 
 TEST(SamplingCore, Figure7EvictionFlow) {
@@ -283,7 +283,7 @@ TEST(SamplingCore, FeatureRefreshPropagatesToSubscribers) {
   bool saw_refresh = false;
   for (std::size_t i = before; i < mesh.ServingInbox(0).size(); ++i) {
     const auto& m = mesh.ServingInbox(0)[i];
-    saw_refresh |= m.kind == ServingMessage::Kind::kFeature && m.feature.vertex == item;
+    saw_refresh |= m.kind() == ServingMessage::Kind::kFeature && m.feature().vertex == item;
   }
   EXPECT_TRUE(saw_refresh);
 }
@@ -304,7 +304,7 @@ TEST(SamplingCore, OriginTimestampPropagates) {
   mesh.Ingest(Edge(0, user, MakeVertexId(1, 2), 10), /*origin_us=*/123456);
   const auto* su = mesh.Latest(0, ServingMessage::Kind::kSampleDelta, user, 1);
   ASSERT_NE(su, nullptr);
-  EXPECT_EQ(su->delta.origin_us, 123456);
+  EXPECT_EQ(su->delta().origin_us, 123456);
 }
 
 TEST(SamplingCore, PruneDropsExpiredSamplesAndCascades) {
@@ -422,6 +422,34 @@ TEST(SamplingCore, CheckpointRestoreKeepsRegistryMetricsConsistent) {
   // The state gauges track absolute table sizes, so they stay equal.
   EXPECT_EQ(restored_stats.cells, after.cells);
   EXPECT_EQ(restored_stats.features_stored, after.features_stored);
+}
+
+// The reservoir's offer counter must survive a checkpoint round-trip:
+// Random's acceptance probability is C/seen, so a restored core that
+// restarted the counter would over-accept new offers after recovery.
+TEST(SamplingCore, CheckpointRestoresOfferCounter) {
+  ShardMap map{1, 1, 1};
+  SamplingQuery q;
+  q.seed_type = 0;
+  q.hops = {{0, 2, Strategy::kRandom}};
+  const auto plan = Decompose(q, TwoHopSchema()).value();
+  SamplingShardCore core(plan, map, 0, 7, {});
+  const auto user = MakeVertexId(0, 1);
+  SamplingShardCore::Outputs out;
+  for (int i = 0; i < 25; ++i) {
+    core.OnGraphUpdate(Edge(0, user, MakeVertexId(1, static_cast<std::uint64_t>(i)), 10 + i), 0,
+                       out);
+  }
+  ASSERT_NE(core.CellOf(1, user), nullptr);
+  EXPECT_EQ(core.CellOf(1, user)->offers_seen(), 25u);
+
+  graph::ByteWriter w;
+  core.Serialize(w);
+  graph::ByteReader r(w.buffer());
+  SamplingShardCore restored(plan, map, 0, 7, {});
+  ASSERT_TRUE(SamplingShardCore::Deserialize(r, restored));
+  ASSERT_NE(restored.CellOf(1, user), nullptr);
+  EXPECT_EQ(restored.CellOf(1, user)->offers_seen(), 25u);
 }
 
 TEST(SamplingCore, CheckpointRejectsCorruptBytes) {

@@ -1,7 +1,9 @@
 // Tests for ServingCore: the query-aware sample cache and K-hop assembly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <vector>
 
 #include "gen/datasets.h"
 #include "helios/serving_core.h"
@@ -206,6 +208,106 @@ TEST(ServingCore, HybridModeSpillsToDiskAndStillServes) {
     EXPECT_EQ(result.layers[2].size(), 1u);
   }
   std::filesystem::remove_all(dir);
+}
+
+SampleDelta Delta(std::uint32_t level, graph::VertexId v, graph::VertexId added,
+                  graph::Timestamp ts, graph::VertexId evicted = graph::kInvalidVertex) {
+  SampleDelta d;
+  d.level = level;
+  d.vertex = v;
+  d.added = {added, ts, 1.0f};
+  d.evicted = evicted;
+  d.event_ts = ts;
+  return d;
+}
+
+// Regression: SampleKey used to encode the level as the ASCII character
+// '0' + level. The key must carry the raw level byte so every level stays
+// a distinct key, while all sample keys still share the "s" scan prefix.
+TEST(ServingCore, SampleKeyKeepsManyLevelsDistinct) {
+  ServingCore core(Plan(), 0);
+  const auto v = MakeVertexId(1, 7);
+  for (std::uint32_t level = 1; level <= 30; ++level) {
+    core.Apply(ServingMessage::Of(Cell(level, v, {MakeVertexId(1, 100 + level)})));
+  }
+  for (std::uint32_t level = 1; level <= 30; ++level) {
+    EXPECT_TRUE(core.HasCell(level, v)) << level;
+  }
+  // Retracting one level leaves every other level's cell in place.
+  core.Apply(ServingMessage::Of(Retract{17, v}));
+  EXPECT_FALSE(core.HasCell(17, v));
+  for (std::uint32_t level = 1; level <= 30; ++level) {
+    if (level != 17) {
+      EXPECT_TRUE(core.HasCell(level, v)) << level;
+    }
+  }
+  // Prefix-scan contract: every sample cell lives under the "s" prefix.
+  const auto dump = core.DumpCache();
+  std::size_t sample_keys = 0;
+  for (const auto& [key, value] : dump) sample_keys += !key.empty() && key[0] == 's';
+  EXPECT_EQ(sample_keys, 29u);
+}
+
+// The in-place binary patch must behave exactly like the reference
+// decode→mutate→encode semantics: splice out the evicted record, append
+// the new one, trim the oldest when over the plan fan-out.
+TEST(ServingCore, DeltaPatchMatchesReferenceModel) {
+  const auto plan = Plan(/*f1=*/3, /*f2=*/2);
+  ServingCore core(plan, 0);
+  const auto user = MakeVertexId(0, 1);
+  auto item = [](std::uint64_t i) { return MakeVertexId(1, i); };
+
+  // Reference model of the level-1 cell (capacity 3).
+  std::vector<graph::VertexId> model;
+  auto model_apply = [&](graph::VertexId added, graph::VertexId evicted) {
+    if (evicted != graph::kInvalidVertex) {
+      auto it = std::find(model.begin(), model.end(), evicted);
+      if (it != model.end()) model.erase(it);
+    }
+    model.push_back(added);
+    if (model.size() > 3) model.erase(model.begin());
+  };
+
+  core.Apply(ServingMessage::Of(Cell(1, user, {item(1), item(2)}, /*ts=*/10)));
+  model = {item(1), item(2)};
+
+  core.Apply(ServingMessage::Of(Delta(1, user, item(3), 11)));
+  model_apply(item(3), graph::kInvalidVertex);
+  core.Apply(ServingMessage::Of(Delta(1, user, item(4), 12, /*evicted=*/item(2))));
+  model_apply(item(4), item(2));
+  // No explicit eviction but the cell is full: the oldest record drops.
+  core.Apply(ServingMessage::Of(Delta(1, user, item(5), 13)));
+  model_apply(item(5), graph::kInvalidVertex);
+  // Eviction of a vertex that is not present: pure append (still at cap).
+  core.Apply(ServingMessage::Of(Delta(1, user, item(6), 14, /*evicted=*/item(99))));
+  model_apply(item(6), item(99));
+
+  const auto result = core.Serve(user);
+  ASSERT_EQ(result.layers[1].size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(result.layers[1][i].vertex, model[i]) << i;
+  }
+  EXPECT_EQ(core.stats().latest_event_ts, 14);
+
+  // A delta for a cell never snapshotted materializes it from empty.
+  const auto other = MakeVertexId(0, 2);
+  core.Apply(ServingMessage::Of(Delta(1, other, item(42), 20)));
+  EXPECT_TRUE(core.HasCell(1, other));
+  const auto r2 = core.Serve(other);
+  ASSERT_EQ(r2.layers[1].size(), 1u);
+  EXPECT_EQ(r2.layers[1][0].vertex, item(42));
+
+  // A coalesced multi-change delta applies its folded changes in order.
+  auto multi = Delta(1, user, item(7), 15, /*evicted=*/item(4));
+  multi.more.push_back({{item(8), 16, 1.0f}, item(5), 16});
+  core.Apply(ServingMessage::Of(std::move(multi)));
+  model_apply(item(7), item(4));
+  model_apply(item(8), item(5));
+  const auto r3 = core.Serve(user);
+  ASSERT_EQ(r3.layers[1].size(), model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(r3.layers[1][i].vertex, model[i]) << i;
+  }
 }
 
 // Parameterized sweep over fan-outs: layer sizes track the plan.
