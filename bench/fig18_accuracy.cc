@@ -70,7 +70,7 @@ double RunWithDelay(const gen::SessionTaobao& data, const QueryPlan& plan,
     sub.layers.resize(1);
     sub.layers[0].push_back({item, 0});
     auto fit = item_features.find(item);
-    if (fit != item_features.end()) sub.features[item] = fit->second;
+    if (fit != item_features.end()) sub.features.Set(item, fit->second);
     return item_embeddings.emplace(item, encoder.EmbedSeed(sub)).first->second;
   };
 

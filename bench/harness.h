@@ -40,6 +40,10 @@ namespace helios::bench {
 struct ServeReport {
   double qps = 0;                 // completed requests / virtual second
   util::Histogram latency_us;     // per-request end-to-end latency
+  // Measured wall time of the cache read path alone (ServeInto /
+  // MiniGraphDB sampling), i.e. the real-CPU cost that becomes virtual
+  // service time — excludes emulated queueing and the wire.
+  util::Histogram read_path_ns;
   std::uint64_t requests = 0;
   std::uint64_t missing_cells = 0;
   std::uint64_t missing_features = 0;

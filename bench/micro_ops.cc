@@ -4,11 +4,47 @@
 // the hot paths.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <map>
+#include <new>
+
 #include "bench/harness.h"
 #include "kv/kv_store.h"
 #include "mq/mq.h"
 
 using namespace helios;
+
+// ------------------------------------------------ allocation counting
+//
+// Global operator new/delete override with a per-thread counter, so
+// BM_ServePathZeroCopy can assert the "zero heap allocations in
+// steady-state Serve()" contract instead of merely claiming it. The
+// counter only counts — allocation itself is plain malloc, so every other
+// benchmark is unaffected.
+
+namespace {
+thread_local std::uint64_t g_alloc_count = 0;
+}  // namespace
+
+// Both replacements allocate with malloc/free consistently; the compiler
+// just cannot see through the counting operator new and flags every
+// inlined delete as mismatched.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 // ---------------------------------------------------------- reservoir
 
@@ -237,6 +273,215 @@ static void BM_DisseminationBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_DisseminationBatched)->Arg(8)->Arg(64);
 
+// -------------------------------------------------- query read path
+//
+// The serving-side read path of §6 at fan-out 10×10, priced end to end:
+// K-hop cell lookups + feature fetch into a result. Two variants bracket
+// the zero-copy batching work:
+//   SeedReplica — the pre-arena path: one string key + KvStore::Get +
+//     ByteReader decode per cell, features copied one vector at a time
+//     into a std::map.
+//   ZeroCopy — ServingCore::ServeInto: stack key buffers, one MultiView
+//     per hop (one lock per distinct KV shard), cells decoded from the
+//     in-lock bytes, features landing in the per-query arena. With the
+//     result and scratch reused, the steady state performs zero heap
+//     allocations — asserted here via the operator-new counter above.
+
+namespace {
+constexpr std::uint32_t kServeFanout = 10;
+constexpr std::uint64_t kServeUsers = 64;
+constexpr std::uint64_t kServeItems = 512;
+
+QueryPlan ServePlan() {
+  graph::GraphSchema schema;
+  schema.vertex_type_names = {"User", "Item"};
+  schema.edge_type_names = {"Click", "CoPurchase"};
+  schema.edge_endpoints = {{0, 1}, {1, 1}};
+  schema.feature_dim = 16;
+  SamplingQuery q;
+  q.seed_type = 0;
+  q.hops = {{0, kServeFanout, Strategy::kTopK}, {1, kServeFanout, Strategy::kTopK}};
+  return Decompose(q, schema).value();
+}
+
+// Deterministic full-fanout cache population, identical for both variants.
+struct ServeState {
+  std::vector<SampleUpdate> cells;
+  std::vector<FeatureUpdate> features;
+};
+
+ServeState MakeServeState() {
+  ServeState state;
+  util::Rng rng(13);
+  auto random_items = [&] {
+    std::vector<graph::VertexId> items;
+    for (std::uint32_t i = 0; i < kServeFanout; ++i) {
+      items.push_back(gen::MakeVertexId(1, rng.Uniform(kServeItems)));
+    }
+    return items;
+  };
+  auto cell = [](std::uint32_t level, graph::VertexId v, std::vector<graph::VertexId> dsts) {
+    SampleUpdate su;
+    su.level = level;
+    su.vertex = v;
+    su.event_ts = 1;
+    for (auto d : dsts) su.samples.push_back({d, 1, 1.0f});
+    return su;
+  };
+  auto feature = [&](graph::VertexId v) {
+    FeatureUpdate fu;
+    fu.vertex = v;
+    fu.feature.resize(16);
+    for (auto& x : fu.feature) x = static_cast<float>(rng.UniformDouble());
+    return fu;
+  };
+  for (std::uint64_t u = 0; u < kServeUsers; ++u) {
+    state.cells.push_back(cell(1, gen::MakeVertexId(0, u), random_items()));
+    state.features.push_back(feature(gen::MakeVertexId(0, u)));
+  }
+  for (std::uint64_t i = 0; i < kServeItems; ++i) {
+    state.cells.push_back(cell(2, gen::MakeVertexId(1, i), random_items()));
+    state.features.push_back(feature(gen::MakeVertexId(1, i)));
+  }
+  return state;
+}
+
+// ---- seed-path replica (string keys, Get + decode + per-vertex copies)
+
+std::string SeedSampleKey(std::uint32_t level, graph::VertexId v) {
+  std::string key(10, '\0');
+  key[0] = 's';
+  key[1] = static_cast<char>(level);
+  std::memcpy(key.data() + 2, &v, sizeof(v));
+  return key;
+}
+
+std::string SeedFeatureKey(graph::VertexId v) {
+  std::string key(9, '\0');
+  key[0] = 'f';
+  std::memcpy(key.data() + 1, &v, sizeof(v));
+  return key;
+}
+
+void PopulateSeedStore(kv::KvStore& store, const ServeState& state) {
+  for (const auto& su : state.cells) {
+    graph::ByteWriter w;
+    w.PutI64(su.event_ts);
+    w.PutU32(static_cast<std::uint32_t>(su.samples.size()));
+    for (const auto& e : su.samples) {
+      w.PutU64(e.dst);
+      w.PutI64(e.ts);
+      w.PutF32(e.weight);
+    }
+    store.Put(SeedSampleKey(su.level, su.vertex), w.Take());
+  }
+  for (const auto& fu : state.features) {
+    graph::ByteWriter w;
+    w.PutFloats(fu.feature);
+    store.Put(SeedFeatureKey(fu.vertex), w.Take());
+  }
+}
+
+struct SeedSubgraph {
+  graph::VertexId seed = graph::kInvalidVertex;
+  std::vector<std::vector<SampledSubgraph::Node>> layers;
+  std::map<graph::VertexId, graph::Feature> features;
+  std::uint64_t missing_cells = 0;
+  std::uint64_t missing_features = 0;
+};
+
+SeedSubgraph SeedServe(const kv::KvStore& store, const QueryPlan& plan, graph::VertexId seed) {
+  SeedSubgraph result;
+  result.seed = seed;
+  result.layers.resize(plan.num_hops() + 1);
+  result.layers[0].push_back({seed, 0});
+
+  std::vector<graph::Edge> cell;
+  std::string value;
+  for (std::size_t k = 0; k < plan.num_hops(); ++k) {
+    const std::uint32_t level = plan.one_hop[k].hop;
+    auto& frontier = result.layers[k];
+    auto& next = result.layers[k + 1];
+    for (std::uint32_t parent = 0; parent < frontier.size(); ++parent) {
+      if (!store.Get(SeedSampleKey(level, frontier[parent].vertex), value).ok()) {
+        result.missing_cells++;
+        continue;
+      }
+      cell.clear();
+      graph::ByteReader r(value);
+      r.GetI64();
+      const std::uint32_t n = r.GetU32();
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        graph::Edge e;
+        e.dst = r.GetU64();
+        e.ts = r.GetI64();
+        e.weight = r.GetF32();
+        if (r.ok()) cell.push_back(e);
+      }
+      for (const auto& edge : cell) next.push_back({edge.dst, parent});
+    }
+  }
+  for (const auto& layer : result.layers) {
+    for (const auto& node : layer) {
+      if (result.features.count(node.vertex)) continue;
+      if (store.Get(SeedFeatureKey(node.vertex), value).ok()) {
+        graph::ByteReader r(value);
+        result.features.emplace(node.vertex, r.GetFloats());
+      } else {
+        result.missing_features++;
+      }
+    }
+  }
+  return result;
+}
+}  // namespace
+
+static void BM_ServePathSeedReplica(benchmark::State& state) {
+  const auto plan = ServePlan();
+  kv::KvStore store({});
+  PopulateSeedStore(store, MakeServeState());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto result = SeedServe(store, plan, gen::MakeVertexId(0, i++ % kServeUsers));
+    benchmark::DoNotOptimize(result.features.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServePathSeedReplica);
+
+static void BM_ServePathZeroCopy(benchmark::State& state) {
+  const auto plan = ServePlan();
+  ServingCore core(plan, 0);
+  const auto data = MakeServeState();
+  for (const auto& su : data.cells) core.Apply(ServingMessage::Of(su));
+  for (const auto& fu : data.features) core.Apply(ServingMessage::Of(fu));
+
+  SampledSubgraph out;
+  ServeScratch scratch;
+  // Warm-up: one pass over every seed grows all reused buffers to their
+  // steady-state capacity.
+  for (std::uint64_t u = 0; u < kServeUsers; ++u) {
+    core.ServeInto(gen::MakeVertexId(0, u), out, scratch);
+  }
+
+  std::uint64_t allocs = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_alloc_count;
+    core.ServeInto(gen::MakeVertexId(0, i++ % kServeUsers), out, scratch);
+    allocs += g_alloc_count - before;
+    benchmark::DoNotOptimize(out.features.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["allocs_per_query"] = benchmark::Counter(
+      state.iterations() > 0 ? static_cast<double>(allocs) / static_cast<double>(state.iterations())
+                             : 0);
+  if (allocs != 0) {
+    state.SkipWithError("steady-state ServeInto allocated on the heap");
+  }
+}
+BENCHMARK(BM_ServePathZeroCopy);
+
 // ------------------------------------------------------------ codecs
 
 static void BM_ServingMessageCodec(benchmark::State& state) {
@@ -276,7 +521,7 @@ static void BM_GraphSageInfer(benchmark::State& state) {
     for (const auto& node : layer) {
       graph::Feature f(10);
       for (auto& v : f) v = static_cast<float>(rng.UniformDouble());
-      sample.features[node.vertex] = std::move(f);
+      sample.features.Set(node.vertex, f);
     }
   }
   for (auto _ : state) {

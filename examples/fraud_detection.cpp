@@ -46,9 +46,9 @@ double RiskScore(const SampledSubgraph& sample) {
   std::size_t n = 0;
   for (std::size_t d = 1; d < sample.layers.size(); ++d) {
     for (const auto& node : sample.layers[d]) {
-      auto it = sample.features.find(node.vertex);
-      if (it == sample.features.end() || it->second.empty()) continue;
-      flagged += it->second[0];
+      const auto f = sample.features.Find(node.vertex);
+      if (f.empty()) continue;
+      flagged += f[0];
       n++;
     }
   }

@@ -66,10 +66,10 @@ int main() {
     std::size_t n = 0;
     for (std::size_t d = 1; d < sample.layers.size(); ++d) {
       for (const auto& node : sample.layers[d]) {
-        auto it = sample.features.find(node.vertex);
-        if (it == sample.features.end()) continue;
-        for (std::size_t j = 0; j < agg.size() && j < it->second.size(); ++j) {
-          agg[j] += it->second[j];
+        const auto f = sample.features.Find(node.vertex);
+        if (f.empty()) continue;
+        for (std::size_t j = 0; j < agg.size() && j < f.size(); ++j) {
+          agg[j] += f[j];
         }
         n++;
       }

@@ -30,15 +30,14 @@ GraphSageEncoder::GraphSageEncoder(const SageConfig& config) : config_(config) {
   }
 }
 
-void GraphSageEncoder::Apply(const Layer& layer, const std::vector<float>& self,
-                             const std::vector<float>& neigh_mean, std::vector<float>& out,
-                             bool relu) const {
+void GraphSageEncoder::Apply(const Layer& layer, const float* self, const float* neigh_mean,
+                             std::size_t cur, float* out, bool relu) const {
   const std::size_t in = layer.w_self.rows();
   const std::size_t width = layer.w_self.cols();
-  out.assign(width, 0.f);
+  std::fill(out, out + width, 0.f);
   for (std::size_t k = 0; k < in; ++k) {
-    const float s = k < self.size() ? self[k] : 0.f;
-    const float n = k < neigh_mean.size() ? neigh_mean[k] : 0.f;
+    const float s = k < cur ? self[k] : 0.f;
+    const float n = k < cur ? neigh_mean[k] : 0.f;
     if (s == 0.f && n == 0.f) continue;
     const float* ws = layer.w_self.Row(k);
     const float* wn = layer.w_neigh.Row(k);
@@ -54,58 +53,70 @@ std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) co
   const std::size_t depth = sample.layers.size();  // K + 1 node depths
   if (depth == 0) return std::vector<float>(config_.output_dim, 0.f);
 
-  // h[d][i]: current activation of node i at depth d. Initialize from raw
-  // features, padding/truncating to input_dim; missing features are zero
-  // (eventual-consistency miss, §6).
-  std::vector<std::vector<std::vector<float>>> h(depth);
+  // h[d] holds the activations of depth d as one flat node-major buffer of
+  // width `cur` (no per-node vector). Initial activations gather straight
+  // from the result's feature arena via spans — no map lookup, no copy of
+  // the feature into an intermediate vector. Missing features are zero
+  // (eventual-consistency miss, §6); longer ones are truncated.
+  std::size_t cur = config_.input_dim;
+  std::vector<std::vector<float>> h(depth);
   for (std::size_t d = 0; d < depth; ++d) {
-    h[d].resize(sample.layers[d].size());
-    for (std::size_t i = 0; i < sample.layers[d].size(); ++i) {
-      auto& dst = h[d][i];
-      dst.assign(config_.input_dim, 0.f);
-      auto it = sample.features.find(sample.layers[d][i].vertex);
-      if (it != sample.features.end()) {
-        const std::size_t n = std::min(config_.input_dim, it->second.size());
-        std::copy(it->second.begin(), it->second.begin() + static_cast<std::ptrdiff_t>(n),
-                  dst.begin());
-      }
+    const auto& layer_nodes = sample.layers[d];
+    h[d].assign(layer_nodes.size() * cur, 0.f);
+    for (std::size_t i = 0; i < layer_nodes.size(); ++i) {
+      const std::span<const float> f = sample.features.Find(layer_nodes[i].vertex);
+      const std::size_t n = std::min(cur, f.size());
+      std::copy(f.begin(), f.begin() + static_cast<std::ptrdiff_t>(n),
+                h[d].begin() + static_cast<std::ptrdiff_t>(i * cur));
     }
   }
 
-  const std::size_t effective_layers = std::min(config_.num_layers, depth - 1 + 1);
-  std::vector<float> neigh_mean;
+  const std::size_t effective_layers = std::min(config_.num_layers, depth);
+  // Per-depth child sums/counts, accumulated in ONE pass over the child
+  // layer (instead of one scan of the whole child layer per parent). Each
+  // parent still sums its children in layer order, so the float summation
+  // order — and therefore the result — is identical to the quadratic scan.
+  std::vector<float> sums;
+  std::vector<std::uint32_t> n_children;
   for (std::size_t l = 0; l < effective_layers; ++l) {
     const bool last = l + 1 == config_.num_layers;
+    const std::size_t width = layers_[l].w_self.cols();
     // After layer l, depths 0 .. depth-2-l hold fresh activations.
     const std::size_t top = depth >= l + 2 ? depth - l - 1 : 1;
-    std::vector<std::vector<std::vector<float>>> next(top);
+    std::vector<std::vector<float>> next(top);
     for (std::size_t d = 0; d < top; ++d) {
-      next[d].resize(h[d].size());
-      for (std::size_t i = 0; i < h[d].size(); ++i) {
-        // Mean of children activations at depth d+1.
-        neigh_mean.assign(h[d][i].size(), 0.f);
-        std::size_t n_children = 0;
-        if (d + 1 < h.size()) {
-          for (std::size_t c = 0; c < sample.layers[d + 1].size(); ++c) {
-            if (sample.layers[d + 1][c].parent != i) continue;
-            const auto& child = h[d + 1][c];
-            for (std::size_t j = 0; j < neigh_mean.size() && j < child.size(); ++j) {
-              neigh_mean[j] += child[j];
-            }
-            n_children++;
-          }
+      const std::size_t n_parents = sample.layers[d].size();
+      sums.assign(n_parents * cur, 0.f);
+      n_children.assign(n_parents, 0);
+      if (d + 1 < h.size()) {
+        const auto& child_nodes = sample.layers[d + 1];
+        for (std::size_t c = 0; c < child_nodes.size(); ++c) {
+          const std::size_t p = child_nodes[c].parent;
+          if (p >= n_parents) continue;
+          const float* child = h[d + 1].data() + c * cur;
+          float* acc = sums.data() + p * cur;
+          for (std::size_t j = 0; j < cur; ++j) acc[j] += child[j];
+          n_children[p]++;
         }
-        if (n_children > 0) {
-          for (auto& v : neigh_mean) v /= static_cast<float>(n_children);
+      }
+      next[d].assign(n_parents * width, 0.f);
+      for (std::size_t i = 0; i < n_parents; ++i) {
+        float* mean = sums.data() + i * cur;
+        if (n_children[i] > 0) {
+          for (std::size_t j = 0; j < cur; ++j) mean[j] /= static_cast<float>(n_children[i]);
         }
-        Apply(layers_[l], h[d][i], neigh_mean, next[d][i], /*relu=*/!last);
+        Apply(layers_[l], h[d].data() + i * cur, mean, cur, next[d].data() + i * width,
+              /*relu=*/!last);
       }
     }
     h = std::move(next);
+    cur = width;
   }
-  std::vector<float> out = h[0].empty() ? std::vector<float>(config_.output_dim, 0.f)
-                                        : std::move(h[0][0]);
-  out.resize(config_.output_dim, 0.f);
+  std::vector<float> out(config_.output_dim, 0.f);
+  if (!h[0].empty()) {
+    const std::size_t n = std::min(cur, config_.output_dim);
+    std::copy(h[0].begin(), h[0].begin() + static_cast<std::ptrdiff_t>(n), out.begin());
+  }
   L2NormalizeRow(out.data(), out.size());
   return out;
 }

@@ -47,10 +47,10 @@ class GraphSageEncoder {
     std::vector<float> bias;
   };
 
-  // h-out for one node given its own h-in and its children's mean h-in.
-  void Apply(const Layer& layer, const std::vector<float>& self,
-             const std::vector<float>& neigh_mean, std::vector<float>& out,
-             bool relu) const;
+  // h-out for one node given its own h-in and its children's mean h-in,
+  // both `cur` floats wide; writes w_self.cols() floats to `out`.
+  void Apply(const Layer& layer, const float* self, const float* neigh_mean, std::size_t cur,
+             float* out, bool relu) const;
 
   SageConfig config_;
   std::vector<Layer> layers_;

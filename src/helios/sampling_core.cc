@@ -252,22 +252,33 @@ void SamplingShardCore::SendFeatureUpdate(graph::VertexId v, std::int64_t origin
 }
 
 void SamplingShardCore::Prune(graph::Timestamp cutoff, Outputs& out) {
+  std::vector<graph::VertexId> dropped;  // reused across cells
   for (std::size_t k = 0; k < reservoir_.size(); ++k) {
     const std::uint32_t level = plan_.one_hop[k].hop;
     for (auto it = reservoir_[k].begin(); it != reservoir_[k].end();) {
       ReservoirCell& cell = it->second;
-      std::vector<graph::VertexId> dropped;
-      // Rebuild the cell without expired samples. Distribution bias from
-      // TTL eviction is inherent to TTL semantics (stale data must go).
-      ReservoirCell fresh(cell.strategy(), cell.capacity());
+      // Pre-scan for expired samples: on a steady-state pass, almost every
+      // cell is fresh, and the scan lets those skip the rebuild below —
+      // no ReservoirCell construction, no re-offers, no allocation.
+      bool any_expired = false;
       for (const auto& edge : cell.samples()) {
-        if (edge.ts >= cutoff) {
-          fresh.Offer(edge, rng_);
-        } else {
-          dropped.push_back(edge.dst);
+        if (edge.ts < cutoff) {
+          any_expired = true;
+          break;
         }
       }
-      if (!dropped.empty()) {
+      if (any_expired) {
+        dropped.clear();
+        // Rebuild the cell without expired samples. Distribution bias from
+        // TTL eviction is inherent to TTL semantics (stale data must go).
+        ReservoirCell fresh(cell.strategy(), cell.capacity());
+        for (const auto& edge : cell.samples()) {
+          if (edge.ts >= cutoff) {
+            fresh.Offer(edge, rng_);
+          } else {
+            dropped.push_back(edge.dst);
+          }
+        }
         cell = std::move(fresh);
         auto subs_it = cell_subs_[k].find(it->first);
         if (subs_it != cell_subs_[k].end()) {

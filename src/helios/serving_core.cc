@@ -1,7 +1,7 @@
 #include "helios/serving_core.h"
 
 #include <algorithm>
-
+#include <chrono>
 #include <cstring>
 
 #include "graph/update_codec.h"
@@ -21,38 +21,36 @@ std::string EncodeCell(const std::vector<graph::Edge>& samples, graph::Timestamp
   return w.Take();
 }
 
-bool DecodeCell(const std::string& value, std::vector<graph::Edge>& out,
-                graph::Timestamp* event_ts = nullptr) {
-  graph::ByteReader r(value);
-  const graph::Timestamp ts = r.GetI64();
-  if (event_ts != nullptr) *event_ts = ts;
-  const std::uint32_t n = r.GetU32();
-  out.clear();
-  out.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    graph::Edge e;
-    e.dst = r.GetU64();
-    e.ts = r.GetI64();
-    e.weight = r.GetF32();
-    out.push_back(e);
-  }
-  return r.ok();
-}
-
 std::string EncodeFeature(const graph::Feature& f) {
   graph::ByteWriter w;
   w.PutFloats(f);
   return w.Take();
 }
 
-// In-place binary patch of one encoded cell value (§6 delta apply). The
-// fixed layout — [i64 event_ts][u32 n][n × 20-byte records] — lets a delta
-// splice the evicted record out and the added record in without decoding
-// the cell into an Edge vector and re-encoding it. Byte-for-byte identical
-// to decode → mutate → encode for well-formed values.
+// Fixed cell layout shared with PatchCell and the zero-copy read path:
+// [i64 event_ts][u32 n][n × 20-byte records (u64 dst | i64 ts | f32 w)].
 constexpr std::size_t kCellHeaderBytes = 12;
 constexpr std::size_t kCellRecordBytes = 20;
 
+// Record count of an encoded cell, or kBadCell when the value is too short
+// to hold the records its header claims (the old ByteReader-based decode
+// failed the same way and the caller treated the cell as missing).
+constexpr std::uint32_t kBadCell = 0xFFFFFFFFu;
+std::uint32_t CellRecordCount(std::string_view value) {
+  if (value.size() < kCellHeaderBytes) return kBadCell;
+  std::uint32_t n = 0;
+  std::memcpy(&n, value.data() + 8, sizeof(n));
+  if (kCellHeaderBytes + static_cast<std::size_t>(n) * kCellRecordBytes > value.size()) {
+    return kBadCell;
+  }
+  return n;
+}
+
+// In-place binary patch of one encoded cell value (§6 delta apply). The
+// fixed layout lets a delta splice the evicted record out and the added
+// record in without decoding the cell into an Edge vector and re-encoding
+// it. Byte-for-byte identical to decode → mutate → encode for well-formed
+// values.
 void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evicted,
                graph::Timestamp event_ts, std::size_t cap) {
   if (value.size() < kCellHeaderBytes) {
@@ -95,6 +93,98 @@ void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evi
 }
 }  // namespace
 
+// ----------------------------------------------------------- FeatureTable
+
+const FeatureTable::Slot* FeatureTable::FindSlot(graph::VertexId v) const {
+  if (slots_.empty()) return nullptr;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = util::MixHash(v) & mask;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.state == kEmpty) return nullptr;
+    if (s.state == kUsed && s.vertex == v) return &s;
+    i = (i + 1) & mask;
+  }
+}
+
+FeatureTable::Slot* FeatureTable::InsertSlot(graph::VertexId v) {
+  // Grow at 1/2 occupancy (used + tombstones) to keep probes short.
+  if (slots_.empty() || (count_ + tombstones_ + 1) * 2 > slots_.size()) Grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = util::MixHash(v) & mask;
+  Slot* first_tombstone = nullptr;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.state == kUsed && s.vertex == v) return &s;
+    if (s.state == kTombstone && first_tombstone == nullptr) first_tombstone = &s;
+    if (s.state == kEmpty) {
+      Slot* target = first_tombstone != nullptr ? first_tombstone : &s;
+      if (target->state == kTombstone) --tombstones_;
+      target->vertex = v;
+      target->state = kUsed;
+      ++count_;
+      return target;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void FeatureTable::Grow() {
+  const std::size_t new_size = slots_.empty() ? 16 : slots_.size() * 2;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_size, Slot{});
+  count_ = 0;
+  tombstones_ = 0;
+  for (const Slot& s : old) {
+    if (s.state != kUsed) continue;
+    Slot* slot = InsertSlot(s.vertex);  // cannot recurse: new table is large enough
+    slot->offset = s.offset;
+    slot->len = s.len;
+  }
+}
+
+void FeatureTable::Set(graph::VertexId v, const float* data, std::size_t len) {
+  Slot* s = InsertSlot(v);
+  if (s->len >= len) {
+    // Overwrite in place (also the fresh-slot len==0, len==0 case).
+    std::memcpy(arena_.data() + s->offset, data, len * sizeof(float));
+    s->len = static_cast<std::uint32_t>(len);
+    return;
+  }
+  s->offset = static_cast<std::uint32_t>(arena_.size());
+  s->len = static_cast<std::uint32_t>(len);
+  arena_.resize(arena_.size() + len);
+  if (len > 0) std::memcpy(arena_.data() + s->offset, data, len * sizeof(float));
+}
+
+void FeatureTable::Erase(graph::VertexId v) {
+  // FindSlot is const; redo the probe mutably.
+  if (slots_.empty()) return;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = util::MixHash(v) & mask;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.state == kEmpty) return;
+    if (s.state == kUsed && s.vertex == v) {
+      s.state = kTombstone;
+      --count_;
+      ++tombstones_;
+      return;  // arena bytes stay until Clear(); per-query lifetime
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void FeatureTable::Clear() {
+  arena_.clear();
+  // Keep the slot array's capacity; just reset states.
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  count_ = 0;
+  tombstones_ = 0;
+}
+
+// ------------------------------------------------------------ ServingCore
+
 ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options options)
     : plan_(std::move(plan)), worker_id_(worker_id), options_(std::move(options)) {
   store_ = std::make_unique<kv::KvStore>(options_.kv);
@@ -113,6 +203,9 @@ ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options option
   m_.cache_miss_cells = registry_->GetCounter("serving.cache_miss_cells", labels);
   m_.cache_miss_features = registry_->GetCounter("serving.cache_miss_features", labels);
   m_.latest_event_ts = registry_->GetGauge("serving.latest_event_ts", labels);
+  m_.query_latency_us = registry_->GetLatency("serving.query.latency_us", labels);
+  m_.query_nodes = registry_->GetLatency("serving.query.nodes", labels);
+  m_.query_arena_bytes = registry_->GetLatency("serving.query.arena_bytes", labels);
 }
 
 ServingCore::Stats ServingCore::stats() const {
@@ -132,37 +225,18 @@ void ServingCore::PublishCacheStats() {
   store_->PublishTo(registry_, {{"worker", std::to_string(worker_id_)}});
 }
 
-std::string ServingCore::SampleKey(std::uint32_t level, graph::VertexId v) {
-  // Binary key: "s" + raw level byte + 8-byte vertex id. Cheaper than
-  // decimal formatting on the cache-update hot path; prefix scans still
-  // work ("s"). The raw byte (not '0' + level) keeps levels distinct for
-  // the full uint8 range.
-  std::string key(10, '\0');
-  key[0] = 's';
-  key[1] = static_cast<char>(level);
-  std::memcpy(key.data() + 2, &v, sizeof(v));
-  return key;
-}
-
-std::string ServingCore::FeatureKey(graph::VertexId v) {
-  std::string key(9, '\0');
-  key[0] = 'f';
-  std::memcpy(key.data() + 1, &v, sizeof(v));
-  return key;
-}
-
 void ServingCore::Apply(const ServingMessage& message) {
   switch (message.kind()) {
     case ServingMessage::Kind::kSample: {
       const SampleUpdate& u = message.sample();
-      store_->Put(SampleKey(u.level, u.vertex), EncodeCell(u.samples, u.event_ts));
+      store_->Put(SampleKeyBuf(u.level, u.vertex).view(), EncodeCell(u.samples, u.event_ts));
       m_.sample_updates_applied->Add(1);
       m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
     }
     case ServingMessage::Kind::kFeature: {
       const FeatureUpdate& u = message.feature();
-      store_->Put(FeatureKey(u.vertex), EncodeFeature(u.feature));
+      store_->Put(FeatureKeyBuf(u.vertex).view(), EncodeFeature(u.feature));
       m_.feature_updates_applied->Add(1);
       m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
@@ -170,9 +244,9 @@ void ServingCore::Apply(const ServingMessage& message) {
     case ServingMessage::Kind::kRetract: {
       const Retract& u = message.retract();
       if (u.level == 0) {
-        store_->Delete(FeatureKey(u.vertex));
+        store_->Delete(FeatureKeyBuf(u.vertex).view());
       } else {
-        store_->Delete(SampleKey(u.level, u.vertex));
+        store_->Delete(SampleKeyBuf(u.level, u.vertex).view());
       }
       m_.retracts_applied->Add(1);
       break;
@@ -187,7 +261,7 @@ void ServingCore::Apply(const ServingMessage& message) {
                                   ? plan_.one_hop[u.level - 1].fanout
                                   : 0;
       graph::Timestamp newest_ts = u.event_ts;
-      store_->Merge(SampleKey(u.level, u.vertex), [&](std::string& value) {
+      store_->Merge(SampleKeyBuf(u.level, u.vertex).view(), [&](std::string& value) {
         PatchCell(value, u.added, u.evicted, u.event_ts, cap);
         for (const auto& c : u.more) {
           PatchCell(value, c.added, c.evicted, c.event_ts, cap);
@@ -203,65 +277,131 @@ void ServingCore::Apply(const ServingMessage& message) {
   }
 }
 
-bool ServingCore::LoadCell(std::uint32_t level, graph::VertexId v,
-                           std::vector<graph::Edge>& out) const {
-  std::string value;
-  if (!store_->Get(SampleKey(level, v), value).ok()) return false;
-  return DecodeCell(value, out);
+void ServingCore::ServeInto(graph::VertexId seed, SampledSubgraph& out,
+                            ServeScratch& scratch) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t num_hops = plan_.num_hops();
+  out.Reset(seed, num_hops + 1);
+  out.layers[0].push_back({seed, 0});
+
+  // ---- hop phase: one shard-batched MultiView per hop. Cells are decoded
+  // straight from the in-lock value bytes into a scratch node buffer
+  // (shard-visit order), then scattered back to BFS order.
+  for (std::size_t k = 0; k < num_hops; ++k) {
+    const std::uint32_t level = plan_.one_hop[k].hop;
+    const auto& frontier = out.layers[k];
+    auto& next = out.layers[k + 1];
+    const std::size_t fsize = frontier.size();
+    out.sample_lookups += fsize;
+    if (fsize == 0) continue;
+
+    scratch.sample_keys.resize(fsize);
+    scratch.keys.resize(fsize);
+    for (std::size_t i = 0; i < fsize; ++i) {
+      scratch.sample_keys[i] = SampleKeyBuf(level, frontier[i].vertex);
+      scratch.keys[i] = scratch.sample_keys[i].view();
+    }
+    scratch.ranges.assign(fsize, ServeScratch::CellRange{0, ServeScratch::kMissingCell});
+    scratch.hop_nodes.clear();
+    std::size_t decoded_total = 0;
+    store_->MultiView(
+        scratch.keys.data(), fsize,
+        [&](std::size_t i, std::string_view value, bool found) {
+          if (!found) return;  // stays kMissingCell
+          const std::uint32_t n = CellRecordCount(value);
+          if (n == kBadCell) return;  // undecodable == missing, as before
+          auto& range = scratch.ranges[i];
+          range.begin = static_cast<std::uint32_t>(scratch.hop_nodes.size());
+          range.count = n;
+          decoded_total += n;
+          const char* rec = value.data() + kCellHeaderBytes;
+          for (std::uint32_t r = 0; r < n; ++r, rec += kCellRecordBytes) {
+            graph::VertexId dst;
+            std::memcpy(&dst, rec, sizeof(dst));
+            scratch.hop_nodes.push_back({dst, static_cast<std::uint32_t>(i)});
+          }
+        },
+        scratch.kv);
+    next.reserve(decoded_total);
+    for (std::size_t i = 0; i < fsize; ++i) {
+      const auto& range = scratch.ranges[i];
+      if (range.count == ServeScratch::kMissingCell) {
+        out.missing_cells++;
+        continue;
+      }
+      next.insert(next.end(), scratch.hop_nodes.begin() + range.begin,
+                  scratch.hop_nodes.begin() + range.begin + range.count);
+    }
+  }
+
+  // ---- feature phase: one batched lookup over the distinct vertices of
+  // the whole sampled tree, copied straight into the per-query arena.
+  scratch.feat_vertices.clear();
+  for (const auto& layer : out.layers) {
+    for (const auto& node : layer) scratch.feat_vertices.push_back(node.vertex);
+  }
+  std::sort(scratch.feat_vertices.begin(), scratch.feat_vertices.end());
+  scratch.feat_vertices.erase(
+      std::unique(scratch.feat_vertices.begin(), scratch.feat_vertices.end()),
+      scratch.feat_vertices.end());
+  const std::size_t unique_vertices = scratch.feat_vertices.size();
+  out.feature_lookups += unique_vertices;
+  scratch.feature_keys.resize(unique_vertices);
+  scratch.keys.resize(unique_vertices);
+  for (std::size_t i = 0; i < unique_vertices; ++i) {
+    scratch.feature_keys[i] = FeatureKeyBuf(scratch.feat_vertices[i]);
+    scratch.keys[i] = scratch.feature_keys[i].view();
+  }
+  store_->MultiView(
+      scratch.keys.data(), unique_vertices,
+      [&](std::size_t i, std::string_view value, bool found) {
+        if (!found) {
+          out.missing_features++;
+          return;
+        }
+        // Feature layout: [u32 n][n × f32]. A malformed value degrades to
+        // an empty feature, matching the old ByteReader::GetFloats path.
+        std::uint32_t n = 0;
+        if (value.size() >= 4) std::memcpy(&n, value.data(), sizeof(n));
+        if (4 + static_cast<std::size_t>(n) * sizeof(float) > value.size()) n = 0;
+        out.features.Set(scratch.feat_vertices[i],
+                         reinterpret_cast<const float*>(value.data() + 4), n);
+      },
+      scratch.kv);
+
+  m_.queries_served->Add(1);
+  m_.cache_miss_cells->Add(out.missing_cells);
+  m_.cache_miss_features->Add(out.missing_features);
+  m_.query_nodes->Record(out.TotalNodes());
+  m_.query_arena_bytes->Record(out.features.arena_floats() * sizeof(float));
+  m_.query_latency_us->Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+          .count()));
 }
 
 SampledSubgraph ServingCore::Serve(graph::VertexId seed) const {
-  SampledSubgraph result;
-  result.seed = seed;
-  result.layers.resize(plan_.num_hops() + 1);
-  result.layers[0].push_back({seed, 0});
-
-  std::vector<graph::Edge> cell;
-  for (std::size_t k = 0; k < plan_.num_hops(); ++k) {
-    const std::uint32_t level = plan_.one_hop[k].hop;
-    auto& frontier = result.layers[k];
-    auto& next = result.layers[k + 1];
-    for (std::uint32_t parent = 0; parent < frontier.size(); ++parent) {
-      result.sample_lookups++;
-      if (!LoadCell(level, frontier[parent].vertex, cell)) {
-        result.missing_cells++;
-        continue;
-      }
-      for (const auto& edge : cell) {
-        next.push_back({edge.dst, parent});
-      }
-    }
-  }
-
-  // Feature fetch for the seed and every sampled vertex.
-  std::string value;
-  for (const auto& layer : result.layers) {
-    for (const auto& node : layer) {
-      if (result.features.count(node.vertex)) continue;
-      result.feature_lookups++;
-      if (store_->Get(FeatureKey(node.vertex), value).ok()) {
-        graph::ByteReader r(value);
-        result.features.emplace(node.vertex, r.GetFloats());
-      } else {
-        result.missing_features++;
-      }
-    }
-  }
-
-  m_.queries_served->Add(1);
-  m_.cache_miss_cells->Add(result.missing_cells);
-  m_.cache_miss_features->Add(result.missing_features);
-  return result;
+  static thread_local ServeScratch scratch;
+  SampledSubgraph out;
+  ServeInto(seed, out, scratch);
+  return out;
 }
 
 std::size_t ServingCore::EvictOlderThan(graph::Timestamp cutoff) {
-  // Collect expired sample keys first (Scan holds shard locks).
+  // Collect expired sample keys first (Scan holds shard locks). The newest
+  // timestamp of a cell comes from scanning its fixed 20-byte records in
+  // place — no per-cell Edge vector. Undecodable cells scan as newest=0
+  // and age out, matching the old decode-based behaviour.
   std::vector<std::string> expired;
   store_->Scan("s", [&](const std::string& key, const std::string& value) {
-    std::vector<graph::Edge> cell;
     graph::Timestamp newest = 0;
-    if (DecodeCell(value, cell)) {
-      for (const auto& e : cell) newest = std::max(newest, e.ts);
+    const std::uint32_t n = CellRecordCount(value);
+    if (n != kBadCell) {
+      const char* rec = value.data() + kCellHeaderBytes;
+      for (std::uint32_t i = 0; i < n; ++i, rec += kCellRecordBytes) {
+        graph::Timestamp ts;
+        std::memcpy(&ts, rec + 8, sizeof(ts));
+        newest = std::max(newest, ts);
+      }
     }
     if (newest < cutoff) expired.push_back(key);
     return true;
@@ -271,11 +411,11 @@ std::size_t ServingCore::EvictOlderThan(graph::Timestamp cutoff) {
 }
 
 bool ServingCore::HasCell(std::uint32_t level, graph::VertexId v) const {
-  return store_->Contains(SampleKey(level, v));
+  return store_->Contains(SampleKeyBuf(level, v).view());
 }
 
 bool ServingCore::HasFeature(graph::VertexId v) const {
-  return store_->Contains(FeatureKey(v));
+  return store_->Contains(FeatureKeyBuf(v).view());
 }
 
 std::map<std::string, std::string> ServingCore::DumpCache() const {

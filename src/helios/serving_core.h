@@ -12,16 +12,26 @@
 // lookups in the worst case, independent of the seed's real degree, which
 // is the tail-latency argument of the paper.
 //
+// The read path is zero-copy and shard-batched: keys are fixed-size binary
+// buffers built on the stack (SampleKeyBuf/FeatureKeyBuf), every hop is one
+// KvStore::MultiView (one lock per distinct KV shard, cells decoded in
+// place from the resident bytes), and the result's features land in one
+// contiguous per-query float arena indexed vertex -> (offset, len). With a
+// reused output + ServeScratch, steady-state ServeInto() performs zero
+// heap allocations (asserted by bench/micro_ops BM_ServePath).
+//
 // Consistency is eventual (§6): updates are applied as the sample queue
 // drains; a lookup may miss entries that are still in flight. Serve()
 // reports how many lookups missed so experiments can quantify staleness.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "graph/types.h"
@@ -29,9 +39,90 @@
 #include "helios/query.h"
 #include "kv/kv_store.h"
 #include "obs/metrics.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace helios {
+
+// Stack-built fixed-size binary keys for the two cache tables. Layouts
+// match the historical string keys byte for byte ("s" + raw level byte +
+// 8-byte vertex; "f" + 8-byte vertex) so on-disk caches stay readable.
+struct SampleKeyBuf {
+  char bytes[10];
+  SampleKeyBuf() = default;
+  SampleKeyBuf(std::uint32_t level, graph::VertexId v) {
+    bytes[0] = 's';
+    bytes[1] = static_cast<char>(level);
+    std::memcpy(bytes + 2, &v, sizeof(v));
+  }
+  std::string_view view() const { return {bytes, sizeof(bytes)}; }
+};
+
+struct FeatureKeyBuf {
+  char bytes[9];
+  FeatureKeyBuf() = default;
+  explicit FeatureKeyBuf(graph::VertexId v) {
+    bytes[0] = 'f';
+    std::memcpy(bytes + 1, &v, sizeof(v));
+  }
+  std::string_view view() const { return {bytes, sizeof(bytes)}; }
+};
+
+// Flat per-query feature storage: one contiguous float arena plus an
+// open-addressing vertex -> (offset, len) index. Replaces the old
+// map<VertexId, Feature> (one heap-allocated vector per vertex, scattered
+// reads at GNN gather time). Clear() keeps every buffer's capacity, so a
+// reused table reaches zero-allocation steady state.
+class FeatureTable {
+ public:
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  bool Contains(graph::VertexId v) const { return FindSlot(v) != nullptr; }
+
+  // Span of v's feature in the arena; empty when absent (or when the
+  // stored feature itself is empty — use Contains to distinguish).
+  std::span<const float> Find(graph::VertexId v) const {
+    const Slot* s = FindSlot(v);
+    if (s == nullptr) return {};
+    return {arena_.data() + s->offset, s->len};
+  }
+
+  // Inserts or overwrites v's feature (copied into the arena).
+  void Set(graph::VertexId v, const float* data, std::size_t len);
+  void Set(graph::VertexId v, const graph::Feature& f) { Set(v, f.data(), f.size()); }
+  void Erase(graph::VertexId v);
+  void Clear();
+
+  // fn(vertex, span) for every stored feature, unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == kUsed) fn(s.vertex, std::span<const float>(arena_.data() + s.offset, s.len));
+    }
+  }
+
+  // Total floats resident in the arena (diagnostics / serving.query.*).
+  std::size_t arena_floats() const { return arena_.size(); }
+
+ private:
+  enum SlotState : std::uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+  struct Slot {
+    graph::VertexId vertex = graph::kInvalidVertex;
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+    std::uint8_t state = kEmpty;
+  };
+
+  const Slot* FindSlot(graph::VertexId v) const;
+  Slot* InsertSlot(graph::VertexId v);  // grows/rehashes as needed
+  void Grow();
+
+  std::vector<float> arena_;
+  std::vector<Slot> slots_;  // power-of-two open addressing, linear probing
+  std::size_t count_ = 0;
+  std::size_t tombstones_ = 0;
+};
 
 // The layered K-hop sample produced for one inference request. Layer 0 is
 // the seed; layer k holds the hop-k samples with a parent index into layer
@@ -43,7 +134,7 @@ struct SampledSubgraph {
     std::uint32_t parent = 0;  // index into the previous layer
   };
   std::vector<std::vector<Node>> layers;  // layers[0] = {seed}
-  std::unordered_map<graph::VertexId, graph::Feature> features;
+  FeatureTable features;                  // arena-backed, one slab per query
 
   std::uint64_t sample_lookups = 0;
   std::uint64_t feature_lookups = 0;
@@ -55,6 +146,40 @@ struct SampledSubgraph {
     for (std::size_t k = 1; k < layers.size(); ++k) n += layers[k].size();
     return n;
   }
+  std::size_t TotalNodes() const {
+    std::size_t n = 0;
+    for (const auto& layer : layers) n += layer.size();
+    return n;
+  }
+
+  // Re-arms the result for a new query, keeping every buffer's capacity.
+  void Reset(graph::VertexId new_seed, std::size_t num_layers) {
+    seed = new_seed;
+    layers.resize(num_layers);
+    for (auto& layer : layers) layer.clear();
+    features.Clear();
+    sample_lookups = feature_lookups = missing_cells = missing_features = 0;
+  }
+};
+
+// Reusable per-core (or per-thread) workspace for ServeInto. All buffers
+// keep their capacity across queries.
+struct ServeScratch {
+  kv::KvStore::ViewScratch kv;
+  std::vector<SampleKeyBuf> sample_keys;
+  std::vector<FeatureKeyBuf> feature_keys;
+  std::vector<std::string_view> keys;
+  // Cells decoded during a hop's MultiView, in shard-visit order; ranges[i]
+  // locates frontier node i's children so the layer can be emitted in BFS
+  // order afterwards.
+  std::vector<SampledSubgraph::Node> hop_nodes;
+  struct CellRange {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;  // kMissingCell when absent/undecodable
+  };
+  static constexpr std::uint32_t kMissingCell = 0xFFFFFFFFu;
+  std::vector<CellRange> ranges;
+  std::vector<graph::VertexId> feat_vertices;  // dedup workspace
 };
 
 class ServingCore {
@@ -89,11 +214,19 @@ class ServingCore {
   void Apply(const ServingMessage& message);
 
   // ---- request path (serving threads, §4.3)
-  // Assembles the K-hop sampling result for `seed` from the local cache.
+  // Assembles the K-hop sampling result for `seed` into `out`, reusing the
+  // output's and the scratch's buffers: after warm-up a call performs no
+  // heap allocation. `scratch` must not be shared across concurrent calls
+  // (one per serving thread); `out` is fully overwritten.
+  // Feature lookups are deduplicated per query: each distinct vertex in
+  // the sampled tree costs exactly one feature-table probe.
+  void ServeInto(graph::VertexId seed, SampledSubgraph& out, ServeScratch& scratch) const;
+  // Convenience wrapper: fresh result, thread-local scratch.
   SampledSubgraph Serve(graph::VertexId seed) const;
 
   // TTL pass over the sample table: drops cached samples whose newest entry
-  // is older than `cutoff`.
+  // is older than `cutoff`. Scans the fixed 20-byte records in place — no
+  // per-cell decode or allocation.
   std::size_t EvictOlderThan(graph::Timestamp cutoff);
 
   Stats stats() const;
@@ -114,10 +247,6 @@ class ServingCore {
   std::map<std::string, std::string> DumpCache() const;
 
  private:
-  static std::string SampleKey(std::uint32_t level, graph::VertexId v);
-  static std::string FeatureKey(graph::VertexId v);
-  bool LoadCell(std::uint32_t level, graph::VertexId v, std::vector<graph::Edge>& out) const;
-
   QueryPlan plan_;
   std::uint32_t worker_id_ = 0;
   Options options_;
@@ -135,6 +264,11 @@ class ServingCore {
     obs::Counter* cache_miss_cells;
     obs::Counter* cache_miss_features;
     obs::Gauge* latest_event_ts;
+    // Read-path ("serving.query.*") distributions: wall latency per query,
+    // nodes assembled per query, feature-arena bytes per query.
+    obs::LatencyMetric* query_latency_us;
+    obs::LatencyMetric* query_nodes;
+    obs::LatencyMetric* query_arena_bytes;
   };
   MetricHandles m_;
 };

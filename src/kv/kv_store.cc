@@ -17,9 +17,19 @@ namespace {
 // node, pointers). An estimate; only relative sizes matter for Fig 16.
 constexpr std::size_t kEntryOverhead = 64;
 
-std::size_t EntryBytes(const std::string& key, const std::string& value) {
+std::size_t EntryBytes(std::string_view key, std::string_view value) {
   return key.size() + value.size() + kEntryOverhead;
 }
+
+// Transparent hash/eq so lookups accept std::string_view without building a
+// temporary std::string key (C++20 heterogeneous unordered lookup).
+struct KeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return static_cast<std::size_t>(util::FnvHash(s));
+  }
+};
+using KeyEq = std::equal_to<>;
 }  // namespace
 
 struct DiskLocation {
@@ -36,9 +46,9 @@ struct RunFile {
 
 struct KvStore::Shard {
   mutable std::mutex mutex;
-  std::unordered_map<std::string, std::string> memtable;
+  std::unordered_map<std::string, std::string, KeyHash, KeyEq> memtable;
   std::size_t memtable_bytes = 0;
-  std::unordered_map<std::string, DiskLocation> disk_index;
+  std::unordered_map<std::string, DiskLocation, KeyHash, KeyEq> disk_index;
   std::vector<RunFile> runs;
   std::size_t disk_live_bytes = 0;
   std::size_t disk_garbage_bytes = 0;
@@ -54,7 +64,7 @@ struct KvStore::Shard {
   }
 
   // Drops a disk entry from the index, accounting its bytes as garbage.
-  void DropDiskEntry(const std::string& key) {
+  void DropDiskEntry(std::string_view key) {
     auto it = disk_index.find(key);
     if (it == disk_index.end()) return;
     const std::size_t bytes = key.size() + it->second.length;
@@ -79,20 +89,21 @@ KvStore::KvStore(KvOptions options) : options_(std::move(options)) {
 
 KvStore::~KvStore() = default;
 
-std::size_t KvStore::ShardOf(const std::string& key) const {
+std::size_t KvStore::ShardOf(std::string_view key) const {
   return util::FnvHash(key) % shards_.size();
 }
 
-util::Status KvStore::Put(const std::string& key, const std::string& value) {
+util::Status KvStore::Put(std::string_view key, std::string_view value) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto [it, inserted] = shard.memtable.try_emplace(key, value);
-  if (inserted) {
+  auto it = shard.memtable.find(key);
+  if (it == shard.memtable.end()) {
+    shard.memtable.emplace(std::string(key), std::string(value));
     shard.memtable_bytes += EntryBytes(key, value);
   } else {
     shard.memtable_bytes += value.size();
     shard.memtable_bytes -= std::min(shard.memtable_bytes, it->second.size());
-    it->second = value;
+    it->second.assign(value);
   }
   // The memtable entry supersedes any spilled copy.
   shard.DropDiskEntry(key);
@@ -104,7 +115,7 @@ util::Status KvStore::Put(const std::string& key, const std::string& value) {
   return util::Status::Ok();
 }
 
-util::Status KvStore::Merge(const std::string& key,
+util::Status KvStore::Merge(std::string_view key,
                             const std::function<void(std::string& value)>& patch) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -130,7 +141,7 @@ util::Status KvStore::Merge(const std::string& key,
     }
     patch(value);
     shard.memtable_bytes += EntryBytes(key, value);
-    shard.memtable.emplace(key, std::move(value));
+    shard.memtable.emplace(std::string(key), std::move(value));
   }
   // The memtable entry supersedes any spilled copy.
   shard.DropDiskEntry(key);
@@ -142,7 +153,7 @@ util::Status KvStore::Merge(const std::string& key,
   return util::Status::Ok();
 }
 
-util::Status KvStore::Get(const std::string& key, std::string& value) const {
+util::Status KvStore::Get(std::string_view key, std::string& value) const {
   const Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto mit = shard.memtable.find(key);
@@ -163,13 +174,101 @@ util::Status KvStore::Get(const std::string& key, std::string& value) const {
   return util::Status::Ok();
 }
 
-bool KvStore::Contains(const std::string& key) const {
-  const Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.memtable.count(key) > 0 || shard.disk_index.count(key) > 0;
+bool KvStore::ViewInShard(const Shard& shard, std::string_view key, std::string& spill_buf,
+                          util::FunctionRef<void(std::string_view)> fn) const {
+  auto mit = shard.memtable.find(key);
+  if (mit != shard.memtable.end()) {
+    fn(std::string_view(mit->second));
+    return true;
+  }
+  auto dit = shard.disk_index.find(key);
+  if (dit == shard.disk_index.end()) return false;
+  const DiskLocation& loc = dit->second;
+  spill_buf.resize(loc.length);
+  const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
+  const ssize_t n =
+      ::pread(run.fd, spill_buf.data(), loc.length, static_cast<off_t>(loc.offset));
+  shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
+  if (n != static_cast<ssize_t>(loc.length)) return false;
+  fn(std::string_view(spill_buf));
+  return true;
 }
 
-util::Status KvStore::Delete(const std::string& key) {
+util::Status KvStore::View(std::string_view key,
+                           util::FunctionRef<void(std::string_view)> fn) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  // Spill copy-out buffer; thread-local so the spill path reuses one
+  // allocation per thread instead of one per call.
+  static thread_local std::string spill_buf;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (!ViewInShard(shard, key, spill_buf, fn)) return util::Status::NotFound();
+  return util::Status::Ok();
+}
+
+void KvStore::MultiView(
+    const std::string_view* keys, std::size_t n,
+    util::FunctionRef<void(std::size_t, std::string_view, bool)> fn,
+    ViewScratch& scratch) const {
+  const std::size_t num_shards = shards_.size();
+  // Counting sort of key indices by owning shard (stable within a shard):
+  // one pass to shard + count, a prefix sum, one pass to scatter.
+  scratch.shard_of.resize(n);
+  scratch.order.resize(n);
+  scratch.bucket.assign(num_shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::uint32_t>(ShardOf(keys[i]));
+    scratch.shard_of[i] = s;
+    scratch.bucket[s + 1]++;
+  }
+  for (std::size_t s = 1; s <= num_shards; ++s) scratch.bucket[s] += scratch.bucket[s - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.order[scratch.bucket[scratch.shard_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  // bucket[s] now holds the END of shard s's index range; walk the grouped
+  // indices, locking each populated shard once.
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t end = scratch.bucket[s];
+    if (cursor == end) continue;
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (; cursor < end; ++cursor) {
+      const std::size_t i = scratch.order[cursor];
+      if (!ViewInShard(shard, keys[i], scratch.spill_buf, [&](std::string_view value) {
+            fn(i, value, true);
+          })) {
+        fn(i, std::string_view(), false);
+      }
+    }
+  }
+}
+
+void KvStore::MultiGet(const std::string_view* keys, std::size_t n,
+                       std::vector<std::string>& values, std::vector<bool>& found,
+                       ViewScratch& scratch) const {
+  values.resize(n);
+  found.assign(n, false);
+  MultiView(
+      keys, n,
+      [&](std::size_t i, std::string_view value, bool hit) {
+        if (hit) {
+          values[i].assign(value);
+          found[i] = true;
+        } else {
+          values[i].clear();
+        }
+      },
+      scratch);
+}
+
+bool KvStore::Contains(std::string_view key) const {
+  const Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.memtable.find(key) != shard.memtable.end() ||
+         shard.disk_index.find(key) != shard.disk_index.end();
+}
+
+util::Status KvStore::Delete(std::string_view key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto mit = shard.memtable.find(key);

@@ -23,10 +23,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/function_ref.h"
 #include "util/status.h"
 
 namespace helios::kv {
@@ -56,19 +58,65 @@ class KvStore {
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
 
-  util::Status Put(const std::string& key, const std::string& value);
+  // All key parameters are string_views resolved through transparent
+  // hash/eq lookups — callers with stack-built binary keys (see
+  // helios::SampleKeyBuf) never materialize a temporary std::string.
+  util::Status Put(std::string_view key, std::string_view value);
   // In-place read-modify-write: looks the key up once, hands the current
   // value to `patch` (empty string when absent) and keeps the patched bytes
   // as the new value — all under one shard lock, with no Get/Put round-trip
   // or intermediate copy. Disk-resident entries are pulled back into the
   // memtable (the patched value supersedes the spilled copy, which becomes
   // garbage). Subject to the same spill policy as Put.
-  util::Status Merge(const std::string& key,
+  util::Status Merge(std::string_view key,
                      const std::function<void(std::string& value)>& patch);
   // Returns kNotFound when absent.
-  util::Status Get(const std::string& key, std::string& value) const;
-  bool Contains(const std::string& key) const;
-  util::Status Delete(const std::string& key);
+  util::Status Get(std::string_view key, std::string& value) const;
+  bool Contains(std::string_view key) const;
+  util::Status Delete(std::string_view key);
+
+  // ---- zero-copy read path -------------------------------------------
+  //
+  // View runs `fn` on the resident value bytes under the shard lock,
+  // without copying them out: memtable hits see the live value in place;
+  // spill-resident entries are read into an internal scratch buffer first
+  // (the copying path — disk bytes have to move through memory anyway).
+  // `fn` must be short, must not block, and must not re-enter this store
+  // (the shard mutex is held for its whole duration). Returns kNotFound
+  // when the key is absent (fn not invoked).
+  util::Status View(std::string_view key,
+                    util::FunctionRef<void(std::string_view value)> fn) const;
+
+  // Reusable workspace for MultiView/MultiGet. Buffers keep their capacity
+  // across calls, so a long-lived scratch makes batched reads
+  // allocation-free in steady state.
+  struct ViewScratch {
+    std::vector<std::uint32_t> shard_of;   // per-key owning shard
+    std::vector<std::uint32_t> order;      // key indices grouped by shard
+    std::vector<std::uint32_t> bucket;     // counting-sort workspace
+    std::string spill_buf;                 // disk-resident copy-out
+    void Clear() {
+      shard_of.clear();
+      order.clear();
+      bucket.clear();
+    }
+  };
+
+  // Batched View: groups the `n` keys by owning shard (counting sort, order
+  // stable within a shard) and takes each shard mutex exactly once,
+  // invoking fn(i, value, found) for every key — so a query frontier costs
+  // one lock acquisition per *distinct shard* per hop instead of one per
+  // cell. Missing keys get fn(i, {}, false). Invocation order is
+  // shard-grouped, NOT the order of `keys`; callers that need input order
+  // must scatter by the index argument. Same in-lock contract as View.
+  void MultiView(const std::string_view* keys, std::size_t n,
+                 util::FunctionRef<void(std::size_t index, std::string_view value, bool found)> fn,
+                 ViewScratch& scratch) const;
+
+  // Copying convenience over MultiView: values[i] receives the value of
+  // keys[i] (cleared when absent), found[i] says whether it existed.
+  void MultiGet(const std::string_view* keys, std::size_t n, std::vector<std::string>& values,
+                std::vector<bool>& found, ViewScratch& scratch) const;
 
   // Visits every live (key, value) whose key starts with `prefix`.
   // Visitation order is unspecified. fn returning false stops the scan.
@@ -90,8 +138,12 @@ class KvStore {
 
  private:
   struct Shard;
-  std::size_t ShardOf(const std::string& key) const;
+  std::size_t ShardOf(std::string_view key) const;
   util::Status SpillShard(Shard& shard);  // caller holds shard.mutex
+  // Looks `key` up in `shard` (memtable, then disk) under the caller-held
+  // lock and runs fn on the value; returns false when absent.
+  bool ViewInShard(const Shard& shard, std::string_view key, std::string& spill_buf,
+                   util::FunctionRef<void(std::string_view)> fn) const;
 
   KvOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -57,11 +57,11 @@ SampledSubgraph MakeSample(float seed_val, float hop1_val, float hop2_val) {
   s.layers[1].push_back({MakeVertexId(1, 2), 0});
   s.layers[2].push_back({MakeVertexId(1, 11), 0});
   s.layers[2].push_back({MakeVertexId(1, 12), 1});
-  s.features[s.seed] = {seed_val, seed_val};
-  s.features[MakeVertexId(1, 1)] = {hop1_val, hop1_val};
-  s.features[MakeVertexId(1, 2)] = {hop1_val, -hop1_val};
-  s.features[MakeVertexId(1, 11)] = {hop2_val, 0.f};
-  s.features[MakeVertexId(1, 12)] = {0.f, hop2_val};
+  s.features.Set(s.seed, {seed_val, seed_val});
+  s.features.Set(MakeVertexId(1, 1), {hop1_val, hop1_val});
+  s.features.Set(MakeVertexId(1, 2), {hop1_val, -hop1_val});
+  s.features.Set(MakeVertexId(1, 11), {hop2_val, 0.f});
+  s.features.Set(MakeVertexId(1, 12), {0.f, hop2_val});
   return s;
 }
 
@@ -119,9 +119,9 @@ TEST(GraphSage, MissingFeatureTreatedAsZero) {
   GraphSageEncoder enc(SmallConfig());
   auto with = MakeSample(1.f, 0.5f, 0.25f);
   auto without = with;
-  without.features.erase(MakeVertexId(1, 11));
+  without.features.Erase(MakeVertexId(1, 11));
   auto zeroed = with;
-  zeroed.features[MakeVertexId(1, 11)] = {0.f, 0.f};
+  zeroed.features.Set(MakeVertexId(1, 11), {0.f, 0.f});
   EXPECT_EQ(enc.EmbedSeed(without), enc.EmbedSeed(zeroed));
 }
 

@@ -4,7 +4,9 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <string_view>
 #include <thread>
+#include <vector>
 
 #include "kv/kv_store.h"
 #include "util/rng.h"
@@ -260,6 +262,145 @@ TEST_F(KvTest, ConcurrentReadersAndWriters) {
   writer.join();
   reader.join();
   EXPECT_EQ(store.GetStats().num_keys, kKeys);
+}
+
+// ------------------------------------------------- zero-copy read path
+
+TEST_F(KvTest, ViewSeesLiveBytesWithoutCopy) {
+  KvStore store({});
+  store.Put("k", "hello");
+  bool called = false;
+  EXPECT_TRUE(store.View("k", [&](std::string_view v) {
+                   called = true;
+                   EXPECT_EQ(v, "hello");
+                 }).ok());
+  EXPECT_TRUE(called);
+  called = false;
+  EXPECT_FALSE(store.View("missing", [&](std::string_view) { called = true; }).ok());
+  EXPECT_FALSE(called);
+}
+
+TEST_F(KvTest, HeterogeneousLookupNeedsNoStringKey) {
+  KvStore store({});
+  const char raw[] = {'s', 0x01, 'x'};
+  store.Put(std::string_view(raw, sizeof(raw)), "v");
+  // Probe through a different buffer with the same bytes: the transparent
+  // hash/eq must find it, binary zeros and all.
+  char probe[] = {'s', 0x01, 'x'};
+  EXPECT_TRUE(store.Contains(std::string_view(probe, sizeof(probe))));
+  std::string v;
+  EXPECT_TRUE(store.Get(std::string_view(probe, sizeof(probe)), v).ok());
+  EXPECT_EQ(v, "v");
+  EXPECT_TRUE(store.Delete(std::string_view(probe, sizeof(probe))).ok());
+  EXPECT_FALSE(store.Contains(std::string_view(raw, sizeof(raw))));
+}
+
+TEST_F(KvTest, MultiViewVisitsEveryKeyOnceWithFoundFlags) {
+  KvStore store({});
+  store.Put("a", "1");
+  store.Put("c", "3");
+  const std::string_view keys[] = {"a", "b", "c", "a"};
+  std::vector<std::string> values(4);
+  std::vector<bool> seen(4, false);
+  std::vector<bool> hits(4, false);
+  KvStore::ViewScratch scratch;
+  store.MultiView(
+      keys, 4,
+      [&](std::size_t i, std::string_view value, bool found) {
+        EXPECT_FALSE(seen[i]) << "key index visited twice";
+        seen[i] = true;
+        hits[i] = found;
+        values[i] = std::string(value);
+      },
+      scratch);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(seen[i]) << i;
+  EXPECT_TRUE(hits[0]);
+  EXPECT_FALSE(hits[1]);
+  EXPECT_TRUE(hits[2]);
+  EXPECT_TRUE(hits[3]);  // duplicate key: both indices answered
+  EXPECT_EQ(values[0], "1");
+  EXPECT_EQ(values[2], "3");
+  EXPECT_EQ(values[3], "1");
+}
+
+// Property test: MultiGet agrees with per-key Get across a randomized
+// mixed memtable/spill-resident population, for several shard counts —
+// spill-resident entries flow through the copying path but must be
+// indistinguishable to the caller.
+TEST_F(KvTest, MultiGetMatchesGetUnderSpill) {
+  util::Rng rng(23);
+  for (const std::size_t shards : {1ul, 3ul, 16ul}) {
+    KvOptions options;
+    options.memory_budget_bytes = 2048;
+    options.spill_dir = (dir_ / std::to_string(shards)).string();
+    options.num_shards = shards;
+    std::filesystem::create_directories(options.spill_dir);
+    KvStore store(options);
+    for (int i = 0; i < 400; ++i) {
+      store.Put("k" + std::to_string(rng.Uniform(150)),
+                std::string(20 + rng.Uniform(60), static_cast<char>('a' + rng.Uniform(26))));
+      if (i % 100 == 99) {
+        ASSERT_TRUE(store.Flush().ok());
+      }
+    }
+    ASSERT_GT(store.GetStats().spills, 0u);
+    // Batch of hits, misses and duplicates in random order.
+    std::vector<std::string> key_storage;
+    key_storage.reserve(64);
+    for (int i = 0; i < 64; ++i) key_storage.push_back("k" + std::to_string(rng.Uniform(200)));
+    std::vector<std::string_view> keys(key_storage.begin(), key_storage.end());
+    std::vector<std::string> values;
+    std::vector<bool> found;
+    KvStore::ViewScratch scratch;
+    store.MultiGet(keys.data(), keys.size(), values, found, scratch);
+    ASSERT_EQ(values.size(), keys.size());
+    ASSERT_EQ(found.size(), keys.size());
+    std::string expect;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const bool hit = store.Get(keys[i], expect).ok();
+      EXPECT_EQ(found[i], hit) << key_storage[i];
+      if (hit) {
+        EXPECT_EQ(values[i], expect) << key_storage[i];
+      }
+    }
+  }
+}
+
+TEST_F(KvTest, ConcurrentMultiViewAndWriters) {
+  KvOptions options;
+  options.num_shards = 8;
+  KvStore store(options);
+  constexpr int kKeys = 500;
+  for (int i = 0; i < kKeys; ++i) {
+    store.Put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < kKeys; ++i) {
+        store.Put("k" + std::to_string(i), "v" + std::to_string(i));
+      }
+    }
+  });
+  std::thread reader([&] {
+    std::vector<std::string> key_storage;
+    for (int i = 0; i < kKeys; ++i) key_storage.push_back("k" + std::to_string(i));
+    std::vector<std::string_view> keys(key_storage.begin(), key_storage.end());
+    KvStore::ViewScratch scratch;
+    for (int round = 0; round < 20; ++round) {
+      std::size_t hits = 0;
+      store.MultiView(
+          keys.data(), keys.size(),
+          [&](std::size_t i, std::string_view value, bool found) {
+            ASSERT_TRUE(found);
+            hits++;
+            EXPECT_EQ(value, "v" + std::to_string(i));
+          },
+          scratch);
+      EXPECT_EQ(hits, keys.size());
+    }
+  });
+  writer.join();
+  reader.join();
 }
 
 // Property sweep over shard counts: behaviour is shard-count independent.

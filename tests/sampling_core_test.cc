@@ -327,6 +327,29 @@ TEST(SamplingCore, PruneDropsExpiredSamplesAndCascades) {
   EXPECT_NE(mesh.Latest(0, ServingMessage::Kind::kRetract, old_item, 2), nullptr);
 }
 
+// Satellite of the Prune pre-scan: when nothing has expired, a prune pass
+// is a pure no-op — cells keep their exact contents (no reservoir rebuild)
+// and no refresh or retract traffic reaches serving.
+TEST(SamplingCore, PruneWithNothingExpiredIsNoOp) {
+  ShardMap map{1, 1, 1};
+  LocalMesh mesh(TwoHopPlan(Strategy::kTopK, Strategy::kTopK, 2, 2), map);
+  const auto user = MakeVertexId(0, 1);
+  mesh.Ingest(Edge(0, user, MakeVertexId(1, 2), 200));
+  mesh.Ingest(Edge(0, user, MakeVertexId(1, 3), 500));
+  const auto before = mesh.core(0).CellOf(1, user)->samples();
+  const std::size_t inbox_before = mesh.ServingInbox(0).size();
+
+  mesh.PruneAll(/*cutoff=*/100);  // everything is newer than the cutoff
+  const auto* cell = mesh.core(0).CellOf(1, user);
+  ASSERT_NE(cell, nullptr);
+  ASSERT_EQ(cell->samples().size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(cell->samples()[i].dst, before[i].dst) << i;
+    EXPECT_EQ(cell->samples()[i].ts, before[i].ts) << i;
+  }
+  EXPECT_EQ(mesh.ServingInbox(0).size(), inbox_before) << "no-op prune must stay silent";
+}
+
 TEST(SamplingCore, StatsAccumulate) {
   ShardMap map{1, 1, 1};
   LocalMesh mesh(TwoHopPlan(), map);

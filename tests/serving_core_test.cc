@@ -3,10 +3,14 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "gen/datasets.h"
+#include "graph/update_codec.h"
 #include "helios/serving_core.h"
+#include "util/rng.h"
 
 namespace helios {
 namespace {
@@ -74,8 +78,8 @@ TEST(ServingCore, AssemblesFullTwoHopResult) {
   }
   // All features fetched.
   EXPECT_EQ(result.features.size(), 5u);
-  ASSERT_TRUE(result.features.count(j1));
-  EXPECT_EQ(result.features.at(j1)[0], static_cast<float>(j1 % 100));
+  ASSERT_TRUE(result.features.Contains(j1));
+  EXPECT_EQ(result.features.Find(j1)[0], static_cast<float>(j1 % 100));
 }
 
 TEST(ServingCore, LookupCountsMatchPlanBounds) {
@@ -333,6 +337,233 @@ TEST_P(FanoutSweep, LayerSizesBoundedByFanouts) {
 INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweep,
                          ::testing::Values(std::make_tuple(1u, 1u), std::make_tuple(2u, 5u),
                                            std::make_tuple(25u, 10u)));
+
+// ------------------------------------------------- zero-copy path parity
+
+// Copying reference implementation of the K-hop assembly: string keys, one
+// Get per cell, ByteReader decode into vectors — the pre-arena semantics.
+// Feature lookups are deduplicated per query exactly like ServeInto's
+// documented contract (each distinct vertex probed once).
+SampledSubgraph ReferenceServe(const ServingCore& core, graph::VertexId seed) {
+  const auto cache = core.DumpCache();
+  const QueryPlan& plan = core.plan();
+  auto sample_key = [](std::uint32_t level, graph::VertexId v) {
+    std::string key("s");
+    key.push_back(static_cast<char>(level));
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    return key;
+  };
+  auto feature_key = [](graph::VertexId v) {
+    std::string key("f");
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    return key;
+  };
+
+  SampledSubgraph out;
+  out.seed = seed;
+  out.layers.resize(plan.num_hops() + 1);
+  out.layers[0].push_back({seed, 0});
+  for (std::size_t k = 0; k < plan.num_hops(); ++k) {
+    const std::uint32_t level = plan.one_hop[k].hop;
+    out.sample_lookups += out.layers[k].size();
+    for (std::uint32_t i = 0; i < out.layers[k].size(); ++i) {
+      const auto it = cache.find(sample_key(level, out.layers[k][i].vertex));
+      if (it == cache.end()) {
+        out.missing_cells++;
+        continue;
+      }
+      graph::ByteReader r(it->second);
+      (void)r.GetI64();
+      const std::uint32_t n = r.GetU32();
+      std::vector<SampledSubgraph::Node> children;
+      for (std::uint32_t c = 0; r.ok() && c < n; ++c) {
+        const graph::VertexId dst = r.GetU64();
+        (void)r.GetI64();
+        (void)r.GetF32();
+        if (r.ok()) children.push_back({dst, i});
+      }
+      if (!r.ok()) {
+        out.missing_cells++;
+        continue;
+      }
+      out.layers[k + 1].insert(out.layers[k + 1].end(), children.begin(), children.end());
+    }
+  }
+  std::vector<graph::VertexId> vertices;
+  for (const auto& layer : out.layers) {
+    for (const auto& node : layer) vertices.push_back(node.vertex);
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()), vertices.end());
+  out.feature_lookups += vertices.size();
+  for (const graph::VertexId v : vertices) {
+    const auto it = cache.find(feature_key(v));
+    if (it == cache.end()) {
+      out.missing_features++;
+      continue;
+    }
+    graph::ByteReader r(it->second);
+    out.features.Set(v, r.GetFloats());
+  }
+  return out;
+}
+
+void ExpectSameResult(const SampledSubgraph& got, const SampledSubgraph& want) {
+  EXPECT_EQ(got.seed, want.seed);
+  ASSERT_EQ(got.layers.size(), want.layers.size());
+  for (std::size_t k = 0; k < want.layers.size(); ++k) {
+    ASSERT_EQ(got.layers[k].size(), want.layers[k].size()) << "layer " << k;
+    for (std::size_t i = 0; i < want.layers[k].size(); ++i) {
+      EXPECT_EQ(got.layers[k][i].vertex, want.layers[k][i].vertex) << k << "/" << i;
+      EXPECT_EQ(got.layers[k][i].parent, want.layers[k][i].parent) << k << "/" << i;
+    }
+  }
+  EXPECT_EQ(got.sample_lookups, want.sample_lookups);
+  EXPECT_EQ(got.feature_lookups, want.feature_lookups);
+  EXPECT_EQ(got.missing_cells, want.missing_cells);
+  EXPECT_EQ(got.missing_features, want.missing_features);
+  ASSERT_EQ(got.features.size(), want.features.size());
+  want.features.ForEach([&](graph::VertexId v, std::span<const float> f) {
+    ASSERT_TRUE(got.features.Contains(v)) << v;
+    const auto g = got.features.Find(v);
+    ASSERT_EQ(g.size(), f.size()) << v;
+    for (std::size_t j = 0; j < f.size(); ++j) EXPECT_EQ(g[j], f[j]) << v << "/" << j;
+  });
+}
+
+// Golden parity: the arena-backed batched read path must produce the exact
+// result of the copying reference across randomized workloads — including
+// partial caches (missing cells/features) and duplicate vertices across
+// layers (dedup semantics) — and must keep producing it when `out` and
+// `scratch` are reused across queries.
+TEST(ServingCore, ServeMatchesCopyingReferenceOnRandomWorkloads) {
+  util::Rng rng(20240806);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint32_t f1 = 1 + static_cast<std::uint32_t>(rng.Uniform(5));
+    const std::uint32_t f2 = 1 + static_cast<std::uint32_t>(rng.Uniform(5));
+    ServingCore core(Plan(f1, f2), 0);
+    const std::uint64_t universe = 12;  // small: forces collisions/dups
+    for (std::uint64_t u = 0; u < universe; ++u) {
+      const auto user = MakeVertexId(0, u);
+      if (rng.Bernoulli(0.8)) {
+        std::vector<graph::VertexId> hop1;
+        for (std::uint32_t i = 0; i < f1; ++i) {
+          hop1.push_back(MakeVertexId(1, rng.Uniform(universe)));
+        }
+        core.Apply(ServingMessage::Of(Cell(1, user, hop1, /*ts=*/1 + u)));
+      }
+      const auto item = MakeVertexId(1, u);
+      if (rng.Bernoulli(0.8)) {
+        std::vector<graph::VertexId> hop2;
+        for (std::uint32_t j = 0; j < f2; ++j) {
+          hop2.push_back(MakeVertexId(1, rng.Uniform(universe)));
+        }
+        core.Apply(ServingMessage::Of(Cell(2, item, hop2, /*ts=*/1 + u)));
+      }
+      if (rng.Bernoulli(0.6)) core.Apply(ServingMessage::Of(Feat(user, static_cast<float>(u))));
+      if (rng.Bernoulli(0.6)) {
+        core.Apply(ServingMessage::Of(Feat(item, static_cast<float>(u) + 0.5f)));
+      }
+    }
+    SampledSubgraph reused;
+    ServeScratch scratch;
+    for (std::uint64_t u = 0; u < universe; ++u) {
+      const auto seed = MakeVertexId(0, u);
+      const auto want = ReferenceServe(core, seed);
+      ExpectSameResult(core.Serve(seed), want);
+      core.ServeInto(seed, reused, scratch);
+      ExpectSameResult(reused, want);
+    }
+  }
+}
+
+// Satellite: the in-place record scan of EvictOlderThan must evict exactly
+// the cells the decode-based reference would.
+TEST(ServingCore, EvictionMatchesDecodeReference) {
+  util::Rng rng(77);
+  ServingCore core(Plan(3, 2), 0);
+  struct Expect {
+    std::uint32_t level;
+    graph::VertexId v;
+    graph::Timestamp newest;
+  };
+  std::vector<Expect> cells;
+  for (std::uint64_t u = 0; u < 64; ++u) {
+    const std::uint32_t level = 1 + static_cast<std::uint32_t>(rng.Uniform(2));
+    const auto v = MakeVertexId(level == 1 ? 0 : 1, u);
+    SampleUpdate su;
+    su.level = level;
+    su.vertex = v;
+    su.event_ts = 1;
+    graph::Timestamp newest = 0;
+    const std::size_t n = 1 + rng.Uniform(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const graph::Timestamp ts = static_cast<graph::Timestamp>(rng.Uniform(1000));
+      su.samples.push_back({MakeVertexId(1, 500 + i), ts, 1.0f});
+      newest = std::max(newest, ts);
+    }
+    core.Apply(ServingMessage::Of(su));
+    cells.push_back({level, v, newest});
+  }
+  const graph::Timestamp cutoff = 500;
+  std::size_t expected_evicted = 0;
+  for (const auto& c : cells) expected_evicted += c.newest < cutoff;
+  EXPECT_EQ(core.EvictOlderThan(cutoff), expected_evicted);
+  for (const auto& c : cells) {
+    EXPECT_EQ(core.HasCell(c.level, c.v), c.newest >= cutoff) << c.v;
+  }
+}
+
+// ----------------------------------------------------------- FeatureTable
+
+TEST(FeatureTable, SetFindEraseAndRehash) {
+  FeatureTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_TRUE(table.Find(7).empty());
+  // Enough entries to force several growth/rehash rounds.
+  for (graph::VertexId v = 0; v < 200; ++v) {
+    const float x = static_cast<float>(v);
+    const float data[3] = {x, x + 1, x + 2};
+    table.Set(v, data, 3);
+  }
+  EXPECT_EQ(table.size(), 200u);
+  for (graph::VertexId v = 0; v < 200; ++v) {
+    const auto f = table.Find(v);
+    ASSERT_EQ(f.size(), 3u) << v;
+    EXPECT_EQ(f[0], static_cast<float>(v));
+  }
+  // Overwrite shrinks in place; grow re-appends.
+  const float one[1] = {9.f};
+  table.Set(5, one, 1);
+  EXPECT_EQ(table.Find(5).size(), 1u);
+  EXPECT_EQ(table.Find(5)[0], 9.f);
+  const float four[4] = {1, 2, 3, 4};
+  table.Set(5, four, 4);
+  ASSERT_EQ(table.Find(5).size(), 4u);
+  EXPECT_EQ(table.Find(5)[3], 4.f);
+  EXPECT_EQ(table.size(), 200u);
+
+  table.Erase(5);
+  EXPECT_FALSE(table.Contains(5));
+  EXPECT_EQ(table.size(), 199u);
+  // Tombstone reuse: re-inserting the erased key must not lose others.
+  table.Set(5, four, 4);
+  EXPECT_EQ(table.size(), 200u);
+  for (graph::VertexId v = 0; v < 200; ++v) EXPECT_TRUE(table.Contains(v)) << v;
+
+  table.Clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.arena_floats(), 0u);
+  EXPECT_FALSE(table.Contains(3));
+}
+
+TEST(FeatureTable, EmptyFeatureIsStoredButEmpty) {
+  FeatureTable table;
+  table.Set(11, nullptr, 0);
+  EXPECT_TRUE(table.Contains(11));
+  EXPECT_TRUE(table.Find(11).empty());
+  EXPECT_EQ(table.size(), 1u);
+}
 
 }  // namespace
 }  // namespace helios
