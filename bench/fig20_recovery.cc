@@ -1,0 +1,220 @@
+// Figure 20 (extension): fault recovery of the sampling tier. Crash one
+// sampling node mid-ingestion, detect it by heartbeat supervision, restore
+// the latest checkpoint, replay the durable log tail with epoch/seq fencing
+// at the serving side, and re-admit the node.
+//
+// Shape to reproduce: the applied-at-serving throughput timeline dips while
+// the victim is down and climbs back after re-admission; the recovered run
+// converges to byte-identical serving caches vs a crash-free run (zero lost,
+// zero duplicated updates — docs/FAULT_TOLERANCE.md).
+//
+// Usage: fig20_recovery [scale=1200] [metrics=-|out.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "bench/harness.h"
+#include "helios/threaded_cluster.h"
+#include "util/clock.h"
+
+using namespace helios;
+
+namespace {
+
+void PrintTimeline(const bench::IngestReport& r) {
+  if (r.applied_timeline.empty()) return;
+  std::uint64_t peak = 1;
+  for (auto v : r.applied_timeline) peak = std::max(peak, v);
+  std::printf("  applied-at-serving timeline (bucket=%lld virtual us):\n",
+              static_cast<long long>(r.timeline_bucket_us));
+  for (std::size_t b = 0; b < r.applied_timeline.size(); ++b) {
+    const sim::SimTime t0 = static_cast<sim::SimTime>(b) * r.timeline_bucket_us;
+    const int bar = static_cast<int>(50 * r.applied_timeline[b] / peak);
+    std::string marks;
+    if (r.fault_killed_at_us >= t0 && r.fault_killed_at_us < t0 + r.timeline_bucket_us)
+      marks += " <- kill";
+    if (r.fault_detected_at_us >= t0 && r.fault_detected_at_us < t0 + r.timeline_bucket_us)
+      marks += " <- detected";
+    if (r.fault_recovered_at_us >= t0 && r.fault_recovered_at_us < t0 + r.timeline_bucket_us)
+      marks += " <- recovered";
+    std::printf("  %8lldus |%-50.*s| %8llu%s\n", static_cast<long long>(t0), bar,
+                "##################################################",
+                static_cast<unsigned long long>(r.applied_timeline[b]), marks.c_str());
+  }
+}
+
+// Byte-compares every serving cache of the two deployments.
+bool ServingParity(bench::HeliosDeployment& a, bench::HeliosDeployment& b,
+                   std::uint32_t serving_nodes) {
+  bool ok = true;
+  for (std::uint32_t n = 0; n < serving_nodes; ++n) {
+    const auto da = a.serving_core(n).DumpCache();
+    const auto db = b.serving_core(n).DumpCache();
+    if (da != db) {
+      std::printf("  parity MISMATCH at serving worker %u (%zu vs %zu cells)\n", n, da.size(),
+                  db.size());
+      // Locate the first divergent cell for diagnostics.
+      auto ia = da.begin();
+      auto ib = db.begin();
+      std::size_t diffs = 0;
+      while (ia != da.end() || ib != db.end()) {
+        if (ib == db.end() || (ia != da.end() && ia->first < ib->first)) {
+          if (diffs++ == 0) std::printf("    only crash-free: key %zuB\n", ia->first.size());
+          ++ia;
+        } else if (ia == da.end() || ib->first < ia->first) {
+          if (diffs++ == 0) std::printf("    only recovered: key %zuB\n", ib->first.size());
+          ++ib;
+        } else {
+          if (ia->second != ib->second && diffs++ < 3) {
+            const std::string& k = ia->first;
+            graph::VertexId v = 0;
+            std::uint32_t level = 0;
+            if (k[0] == 's' && k.size() == 10) {
+              level = static_cast<unsigned char>(k[1]);
+              std::memcpy(&v, k.data() + 2, sizeof(v));
+            } else if (k[0] == 'f' && k.size() == 9) {
+              std::memcpy(&v, k.data() + 1, sizeof(v));
+            }
+            std::printf("    diff: kind=%c level=%u v=%llu shard=%u node=%u %zuB vs %zuB\n", k[0],
+                        level, static_cast<unsigned long long>(v), a.map().ShardOf(v),
+                        a.map().WorkerOfShard(a.map().ShardOf(v)), ia->second.size(),
+                        ib->second.size());
+            auto dump = [](const std::string& val) {
+              if (val.size() < 12 || (val.size() - 12) % 20 != 0) return;
+              std::uint32_t n = 0;
+              std::memcpy(&n, val.data() + 8, sizeof(n));
+              std::printf("      [n=%u]", n);
+              for (std::uint32_t i = 0; i < n; ++i) {
+                graph::VertexId dst = 0;
+                std::int64_t ts = 0;
+                std::memcpy(&dst, val.data() + 12 + i * 20, 8);
+                std::memcpy(&ts, val.data() + 12 + i * 20 + 8, 8);
+                std::printf(" %llu@%lld", static_cast<unsigned long long>(dst),
+                            static_cast<long long>(ts));
+              }
+              std::printf("\n");
+            };
+            dump(ia->second);
+            dump(ib->second);
+          }
+          ++ia;
+          ++ib;
+        }
+      }
+      std::printf("    %zu divergent cells\n", diffs);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// Real-threads counterpart: supervisor-driven auto recovery on the actor
+// runtime (kill -> heartbeat timeout -> checkpoint restore + log replay ->
+// re-admission), printing the same ft.* accounting.
+void ThreadedRecoverySpotCheck(const gen::DatasetSpec& spec, std::size_t limit) {
+  const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
+  gen::UpdateStream stream(spec);
+  auto updates = stream.Drain();
+  if (updates.size() > limit) updates.resize(limit);
+
+  ClusterOptions options;
+  options.map = ShardMap{2, 2, 2};
+  options.supervision_timeout = 50'000;  // 50ms heartbeat timeout
+  ThreadedCluster cluster(plan, options);
+  cluster.Start();
+  for (std::size_t i = 0; i < updates.size() / 2; ++i) cluster.PublishUpdate(updates[i]);
+  cluster.WaitForIngestIdle();
+  const auto dir = std::filesystem::temp_directory_path() / "helios_fig20_ckpt";
+  std::filesystem::remove_all(dir);
+  if (!cluster.Checkpoint(dir.string()).ok()) {
+    std::printf("ThreadedCluster spot check: checkpoint failed, skipping\n");
+    cluster.Stop();
+    return;
+  }
+  for (std::size_t i = updates.size() / 2; i < updates.size(); ++i)
+    cluster.PublishUpdate(updates[i]);
+
+  const auto killed = util::NowMicros();
+  cluster.KillNode(0);
+  // Supervisor-driven: wait for the monitor thread to detect + recover.
+  while (!cluster.NodeAlive(0) && util::NowMicros() - killed < 10'000'000)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cluster.WaitForIngestIdle();
+
+  auto snapshot = cluster.MetricsSnapshot();
+  std::printf("ThreadedCluster spot check (%s, %zu updates, M=2 S=2 N=2, 50ms timeout):\n",
+              spec.name.c_str(), updates.size());
+  for (const auto& r : cluster.RecoveryReports()) {
+    std::printf("  node %llu: detect=%lldus restore=%lldus replayed=%llu records -> epoch %u\n",
+                static_cast<unsigned long long>(r.node),
+                static_cast<long long>(r.time_to_detect_us), static_cast<long long>(r.restore_us),
+                static_cast<unsigned long long>(r.records_to_replay), r.epoch);
+  }
+  std::printf("  ft: %llu updates replayed, %llu serving deltas fenced, %llu ctrl deltas fenced\n\n",
+              static_cast<unsigned long long>(snapshot.CounterTotal("ft.updates_replayed")),
+              static_cast<unsigned long long>(snapshot.CounterTotal("ft.deltas_fenced")),
+              static_cast<unsigned long long>(snapshot.CounterTotal("ft.ctrl_deltas_fenced")));
+  cluster.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = util::Config::FromArgs(argc, argv);
+  const std::uint64_t scale = bench::ScaleFromConfig(config, 1200);
+
+  const auto spec = gen::MakeBI(scale);
+  gen::UpdateStream stream(spec);
+  const auto updates = stream.Drain();
+  const auto plan = bench::PaperQuery(spec, Strategy::kTopK, 2);
+
+  bench::PrintHeader("Fig 20: sampling-tier crash, detection and recovery (DES, virtual time)",
+                     "phase            value");
+
+  // Crash-free reference run: fixes the makespan (so the crash lands
+  // mid-stream) and the golden serving caches for the parity check.
+  bench::HeliosEmuConfig hc;
+  bench::HeliosDeployment golden(plan, hc);
+  const auto base = golden.EmulateIngestion(updates, /*offered_rate_mps=*/0);
+  std::printf("crash-free: %.2f M records/s over %lld virtual us (%llu updates)\n",
+              base.throughput_mps, static_cast<long long>(base.makespan_us),
+              static_cast<unsigned long long>(base.updates));
+
+  bench::DesFaultSpec fault;
+  fault.victim_node = 0;
+  fault.checkpoint_at_us = base.makespan_us / 5;
+  fault.kill_at_us = base.makespan_us / 3;
+  fault.detect_timeout_us = std::max<sim::SimTime>(base.makespan_us / 20, 2'000);
+  fault.timeline_bucket_us = std::max<sim::SimTime>(base.makespan_us / 24, 1'000);
+
+  bench::HeliosDeployment faulty(plan, hc);
+  const auto report = faulty.EmulateIngestion(updates, 0, nullptr, &fault);
+
+  std::printf("killed node %u at %lldus (checkpoint at %lldus)\n", fault.victim_node,
+              static_cast<long long>(report.fault_killed_at_us),
+              static_cast<long long>(fault.checkpoint_at_us));
+  std::printf("time-to-detect:  %lld virtual us (heartbeat timeout %lldus)\n",
+              static_cast<long long>(report.fault_detected_at_us - report.fault_killed_at_us),
+              static_cast<long long>(fault.detect_timeout_us));
+  std::printf("time-to-recover: %lld virtual us (restore + replay + re-admit, epoch %u)\n",
+              static_cast<long long>(report.fault_recovered_at_us - report.fault_detected_at_us),
+              report.fault_epoch);
+  std::printf("exactly-once:    %llu replayed, %llu serving deltas fenced, %llu ctrl fenced\n",
+              static_cast<unsigned long long>(report.fault_updates_replayed),
+              static_cast<unsigned long long>(report.fault_deltas_fenced),
+              static_cast<unsigned long long>(report.fault_ctrl_fenced));
+  PrintTimeline(report);
+
+  const bool parity = ServingParity(golden, faulty, hc.serving_nodes);
+  std::printf("post-recovery parity vs crash-free run: %s\n\n", parity ? "IDENTICAL" : "MISMATCH");
+
+  ThreadedRecoverySpotCheck(spec, /*limit=*/20000);
+
+  const auto snapshot = faulty.registry().TakeSnapshot();
+  bench::DumpObservability(config, &snapshot, nullptr);
+  return parity ? 0 : 1;
+}

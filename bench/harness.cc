@@ -5,6 +5,8 @@
 #include <map>
 #include <functional>
 
+#include "ft/fence.h"
+#include "ft/supervisor.h"
 #include "util/clock.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -146,7 +148,8 @@ void HeliosDeployment::IngestAll(const std::vector<graph::GraphUpdate>& updates)
 
 IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
                                                 double offered_rate_mps,
-                                                obs::TraceBuffer* trace) {
+                                                obs::TraceBuffer* trace,
+                                                const DesFaultSpec* fault) {
   sim::SimEnv env;
   // Identical instrumentation to the threaded runtime, but clocked on the
   // DES virtual time: per-run registry so repeated emulations do not mix.
@@ -213,16 +216,73 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   report.updates = updates.size();
   std::uint64_t applied_at_serving = 0;
 
+  // ---- fault-tolerance state (docs/FAULT_TOLERANCE.md)
+  //
+  // Per-destination epoch/seq fences, keyed by source shard. Admission runs
+  // at frame delivery (one event) before the batch splits across the
+  // worker's data-updating threads: the fence's frame-contiguity invariant
+  // holds per (shard -> worker) stream, which sub-queue interleaving would
+  // break.
+  std::vector<ft::EpochFence> serving_fences(N);
+  obs::Counter* ft_deltas_fenced = run_registry.GetCounter("ft.deltas_fenced");
+  const bool fault_mode = fault != nullptr;
+  struct LogEntry {
+    bool ctrl = false;
+    std::vector<graph::GraphUpdate> updates;
+    std::vector<SubscriptionDelta> deltas;
+    std::int64_t origin = 0;
+  };
+  // The DES stand-in for the broker's durable per-shard partitions: every
+  // batch bound for a shard queue is appended here first (fault mode only),
+  // so a crashed node replays its tail from the checkpointed position.
+  std::vector<std::vector<LogEntry>> shard_log(map_.TotalShards());
+  std::vector<std::string> ckpt_bytes(map_.TotalShards());
+  std::vector<std::size_t> ckpt_pos(map_.TotalShards(), 0);
+  // Killing a node bumps its shards' incarnation: jobs submitted to (or in
+  // flight on) the dead incarnation become no-ops, mirroring the threaded
+  // runtime's mailbox drop.
+  std::vector<std::uint64_t> incarnation(map_.TotalShards(), 0);
+  std::vector<char> node_dead(M, 0);
+  std::vector<char> node_recovering(M, 0);
+  bool monitoring = fault_mode;
+  std::uint64_t replayed_updates = 0;
+  std::vector<std::uint64_t> timeline;
+  const std::uint64_t ctrl_fenced_before =
+      fault_mode ? registry_.TakeSnapshot().CounterTotal("ft.ctrl_deltas_fenced") : 0;
+
   // Delivery of one serving-bound batch (carrying its origin time). The
   // wire is priced at the framed ServingBatch size, computed incrementally
-  // by the builder — the in-process payload skips the byte codec.
+  // by the builder — the in-process payload skips the byte codec. The
+  // (src_shard, epoch) stamp plays the role of the ServingBatch frame
+  // header: replayed duplicates fence here, exactly once per change.
   auto deliver_to_serving = [&](std::uint32_t from_node, std::uint32_t sew,
-                                std::vector<ServingMessage> batch, std::size_t bytes) {
+                                std::vector<ServingMessage> batch, std::size_t bytes,
+                                std::uint32_t src_shard, std::uint32_t epoch) {
     cluster.Send(from_node, M + sew, bytes,
-                 [&, sew, batch = std::move(batch)]() mutable {
+                 [&, sew, src_shard, epoch, batch = std::move(batch)]() mutable {
+                   ft::EpochFence& fence = serving_fences[sew];
+                   const ft::EpochFence::FrameToken token = fence.BeginFrame(src_shard, epoch);
+                   std::vector<ServingMessage> admitted;
+                   admitted.reserve(batch.size());
+                   std::uint64_t fenced = 0;
+                   for (auto& m : batch) {
+                     if (token.stale) {
+                       fenced += m.kind() == ServingMessage::Kind::kSampleDelta
+                                     ? m.delta().num_changes()
+                                     : 1;
+                       continue;
+                     }
+                     fenced += FenceInto(fence, src_shard, token, m,
+                                         [&](const ServingMessage& ok) {
+                                           admitted.push_back(ok);
+                                         });
+                   }
+                   if (fenced > 0) ft_deltas_fenced->Add(fenced);
                    // Split across the worker's data-updating threads.
                    std::map<std::uint32_t, std::vector<ServingMessage>> per_queue;
-                   for (auto& m : batch) per_queue[update_queue_of(sew, m)].push_back(std::move(m));
+                   for (auto& m : admitted) {
+                     per_queue[update_queue_of(sew, m)].push_back(std::move(m));
+                   }
                    for (auto& [q, sub] : per_queue) {
                    serving_queues[q].Submit(
                        [&, sew, batch = std::move(sub)]() -> util::Nanos {
@@ -235,6 +295,12 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                            tracer.RecordEndToEnd(m.OriginMicros(), env.now());
                            applied_at_serving++;
                          }
+                         if (fault_mode && fault->timeline_bucket_us > 0) {
+                           const std::size_t b = static_cast<std::size_t>(
+                               env.now() / fault->timeline_bucket_us);
+                           if (timeline.size() <= b) timeline.resize(b + 1, 0);
+                           timeline[b] += batch.size();
+                         }
                          return t;
                        },
                        [] {});
@@ -243,12 +309,20 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   };
 
   // Shard-level work items: a batch of graph updates or a batch of deltas.
-  std::function<void(std::uint32_t, std::vector<graph::GraphUpdate>, std::int64_t)> submit_updates;
-  std::function<void(std::uint32_t, std::vector<SubscriptionDelta>, std::int64_t)> submit_delta;
+  // `replay` marks recovery re-submissions: they skip the durable log (they
+  // came from it) and count toward ft.updates_replayed.
+  std::function<void(std::uint32_t, std::vector<graph::GraphUpdate>, std::int64_t, bool)>
+      submit_updates;
+  std::function<void(std::uint32_t, std::vector<SubscriptionDelta>, std::int64_t, bool)>
+      submit_delta;
 
   auto route_outputs = [&](std::uint32_t shard, SamplingShardCore::Outputs& out,
                            std::int64_t origin) {
     const std::uint32_t node = map_.WorkerOfShard(shard);
+    // Between a job's service and its completion no other job of the queue
+    // runs, so the core's epoch here is the epoch its emissions were
+    // stamped with.
+    const std::uint32_t epoch = shards_[shard]->epoch();
     // One ServingBatch frame per active destination worker (already grouped
     // and coalesced by the Outputs batch builders).
     for (const std::uint32_t sew : out.to_serving.active()) {
@@ -260,7 +334,7 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
       diss_coalesced->Add(b.coalesced());
       diss_bytes->Add(bytes);
       diss_occupancy->Record(b.size());
-      deliver_to_serving(node, sew, b.TakeMessages(), bytes);
+      deliver_to_serving(node, sew, b.TakeMessages(), bytes, shard, epoch);
     }
     // Batch control-plane deltas per destination shard (one message each).
     std::map<std::uint32_t, std::vector<SubscriptionDelta>> per_shard_deltas;
@@ -271,17 +345,22 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
       for (const auto& d : deltas) bytes += WireSize(d);
       cluster.Send(node, dest_node, bytes,
                    [&submit_delta, dest, deltas = std::move(deltas), origin]() mutable {
-                     submit_delta(dest, std::move(deltas), origin);
+                     submit_delta(dest, std::move(deltas), origin, false);
                    });
     }
     out.Clear();
   };
 
   submit_updates = [&](std::uint32_t shard, std::vector<graph::GraphUpdate> batch,
-                       std::int64_t origin) {
+                       std::int64_t origin, bool replay) {
+    if (fault_mode && !replay) shard_log[shard].push_back({false, batch, {}, origin});
+    // A dead node takes no work; the entry above stays durable for replay.
+    if (node_dead[map_.WorkerOfShard(shard)] != 0) return;
+    const std::uint64_t inc = incarnation[shard];
     auto out = std::make_shared<SamplingShardCore::Outputs>();
     shard_queues[shard].Submit(
-        [&, shard, batch = std::move(batch), origin, out]() -> util::Nanos {
+        [&, shard, batch = std::move(batch), origin, replay, inc, out]() -> util::Nanos {
+          if (inc != incarnation[shard]) return 0;  // job of a crashed incarnation
           // Queue wait: update entered the system -> shard core dispatch.
           if (env.now() >= origin) {
             tracer.RecordDuration(obs::Stage::kIngest,
@@ -290,26 +369,43 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
           const auto t = util::TimeItNanos([&] {
             for (const auto& u : batch) shards_[shard]->OnGraphUpdate(u, origin, *out);
           });
+          if (replay) replayed_updates += batch.size();
           tracer.RecordSpan(obs::Stage::kSample, env.now(), t / 1000,
                             map_.WorkerOfShard(shard), shard);
           return t;
         },
-        [&, shard, origin, out] { route_outputs(shard, *out, origin); });
+        [&, shard, origin, inc, out] {
+          if (inc != incarnation[shard]) return;
+          route_outputs(shard, *out, origin);
+        });
   };
 
   submit_delta = [&](std::uint32_t shard, std::vector<SubscriptionDelta> deltas,
-                     std::int64_t origin) {
+                     std::int64_t origin, bool replay) {
+    if (fault_mode && !replay) shard_log[shard].push_back({true, {}, deltas, origin});
+    if (node_dead[map_.WorkerOfShard(shard)] != 0) return;
+    const std::uint64_t inc = incarnation[shard];
     auto out = std::make_shared<SamplingShardCore::Outputs>();
     shard_queues[shard].Submit(
-        [&, shard, deltas = std::move(deltas), origin, out]() -> util::Nanos {
+        [&, shard, deltas = std::move(deltas), origin, inc, out]() -> util::Nanos {
+          if (inc != incarnation[shard]) return 0;
           const auto t = util::TimeItNanos([&] {
-            for (const auto& d : deltas) shards_[shard]->OnSubscriptionDelta(d, origin, *out);
+            // AdmitCtrl fences a replaying peer's re-emitted deltas, exactly
+            // as the threaded shard does when consuming its log.
+            for (const auto& d : deltas) {
+              if (shards_[shard]->AdmitCtrl(d)) {
+                shards_[shard]->OnSubscriptionDelta(d, origin, *out);
+              }
+            }
           });
           tracer.RecordSpan(obs::Stage::kCascade, env.now(), t / 1000,
                             map_.WorkerOfShard(shard), shard);
           return t;
         },
-        [&, shard, origin, out] { route_outputs(shard, *out, origin); });
+        [&, shard, origin, inc, out] {
+          if (inc != incarnation[shard]) return;
+          route_outputs(shard, *out, origin);
+        });
   };
 
   // Arrival process: chunks of the stream arrive at the producer and are
@@ -343,10 +439,152 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
         if (per_shard[s].empty()) continue;
         cluster.Send(producer_node, map_.WorkerOfShard(s), bytes_per_node / map_.TotalShards(),
                      [&submit_updates, s, batch = std::move(per_shard[s]), arrival]() mutable {
-                       submit_updates(s, std::move(batch), arrival);
+                       submit_updates(s, std::move(batch), arrival, false);
                      });
       }
     });
+  }
+
+  // ---- crash / detect / restore / replay machinery (fault mode only)
+  std::unique_ptr<ft::Supervisor> supervisor;
+  std::function<void()> beat_all;  // recurring events; must outlive env.Run()
+  std::function<void()> tick_supervisor;
+  auto pending_shards = std::make_shared<std::uint32_t>(0);
+  if (fault_mode) {
+    const std::uint32_t victim = fault->victim_node;
+    const std::uint32_t S = map_.shards_per_worker;
+    // Entry-state snapshot (virtual t=0, before any stream event): recovery
+    // never starts cold even when the crash lands before the first periodic
+    // checkpoint. State built outside this emulation (IngestAll warm-up) is
+    // not log-derived, so a fresh core + full replay would lose it.
+    for (std::uint32_t s = 0; s < map_.TotalShards(); ++s) {
+      graph::ByteWriter w;
+      shards_[s]->Serialize(w);
+      ckpt_bytes[s] = w.Take();
+      ckpt_pos[s] = 0;
+    }
+    // Periodic checkpoint: rides the shard queues so the snapshot is
+    // consistent with job order (service functions execute queue-serialized,
+    // possibly ahead of virtual time — a snapshot taken directly in a
+    // scheduled event would see state the virtual clock hasn't reached).
+    if (fault->checkpoint_at_us > 0) {
+      env.ScheduleAt(fault->checkpoint_at_us, [&] {
+        for (std::uint32_t s = 0; s < map_.TotalShards(); ++s) {
+          if (node_dead[map_.WorkerOfShard(s)] != 0) continue;
+          const std::size_t pos = shard_log[s].size();
+          const std::uint64_t inc = incarnation[s];
+          shard_queues[s].Submit(
+              [&, s, pos, inc]() -> util::Nanos {
+                if (inc != incarnation[s]) return 0;
+                const auto t = util::TimeItNanos([&] {
+                  graph::ByteWriter w;
+                  shards_[s]->Serialize(w);
+                  ckpt_bytes[s] = w.Take();
+                });
+                ckpt_pos[s] = pos;
+                return t;
+              },
+              [] {});
+        }
+      });
+    }
+    // The crash: drop the victim's cores. Jobs already queued (and the one
+    // in flight) die with the incarnation; the log keeps their records.
+    env.ScheduleAt(fault->kill_at_us, [&, victim, S] {
+      report.fault_killed_at_us = env.now();
+      node_dead[victim] = 1;
+      for (std::uint32_t i = 0; i < S; ++i) ++incarnation[victim * S + i];
+    });
+
+    // Recovery hook, invoked by the supervisor's Tick when the victim's
+    // heartbeat ages out. Restores each shard from its checkpoint (the
+    // deserialize runs here — real compute — and its measured cost is
+    // charged to the shard queue as the restore job's service time), then
+    // replays the durable log tail under the old epoch; the receivers fence
+    // every re-emission that already landed before the crash. A catch-up
+    // marker per shard bumps it into the granted epoch once its tail is
+    // done; the last marker re-admits the node.
+    supervisor = std::make_unique<ft::Supervisor>(
+        ft::Supervisor::Options{fault->detect_timeout_us}, &run_registry,
+        [&, S](std::uint64_t node, std::uint32_t epoch, util::Micros now) -> ft::RecoveryReport {
+          ft::RecoveryReport rep;
+          rep.node = node;
+          rep.epoch = epoch;
+          const std::uint32_t n32 = static_cast<std::uint32_t>(node);
+          node_dead[n32] = 0;        // reopen the submission path for replay
+          node_recovering[n32] = 1;  // no heartbeats until caught up
+          *pending_shards = S;
+          for (std::uint32_t i = 0; i < S; ++i) {
+            const std::uint32_t s = n32 * S + i;
+            SamplingShardCore::Options opts;
+            opts.registry = &registry_;
+            auto fresh = std::make_unique<SamplingShardCore>(plan_, map_, s, config_.seed, opts);
+            util::Nanos restore_ns = 0;
+            if (!ckpt_bytes[s].empty()) {
+              bool ok = true;
+              restore_ns = util::TimeItNanos([&] {
+                graph::ByteReader r(ckpt_bytes[s]);
+                ok = SamplingShardCore::Deserialize(r, *fresh);
+              });
+              if (!ok) {
+                rep.error = "corrupt checkpoint for shard " + std::to_string(s);
+                return rep;
+              }
+              ++rep.shards_restored;
+            }
+            rep.restore_us += static_cast<util::Micros>(restore_ns / 1000);
+            auto staged = std::make_shared<std::unique_ptr<SamplingShardCore>>(std::move(fresh));
+            shard_queues[s].Submit(
+                [&, s, staged, restore_ns]() -> util::Nanos {
+                  shards_[s] = std::move(*staged);
+                  return restore_ns;
+                },
+                [] {});
+            const std::size_t tail_end = shard_log[s].size();
+            for (std::size_t j = ckpt_pos[s]; j < tail_end; ++j) {
+              const LogEntry& e = shard_log[s][j];
+              ++rep.records_to_replay;
+              if (e.ctrl) {
+                submit_delta(s, e.deltas, e.origin, true);
+              } else {
+                submit_updates(s, e.updates, e.origin, true);
+              }
+            }
+            shard_queues[s].Submit([]() -> util::Nanos { return 0; },
+                                   [&, s, n32, epoch] {
+                                     shards_[s]->BumpEpoch(epoch);
+                                     if (--*pending_shards == 0) {
+                                       report.fault_recovered_at_us = env.now();
+                                       report.fault_epoch = epoch;
+                                       node_recovering[n32] = 0;
+                                       supervisor->Heartbeat(n32, env.now());
+                                       monitoring = false;  // single-fault runs
+                                     }
+                                   });
+          }
+          rep.ok = true;
+          (void)now;
+          return rep;
+        });
+    for (std::uint32_t m = 0; m < M; ++m) supervisor->Register(m, 0);
+
+    const sim::SimTime hb_period = std::max<sim::SimTime>(1, fault->detect_timeout_us / 5);
+    beat_all = [&] {
+      if (!monitoring) return;
+      for (std::uint32_t m = 0; m < M; ++m) {
+        if (node_dead[m] == 0 && node_recovering[m] == 0) supervisor->Heartbeat(m, env.now());
+      }
+      env.ScheduleAfter(hb_period, beat_all);
+    };
+    tick_supervisor = [&] {
+      if (!monitoring) return;
+      for (const ft::RecoveryReport& r : supervisor->Tick(env.now())) {
+        report.fault_detected_at_us = r.detected_at_us;
+      }
+      env.ScheduleAfter(hb_period, tick_supervisor);
+    };
+    env.ScheduleAfter(hb_period, beat_all);
+    env.ScheduleAfter(hb_period, tick_supervisor);
   }
 
   env.Run();
@@ -370,6 +608,14 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   report.diss_coalesced = snapshot.CounterTotal("dissemination.coalesced_msgs");
   report.diss_bytes_wire = snapshot.CounterTotal("dissemination.bytes_wire");
   report.batch_occupancy = snapshot.LatencyTotal("dissemination.batch_occupancy");
+  if (fault_mode) {
+    report.fault_updates_replayed = replayed_updates;
+    report.fault_deltas_fenced = snapshot.CounterTotal("ft.deltas_fenced");
+    report.fault_ctrl_fenced =
+        registry_.TakeSnapshot().CounterTotal("ft.ctrl_deltas_fenced") - ctrl_fenced_before;
+    report.timeline_bucket_us = fault->timeline_bucket_us;
+    report.applied_timeline = std::move(timeline);
+  }
   return report;
 }
 

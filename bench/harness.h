@@ -73,9 +73,38 @@ struct IngestReport {
   std::uint64_t diss_bytes_wire = 0;
   util::Histogram batch_occupancy;  // messages per batch
 
+  // Fault-mode (fig20) results, filled when EmulateIngestion ran with a
+  // DesFaultSpec: virtual-time crash/recovery markers plus exactly-once
+  // accounting (docs/FAULT_TOLERANCE.md).
+  sim::SimTime fault_killed_at_us = 0;
+  sim::SimTime fault_detected_at_us = 0;
+  sim::SimTime fault_recovered_at_us = 0;  // victim re-admitted (epoch bumped)
+  std::uint32_t fault_epoch = 0;           // epoch granted at re-admission
+  std::uint64_t fault_updates_replayed = 0;
+  std::uint64_t fault_deltas_fenced = 0;   // serving-side re-emissions dropped
+  std::uint64_t fault_ctrl_fenced = 0;     // peer-shard re-emissions dropped
+  // Applied-at-serving throughput timeline (bucketed on virtual time): the
+  // dip-and-recovery curve of fig20. Empty outside fault mode.
+  sim::SimTime timeline_bucket_us = 0;
+  std::vector<std::uint64_t> applied_timeline;
+
   // Prints the "stage  count  mean  p50/p99/p999" breakdown table plus the
   // dissemination batching summary line.
   void PrintStageBreakdown() const;
+};
+
+// Crash/recovery scenario for the DES runtime: kill one sampling node at a
+// virtual instant, detect via heartbeat supervision on virtual time, restore
+// from the (virtual-time) checkpoint and replay the per-shard durable logs.
+// Single-fault experiments only (monitoring stops after the recovery).
+struct DesFaultSpec {
+  std::uint32_t victim_node = 0;           // sampling node to crash
+  sim::SimTime kill_at_us = 0;             // crash instant
+  sim::SimTime checkpoint_at_us = 0;       // checkpoint instant (0 = none;
+                                           // entry state is always snapshotted
+                                           // so recovery never starts cold)
+  sim::SimTime detect_timeout_us = 50'000; // heartbeat timeout
+  sim::SimTime timeline_bucket_us = 10'000;  // applied-throughput bucket width
 };
 
 // ------------------------------------------------------------ deployments
@@ -108,10 +137,15 @@ class HeliosDeployment {
   // Emulated ingestion of `updates`. offered_rate_mps == 0 means
   // saturation (everything offered at t=0; throughput = capacity). When
   // `trace` is set, every pipeline stage also lands in the Chrome-trace
-  // buffer on virtual time.
+  // buffer on virtual time. When `fault` is set, the run additionally
+  // crashes fault->victim_node at the configured virtual instant, detects
+  // it by heartbeat supervision, restores from the (virtual-time)
+  // checkpoint, replays the per-shard durable logs with epoch/seq fencing
+  // at the receivers, and fills the fault_* / timeline report fields.
   IngestReport EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
                                 double offered_rate_mps,
-                                obs::TraceBuffer* trace = nullptr);
+                                obs::TraceBuffer* trace = nullptr,
+                                const DesFaultSpec* fault = nullptr);
 
   // Closed-loop serving: `concurrency` clients each keep one request in
   // flight until `total_requests` complete. If `model` is set, responses

@@ -1,5 +1,6 @@
 #include "actor/actor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -33,6 +34,16 @@ bool Actor::Tell(std::function<void()> fn) {
 std::size_t Actor::MailboxDepth() const {
   std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mailbox_mutex_));
   return mailbox_.size();
+}
+
+std::size_t Actor::Kill() {
+  std::lock_guard<std::mutex> lock(mailbox_mutex_);
+  stopped_ = true;
+  const std::size_t dropped = mailbox_.size();
+  mailbox_.clear();
+  // A queued drain slice (scheduled_ == true) will observe the empty
+  // mailbox, clear scheduled_ and release its in_flight_ claim itself.
+  return dropped;
 }
 
 void Actor::DrainSome() {
@@ -81,6 +92,26 @@ util::Status ActorSystem::Attach(const std::shared_ptr<Actor>& actor, const std:
   actor->system_ = this;
   actor->pool_ = it->second.get();
   actors_.push_back(actor);
+  return util::Status::Ok();
+}
+
+void ActorSystem::Detach(const std::shared_ptr<Actor>& actor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  actors_.erase(std::remove(actors_.begin(), actors_.end(), actor), actors_.end());
+}
+
+util::Status ActorSystem::StopPool(const std::string& name) {
+  std::unique_ptr<util::ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pools_.find(name);
+    if (it == pools_.end()) return util::Status::NotFound("no such pool: " + name);
+    pool = std::move(it->second);
+    pools_.erase(it);
+  }
+  // Outside the lock: Shutdown runs queued slices on the worker threads and
+  // joins them, which may take as long as the slowest in-flight closure.
+  pool->Shutdown();
   return util::Status::Ok();
 }
 

@@ -44,6 +44,13 @@ class Actor {
   std::uint64_t processed_count() const { return processed_.load(std::memory_order_relaxed); }
   std::size_t MailboxDepth() const;
 
+  // Fault-injection: permanently stops this actor and discards everything
+  // still queued (a crash loses in-flight mailbox state by design — the
+  // recovery path replays it from the durable log instead). Returns the
+  // number of messages dropped. A slice already running on the pool finishes
+  // its current closure; subsequent Tell() calls return false.
+  std::size_t Kill();
+
  private:
   friend class ActorSystem;
   void DrainSome();
@@ -75,6 +82,18 @@ class ActorSystem {
   // Attaches an actor (constructed by the caller, ownership shared) to the
   // named pool. The actor starts receiving messages immediately.
   util::Status Attach(const std::shared_ptr<Actor>& actor, const std::string& pool);
+
+  // Detaches an actor (typically one that was Kill()ed) so Shutdown/Quiesce
+  // no longer consider it. The caller keeps its own shared_ptr; the actor
+  // stays bound to its (possibly stopped) pool and keeps refusing Tell().
+  void Detach(const std::shared_ptr<Actor>& actor);
+
+  // Tears down one pool: stops intake, runs queued slices, joins its
+  // threads, and removes the name so AddPool() can recreate it — the
+  // restart half of node-level fault injection. Actors still pinned to the
+  // pool must be Kill()ed/Detach()ed first; a NotFound is returned for an
+  // unknown name.
+  util::Status StopPool(const std::string& name);
 
   // Stops accepting new messages, drains every mailbox, joins all threads.
   void Shutdown();

@@ -1,0 +1,112 @@
+// Epoch/sequence fencing: exactly-once admission of re-emitted messages.
+//
+// Every sampling shard stamps what it emits with (source id, epoch, seq):
+//   - serving-bound messages carry one seq per (shard -> serving worker)
+//     stream, assigned at emission time inside the core — so the numbering
+//     depends only on the processing order of the shard's log, never on how
+//     the runtime happened to batch or flush;
+//   - control-plane SubscriptionDeltas carry one seq per (shard -> shard)
+//     stream, assigned the same way.
+//
+// After a crash the shard replays its log from the checkpointed offset and
+// re-emits with the *same* seqs (processing is deterministic given the log
+// and the checkpointed RNG state). Receivers keep, per source, the epoch and
+// the max seq already applied; a replayed duplicate fences on seq, a message
+// from a pre-crash incarnation fences on epoch. The epoch is granted by the
+// Supervisor at re-admission and is monotonic per node across restarts, so
+// sequence numbers restart at 1 per epoch without ever colliding with what
+// an earlier incarnation delivered.
+//
+// Frame admission subtlety: within one ServingBatch frame the builder's
+// same-cell coalescing can fold a *later* emission into an *earlier*
+// message, so seqs inside a frame are a permutation. Frames still cover
+// contiguous seq ranges (folding never crosses a flush boundary), so frame
+// admission compares each seq against the watermark captured when the frame
+// was opened (BeginFrame), not against a running max.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace helios::ft {
+
+// Per-source fencing state. Not thread-safe: owned by the single-threaded
+// core (SamplingShardCore) or locked by its owner (ServingCore).
+class EpochFence {
+ public:
+  // Snapshot of one source's stream state, also the checkpoint exchange
+  // format (the owner serializes these tuples with its own codec).
+  struct SourceState {
+    std::uint64_t src = 0;
+    std::uint32_t epoch = 0;
+    std::uint64_t max_seq = 0;
+  };
+
+  // Frame-scoped admission handle (see header comment).
+  struct FrameToken {
+    bool stale = false;           // whole frame is from an older epoch: drop
+    std::uint64_t watermark = 0;  // max seq applied before this frame
+  };
+
+  // Opens a frame from (src, epoch). A newer epoch resets the source's
+  // watermark; an older one marks the token stale.
+  FrameToken BeginFrame(std::uint64_t src, std::uint32_t epoch) {
+    FrameToken t;
+    if (epoch == 0) return t;  // unstamped legacy traffic: always admit
+    SourceState& s = state_[src];
+    if (epoch < s.epoch) {
+      t.stale = true;
+      return t;
+    }
+    if (epoch > s.epoch) {
+      s.epoch = epoch;
+      s.max_seq = 0;
+    }
+    t.watermark = s.max_seq;
+    return t;
+  }
+
+  // Records that `seq` from `src` was applied (advances the running max).
+  void Advance(std::uint64_t src, std::uint64_t seq) {
+    SourceState& s = state_[src];
+    if (seq > s.max_seq) s.max_seq = seq;
+  }
+
+  // Point admission for unframed records (control deltas): returns true and
+  // advances the watermark iff (epoch, seq) has not been seen from `src`.
+  // Unstamped records (epoch == 0) are always admitted.
+  bool Admit(std::uint64_t src, std::uint32_t epoch, std::uint64_t seq) {
+    if (epoch == 0) return true;
+    SourceState& s = state_[src];
+    if (epoch < s.epoch) return false;
+    if (epoch > s.epoch) {
+      s.epoch = epoch;
+      s.max_seq = seq;
+      return true;
+    }
+    if (seq <= s.max_seq) return false;
+    s.max_seq = seq;
+    return true;
+  }
+
+  // Checkpoint support: the owner persists the tuples alongside its state so
+  // a restored core fences replayed peer traffic exactly as the original.
+  std::vector<SourceState> Export() const {
+    std::vector<SourceState> out;
+    out.reserve(state_.size());
+    for (const auto& [src, s] : state_) out.push_back({src, s.epoch, s.max_seq});
+    return out;
+  }
+  void Restore(const std::vector<SourceState>& states) {
+    state_.clear();
+    for (const SourceState& s : states) state_[s.src] = {s.src, s.epoch, s.max_seq};
+  }
+
+  std::size_t sources() const { return state_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, SourceState> state_;
+};
+
+}  // namespace helios::ft

@@ -1,0 +1,103 @@
+#include "ft/supervisor.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace helios::ft {
+
+Supervisor::Supervisor(Options options, obs::MetricsRegistry* registry, RecoveryFn recover)
+    : options_(options),
+      recover_(std::move(recover)),
+      m_detected_(registry->GetCounter("ft.failures_detected")),
+      m_recoveries_(registry->GetCounter("ft.recoveries")),
+      m_recovery_failures_(registry->GetCounter("ft.recovery_failures")),
+      m_time_to_detect_us_(registry->GetLatency("ft.time_to_detect_us")),
+      m_time_to_recover_us_(registry->GetLatency("ft.time_to_recover_us")),
+      m_restore_us_(registry->GetLatency("ft.restore_us")) {}
+
+void Supervisor::Register(std::uint64_t node, util::Micros now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node& n = nodes_[node];
+  n.state = NodeState::kAlive;
+  n.last_heartbeat = now;
+}
+
+void Supervisor::Heartbeat(std::uint64_t node, util::Micros now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;  // unregistered nodes are not supervised
+  Node& n = it->second;
+  n.last_heartbeat = now;
+  if (n.state == NodeState::kRecovering) {
+    // First heartbeat after restoration re-admits the node.
+    n.state = NodeState::kAlive;
+    m_time_to_recover_us_->Record(static_cast<std::uint64_t>(
+        now > n.detected_at ? now - n.detected_at : 0));
+  }
+}
+
+std::vector<RecoveryReport> Supervisor::Tick(util::Micros now) {
+  struct Due {
+    std::uint64_t node;
+    std::uint32_t epoch;
+    util::Micros last_heartbeat;
+  };
+  std::vector<Due> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, n] : nodes_) {
+      if (n.state != NodeState::kAlive) continue;
+      if (now - n.last_heartbeat <= options_.heartbeat_timeout) continue;
+      n.state = NodeState::kRecovering;
+      n.detected_at = now;
+      due.push_back({id, ++n.epochs_granted, n.last_heartbeat});
+    }
+  }
+
+  std::vector<RecoveryReport> reports;
+  reports.reserve(due.size());
+  for (const Due& d : due) {
+    m_detected_->Add(1);
+    const util::Micros detect = now - d.last_heartbeat;
+    m_time_to_detect_us_->Record(static_cast<std::uint64_t>(detect));
+    HLOG(kWarn, "ft") << "supervisor: node " << d.node << " dead (heartbeat age " << detect
+                      << "us > " << options_.heartbeat_timeout << "us), granting epoch "
+                      << d.epoch;
+    RecoveryReport report;
+    if (recover_) {
+      report = recover_(d.node, d.epoch, now);
+    } else {
+      report.error = "no recovery hook installed";
+    }
+    report.node = d.node;
+    report.epoch = d.epoch;
+    report.detected_at_us = now;
+    report.time_to_detect_us = detect;
+    if (report.ok) {
+      m_recoveries_->Add(1);
+      m_restore_us_->Record(static_cast<std::uint64_t>(report.restore_us));
+    } else {
+      m_recovery_failures_->Add(1);
+      std::lock_guard<std::mutex> lock(mutex_);
+      nodes_[d.node].state = NodeState::kFailed;
+      HLOG(kError, "ft") << "supervisor: recovery of node " << d.node
+                         << " failed: " << report.error;
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+NodeState Supervisor::state(std::uint64_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? NodeState::kUnknown : it->second.state;
+}
+
+std::uint32_t Supervisor::GrantEpoch(std::uint64_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++nodes_[node].epochs_granted;
+}
+
+}  // namespace helios::ft

@@ -1,0 +1,90 @@
+// Heartbeat supervision and recovery orchestration (§4.1).
+//
+// The Supervisor owns the failure-detection state machine; the runtime owns
+// the mechanics of recovery. Workers heartbeat through their runtime into
+// Heartbeat(); a periodic Tick() scan declares a node dead once its
+// heartbeat is older than the configured timeout, grants it a fresh epoch,
+// and invokes the runtime's recovery hook (restore from checkpoint, rewind
+// the MQ consumer group, replay the log — see docs/FAULT_TOLERANCE.md).
+//
+// State machine, per node:
+//
+//   ALIVE --(heartbeat age > timeout at Tick)--> RECOVERING
+//     Tick records ft.failures_detected / ft.time_to_detect_us, grants the
+//     re-admission epoch and runs the recovery hook.
+//   RECOVERING --(Heartbeat received)--> ALIVE
+//     the restarted node's first heartbeat re-admits it; Tick records
+//     ft.time_to_recover_us (detection -> re-admission).
+//   RECOVERING --(recovery hook fails)--> FAILED
+//     terminal; surfaced via ft.recovery_failures and state().
+//
+// The Supervisor is runtime-agnostic (driven by explicit `now` values), so
+// the threaded cluster ticks it from a monitor thread on wall time while the
+// DES harness ticks it from scheduled events on virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "ft/recovery.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace helios::ft {
+
+enum class NodeState : std::uint8_t { kUnknown = 0, kAlive, kRecovering, kFailed };
+
+class Supervisor {
+ public:
+  struct Options {
+    util::Micros heartbeat_timeout = 5'000'000;  // 5 s
+  };
+
+  // The recovery hook: restore `node` and schedule its log replay, stamping
+  // re-emissions with `epoch` once caught up. Runs outside the supervisor
+  // lock (it does real work); must be safe to call from the ticking thread.
+  using RecoveryFn =
+      std::function<RecoveryReport(std::uint64_t node, std::uint32_t epoch, util::Micros now)>;
+
+  Supervisor(Options options, obs::MetricsRegistry* registry, RecoveryFn recover);
+
+  void Register(std::uint64_t node, util::Micros now);
+  void Heartbeat(std::uint64_t node, util::Micros now);
+
+  // Scans for nodes whose heartbeat aged out, runs the recovery hook for
+  // each, and returns the reports (empty when nothing was detected).
+  std::vector<RecoveryReport> Tick(util::Micros now);
+
+  NodeState state(std::uint64_t node) const;
+  // Next re-admission epoch for `node`; monotonic across its restarts.
+  std::uint32_t GrantEpoch(std::uint64_t node);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Node {
+    NodeState state = NodeState::kAlive;
+    util::Micros last_heartbeat = 0;
+    util::Micros detected_at = 0;
+    // Epoch 1 belongs to the node's first incarnation; GrantEpoch returns
+    // 2, 3, ... so a restarted node never reuses live sequence numbering.
+    std::uint32_t epochs_granted = 1;
+  };
+
+  Options options_;
+  RecoveryFn recover_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Node> nodes_;
+
+  obs::Counter* m_detected_;
+  obs::Counter* m_recoveries_;
+  obs::Counter* m_recovery_failures_;
+  obs::LatencyMetric* m_time_to_detect_us_;
+  obs::LatencyMetric* m_time_to_recover_us_;
+  obs::LatencyMetric* m_restore_us_;
+};
+
+}  // namespace helios::ft

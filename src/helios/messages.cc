@@ -6,9 +6,9 @@ namespace helios {
 
 namespace {
 // Fixed sizes of the SampleDelta record: header (kind, level, vertex,
-// origin, change count) and one change (added edge, evicted, event_ts).
+// origin, change count) and one change (added edge, evicted, event_ts, seq).
 constexpr std::size_t kDeltaHeaderBytes = 1 + 4 + 8 + 8 + 2;
-constexpr std::size_t kDeltaChangeBytes = 20 + 8 + 8;
+constexpr std::size_t kDeltaChangeBytes = 20 + 8 + 8 + 8;
 
 void PutEdges(graph::ByteWriter& w, const std::vector<graph::Edge>& edges) {
   w.PutU32(static_cast<std::uint32_t>(edges.size()));
@@ -40,6 +40,7 @@ void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
   switch (m.kind()) {
     case ServingMessage::Kind::kSample: {
       const SampleUpdate& u = m.sample();
+      w.PutU64(m.seq);
       w.PutU32(u.level);
       w.PutU64(u.vertex);
       w.PutI64(u.event_ts);
@@ -49,6 +50,7 @@ void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
     }
     case ServingMessage::Kind::kFeature: {
       const FeatureUpdate& u = m.feature();
+      w.PutU64(m.seq);
       w.PutU64(u.vertex);
       w.PutI64(u.event_ts);
       w.PutI64(u.origin_us);
@@ -57,6 +59,7 @@ void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
     }
     case ServingMessage::Kind::kRetract: {
       const Retract& u = m.retract();
+      w.PutU64(m.seq);
       w.PutU32(u.level);
       w.PutU64(u.vertex);
       break;
@@ -68,15 +71,18 @@ void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
       w.PutI64(u.origin_us);
       w.PutU16(static_cast<std::uint16_t>(u.num_changes()));
       auto put_change = [&w](const graph::Edge& added, graph::VertexId evicted,
-                             graph::Timestamp event_ts) {
+                             graph::Timestamp event_ts, std::uint64_t seq) {
         w.PutU64(added.dst);
         w.PutI64(added.ts);
         w.PutF32(added.weight);
         w.PutU64(evicted);
         w.PutI64(event_ts);
+        w.PutU64(seq);
       };
-      put_change(u.added, u.evicted, u.event_ts);
-      for (const auto& c : u.more) put_change(c.added, c.evicted, c.event_ts);
+      // The inline change carries the message seq; folded follow-ups keep
+      // the seq of the emission they came from.
+      put_change(u.added, u.evicted, u.event_ts, m.seq);
+      for (const auto& c : u.more) put_change(c.added, c.evicted, c.event_ts, c.seq);
       break;
     }
   }
@@ -84,9 +90,11 @@ void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
 
 bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
   const std::uint8_t kind = r.GetU8();
+  out.seq = 0;
   switch (kind) {
     case 1: {
       SampleUpdate& u = out.payload.emplace<SampleUpdate>();
+      out.seq = r.GetU64();
       u.level = r.GetU32();
       u.vertex = r.GetU64();
       u.event_ts = r.GetI64();
@@ -96,6 +104,7 @@ bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
     }
     case 2: {
       FeatureUpdate& u = out.payload.emplace<FeatureUpdate>();
+      out.seq = r.GetU64();
       u.vertex = r.GetU64();
       u.event_ts = r.GetI64();
       u.origin_us = r.GetI64();
@@ -104,6 +113,7 @@ bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
     }
     case 3: {
       Retract& u = out.payload.emplace<Retract>();
+      out.seq = r.GetU64();
       u.level = r.GetU32();
       u.vertex = r.GetU64();
       return r.ok();
@@ -120,6 +130,7 @@ bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
       u.added.weight = r.GetF32();
       u.evicted = r.GetU64();
       u.event_ts = r.GetI64();
+      out.seq = r.GetU64();
       u.more.reserve(changes - 1);
       for (std::uint16_t i = 1; i < changes; ++i) {
         SampleDelta::Change c;
@@ -128,6 +139,7 @@ bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
         c.added.weight = r.GetF32();
         c.evicted = r.GetU64();
         c.event_ts = r.GetI64();
+        c.seq = r.GetU64();
         if (!r.ok()) return false;
         u.more.push_back(c);
       }
@@ -149,39 +161,72 @@ bool DecodeServingMessage(const std::string& payload, ServingMessage& out) {
   return DecodeServingMessageFrom(r, out);
 }
 
-std::string EncodeSubscriptionDelta(const SubscriptionDelta& d) {
-  graph::ByteWriter w;
+namespace {
+void PutSubscriptionDelta(graph::ByteWriter& w, const SubscriptionDelta& d) {
   w.PutU32(d.level);
   w.PutU64(d.vertex);
   w.PutU32(d.serving_worker);
   w.PutU32(static_cast<std::uint32_t>(d.delta));
+  w.PutU32(d.src_shard);
+  w.PutU32(d.epoch);
+  w.PutU64(d.seq);
+}
+
+bool GetSubscriptionDelta(graph::ByteReader& r, SubscriptionDelta& out) {
+  out.level = r.GetU32();
+  out.vertex = r.GetU64();
+  out.serving_worker = r.GetU32();
+  out.delta = static_cast<std::int32_t>(r.GetU32());
+  out.src_shard = r.GetU32();
+  out.epoch = r.GetU32();
+  out.seq = r.GetU64();
+  return r.ok();
+}
+}  // namespace
+
+std::string EncodeSubscriptionDelta(const SubscriptionDelta& d) {
+  graph::ByteWriter w;
+  PutSubscriptionDelta(w, d);
   return w.Take();
 }
 
 bool DecodeSubscriptionDelta(const std::string& payload, SubscriptionDelta& out) {
   graph::ByteReader r(payload);
-  out.level = r.GetU32();
-  out.vertex = r.GetU64();
-  out.serving_worker = r.GetU32();
-  out.delta = static_cast<std::int32_t>(r.GetU32());
-  return r.ok();
+  return GetSubscriptionDelta(r, out);
+}
+
+std::string EncodeCtrlRecord(const SubscriptionDelta& d) {
+  graph::ByteWriter w;
+  w.PutU8(kCtrlRecordTag);
+  PutSubscriptionDelta(w, d);
+  return w.Take();
+}
+
+bool IsCtrlRecord(const std::string& payload) {
+  return !payload.empty() && static_cast<std::uint8_t>(payload[0]) == kCtrlRecordTag;
+}
+
+bool DecodeCtrlRecord(const std::string& payload, SubscriptionDelta& out) {
+  graph::ByteReader r(payload);
+  if (r.GetU8() != kCtrlRecordTag) return false;
+  return GetSubscriptionDelta(r, out);
 }
 
 std::size_t WireSize(const ServingMessage& m) {
   switch (m.kind()) {
     case ServingMessage::Kind::kSample:
-      return 1 + 4 + 8 + 8 + 8 + 4 + m.sample().samples.size() * 20;
+      return 1 + 8 + 4 + 8 + 8 + 8 + 4 + m.sample().samples.size() * 20;
     case ServingMessage::Kind::kFeature:
-      return 1 + 8 + 8 + 8 + 4 + m.feature().feature.size() * 4;
+      return 1 + 8 + 8 + 8 + 8 + 4 + m.feature().feature.size() * 4;
     case ServingMessage::Kind::kRetract:
-      return 1 + 4 + 8;
+      return 1 + 8 + 4 + 8;
     case ServingMessage::Kind::kSampleDelta:
       return kDeltaHeaderBytes + kDeltaChangeBytes * m.delta().num_changes();
   }
   return 1;
 }
 
-std::size_t WireSize(const SubscriptionDelta&) { return 20; }
+std::size_t WireSize(const SubscriptionDelta&) { return 36; }
 
 // ------------------------------------------------------------ ServingBatch
 
@@ -201,7 +246,7 @@ void ServingBatchBuilder::Add(ServingMessage msg) {
         // emission order, so the apply result is identical to the
         // per-message stream.
         SampleDelta& head = messages_[it->second].delta();
-        head.more.push_back({d.added, d.evicted, d.event_ts});
+        head.more.push_back({d.added, d.evicted, d.event_ts, msg.seq});
         for (const auto& c : d.more) head.more.push_back(c);
         coalesced_ += d.num_changes();
         body_bytes_ += kDeltaChangeBytes * d.num_changes();
@@ -234,6 +279,8 @@ const std::string& ServingBatchBuilder::EncodeToArena() {
   arena_.Clear();
   arena_.PutU32(0);  // body length, patched below
   arena_.PutU32(static_cast<std::uint32_t>(messages_.size()));
+  arena_.PutU32(src_shard_);
+  arena_.PutU32(epoch_);
   for (const auto& m : messages_) EncodeServingMessageTo(arena_, m);
   arena_.PatchU32(0, static_cast<std::uint32_t>(arena_.size() - kServingBatchHeaderBytes));
   return arena_.buffer();
@@ -258,6 +305,8 @@ void ServingBatchBuilder::Clear() {
 ServingBatchReader::ServingBatchReader(const std::string& payload) : r_(payload) {
   const std::uint32_t body_len = r_.GetU32();
   count_ = r_.GetU32();
+  src_shard_ = r_.GetU32();
+  epoch_ = r_.GetU32();
   if (!r_.ok() || static_cast<std::size_t>(body_len) + kServingBatchHeaderBytes !=
                       payload.size()) {
     ok_ = false;

@@ -75,6 +75,10 @@ struct SampleDelta {
     graph::Edge added;
     graph::VertexId evicted = graph::kInvalidVertex;
     graph::Timestamp event_ts = 0;
+    // Emission seq of this change (ft::EpochFence); folded changes keep the
+    // seq of the message they came from, so replay dedup still sees every
+    // original emission even after coalescing.
+    std::uint64_t seq = 0;
   };
   std::vector<Change> more;  // empty unless coalesced
 
@@ -91,6 +95,13 @@ struct SubscriptionDelta {
   graph::VertexId vertex = graph::kInvalidVertex;
   std::uint32_t serving_worker = 0;
   std::int32_t delta = 0;  // +1 subscribe, -1 unsubscribe
+
+  // Fencing stamp (ft::EpochFence): (src_shard, epoch, seq) per
+  // shard->shard stream, assigned by the emitting core. seq 0 = unstamped
+  // (tests / legacy paths), always admitted.
+  std::uint32_t src_shard = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
 };
 
 // A tagged union of everything a serving worker's sample queue can carry.
@@ -100,6 +111,14 @@ struct ServingMessage {
   enum class Kind : std::uint8_t { kSample = 1, kFeature = 2, kRetract = 3, kSampleDelta = 4 };
   using Payload = std::variant<SampleUpdate, FeatureUpdate, Retract, SampleDelta>;
   Payload payload;
+
+  // Emission seq per (sampling shard -> serving worker) stream, assigned by
+  // the emitting core in processing order — independent of how the runtime
+  // batches — so a replaying shard re-emits identical seqs and the serving
+  // side can fence duplicates (ft::EpochFence). 0 = unstamped. For
+  // kSampleDelta this is the seq of the inline change; folded follow-ups
+  // carry their own (SampleDelta::Change::seq).
+  std::uint64_t seq = 0;
 
   static ServingMessage Of(SampleUpdate u) {
     ServingMessage m;
@@ -167,6 +186,19 @@ bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out);
 std::string EncodeSubscriptionDelta(const SubscriptionDelta& d);
 bool DecodeSubscriptionDelta(const std::string& payload, SubscriptionDelta& out);
 
+// Control-plane records in the per-shard update log. Cross-shard
+// SubscriptionDeltas travel through the *destination shard's* "updates"
+// partition instead of a direct actor edge: the shard then consumes exactly
+// one totally-ordered log (graph updates + control), which makes its
+// processing — and therefore crash replay — deterministic, and makes
+// in-flight deltas to a dead shard durable. Ctrl records are distinguished
+// from graph-update records by the first byte (update codec uses tags 1/2).
+inline constexpr std::uint8_t kCtrlRecordTag = 0x7F;
+std::string EncodeCtrlRecord(const SubscriptionDelta& d);
+bool IsCtrlRecord(const std::string& payload);
+// Precondition: IsCtrlRecord(payload).
+bool DecodeCtrlRecord(const std::string& payload, SubscriptionDelta& out);
+
 // Approximate wire size without encoding (used by the cluster emulator to
 // price network transfers).
 std::size_t WireSize(const ServingMessage& m);
@@ -175,11 +207,13 @@ std::size_t WireSize(const SubscriptionDelta& d);
 // ------------------------------------------------------------ ServingBatch
 //
 // One coalesced flush of serving-bound messages for a single destination
-// worker. Frame layout: [u32 body_len][u32 count][count records], each
-// record in EncodeServingMessageTo format.
+// worker. Frame layout:
+//   [u32 body_len][u32 count][u32 src_shard][u32 epoch][count records]
+// each record in EncodeServingMessageTo format. (src_shard, epoch) identify
+// the emitting incarnation for ft::EpochFence admission; 0/0 = unstamped.
 
-// Framing overhead of one batch (body_len + count header).
-inline constexpr std::size_t kServingBatchHeaderBytes = 8;
+// Framing overhead of one batch (body_len + count + src_shard + epoch).
+inline constexpr std::size_t kServingBatchHeaderBytes = 16;
 
 // Accumulates the messages bound for one destination between flushes.
 // Reused across flushes: Clear() keeps every allocation (message vector,
@@ -194,6 +228,16 @@ inline constexpr std::size_t kServingBatchHeaderBytes = 8;
 class ServingBatchBuilder {
  public:
   void Add(ServingMessage msg);
+
+  // Sets the (src_shard, epoch) stamp encoded into the frame header.
+  // Sticky across Clear(): the emitting shard re-stamps only when its epoch
+  // changes.
+  void Stamp(std::uint32_t src_shard, std::uint32_t epoch) {
+    src_shard_ = src_shard;
+    epoch_ = epoch;
+  }
+  std::uint32_t src_shard() const { return src_shard_; }
+  std::uint32_t epoch() const { return epoch_; }
 
   bool empty() const { return messages_.empty(); }
   // Messages pending in this flush window (after coalescing).
@@ -233,6 +277,8 @@ class ServingBatchBuilder {
   graph::ByteWriter arena_;
   std::uint64_t coalesced_ = 0;
   std::size_t body_bytes_ = 0;
+  std::uint32_t src_shard_ = 0;
+  std::uint32_t epoch_ = 0;
 };
 
 // Iterates the records of an encoded ServingBatch frame without
@@ -248,11 +294,15 @@ class ServingBatchReader {
 
   bool ok() const { return ok_; }
   std::uint32_t count() const { return count_; }
+  std::uint32_t src_shard() const { return src_shard_; }
+  std::uint32_t epoch() const { return epoch_; }
 
  private:
   graph::ByteReader r_;
   std::uint32_t count_ = 0;
   std::uint32_t consumed_ = 0;
+  std::uint32_t src_shard_ = 0;
+  std::uint32_t epoch_ = 0;
   bool ok_ = true;
 };
 

@@ -1,6 +1,7 @@
 #include "helios/sampling_core.h"
 
 #include <algorithm>
+#include <array>
 
 #include "util/logging.h"
 
@@ -33,6 +34,27 @@ SamplingShardCore::SamplingShardCore(QueryPlan plan, ShardMap map, std::uint32_t
   m_.retracts_sent = registry_->GetCounter("sampling.retracts_sent", labels);
   m_.sub_deltas_sent = registry_->GetCounter("sampling.sub_deltas_sent", labels);
   m_.features_stored = registry_->GetGauge("sampling.features_stored", labels);
+  m_.ctrl_fenced = registry_->GetCounter("ft.ctrl_deltas_fenced", labels);
+}
+
+void SamplingShardCore::EmitToServing(std::uint32_t sew, ServingMessage msg, Outputs& out) {
+  msg.seq = ++serving_seq_[sew];
+  out.to_serving.Add(sew, std::move(msg));
+}
+
+void SamplingShardCore::BumpEpoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  // Seqs restart at 1 per epoch; the supervisor grants each incarnation a
+  // fresh epoch so restarted numbering can never collide with what an
+  // earlier incarnation already delivered.
+  serving_seq_.clear();
+  ctrl_seq_.clear();
+}
+
+bool SamplingShardCore::AdmitCtrl(const SubscriptionDelta& delta) {
+  if (ctrl_fence_.Admit(delta.src_shard, delta.epoch, delta.seq)) return true;
+  m_.ctrl_fenced->Add(1);
+  return false;
 }
 
 SamplingShardCore::Stats SamplingShardCore::stats() const {
@@ -99,12 +121,19 @@ void SamplingShardCore::OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t or
       delta.evicted = outcome.evicted;
       delta.event_ts = e.ts;
       delta.origin_us = origin_us;
-      out.to_serving.Add(sew, ServingMessage::Of(delta));
+      EmitToServing(sew, ServingMessage::Of(delta), out);
       m_.sample_deltas_sent->Add(1);
-      // New sample in, evicted sample out, one level down.
-      RouteDelta({level + 1, e.dst, sew, +1}, origin_us, out);
-      if (outcome.evicted != graph::kInvalidVertex && outcome.evicted != e.dst) {
-        RouteDelta({level + 1, outcome.evicted, sew, -1}, origin_us, out);
+      // New sample in, evicted sample out, one level down. When a vertex
+      // replaces its own older record the cell's per-dst record count is
+      // unchanged, so neither delta may be emitted: a lone +1 here would
+      // leak one subscription refcount per self-replacement, and since the
+      // leak only fires inside (race-dependent) subscribed windows, the
+      // final subscription set would diverge run to run.
+      if (outcome.evicted != e.dst) {
+        RouteDelta({level + 1, e.dst, sew, +1}, origin_us, out);
+        if (outcome.evicted != graph::kInvalidVertex) {
+          RouteDelta({level + 1, outcome.evicted, sew, -1}, origin_us, out);
+        }
       }
     }
   }
@@ -126,7 +155,7 @@ void SamplingShardCore::OnVertexUpdate(const graph::VertexUpdate& v, std::int64_
     fu.feature = v.feature;
     fu.event_ts = v.ts;
     fu.origin_us = origin_us;
-    out.to_serving.Add(sew, ServingMessage::Of(std::move(fu)));
+    EmitToServing(sew, ServingMessage::Of(std::move(fu)), out);
     m_.feature_updates_sent->Add(1);
   }
 }
@@ -146,7 +175,11 @@ void SamplingShardCore::RouteDelta(const SubscriptionDelta& delta, std::int64_t 
   if (owner == shard_id_) {
     OnSubscriptionDelta(delta, origin_us, out);
   } else {
-    out.to_shards.emplace_back(owner, delta);
+    SubscriptionDelta stamped = delta;
+    stamped.src_shard = shard_id_;
+    stamped.epoch = epoch_;
+    stamped.seq = ++ctrl_seq_[owner];
+    out.to_shards.emplace_back(owner, stamped);
     m_.sub_deltas_sent->Add(1);
   }
 }
@@ -177,7 +210,7 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
         counts.erase(delta.serving_worker);
         if (counts.empty()) feature_subs_.erase(delta.vertex);
         // Feature no longer needed by this serving worker at any level.
-        out.to_serving.Add(delta.serving_worker, ServingMessage::Of(Retract{0, delta.vertex}));
+        EmitToServing(delta.serving_worker, ServingMessage::Of(Retract{0, delta.vertex}), out);
         m_.retracts_sent->Add(1);
       }
     }
@@ -196,7 +229,7 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
     // New subscription: snapshot the cell and cascade to its children.
     if (cell_it != reservoir_[k].end()) {
       SendSampleUpdate(delta.level, delta.vertex, cell_it->second, origin_us,
-                       latest_event_ts_, delta.serving_worker, out);
+                       delta.serving_worker, out);
       for (const auto& edge : cell_it->second.samples()) {
         RouteDelta({delta.level + 1, edge.dst, delta.serving_worker, +1}, origin_us, out);
       }
@@ -213,8 +246,8 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
     if (count != 0) return;
     counts.erase(delta.serving_worker);
     if (counts.empty()) cell_subs_[k].erase(delta.vertex);
-    out.to_serving.Add(delta.serving_worker,
-                       ServingMessage::Of(Retract{delta.level, delta.vertex}));
+    EmitToServing(delta.serving_worker,
+                  ServingMessage::Of(Retract{delta.level, delta.vertex}), out);
     m_.retracts_sent->Add(1);
     if (cell_it != reservoir_[k].end()) {
       for (const auto& edge : cell_it->second.samples()) {
@@ -226,15 +259,20 @@ void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
 
 void SamplingShardCore::SendSampleUpdate(std::uint32_t level, graph::VertexId v,
                                          const ReservoirCell& cell, std::int64_t origin_us,
-                                         graph::Timestamp event_ts, std::uint32_t sew,
-                                         Outputs& out) {
+                                         std::uint32_t sew, Outputs& out) {
   SampleUpdate su;
   su.level = level;
   su.vertex = v;
   su.samples = cell.samples();
-  su.event_ts = event_ts;
+  // Stamp the snapshot with the newest sample's event time — a pure
+  // function of cell content, so a snapshot emitted during crash replay (or
+  // under a different update/subscription interleaving) carries the same
+  // timestamp as the original and the cached bytes stay byte-identical.
+  graph::Timestamp newest = 0;
+  for (const auto& e : su.samples) newest = std::max(newest, e.ts);
+  su.event_ts = newest;
   su.origin_us = origin_us;
-  out.to_serving.Add(sew, ServingMessage::Of(std::move(su)));
+  EmitToServing(sew, ServingMessage::Of(std::move(su)), out);
   m_.sample_updates_sent->Add(1);
 }
 
@@ -247,7 +285,7 @@ void SamplingShardCore::SendFeatureUpdate(graph::VertexId v, std::int64_t origin
   fu.feature = it->second;
   fu.event_ts = latest_event_ts_;
   fu.origin_us = origin_us;
-  out.to_serving.Add(sew, ServingMessage::Of(std::move(fu)));
+  EmitToServing(sew, ServingMessage::Of(std::move(fu)), out);
   m_.feature_updates_sent->Add(1);
 }
 
@@ -284,7 +322,7 @@ void SamplingShardCore::Prune(graph::Timestamp cutoff, Outputs& out) {
         if (subs_it != cell_subs_[k].end()) {
           for (const auto& [sew, refcount] : subs_it->second) {
             (void)refcount;
-            SendSampleUpdate(level, it->first, cell, 0, latest_event_ts_, sew, out);
+            SendSampleUpdate(level, it->first, cell, 0, sew, out);
             for (graph::VertexId v : dropped) {
               RouteDelta({level + 1, v, sew, -1}, 0, out);
             }
@@ -337,7 +375,14 @@ std::uint32_t SamplingShardCore::CellSubscribers(std::uint32_t level, graph::Ver
 
 // ------------------------------------------------------------- checkpoint
 
+namespace {
+// "HSC" + format version. v2 added the fault-tolerance block (epoch, seq
+// counters, applied offset, peer fence) and the RNG state.
+constexpr std::uint32_t kCheckpointMagic = 0x48534332;  // "HSC2"
+}  // namespace
+
 void SamplingShardCore::Serialize(graph::ByteWriter& w) const {
+  w.PutU32(kCheckpointMagic);
   w.PutU32(shard_id_);
   w.PutI64(latest_event_ts_);
   // Reservoir tables.
@@ -384,9 +429,33 @@ void SamplingShardCore::Serialize(graph::ByteWriter& w) const {
   }
   w.PutU32(static_cast<std::uint32_t>(seeds_seen_.size()));
   for (graph::VertexId v : seeds_seen_) w.PutU64(v);
+  // ---- fault-tolerance block (v2)
+  w.PutU32(epoch_);
+  w.PutU64(applied_offset_);
+  auto put_seqs = [&w](const std::unordered_map<std::uint32_t, std::uint64_t>& seqs) {
+    w.PutU32(static_cast<std::uint32_t>(seqs.size()));
+    for (const auto& [dst, seq] : seqs) {
+      w.PutU32(dst);
+      w.PutU64(seq);
+    }
+  };
+  put_seqs(serving_seq_);
+  put_seqs(ctrl_seq_);
+  const auto fence = ctrl_fence_.Export();
+  w.PutU32(static_cast<std::uint32_t>(fence.size()));
+  for (const auto& s : fence) {
+    w.PutU64(s.src);
+    w.PutU32(s.epoch);
+    w.PutU64(s.max_seq);
+  }
+  // RNG state goes last: Deserialize rebuilds reservoir cells by re-offering
+  // (which consumes the core's RNG), so the stream position is restored
+  // only after that rebuild is done.
+  for (std::uint64_t s : rng_.SaveState()) w.PutU64(s);
 }
 
 bool SamplingShardCore::Deserialize(graph::ByteReader& r, SamplingShardCore& core) {
+  if (r.GetU32() != kCheckpointMagic) return false;  // unknown/older format
   core.shard_id_ = r.GetU32();
   core.latest_event_ts_ = r.GetI64();
   const std::uint32_t num_hops = r.GetU32();
@@ -447,7 +516,37 @@ bool SamplingShardCore::Deserialize(graph::ByteReader& r, SamplingShardCore& cor
   }
   const std::uint32_t nseeds = r.GetU32();
   for (std::uint32_t i = 0; i < nseeds; ++i) core.seeds_seen_.insert(r.GetU64());
-  return r.ok();
+  // ---- fault-tolerance block (v2)
+  core.epoch_ = r.GetU32();
+  core.applied_offset_ = r.GetU64();
+  auto get_seqs = [&r](std::unordered_map<std::uint32_t, std::uint64_t>& seqs) {
+    const std::uint32_t n = r.GetU32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t dst = r.GetU32();
+      seqs[dst] = r.GetU64();
+    }
+  };
+  get_seqs(core.serving_seq_);
+  get_seqs(core.ctrl_seq_);
+  const std::uint32_t nfence = r.GetU32();
+  std::vector<ft::EpochFence::SourceState> fence;
+  fence.reserve(nfence);
+  for (std::uint32_t i = 0; i < nfence && r.ok(); ++i) {
+    ft::EpochFence::SourceState s;
+    s.src = r.GetU64();
+    s.epoch = r.GetU32();
+    s.max_seq = r.GetU64();
+    fence.push_back(s);
+  }
+  core.ctrl_fence_.Restore(fence);
+  // RNG last (after the cell rebuild above consumed the fresh-seeded
+  // stream): the restored core now continues the checkpointed stream, so a
+  // log replay makes the same reservoir decisions as the original run.
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& s : rng_state) s = r.GetU64();
+  if (!r.ok()) return false;
+  core.rng_.LoadState(rng_state);
+  return true;
 }
 
 }  // namespace helios

@@ -32,6 +32,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ft/fence.h"
 #include "gen/datasets.h"
 #include "graph/types.h"
 #include "graph/update_codec.h"
@@ -118,10 +119,31 @@ class SamplingShardCore {
   std::size_t ApproximateBytes() const;
 
   // Checkpointing (§4.1: "periodically triggers checkpointing for fault
-  // tolerance"). Serializes every table; Restore rebuilds an identical
-  // core (modulo RNG state, which restarts from the original seed).
+  // tolerance"). Serializes every table plus the fault-tolerance state
+  // (epoch, emission seq counters, applied log offset, peer fence) and the
+  // RNG state, so a restored core continues the *same* reservoir stream and
+  // re-emits byte-identical messages when replaying its log.
   void Serialize(graph::ByteWriter& w) const;
   static bool Deserialize(graph::ByteReader& r, SamplingShardCore& core);
+
+  // ---- fault tolerance (ft::EpochFence; see docs/FAULT_TOLERANCE.md)
+  //
+  // Every serving-bound message and cross-shard delta the core emits is
+  // stamped (src_shard, epoch, seq) in processing order; receivers fence
+  // duplicates when the shard replays its log after a crash.
+  std::uint32_t epoch() const { return epoch_; }
+  // Installs the supervisor-granted re-admission epoch once replay caught
+  // up; per-destination seq counters restart at 1 in the new epoch.
+  void BumpEpoch(std::uint32_t epoch);
+  // Offset of the next unapplied record in this shard's update log,
+  // maintained by the driver as it feeds the core. Checkpointed, and used
+  // as the replay start after recovery (the broker's committed offset may
+  // run ahead of processing).
+  std::uint64_t applied_offset() const { return applied_offset_; }
+  void set_applied_offset(std::uint64_t offset) { applied_offset_ = offset; }
+  // Admits a cross-shard control delta addressed to this shard; false means
+  // a duplicate of one already processed (a replaying peer's re-emission).
+  bool AdmitCtrl(const SubscriptionDelta& delta);
 
   // Test / inspection hooks.
   const ReservoirCell* CellOf(std::uint32_t level, graph::VertexId v) const;
@@ -134,13 +156,16 @@ class SamplingShardCore {
   void OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t origin_us, Outputs& out);
   void OnVertexUpdate(const graph::VertexUpdate& v, std::int64_t origin_us, Outputs& out);
   void EnsureSeedSubscription(graph::VertexId v, std::int64_t origin_us, Outputs& out);
-  // Routes a delta to its owner shard — inline if local, queued otherwise.
+  // Routes a delta to its owner shard — inline if local, queued (stamped
+  // with this shard's epoch/seq) otherwise.
   void RouteDelta(const SubscriptionDelta& delta, std::int64_t origin_us, Outputs& out);
   void SendSampleUpdate(std::uint32_t level, graph::VertexId v, const ReservoirCell& cell,
-                        std::int64_t origin_us, graph::Timestamp event_ts,
-                        std::uint32_t sew, Outputs& out);
+                        std::int64_t origin_us, std::uint32_t sew, Outputs& out);
   void SendFeatureUpdate(graph::VertexId v, std::int64_t origin_us, std::uint32_t sew,
                          Outputs& out);
+  // Single exit for serving-bound messages: stamps the per-destination
+  // emission seq so replay dedup is independent of driver batching.
+  void EmitToServing(std::uint32_t sew, ServingMessage msg, Outputs& out);
 
   QueryPlan plan_;
   ShardMap map_;
@@ -159,6 +184,17 @@ class SamplingShardCore {
   std::unordered_set<graph::VertexId> seeds_seen_;
   graph::Timestamp latest_event_ts_ = 0;
 
+  // ---- fault-tolerance state (all serialized in checkpoints)
+  // Epoch 1 = the first incarnation (0 is reserved for "unstamped" on the
+  // wire); the supervisor grants 2, 3, ... at successive re-admissions.
+  std::uint32_t epoch_ = 1;
+  std::uint64_t applied_offset_ = 0;
+  // Last emission seq per destination (serving worker / peer shard).
+  std::unordered_map<std::uint32_t, std::uint64_t> serving_seq_;
+  std::unordered_map<std::uint32_t, std::uint64_t> ctrl_seq_;
+  // Dedup of control deltas from replaying peers, keyed by src shard.
+  ft::EpochFence ctrl_fence_;
+
   // Registry-backed metric handles (resolved once at construction; hot-path
   // recording is a relaxed atomic op per event).
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;  // when none shared
@@ -173,6 +209,7 @@ class SamplingShardCore {
     obs::Counter* retracts_sent;
     obs::Counter* sub_deltas_sent;
     obs::Gauge* features_stored;
+    obs::Counter* ctrl_fenced;  // ft.*: duplicate peer deltas dropped
   };
   MetricHandles m_;
 };

@@ -49,10 +49,20 @@ std::uint32_t CellRecordCount(std::string_view value) {
 // In-place binary patch of one encoded cell value (§6 delta apply). The
 // fixed layout lets a delta splice the evicted record out and the added
 // record in without decoding the cell into an Edge vector and re-encoding
-// it. Byte-for-byte identical to decode → mutate → encode for well-formed
-// values.
+// it.
+//
+// Eviction mirrors ReservoirCell::OfferTopK slot-for-slot: the reservoir
+// *overwrites* its first oldest-ts slot, so when the cell's first oldest-ts
+// record is the evicted vertex we overwrite that record in place. A cell
+// that tracked every delta then stays byte-identical to a fresh reservoir
+// snapshot at all times — which is what lets a crash-recovered run (late
+// re-subscription snapshots, docs/FAULT_TOLERANCE.md) converge to the same
+// cache bytes as an uninterrupted one. If the oldest slot does not match
+// (lost message, Random/EdgeWeight eviction order), fall back to
+// erase-first-match + append: eventually-consistent self-healing, as
+// before.
 void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evicted,
-               graph::Timestamp event_ts, std::size_t cap) {
+               std::size_t cap) {
   if (value.size() < kCellHeaderBytes) {
     // Absent (or truncated) cell: start from an empty one — eventually
     // consistent self-healing when the snapshot is still in flight.
@@ -66,7 +76,36 @@ void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evi
       n, static_cast<std::uint32_t>((value.size() - kCellHeaderBytes) / kCellRecordBytes));
   value.resize(kCellHeaderBytes + n * kCellRecordBytes);
 
-  if (evicted != graph::kInvalidVertex) {
+  if (evicted != graph::kInvalidVertex && n > 0) {
+    // The slot OfferTopK would have replaced: first record with the
+    // minimum ts.
+    std::uint32_t oldest = 0;
+    graph::Timestamp oldest_ts = 0;
+    std::memcpy(&oldest_ts, value.data() + kCellHeaderBytes + 8, sizeof(oldest_ts));
+    for (std::uint32_t i = 1; i < n; ++i) {
+      graph::Timestamp ts = 0;
+      std::memcpy(&ts, value.data() + kCellHeaderBytes + i * kCellRecordBytes + 8, sizeof(ts));
+      if (ts < oldest_ts) {
+        oldest = i;
+        oldest_ts = ts;
+      }
+    }
+    const std::size_t ooff = kCellHeaderBytes + oldest * kCellRecordBytes;
+    if (std::memcmp(value.data() + ooff, &evicted, sizeof(evicted)) == 0) {
+      std::memcpy(value.data() + ooff, &added.dst, 8);
+      std::memcpy(value.data() + ooff + 8, &added.ts, 8);
+      std::memcpy(value.data() + ooff + 16, &added.weight, 4);
+      graph::Timestamp newest = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        graph::Timestamp ts = 0;
+        std::memcpy(&ts, value.data() + kCellHeaderBytes + i * kCellRecordBytes + 8, sizeof(ts));
+        newest = std::max(newest, ts);
+      }
+      std::memcpy(value.data(), &newest, sizeof(newest));
+      return;
+    }
+    // Out-of-sync fallback: erase the first record matching the evicted
+    // vertex, then append below.
     for (std::uint32_t i = 0; i < n; ++i) {
       const std::size_t off = kCellHeaderBytes + i * kCellRecordBytes;
       if (std::memcmp(value.data() + off, &evicted, sizeof(evicted)) == 0) {
@@ -88,7 +127,17 @@ void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evi
     value.erase(kCellHeaderBytes, kCellRecordBytes);
     --n;
   }
-  std::memcpy(value.data(), &event_ts, sizeof(event_ts));
+  // Header timestamp = newest sample ts present: the same pure function of
+  // content the snapshot path writes (SendSampleUpdate), so snapshot-built
+  // and delta-patched cells are byte-identical no matter which write landed
+  // last. Crash-replay parity (docs/FAULT_TOLERANCE.md) depends on this.
+  graph::Timestamp newest = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    graph::Timestamp ts = 0;
+    std::memcpy(&ts, value.data() + kCellHeaderBytes + i * kCellRecordBytes + 8, sizeof(ts));
+    newest = std::max(newest, ts);
+  }
+  std::memcpy(value.data(), &newest, sizeof(newest));
   std::memcpy(value.data() + 8, &n, sizeof(n));
 }
 }  // namespace
@@ -262,9 +311,9 @@ void ServingCore::Apply(const ServingMessage& message) {
                                   : 0;
       graph::Timestamp newest_ts = u.event_ts;
       store_->Merge(SampleKeyBuf(u.level, u.vertex).view(), [&](std::string& value) {
-        PatchCell(value, u.added, u.evicted, u.event_ts, cap);
+        PatchCell(value, u.added, u.evicted, cap);
         for (const auto& c : u.more) {
-          PatchCell(value, c.added, c.evicted, c.event_ts, cap);
+          PatchCell(value, c.added, c.evicted, cap);
           newest_ts = std::max(newest_ts, c.event_ts);
         }
       });
@@ -425,6 +474,14 @@ std::map<std::string, std::string> ServingCore::DumpCache() const {
     return true;
   });
   return out;
+}
+
+// --------------------------------------------------- fenced apply (ft.*)
+
+std::uint64_t ApplyFenced(ServingCore& core, ft::EpochFence& fence, std::uint64_t src,
+                          const ft::EpochFence::FrameToken& token, const ServingMessage& m) {
+  return FenceInto(fence, src, token, m,
+                   [&core](const ServingMessage& admitted) { core.Apply(admitted); });
 }
 
 }  // namespace helios

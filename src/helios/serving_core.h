@@ -25,6 +25,7 @@
 // reports how many lookups missed so experiments can quantify staleness.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -34,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ft/fence.h"
 #include "graph/types.h"
 #include "helios/messages.h"
 #include "helios/query.h"
@@ -272,5 +274,85 @@ class ServingCore {
   };
   MetricHandles m_;
 };
+
+// ---- fault-tolerance admission (docs/FAULT_TOLERANCE.md)
+//
+// Applies one message of a frame already opened with
+// `fence.BeginFrame(src, epoch)`: messages (or, for coalesced SampleDeltas,
+// individual changes) whose seq the fence has already seen are dropped —
+// they are a replaying shard's re-emission of deliveries that landed before
+// the crash. A delta straddling the watermark is trimmed so only the
+// not-yet-applied changes splice in. Unstamped messages (seq 0) always
+// apply. Returns the number of changes fenced (0 in steady state).
+//
+// The caller owns the fence and keys it by source shard; it must be the
+// same single thread (or hold the same lock) for every frame of that
+// destination worker, which both runtimes guarantee by construction.
+std::uint64_t ApplyFenced(ServingCore& core, ft::EpochFence& fence, std::uint64_t src,
+                          const ft::EpochFence::FrameToken& token, const ServingMessage& m);
+
+// The admission logic of ApplyFenced with the destination abstracted away:
+// `sink(const ServingMessage&)` receives the admitted (possibly trimmed)
+// message — at most once — instead of it being applied to a core. Used by
+// drivers that fence at delivery time but price the apply elsewhere (the DES
+// emulator fences when a frame lands, then charges the apply to the serving
+// node's virtual CPU). Same return value and fence-advance semantics.
+template <typename Sink>
+std::uint64_t FenceInto(ft::EpochFence& fence, std::uint64_t src,
+                        const ft::EpochFence::FrameToken& token, const ServingMessage& m,
+                        Sink&& sink) {
+  if (m.kind() != ServingMessage::Kind::kSampleDelta) {
+    if (m.seq != 0 && m.seq <= token.watermark) return 1;  // duplicate
+    sink(m);
+    if (m.seq != 0) fence.Advance(src, m.seq);
+    return 0;
+  }
+
+  // Coalesced deltas carry one seq per change. A replayed frame can
+  // straddle the watermark — its window boundaries differ from the original
+  // run's — so admission is per change.
+  const SampleDelta& d = m.delta();
+  const bool inline_ok = m.seq == 0 || m.seq > token.watermark;
+  std::size_t admitted = inline_ok ? 1 : 0;
+  for (const auto& c : d.more) {
+    if (c.seq == 0 || c.seq > token.watermark) ++admitted;
+  }
+  const std::uint64_t fenced = static_cast<std::uint64_t>(d.num_changes() - admitted);
+
+  if (admitted == d.num_changes()) {
+    sink(m);  // steady state: nothing to trim
+  } else if (admitted > 0) {
+    SampleDelta trimmed;
+    trimmed.level = d.level;
+    trimmed.vertex = d.vertex;
+    trimmed.origin_us = d.origin_us;
+    bool have_head = false;
+    std::uint64_t head_seq = 0;
+    auto add_change = [&](const graph::Edge& added, graph::VertexId evicted,
+                          graph::Timestamp event_ts, std::uint64_t seq) {
+      if (!have_head) {
+        trimmed.added = added;
+        trimmed.evicted = evicted;
+        trimmed.event_ts = event_ts;
+        head_seq = seq;
+        have_head = true;
+      } else {
+        trimmed.more.push_back({added, evicted, event_ts, seq});
+      }
+    };
+    if (inline_ok) add_change(d.added, d.evicted, d.event_ts, m.seq);
+    for (const auto& c : d.more) {
+      if (c.seq == 0 || c.seq > token.watermark) add_change(c.added, c.evicted, c.event_ts, c.seq);
+    }
+    ServingMessage tm = ServingMessage::Of(std::move(trimmed));
+    tm.seq = head_seq;
+    sink(tm);
+  }
+
+  std::uint64_t max_seq = m.seq;
+  for (const auto& c : d.more) max_seq = std::max(max_seq, c.seq);
+  if (max_seq != 0) fence.Advance(src, max_seq);
+  return fenced;
+}
 
 }  // namespace helios

@@ -38,36 +38,65 @@ class ThreadedCluster::ShardActor : public actor::Actor {
     Tell([this, records = std::move(records)] {
       SamplingShardCore::Outputs& out = out_;
       graph::GraphUpdate update;
+      SubscriptionDelta delta;
       const std::int64_t dequeue_us = tracer_.Now();
       for (const auto& r : records) {
-        if (!graph::DecodeUpdate(r.value, update)) {
-          HLOG(kWarn, "shard") << "undecodable update at offset " << r.offset;
-          continue;
-        }
         // Queue-wait stage: broker append -> shard core dequeue.
         if (dequeue_us > r.append_time) {
           tracer_.RecordDuration(obs::Stage::kIngest,
                                  static_cast<std::uint64_t>(dequeue_us - r.append_time));
         }
-        core_.OnGraphUpdate(update, r.append_time, out);
-        cluster_->flow_.updates_processed->Add(1);
+        // One totally-ordered log per shard: data updates and control
+        // deltas interleave at their append positions, so replaying the
+        // log reproduces the exact processing order.
+        if (IsCtrlRecord(r.value)) {
+          if (!DecodeCtrlRecord(r.value, delta)) {
+            HLOG(kWarn, "shard") << "undecodable ctrl record at offset " << r.offset;
+          } else {
+            cluster_->flow_.ctrl_processed->Add(1);
+            if (core_.AdmitCtrl(delta)) {
+              obs::ScopedStage span(tracer_, obs::Stage::kCascade, worker_id_, core_.shard_id());
+              core_.OnSubscriptionDelta(delta, 0, out);
+            }
+          }
+        } else if (graph::DecodeUpdate(r.value, update)) {
+          core_.OnGraphUpdate(update, r.append_time, out);
+          cluster_->flow_.updates_processed->Add(1);
+        } else {
+          HLOG(kWarn, "shard") << "undecodable update at offset " << r.offset;
+        }
+        core_.set_applied_offset(r.offset + 1);
+        if (pending_readmit_ && r.offset < readmit_target_) ++replayed_;
       }
       tracer_.RecordSpan(obs::Stage::kSample, dequeue_us, tracer_.Now() - dequeue_us, worker_id_,
                          core_.shard_id());
       Dispatch(out);
+      // Re-admission must happen on a frame boundary: a ServingBatch frame
+      // is stamped with ONE epoch at dispatch, so bumping mid-batch would
+      // label replayed old-epoch seqs with the fresh epoch — the serving
+      // fence would admit the duplicates AND its new-epoch watermark would
+      // then fence the genuinely new seq 1, 2, ... that follow.
+      if (pending_readmit_ && core_.applied_offset() >= readmit_target_) FinishReplay();
+      // Published after Dispatch so control appends spawned by this batch
+      // are already visible in their destination partitions when the idle
+      // detector sees this shard caught up.
+      cluster_->shard_applied_[core_.shard_id()].store(core_.applied_offset(),
+                                                       std::memory_order_release);
     });
   }
 
-  void DeliverDelta(SubscriptionDelta delta, std::int64_t origin_us) {
-    Tell([this, delta, origin_us] {
-      SamplingShardCore::Outputs& out = out_;
-      {
-        obs::ScopedStage span(tracer_, obs::Stage::kCascade, worker_id_, core_.shard_id());
-        core_.OnSubscriptionDelta(delta, origin_us, out);
-      }
-      cluster_->flow_.ctrl_processed->Add(1);
-      Dispatch(out);
-    });
+  // Arms log replay after a restore. Only called while the node's poller is
+  // down (the actor receives no traffic), so direct member access is safe.
+  // Re-emissions stay stamped with the restored (pre-crash) epoch until the
+  // shard crosses `target`; then BumpEpoch(epoch) re-admits it with fresh
+  // sequence numbering.
+  void BeginReplay(std::uint64_t target, std::uint32_t epoch, std::int64_t now_us) {
+    readmit_target_ = target;
+    granted_epoch_ = epoch;
+    replay_started_us_ = now_us;
+    replayed_ = 0;
+    pending_readmit_ = true;
+    if (core_.applied_offset() >= readmit_target_) FinishReplay();
   }
 
   void Prune(graph::Timestamp cutoff) {
@@ -95,6 +124,16 @@ class ThreadedCluster::ShardActor : public actor::Actor {
  private:
   void Dispatch(SamplingShardCore::Outputs& out);
 
+  void FinishReplay() {
+    core_.BumpEpoch(granted_epoch_);
+    pending_readmit_ = false;
+    cluster_->ft_.updates_replayed->Add(replayed_);
+    cluster_->ft_.time_to_replay_us->Record(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, tracer_.Now() - replay_started_us_)));
+    HLOG(kInfo, "ft") << "shard " << core_.shard_id() << " replayed " << replayed_
+                      << " records, re-admitted at epoch " << granted_epoch_;
+  }
+
   ThreadedCluster* cluster_;
   SamplingShardCore core_;
   std::uint32_t worker_id_;
@@ -103,6 +142,12 @@ class ThreadedCluster::ShardActor : public actor::Actor {
   // encode arena keep their allocations across dispatch windows, so the
   // steady state does no per-message heap work.
   SamplingShardCore::Outputs out_;
+  // Replay bookkeeping (mailbox-serialized; armed by BeginReplay).
+  bool pending_readmit_ = false;
+  std::uint64_t readmit_target_ = 0;
+  std::uint32_t granted_epoch_ = 0;
+  std::int64_t replay_started_us_ = 0;
+  std::uint64_t replayed_ = 0;
 };
 
 // Publisher actor (§4.2 publisher threads): appends pre-encoded ServingBatch
@@ -146,6 +191,9 @@ void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
     for (const std::uint32_t sew : out.to_serving.active()) {
       ServingBatchBuilder& b = out.to_serving.builder(sew);
       if (b.empty()) continue;
+      // Frame provenance for the serving-side epoch fence: which shard
+      // emitted this frame, under which incarnation.
+      b.Stamp(core_.shard_id(), core_.epoch());
       PublisherActor::EncodedBatch eb;
       eb.sew = sew;
       eb.messages = static_cast<std::uint32_t>(b.size());
@@ -161,9 +209,17 @@ void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
       cluster_->publishers_[worker_id_]->Publish(std::move(batches));
     }
   }
-  for (auto& [shard, delta] : out.to_shards) {
-    cluster_->flow_.ctrl_sent->Add(1);
-    cluster_->shards_[shard]->DeliverDelta(delta, 0);
+  if (!out.to_shards.empty()) {
+    // Control plane rides the destination shard's updates partition as a
+    // tagged record: one totally-ordered log per shard (deterministic
+    // replay), and a delta bound for a dead shard survives in the broker
+    // until the shard comes back.
+    mq::Producer producer(*cluster_->broker_);
+    for (auto& [shard, delta] : out.to_shards) {
+      cluster_->flow_.ctrl_sent->Add(1);
+      producer.Send(kUpdatesTopic, std::string(), EncodeCtrlRecord(delta),
+                    static_cast<int>(shard));
+    }
   }
   out.Clear();
 }
@@ -187,6 +243,9 @@ class ThreadedCluster::SamplingPollActor : public actor::Actor {
     Tell([this] {
       if (!cluster_->running_.load(std::memory_order_acquire)) return;
       cluster_->coordinator_->Heartbeat(WorkerKind::kSampling, worker_id_, util::NowMicros());
+      if (cluster_->supervisor_ != nullptr) {
+        cluster_->supervisor_->Heartbeat(worker_id_, util::NowMicros());
+      }
       std::vector<mq::Record> records;
       std::vector<std::uint32_t> partitions;
       consumer_->PollWithPartitions(cluster_->options_.poll_batch, records, partitions);
@@ -232,15 +291,32 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
       const std::int64_t start_us = tracer.Now();
       for (const auto& r : records) {
         // Each record is one ServingBatch frame; decode and apply its
-        // messages in order.
+        // messages in order, fencing a recovering shard's re-emissions
+        // (docs/FAULT_TOLERANCE.md). The fence lives on this actor: one
+        // thread applies every frame of this worker, so admission per
+        // source shard is race-free by construction.
         ServingBatchReader reader(r.value);
+        const std::uint64_t src = reader.src_shard();
+        const ft::EpochFence::FrameToken token = fence_.BeginFrame(src, reader.epoch());
+        std::uint64_t fenced = 0;
         while (reader.Next(msg)) {
-          core.Apply(msg);
+          if (token.stale) {
+            // Whole frame predates the sender's current epoch (published by
+            // the dead incarnation, drained after re-admission): drop it.
+            fenced += msg.kind() == ServingMessage::Kind::kSampleDelta
+                          ? msg.delta().num_changes()
+                          : 1;
+          } else {
+            fenced += ApplyFenced(core, fence_, src, token, msg);
+            // origin == 0 means unstamped under wall time (e.g. prune-
+            // spawned messages); only measure stamped updates.
+            if (msg.OriginMicros() > 0) tracer.RecordEndToEnd(msg.OriginMicros(), start_us);
+          }
+          // Fenced messages still count: the publisher counted them, and
+          // the idle detector pairs published with applied.
           cluster_->flow_.serving_applied->Add(1);
-          // origin == 0 means unstamped under wall time (e.g. prune-spawned
-          // messages); only measure stamped updates.
-          if (msg.OriginMicros() > 0) tracer.RecordEndToEnd(msg.OriginMicros(), start_us);
         }
+        if (fenced > 0) cluster_->ft_.deltas_fenced->Add(fenced);
         if (!reader.ok()) {
           HLOG(kWarn, "serving") << "malformed serving batch at offset " << r.offset;
         }
@@ -254,6 +330,7 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
  private:
   ThreadedCluster* cluster_;
   std::uint32_t worker_id_;
+  ft::EpochFence fence_;  // keyed by source shard; actor-thread confined
 };
 
 // Polling actor of one serving worker (§4.3): drains the sample queue.
@@ -301,32 +378,57 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
   diss_.coalesced = registry_.GetCounter("dissemination.coalesced_msgs");
   diss_.bytes_wire = registry_.GetCounter("dissemination.bytes_wire");
   diss_.batch_occupancy = registry_.GetLatency("dissemination.batch_occupancy");
+  ft_.updates_replayed = registry_.GetCounter("ft.updates_replayed");
+  ft_.deltas_fenced = registry_.GetCounter("ft.deltas_fenced");
+  ft_.time_to_replay_us = registry_.GetLatency("ft.time_to_replay_us");
   broker_ = std::make_unique<mq::Broker>();
   broker_->CreateTopic(kUpdatesTopic, options_.map.TotalShards());
   broker_->CreateTopic(kSamplesTopic, options_.map.serving_workers);
   coordinator_ = std::make_unique<Coordinator>(options_.map);
   system_ = std::make_unique<actor::ActorSystem>();
 
-  // One thread per workload class and worker, as in §4.2/§4.3. Pools are
-  // sized so each shard / poller / publisher can run concurrently.
-  system_->AddPool("sampling", options_.map.TotalShards());
+  // One thread per workload class and worker, as in §4.2/§4.3. Sampling-side
+  // pools are per worker ("sampling-<w>", "publish-<w>") so KillNode can
+  // join exactly one node's threads; the polling and update pools are
+  // shared (pollers of a killed node are stopped, not joined).
   system_->AddPool("poll", options_.map.sampling_workers + options_.map.serving_workers);
-  system_->AddPool("publish", options_.map.sampling_workers);
   system_->AddPool("update", options_.map.serving_workers);
 
+  node_dead_ = std::make_unique<std::atomic<bool>[]>(options_.map.sampling_workers);
+  shard_applied_ = std::make_unique<std::atomic<std::uint64_t>[]>(options_.map.TotalShards());
+  for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) node_dead_[w] = false;
+  for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) shard_applied_[s] = 0;
+  node_epochs_.assign(options_.map.sampling_workers, 1);
+
+  for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
+    system_->AddPool("sampling-" + std::to_string(w), options_.map.shards_per_worker);
+    system_->AddPool("publish-" + std::to_string(w), 1);
+  }
   for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) {
     auto shard = std::make_shared<ShardActor>(this, s);
-    system_->Attach(shard, "sampling");
+    system_->Attach(shard, "sampling-" + std::to_string(options_.map.WorkerOfShard(s)));
     shards_.push_back(std::move(shard));
   }
   for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
     auto publisher = std::make_shared<PublisherActor>(this);
-    system_->Attach(publisher, "publish");
+    system_->Attach(publisher, "publish-" + std::to_string(w));
     publishers_.push_back(std::move(publisher));
     auto poller = std::make_shared<SamplingPollActor>(this, w);
     system_->Attach(poller, "poll");
     sampling_pollers_.push_back(std::move(poller));
     coordinator_->RegisterWorker(WorkerKind::kSampling, w, util::NowMicros());
+  }
+
+  if (options_.supervision_timeout > 0) {
+    supervisor_ = std::make_unique<ft::Supervisor>(
+        ft::Supervisor::Options{options_.supervision_timeout}, &registry_,
+        [this](std::uint64_t node, std::uint32_t epoch, util::Micros now) {
+          std::lock_guard<std::mutex> lock(fault_mutex_);
+          return RecoverNode(static_cast<std::uint32_t>(node), epoch, now);
+        });
+    for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
+      supervisor_->Register(w, util::NowMicros());
+    }
   }
   for (std::uint32_t w = 0; w < options_.map.serving_workers; ++w) {
     ServingCore::Options so;
@@ -366,10 +468,27 @@ void ThreadedCluster::Start() {
   if (!running_.compare_exchange_strong(expected, true)) return;
   for (auto& poller : sampling_pollers_) poller->Loop();
   for (auto& poller : serving_pollers_) poller->Loop();
+  if (supervisor_ != nullptr) monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void ThreadedCluster::MonitorLoop() {
+  // Tick cadence: a quarter of the timeout keeps detection latency within
+  // ~1.25x the configured timeout without busy-spinning.
+  const auto interval = std::chrono::microseconds(
+      std::max<util::Micros>(500, options_.supervision_timeout / 4));
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<ft::RecoveryReport> reports = supervisor_->Tick(util::NowMicros());
+    if (!reports.empty()) {
+      std::lock_guard<std::mutex> lock(reports_mutex_);
+      for (auto& r : reports) reports_.push_back(std::move(r));
+    }
+    std::this_thread::sleep_for(interval);
+  }
 }
 
 void ThreadedCluster::Stop() {
   running_.store(false, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
   system_->Shutdown();
 }
 
@@ -399,19 +518,41 @@ void ThreadedCluster::PublishUpdate(const graph::GraphUpdate& update) {
 }
 
 void ThreadedCluster::WaitForIngestIdle() {
-  // Idle = all counters balanced and stable over two consecutive probes.
+  // Idle = every live shard has applied its updates partition up to the
+  // end offset (this covers control deltas too — they ride the same log),
+  // no sampling-side mailbox holds work, the serving side has applied
+  // everything published, and all of it is stable over two consecutive
+  // probes. Cumulative publish/process counters are deliberately not
+  // compared: log replay after a crash re-counts processed records, while
+  // offsets stay exact. Partitions of dead nodes are excluded — they drain
+  // when the node is re-admitted.
+  mq::Topic* updates = broker_->GetTopic(kUpdatesTopic);
   std::uint64_t last_fingerprint = ~0ULL;
   int stable = 0;
   while (stable < 2) {
-    const std::uint64_t published = flow_.updates_published->Value();
-    const std::uint64_t processed = flow_.updates_processed->Value();
+    bool drained = true;
+    std::uint64_t applied_sum = 0;
+    {
+      std::lock_guard<std::mutex> lock(fault_mutex_);
+      for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) {
+        if (node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) continue;
+        const std::uint64_t applied = shard_applied_[s].load(std::memory_order_acquire);
+        applied_sum += applied;
+        if (applied < updates->partition(s).end_offset()) drained = false;
+        if (shards_[s]->MailboxDepth() != 0) drained = false;
+      }
+      for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
+        if (node_dead_[w].load(std::memory_order_acquire)) continue;
+        if (publishers_[w]->MailboxDepth() != 0) drained = false;
+      }
+    }
+    for (const auto& updater : serving_updaters_) {
+      if (updater->MailboxDepth() != 0) drained = false;
+    }
     const std::uint64_t spub = flow_.serving_published->Value();
     const std::uint64_t sapp = flow_.serving_applied->Value();
-    const std::uint64_t csent = flow_.ctrl_sent->Value();
-    const std::uint64_t cproc = flow_.ctrl_processed->Value();
-    const bool balanced = published == processed && spub == sapp && csent == cproc;
-    const std::uint64_t fingerprint =
-        processed * 1000003ULL + sapp * 10007ULL + cproc * 101ULL + spub + csent;
+    const bool balanced = drained && spub == sapp;
+    const std::uint64_t fingerprint = applied_sum * 1000003ULL + sapp * 10007ULL + spub;
     if (balanced && fingerprint == last_fingerprint) {
       stable++;
     } else {
@@ -431,12 +572,21 @@ SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
 }
 
 void ThreadedCluster::PruneTTL(graph::Timestamp cutoff) {
-  for (auto& shard : shards_) shard->Prune(cutoff);
+  std::vector<std::shared_ptr<ShardActor>> live;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (!node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) {
+        live.push_back(shards_[s]);
+      }
+    }
+  }
+  for (auto& shard : live) shard->Prune(cutoff);
   // Barrier: a no-op behind each Prune in every mailbox guarantees the
   // prune itself ran; WaitForIngestIdle then drains whatever it emitted.
   // (ActorSystem::Quiesce cannot be used here — the polling actors
   // perpetually reschedule themselves, so the system is never "idle".)
-  for (auto& shard : shards_) shard->WithCore([](SamplingShardCore&) {});
+  for (auto& shard : live) shard->WithCore([](SamplingShardCore&) {});
   WaitForIngestIdle();
   for (auto& core : serving_cores_) core->EvictOlderThan(cutoff);
 }
@@ -445,14 +595,27 @@ util::Status ThreadedCluster::Checkpoint(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    std::shared_ptr<ShardActor> shard;
+    {
+      std::lock_guard<std::mutex> lock(fault_mutex_);
+      // A dead shard keeps its previous checkpoint file: each shard's file
+      // is internally consistent on its own (per-shard log + epoch/seq
+      // state), so a directory may mix checkpoint ages.
+      if (node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) continue;
+      shard = shards_[s];
+    }
     graph::ByteWriter w;
-    shards_[s]->WithCore([&w](SamplingShardCore& core) { core.Serialize(w); });
+    shard->WithCore([&w](SamplingShardCore& core) { core.Serialize(w); });
     std::ofstream out(dir + "/shard-" + std::to_string(s) + ".ckpt", std::ios::binary);
     if (!out) return util::Status::Internal("cannot write checkpoint for shard " +
                                             std::to_string(s));
     out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
   }
   coordinator_->MarkCheckpointed(util::NowMicros());
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    last_checkpoint_dir_ = dir;
+  }
   return util::Status::Ok();
 }
 
@@ -471,6 +634,150 @@ util::Status ThreadedCluster::Restore(const std::string& dir) {
   return util::Status::Ok();
 }
 
+// ---- fault injection & recovery (docs/FAULT_TOLERANCE.md)
+
+bool ThreadedCluster::KillNode(std::uint32_t node) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return KillNodeLocked(node);
+}
+
+bool ThreadedCluster::KillNodeLocked(std::uint32_t node) {
+  if (node >= options_.map.sampling_workers) return false;
+  if (node_dead_[node].load(std::memory_order_acquire)) return false;
+  node_dead_[node].store(true, std::memory_order_release);
+  // Order matters: stop the intake first (poller feeds shards), then the
+  // shards and the publisher, then join the node's pools so nothing of the
+  // node is still running when we return. Mailbox contents are dropped —
+  // a crash loses in-flight work by design; recovery replays it from the
+  // broker log, which is exactly what the single-log design makes safe.
+  sampling_pollers_[node]->Kill();
+  const std::uint32_t base = node * options_.map.shards_per_worker;
+  std::size_t dropped = 0;
+  for (std::uint32_t s = 0; s < options_.map.shards_per_worker; ++s) {
+    dropped += shards_[base + s]->Kill();
+  }
+  dropped += publishers_[node]->Kill();
+  system_->StopPool("sampling-" + std::to_string(node));
+  system_->StopPool("publish-" + std::to_string(node));
+  HLOG(kWarn, "ft") << "killed sampling node " << node << " (dropped " << dropped
+                    << " in-flight mailbox messages)";
+  return true;
+}
+
+std::uint32_t ThreadedCluster::NextEpochFor(std::uint32_t node) {
+  if (supervisor_ != nullptr) return supervisor_->GrantEpoch(node);
+  return ++node_epochs_[node];
+}
+
+bool ThreadedCluster::RestartNode(std::uint32_t node) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (node >= options_.map.sampling_workers) return false;
+  if (!node_dead_[node].load(std::memory_order_acquire)) return false;
+  return RecoverNode(node, NextEpochFor(node), util::NowMicros()).ok;
+}
+
+// The recovery sequence (§4.1 / docs/FAULT_TOLERANCE.md): fresh actors and
+// pools, state restored from the latest checkpoint, MQ consumer group
+// rewound to each shard's restored offset, log tail replayed under the old
+// epoch (receivers fence the re-emissions), node re-admitted under `epoch`.
+// Caller holds fault_mutex_.
+ft::RecoveryReport ThreadedCluster::RecoverNode(std::uint32_t node, std::uint32_t epoch,
+                                                util::Micros now) {
+  ft::RecoveryReport report;
+  report.node = node;
+  report.epoch = epoch;
+  if (node >= options_.map.sampling_workers) {
+    report.error = "unknown node";
+    return report;
+  }
+  // A supervisor-driven recovery may find the node merely unresponsive
+  // rather than injector-killed; tear it down first either way.
+  if (!node_dead_[node].load(std::memory_order_acquire)) KillNodeLocked(node);
+
+  const util::Micros restore_start = util::NowMicros();
+  const std::uint32_t base = node * options_.map.shards_per_worker;
+  system_->AddPool("sampling-" + std::to_string(node), options_.map.shards_per_worker);
+  system_->AddPool("publish-" + std::to_string(node), 1);
+
+  mq::Topic* updates = broker_->GetTopic(kUpdatesTopic);
+  for (std::uint32_t i = 0; i < options_.map.shards_per_worker; ++i) {
+    const std::uint32_t s = base + i;
+    // Drop the dead incarnation and its state; build the replacement.
+    system_->Detach(shards_[s]);
+    auto shard = std::make_shared<ShardActor>(this, s);
+    if (!last_checkpoint_dir_.empty()) {
+      std::ifstream in(last_checkpoint_dir_ + "/shard-" + std::to_string(s) + ".ckpt",
+                       std::ios::binary);
+      if (in) {
+        std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+        graph::ByteReader r(bytes);
+        bool ok = false;
+        // The actor is not attached yet: direct core access is safe.
+        shard->WithCore([&r, &ok](SamplingShardCore& core) {
+          ok = SamplingShardCore::Deserialize(r, core);
+        });
+        if (!ok) {
+          report.error = "corrupt checkpoint for shard " + std::to_string(s);
+          ft::RecoveryReport failed = report;
+          failed.restore_us = util::NowMicros() - restore_start;
+          return failed;
+        }
+        ++report.shards_restored;
+      }
+    }
+    std::uint64_t applied = 0;
+    shard->WithCore([&applied](SamplingShardCore& core) { applied = core.applied_offset(); });
+    // Rewind the consumer group to the restored offset — broker commits can
+    // run ahead of the checkpoint — and arm replay up to the current end of
+    // the partition; everything in between is re-processed and its
+    // re-emissions are fenced at the receivers.
+    broker_->ReplayFrom("sampling", kUpdatesTopic, s, applied);
+    const std::uint64_t end = updates->partition(s).end_offset();
+    report.records_to_replay += end > applied ? end - applied : 0;
+    shard->BeginReplay(end, epoch, static_cast<std::int64_t>(now));
+    shard_applied_[s].store(applied, std::memory_order_release);
+    system_->Attach(shard, "sampling-" + std::to_string(node));
+    shards_[s] = std::move(shard);
+  }
+
+  system_->Detach(publishers_[node]);
+  auto publisher = std::make_shared<PublisherActor>(this);
+  system_->Attach(publisher, "publish-" + std::to_string(node));
+  publishers_[node] = std::move(publisher);
+
+  // Fresh poller: its consumer reads the rewound committed offsets.
+  system_->Detach(sampling_pollers_[node]);
+  auto poller = std::make_shared<SamplingPollActor>(this, node);
+  system_->Attach(poller, "poll");
+  sampling_pollers_[node] = std::move(poller);
+
+  report.restore_us = util::NowMicros() - restore_start;
+  node_dead_[node].store(false, std::memory_order_release);
+  if (running_.load(std::memory_order_acquire)) sampling_pollers_[node]->Loop();
+  report.ok = true;
+  HLOG(kWarn, "ft") << "recovered sampling node " << node << " at epoch " << epoch << ": "
+                    << report.shards_restored << " shard(s) restored, "
+                    << report.records_to_replay << " log records to replay";
+  return report;
+}
+
+bool ThreadedCluster::NodeAlive(std::uint32_t node) const {
+  if (node >= options_.map.sampling_workers) return false;
+  return !node_dead_[node].load(std::memory_order_acquire);
+}
+
+std::vector<ft::RecoveryReport> ThreadedCluster::RecoveryReports() const {
+  std::lock_guard<std::mutex> lock(reports_mutex_);
+  return reports_;
+}
+
+ft::FaultInjector ThreadedCluster::Injector() {
+  ft::FaultInjector injector;
+  injector.kill = [this](std::uint32_t node) { return KillNode(node); };
+  injector.restart = [this](std::uint32_t node) { return RestartNode(node); };
+  return injector;
+}
+
 ClusterStats ThreadedCluster::Stats() const {
   ClusterStats stats;
   stats.updates_published = flow_.updates_published->Value();
@@ -480,8 +787,17 @@ ClusterStats ThreadedCluster::Stats() const {
   stats.ctrl_sent = flow_.ctrl_sent->Value();
   stats.ctrl_processed = flow_.ctrl_processed->Value();
   stats.queries_served = flow_.queries_served->Value();
-  for (const auto& shard : shards_) {
-    const_cast<ShardActor&>(*shard).WithCore([&stats](SamplingShardCore& core) {
+  std::vector<std::shared_ptr<ShardActor>> live;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (!node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) {
+        live.push_back(shards_[s]);
+      }
+    }
+  }
+  for (const auto& shard : live) {
+    shard->WithCore([&stats](SamplingShardCore& core) {
       const auto& s = core.stats();
       stats.sampling.updates_processed += s.updates_processed;
       stats.sampling.edges_offered += s.edges_offered;
@@ -522,6 +838,10 @@ std::vector<kv::KvStats> ThreadedCluster::ServingCacheStats() const {
   stats.reserve(serving_cores_.size());
   for (const auto& core : serving_cores_) stats.push_back(core->CacheStats());
   return stats;
+}
+
+std::map<std::string, std::string> ThreadedCluster::DumpServingCache(std::uint32_t worker) const {
+  return serving_cores_.at(worker)->DumpCache();
 }
 
 }  // namespace helios

@@ -6,8 +6,12 @@
 // broker carrying the "updates" topic (one partition per logical shard) and
 // the "samples" topic (one partition per serving worker), and a coordinator
 // for query registration / heartbeats / checkpoints. Control-plane
-// subscription deltas travel directly between shard actors (FIFO per
-// sender, like the actor-framework messaging the paper describes).
+// subscription deltas ride the destination shard's "updates" partition as
+// tagged records, so each shard consumes exactly one totally-ordered log:
+// processing is deterministic given the log, which is what makes
+// checkpoint-replay recovery (docs/FAULT_TOLERANCE.md) exact, and deltas
+// in flight to a dead shard stay durable in the broker instead of dying
+// with a mailbox.
 //
 // This runtime is functionally complete and is what the tests and examples
 // drive. On this workspace's single core it cannot exhibit parallel
@@ -19,10 +23,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "actor/actor.h"
+#include "ft/recovery.h"
+#include "ft/supervisor.h"
 #include "gen/datasets.h"
 #include "graph/types.h"
 #include "helios/coordinator.h"
@@ -53,6 +61,11 @@ struct ClusterOptions {
   // timeline span (pid = worker lane, tid = shard/stage) on top of the
   // registry histograms. Must outlive the cluster.
   obs::TraceBuffer* trace = nullptr;
+  // Fault-tolerance supervision (docs/FAULT_TOLERANCE.md). 0 keeps the
+  // supervisor off (the default: no monitor thread, no heartbeat tracking).
+  // Non-zero arms it: a sampling node whose heartbeat is older than this is
+  // declared dead and auto-recovered from the latest Checkpoint() directory.
+  util::Micros supervision_timeout = 0;
 };
 
 struct ClusterStats {
@@ -96,10 +109,33 @@ class ThreadedCluster {
   // ---- operations
   // TTL pass on sampling shards and serving caches (§4.2/§6).
   void PruneTTL(graph::Timestamp cutoff);
-  // Serializes every sampling shard to <dir>/shard-<i>.ckpt (§4.1).
+  // Serializes every live sampling shard to <dir>/shard-<i>.ckpt (§4.1) and
+  // remembers `dir` as the recovery source. Shards of dead nodes keep their
+  // previous file (per-shard consistency permits mixed checkpoint ages).
   util::Status Checkpoint(const std::string& dir);
   // Restores shard state from a checkpoint directory (call before Start()).
   util::Status Restore(const std::string& dir);
+
+  // ---- fault injection & recovery (docs/FAULT_TOLERANCE.md)
+  // Kills sampling worker `node`: its polling actor stops, its shard and
+  // publisher actors are torn down with their thread pools joined, and all
+  // in-memory shard state is dropped. In-flight updates and control deltas
+  // stay durable in the broker log. Returns false for an unknown or
+  // already-dead node.
+  bool KillNode(std::uint32_t node);
+  // Manually restarts a killed node: restores its shards from the latest
+  // checkpoint, rewinds the consumer group to the restored offsets, replays
+  // the log tail under the old epoch (re-emissions fence at the receivers)
+  // and re-admits the node under a freshly granted epoch.
+  bool RestartNode(std::uint32_t node);
+  // Both of the above as the runtime-agnostic injector handle.
+  ft::FaultInjector Injector();
+
+  bool NodeAlive(std::uint32_t node) const;
+  // Reports collected from supervisor-driven recoveries (monitor thread).
+  std::vector<ft::RecoveryReport> RecoveryReports() const;
+  // Null unless ClusterOptions::supervision_timeout is non-zero.
+  ft::Supervisor* supervisor() { return supervisor_.get(); }
 
   ClusterStats Stats() const;
   // End-to-end ingestion latency (publish -> applied at serving cache);
@@ -107,6 +143,10 @@ class ThreadedCluster {
   util::Histogram IngestionLatency() const;
   // Per-serving-worker cache footprint.
   std::vector<kv::KvStats> ServingCacheStats() const;
+  // Full cache contents of one serving worker (crash-parity golden tests:
+  // byte-compare a recovered cluster against an uninterrupted one). Only
+  // meaningful when ingestion is idle.
+  std::map<std::string, std::string> DumpServingCache(std::uint32_t worker) const;
 
   // The cluster-wide metrics registry every core/actor records into.
   const obs::MetricsRegistry& registry() const { return registry_; }
@@ -124,6 +164,12 @@ class ThreadedCluster {
   class ServingPollActor;
   class ServingUpdateActor;
 
+  // Unlocked kill/recover bodies (callers hold fault_mutex_).
+  bool KillNodeLocked(std::uint32_t node);
+  ft::RecoveryReport RecoverNode(std::uint32_t node, std::uint32_t epoch, util::Micros now);
+  std::uint32_t NextEpochFor(std::uint32_t node);
+  void MonitorLoop();
+
   QueryPlan plan_;
   ClusterOptions options_;
   // Declared before the actors/cores so handles resolved against it stay
@@ -137,6 +183,9 @@ class ThreadedCluster {
   // data-updating actor (cache-apply + e2e) and Serve() (serve stage).
   std::vector<std::unique_ptr<obs::StageTracer>> serving_tracers_;
 
+  // Sampling-side actor slots. Slots of a killed node keep the stopped
+  // actors until RecoverNode replaces them (readers skip dead nodes via
+  // node_dead_); mutation and multi-slot reads synchronize on fault_mutex_.
   std::vector<std::shared_ptr<ShardActor>> shards_;
   std::vector<std::shared_ptr<SamplingPollActor>> sampling_pollers_;
   std::vector<std::shared_ptr<PublisherActor>> publishers_;
@@ -145,6 +194,17 @@ class ThreadedCluster {
   std::vector<std::unique_ptr<ServingCore>> serving_cores_;
 
   std::atomic<bool> running_{false};
+
+  // ---- fault-tolerance state
+  std::unique_ptr<ft::Supervisor> supervisor_;
+  std::thread monitor_;
+  mutable std::mutex fault_mutex_;               // kill/recover + slot reads
+  std::unique_ptr<std::atomic<bool>[]> node_dead_;          // per sampling worker
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_applied_;  // per shard: log offset applied
+  std::vector<std::uint32_t> node_epochs_;       // fallback grants (no supervisor)
+  std::string last_checkpoint_dir_;
+  mutable std::mutex reports_mutex_;
+  std::vector<ft::RecoveryReport> reports_;
   // Cluster-level flow counters, registry-backed ("cluster.*"). The idle
   // detector compares producer/consumer pairs, so these must be the
   // authoritative cells, not copies.
@@ -169,6 +229,16 @@ class ThreadedCluster {
     obs::LatencyMetric* batch_occupancy;
   };
   DissCounters diss_;
+  // Fault-tolerance instrumentation ("ft.*"): log records re-processed
+  // during recovery, serving-side re-emissions dropped by the epoch fence,
+  // and replay duration per recovered shard. (Detection/recovery timings
+  // live in the Supervisor's own ft.* metrics.)
+  struct FtCounters {
+    obs::Counter* updates_replayed;
+    obs::Counter* deltas_fenced;
+    obs::LatencyMetric* time_to_replay_us;
+  };
+  FtCounters ft_;
 };
 
 }  // namespace helios

@@ -116,6 +116,22 @@ std::uint64_t Broker::CommittedOffset(const std::string& group, const std::strin
   return it == committed_.end() ? 0 : it->second;
 }
 
+util::StatusOr<std::uint64_t> Broker::ReplayFrom(const std::string& group,
+                                                 const std::string& topic, std::uint32_t partition,
+                                                 std::uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return util::Status::NotFound("no such topic: " + topic);
+  Topic* t = it->second.get();
+  if (partition >= t->num_partitions()) {
+    return util::Status::InvalidArgument("partition out of range");
+  }
+  const Partition& p = t->partition(partition);
+  const std::uint64_t clamped = std::clamp(offset, p.start_offset(), p.end_offset());
+  committed_[OffsetKey(group, topic, partition)] = clamped;
+  return clamped;
+}
+
 std::size_t Broker::TruncateOlderThan(util::Micros cutoff) {
   std::vector<Topic*> topics;
   {

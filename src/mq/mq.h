@@ -97,6 +97,16 @@ class Broker {
   std::uint64_t CommittedOffset(const std::string& group, const std::string& topic,
                                 std::uint32_t partition) const;
 
+  // Recovery fast path: rewinds the group's committed offset so the next
+  // Consumer constructed for (group, topic, partition) resumes from `offset`.
+  // Used when a restored checkpoint is older than the broker-side commit
+  // (commits can run ahead of durable state — see docs/FAULT_TOLERANCE.md).
+  // The offset is clamped into [start_offset, end_offset] of the partition;
+  // returns the offset actually installed, or an error for unknown
+  // topic/partition.
+  util::StatusOr<std::uint64_t> ReplayFrom(const std::string& group, const std::string& topic,
+                                           std::uint32_t partition, std::uint64_t offset);
+
   // Applies retention to every partition of every topic.
   std::size_t TruncateOlderThan(util::Micros cutoff);
 

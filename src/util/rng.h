@@ -7,6 +7,7 @@
 // splitmix64 as recommended by the xoshiro authors.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -66,6 +67,16 @@ class Rng {
   }
 
   bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Raw generator state, for checkpoint/restore: a restored Rng continues
+  // the exact stream the saved one would have produced (§4.1 recovery —
+  // replayed reservoir decisions must match the original run).
+  std::array<std::uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void LoadState(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -475,6 +475,85 @@ TEST(SamplingCore, CheckpointRestoresOfferCounter) {
   EXPECT_EQ(restored.CellOf(1, user)->offers_seen(), 25u);
 }
 
+// Replay determinism (docs/FAULT_TOLERANCE.md): the checkpoint carries the
+// sampler's RNG state, so a restored core fed the same log tail makes the
+// SAME random accept/evict decisions and emits byte-identical serving
+// traffic. Without the RNG state the re-emissions would diverge from what
+// the serving side already applied and epoch/seq fencing could not
+// de-duplicate them.
+TEST(SamplingCore, CheckpointedRngStateMakesReplayDeterministic) {
+  ShardMap map{1, 1, 1};
+  SamplingQuery q;
+  q.seed_type = 0;
+  q.hops = {{0, 2, Strategy::kRandom}, {1, 2, Strategy::kRandom}};
+  const auto plan = Decompose(q, TwoHopSchema()).value();
+  const auto user = MakeVertexId(0, 1);
+
+  SamplingShardCore original(plan, map, 0, /*seed=*/7, {});
+  SamplingShardCore::Outputs out;
+  original.OnGraphUpdate(Vertex(0, user, 1), 0, out);
+  // Subscribe a serving worker to the hop-1 cell so reservoir changes are
+  // emitted as SampleDeltas (nothing reaches serving without a subscriber).
+  SubscriptionDelta sub;
+  sub.level = 1;
+  sub.vertex = user;
+  sub.serving_worker = 0;
+  sub.delta = +1;
+  out.Clear();
+  original.OnSubscriptionDelta(sub, 0, out);
+  // Enough offers that Random's reservoir is rejecting/evicting (C/seen),
+  // i.e. the RNG stream position matters.
+  for (int i = 0; i < 40; ++i) {
+    out.Clear();
+    original.OnGraphUpdate(Edge(0, user, MakeVertexId(1, static_cast<std::uint64_t>(i)), 10 + i),
+                           0, out);
+  }
+
+  graph::ByteWriter w;
+  original.Serialize(w);
+  const std::string checkpoint = w.buffer();
+
+  // The restored core gets a DIFFERENT constructor seed: only the
+  // checkpointed RNG state may drive replay.
+  SamplingShardCore restored(plan, map, 0, /*seed=*/999, {});
+  graph::ByteReader r(checkpoint);
+  ASSERT_TRUE(SamplingShardCore::Deserialize(r, restored));
+
+  // Feed both cores the identical log tail and byte-compare everything
+  // they emit toward serving.
+  auto run_tail = [&](SamplingShardCore& core) {
+    graph::ByteWriter emitted;
+    auto collect = [&](SamplingShardCore::Outputs& tail_out) {
+      tail_out.to_serving.ForEach([&](std::uint32_t sew, const ServingMessage& m) {
+        emitted.PutU32(sew);
+        EncodeServingMessageTo(emitted, m);
+      });
+    };
+    for (int i = 40; i < 120; ++i) {
+      SamplingShardCore::Outputs tail_out;
+      core.OnGraphUpdate(Edge(0, user, MakeVertexId(1, static_cast<std::uint64_t>(i)), 10 + i), 0,
+                         tail_out);
+      collect(tail_out);
+      // Feature updates emit unconditionally to subscribers and carry the
+      // per-(shard->worker) seq stamp, so a single diverging reservoir
+      // acceptance between the two replicas shifts every later seq and
+      // breaks the byte comparison.
+      tail_out.Clear();
+      core.OnGraphUpdate(Vertex(0, user, 10 + i), 0, tail_out);
+      collect(tail_out);
+    }
+    return emitted.Take();
+  };
+  const std::string original_tail = run_tail(original);
+  const std::string restored_tail = run_tail(restored);
+  EXPECT_FALSE(original_tail.empty());
+  EXPECT_EQ(original_tail, restored_tail);
+
+  // And the reservoirs themselves converged identically.
+  ASSERT_NE(restored.CellOf(1, user), nullptr);
+  EXPECT_EQ(restored.CellOf(1, user)->samples(), original.CellOf(1, user)->samples());
+}
+
 TEST(SamplingCore, CheckpointRejectsCorruptBytes) {
   ShardMap map{1, 1, 1};
   SamplingShardCore core(TwoHopPlan(), map, 0, 1, {});

@@ -253,43 +253,56 @@ TEST(ServingCore, SampleKeyKeepsManyLevelsDistinct) {
 }
 
 // The in-place binary patch must behave exactly like the reference
-// decode→mutate→encode semantics: splice out the evicted record, append
-// the new one, trim the oldest when over the plan fan-out.
+// decode→mutate→encode semantics, which mirror ReservoirCell::OfferTopK:
+// when the evicted vertex sits in the cell's first oldest-ts slot (the
+// slot the sampler replaced), overwrite that slot in place; otherwise
+// splice out the evicted record and append the new one, trimming the
+// oldest when over the plan fan-out.
 TEST(ServingCore, DeltaPatchMatchesReferenceModel) {
   const auto plan = Plan(/*f1=*/3, /*f2=*/2);
   ServingCore core(plan, 0);
   const auto user = MakeVertexId(0, 1);
   auto item = [](std::uint64_t i) { return MakeVertexId(1, i); };
 
-  // Reference model of the level-1 cell (capacity 3).
-  std::vector<graph::VertexId> model;
-  auto model_apply = [&](graph::VertexId added, graph::VertexId evicted) {
-    if (evicted != graph::kInvalidVertex) {
-      auto it = std::find(model.begin(), model.end(), evicted);
+  // Reference model of the level-1 cell (capacity 3): (vertex, ts) slots.
+  std::vector<std::pair<graph::VertexId, graph::Timestamp>> model;
+  auto model_apply = [&](graph::VertexId added, graph::Timestamp ts, graph::VertexId evicted) {
+    if (evicted != graph::kInvalidVertex && !model.empty()) {
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < model.size(); ++i) {
+        if (model[i].second < model[oldest].second) oldest = i;
+      }
+      if (model[oldest].first == evicted) {
+        model[oldest] = {added, ts};  // reservoir-style in-place replace
+        return;
+      }
+      auto it = std::find_if(model.begin(), model.end(),
+                             [&](const auto& s) { return s.first == evicted; });
       if (it != model.end()) model.erase(it);
     }
-    model.push_back(added);
+    model.push_back({added, ts});
     if (model.size() > 3) model.erase(model.begin());
   };
 
   core.Apply(ServingMessage::Of(Cell(1, user, {item(1), item(2)}, /*ts=*/10)));
-  model = {item(1), item(2)};
+  model = {{item(1), 10}, {item(2), 10}};
 
   core.Apply(ServingMessage::Of(Delta(1, user, item(3), 11)));
-  model_apply(item(3), graph::kInvalidVertex);
+  model_apply(item(3), 11, graph::kInvalidVertex);
+  // Evicting a vertex that is NOT the oldest slot: splice + append.
   core.Apply(ServingMessage::Of(Delta(1, user, item(4), 12, /*evicted=*/item(2))));
-  model_apply(item(4), item(2));
+  model_apply(item(4), 12, item(2));
   // No explicit eviction but the cell is full: the oldest record drops.
   core.Apply(ServingMessage::Of(Delta(1, user, item(5), 13)));
-  model_apply(item(5), graph::kInvalidVertex);
+  model_apply(item(5), 13, graph::kInvalidVertex);
   // Eviction of a vertex that is not present: pure append (still at cap).
   core.Apply(ServingMessage::Of(Delta(1, user, item(6), 14, /*evicted=*/item(99))));
-  model_apply(item(6), item(99));
+  model_apply(item(6), 14, item(99));
 
   const auto result = core.Serve(user);
   ASSERT_EQ(result.layers[1].size(), model.size());
   for (std::size_t i = 0; i < model.size(); ++i) {
-    EXPECT_EQ(result.layers[1][i].vertex, model[i]) << i;
+    EXPECT_EQ(result.layers[1][i].vertex, model[i].first) << i;
   }
   EXPECT_EQ(core.stats().latest_event_ts, 14);
 
@@ -301,16 +314,18 @@ TEST(ServingCore, DeltaPatchMatchesReferenceModel) {
   ASSERT_EQ(r2.layers[1].size(), 1u);
   EXPECT_EQ(r2.layers[1][0].vertex, item(42));
 
-  // A coalesced multi-change delta applies its folded changes in order.
+  // A coalesced multi-change delta applies its folded changes in order;
+  // these evict the oldest slot, so they replace in place like the
+  // reservoir did.
   auto multi = Delta(1, user, item(7), 15, /*evicted=*/item(4));
   multi.more.push_back({{item(8), 16, 1.0f}, item(5), 16});
   core.Apply(ServingMessage::Of(std::move(multi)));
-  model_apply(item(7), item(4));
-  model_apply(item(8), item(5));
+  model_apply(item(7), 15, item(4));
+  model_apply(item(8), 16, item(5));
   const auto r3 = core.Serve(user);
   ASSERT_EQ(r3.layers[1].size(), model.size());
   for (std::size_t i = 0; i < model.size(); ++i) {
-    EXPECT_EQ(r3.layers[1][i].vertex, model[i]) << i;
+    EXPECT_EQ(r3.layers[1][i].vertex, model[i].first) << i;
   }
 }
 
