@@ -7,11 +7,14 @@
 // Paper shape: P99 ingestion latency around/below ~1.2s at millions of
 // updates/s; missed-update fractions of 0.03% / 0.02% / 1.90% / 0.01%.
 //
-// Usage: fig17_ingestion_latency [scale=2000] [--trace=out.json] [metrics=-]
-//   --trace=<path>  write a Chrome-trace/Perfetto timeline of the first
-//                   dataset's paced run
-//   metrics=<path>  dump the final deployment's metrics snapshot
-//                   ("-" = stdout, *.json = JSON)
+// Usage: fig17_ingestion_latency [scale=2000] [--trace-out=out.json]
+//        [--metrics-out=-]
+//   --trace-out=<path>    write a Chrome-trace/Perfetto timeline of the
+//                         first dataset's paced run (with causal per-update
+//                         flow events stitching sampler -> serving lanes)
+//   --metrics-out=<path>  dump the final deployment's metrics snapshot
+//                         ("-" = stdout, *.json = JSON)
+//   (legacy spellings trace= / metrics= stay accepted)
 #include <algorithm>
 #include <cstdio>
 #include <unordered_map>

@@ -6,9 +6,24 @@
 // configurations; P99 slightly exceeds 100ms only at concurrency 800
 // (client-side overload).
 //
+// This bench is also the observability showcase (docs/OBSERVABILITY.md):
+// with the shared obs flags it holds back a tail of the update stream,
+// pushes it through the emulated ingestion pipeline, and then runs the
+// serving sweep with background sample-queue traffic, emitting
+//   --trace-out=      one stitched Chrome trace: per-update causal flow
+//                     events crossing sampler -> serving lanes, plus
+//                     per-query kServe spans from the serving phase
+//   --telemetry-out=  a JSON array of windowed TelemetryHub snapshots
+//                     (per-worker qps/bytes/p99 + update->visibility and
+//                     update->first-serve staleness percentiles)
+//   --metrics-out=    the final cumulative metrics snapshot
+//
 // Usage: fig19_online_inference [scale=2000] [requests=1500]
+//        [--trace-out=trace.json] [--telemetry-out=telemetry.json]
+//        [--metrics-out=-] [--telemetry-interval=250000]
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
@@ -22,14 +37,74 @@ int main(int argc, char** argv) {
   const auto spec = gen::MakeInter(scale);
   const auto plan = bench::PaperQuery(spec, Strategy::kRandom, 2);
   gen::UpdateStream stream(spec);
-  const auto updates = stream.Drain();
+  auto updates = stream.Drain();
   const auto [seed_type, population] = bench::PaperSeeds(spec);
   gen::SeedGenerator seed_gen(seed_type, population, 0.0, 17);
   const auto seeds = seed_gen.Batch(10000);
 
+  const bool tracing = bench::TraceRequested(config);
+  const bool telemetry_on =
+      bench::TelemetryRequested(config) || !config.GetString("metrics-out", "").empty();
+  const bool observing = tracing || telemetry_on;
+
   bench::HeliosEmuConfig hc;
   bench::HeliosDeployment helios(plan, hc);
-  helios.IngestAll(updates);
+
+  // Observability plumbing: one trace buffer and one telemetry hub span
+  // both phases (TelemetryHub retires out-of-window buckets lazily, so the
+  // serving phase restarting virtual time at 0 is fine); freshness
+  // trackers are per-phase because the two phases run on distinct virtual
+  // clocks.
+  obs::TraceBuffer trace_buffer;
+  obs::TelemetryHub::Options topt;
+  topt.num_lanes = hc.serving_nodes;
+  topt.lane_label = "serving_worker";
+  obs::TelemetryHub telemetry(&helios.registry(), topt);
+  obs::FreshnessTracker fresh_ingest(&helios.registry(), helios.num_shards(),
+                                     {{"phase", "ingest"}});
+  obs::FreshnessTracker fresh_serve(&helios.registry(), helios.num_shards(),
+                                    {{"phase", "serve"}});
+  std::vector<std::string> snapshots;
+  const std::int64_t interval = bench::TelemetryIntervalUs(config);
+
+  if (observing) {
+    // Hold back a tail of the stream and run it through the emulated
+    // ingestion pipeline: the trace captures real sampler->serving
+    // dissemination with per-update causal flow events, and the telemetry
+    // window sees update->visibility staleness per serving worker.
+    const std::size_t tail = std::min<std::size_t>(updates.size() / 10, 50'000);
+    const std::vector<graph::GraphUpdate> live(updates.end() - static_cast<std::ptrdiff_t>(tail),
+                                               updates.end());
+    updates.resize(updates.size() - tail);
+    helios.IngestAll(updates);
+    bench::IngestObs iobs;
+    iobs.telemetry = telemetry_on ? &telemetry : nullptr;
+    iobs.freshness = telemetry_on ? &fresh_ingest : nullptr;
+    iobs.telemetry_interval_us = interval;
+    iobs.snapshots = telemetry_on ? &snapshots : nullptr;
+    helios.EmulateIngestion(live, 0, tracing ? &trace_buffer : nullptr, nullptr, &iobs);
+  } else {
+    helios.IngestAll(updates);
+  }
+
+  // Background sample-queue traffic for the observed serving runs, so the
+  // first-serve freshness path (apply arms, query read records) is live.
+  std::vector<ServingMessage> background;
+  if (observing) {
+    util::Rng rng(5);
+    gen::SeedGenerator bg_gen(seed_type, population, 0.0, 9);
+    for (int i = 0; i < 2000; ++i) {
+      SampleUpdate su;
+      su.level = 1;
+      su.vertex = bg_gen.Next();
+      su.event_ts = 1;
+      for (int j = 0; j < 25; ++j) {
+        su.samples.push_back({gen::MakeVertexId(1, rng.Uniform(spec.vertices_per_type[1])),
+                              static_cast<graph::Timestamp>(j), 1.0f});
+      }
+      background.push_back(ServingMessage::Of(std::move(su)));
+    }
+  }
 
   gnn::SageConfig sage;
   sage.input_dim = spec.schema.feature_dim;
@@ -37,16 +112,32 @@ int main(int argc, char** argv) {
   sage.output_dim = 64;
   gnn::ModelServer model(sage);
 
+  bench::ServeObs sobs;
+  sobs.trace = tracing ? &trace_buffer : nullptr;
+  sobs.telemetry = telemetry_on ? &telemetry : nullptr;
+  sobs.freshness = telemetry_on ? &fresh_serve : nullptr;
+  sobs.telemetry_interval_us = interval;
+  sobs.snapshots = telemetry_on ? &snapshots : nullptr;
+  sobs.deadline_us = 100'000;  // the paper's "P99 below 100ms" bar as an SLO
+
   bench::PrintHeader("Fig 19: online GNN inference e2e (INTER 2-hop, 4 model nodes)",
                      "concurrency   qps        avg_ms   p99_ms");
   for (const std::uint32_t conc : {100u, 200u, 400u, 800u}) {
     const auto report = helios.EmulateServing(
-        seeds, conc, std::max<std::uint64_t>(requests, conc * 4ull), &model, 4);
+        seeds, conc, std::max<std::uint64_t>(requests, conc * 4ull), &model, 4,
+        observing ? &background : nullptr, observing ? 0.25 : 0.0, observing ? &sobs : nullptr);
     std::printf("conc=%-8u %-10.0f %-8.2f %-8.2f\n", conc, report.qps,
                 report.latency_us.Mean() / 1000.0,
                 static_cast<double>(report.latency_us.P99()) / 1000.0);
   }
+  if (observing) {
+    std::printf("slo(100ms) window hit rate: %.4f\n", telemetry.SloHitRate());
+  }
   std::printf("\npaper shape: high qps with p99/avg below ~100ms in most cases; "
               "p99 slightly above 100ms only at the highest concurrency\n");
+
+  const auto snapshot = helios.registry().TakeSnapshot();
+  bench::DumpObservability(config, &snapshot, &trace_buffer);
+  bench::DumpTelemetry(config, snapshots);
   return 0;
 }

@@ -149,13 +149,20 @@ void HeliosDeployment::IngestAll(const std::vector<graph::GraphUpdate>& updates)
 IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
                                                 double offered_rate_mps,
                                                 obs::TraceBuffer* trace,
-                                                const DesFaultSpec* fault) {
+                                                const DesFaultSpec* fault,
+                                                const IngestObs* obs) {
   sim::SimEnv env;
   // Identical instrumentation to the threaded runtime, but clocked on the
   // DES virtual time: per-run registry so repeated emulations do not mix.
   obs::MetricsRegistry run_registry;
   obs::FunctionClock virtual_clock([&env] { return env.now(); });
   obs::StageTracer tracer(&run_registry, &virtual_clock, trace);
+  // Causal trace ids for this run: counter-based (never wall time or RNG),
+  // so traced runs stay as deterministic as untraced ones.
+  obs::TraceIdAllocator trace_ids(0);
+  if (trace != nullptr) {
+    trace->BindDroppedCounter(run_registry.GetCounter("obs.trace.dropped_events"));
+  }
   // Dissemination batching metrics, same names as the threaded runtime.
   obs::Counter* diss_batches = run_registry.GetCounter("dissemination.batches");
   obs::Counter* diss_messages = run_registry.GetCounter("dissemination.messages");
@@ -228,6 +235,12 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   const bool fault_mode = fault != nullptr;
   struct LogEntry {
     bool ctrl = false;
+    // Whether this entry's dissemination.* contribution has been recorded.
+    // An entry counts exactly once: either when its original execution
+    // completes, or — if the crash swallowed that completion — when its
+    // replay does. This is what makes a faulty run's dissemination counters
+    // equal an uninterrupted golden run's (fig20 gates on it).
+    bool counted = false;
     std::vector<graph::GraphUpdate> updates;
     std::vector<SubscriptionDelta> deltas;
     std::int64_t origin = 0;
@@ -257,9 +270,18 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
   // header: replayed duplicates fence here, exactly once per change.
   auto deliver_to_serving = [&](std::uint32_t from_node, std::uint32_t sew,
                                 std::vector<ServingMessage> batch, std::size_t bytes,
-                                std::uint32_t src_shard, std::uint32_t epoch) {
+                                std::uint32_t src_shard, std::uint32_t epoch,
+                                std::uint64_t flow_id) {
     cluster.Send(from_node, M + sew, bytes,
-                 [&, sew, src_shard, epoch, batch = std::move(batch)]() mutable {
+                 [&, sew, src_shard, epoch, flow_id, bytes, batch = std::move(batch)]() mutable {
+                   // Close the frame's flow on the serving lane; the matching
+                   // start was emitted by route_outputs on the sampler lane.
+                   if (trace != nullptr && flow_id != 0) {
+                     trace->AddFlowEnd("batch", "dissemination", env.now(), M + sew, 0, flow_id);
+                   }
+                   if (obs != nullptr && obs->telemetry != nullptr) {
+                     obs->telemetry->RecordBytes(sew, env.now(), bytes);
+                   }
                    ft::EpochFence& fence = serving_fences[sew];
                    const ft::EpochFence::FrameToken token = fence.BeginFrame(src_shard, epoch);
                    std::vector<ServingMessage> admitted;
@@ -278,6 +300,19 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                                          });
                    }
                    if (fenced > 0) ft_deltas_fenced->Add(fenced);
+                   if (trace != nullptr) {
+                     // Close each admitted update's causal flow. Messages of
+                     // one update sit adjacent in the frame, so deduping
+                     // consecutive ids emits one end per update.
+                     std::uint64_t last_update_flow = 0;
+                     for (const auto& m : admitted) {
+                       if (m.trace.active() && m.trace.trace_id != last_update_flow) {
+                         last_update_flow = m.trace.trace_id;
+                         trace->AddFlowEnd("update", "causal", env.now(), M + sew, 0,
+                                           m.trace.trace_id);
+                       }
+                     }
+                   }
                    // Split across the worker's data-updating threads.
                    std::map<std::uint32_t, std::vector<ServingMessage>> per_queue;
                    for (auto& m : admitted) {
@@ -285,7 +320,7 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                    }
                    for (auto& [q, sub] : per_queue) {
                    serving_queues[q].Submit(
-                       [&, sew, batch = std::move(sub)]() -> util::Nanos {
+                       [&, sew, src_shard, batch = std::move(sub)]() -> util::Nanos {
                          const auto t = util::TimeItNanos([&] {
                            for (const auto& m : batch) serving_[sew]->Apply(m);
                          });
@@ -294,6 +329,18 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                          for (const auto& m : batch) {
                            tracer.RecordEndToEnd(m.OriginMicros(), env.now());
                            applied_at_serving++;
+                           if (obs != nullptr && m.OriginMicros() > 0 &&
+                               env.now() >= m.OriginMicros()) {
+                             if (obs->freshness != nullptr) {
+                               obs->freshness->OnApply(m.TargetVertex(), src_shard,
+                                                       m.OriginMicros(), env.now());
+                             }
+                             if (obs->telemetry != nullptr) {
+                               obs->telemetry->RecordStaleness(
+                                   sew, env.now(),
+                                   static_cast<std::uint64_t>(env.now() - m.OriginMicros()));
+                             }
+                           }
                          }
                          if (fault_mode && fault->timeline_bucket_us > 0) {
                            const std::size_t b = static_cast<std::size_t>(
@@ -310,14 +357,20 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
 
   // Shard-level work items: a batch of graph updates or a batch of deltas.
   // `replay` marks recovery re-submissions: they skip the durable log (they
-  // came from it) and count toward ft.updates_replayed.
-  std::function<void(std::uint32_t, std::vector<graph::GraphUpdate>, std::int64_t, bool)>
+  // came from it) and count toward ft.updates_replayed. `log_idx` is the
+  // entry's position in its shard's durable log (kNoLogEntry outside fault
+  // mode) — completion uses it to record the entry's dissemination.*
+  // contribution exactly once across original execution and replay.
+  constexpr std::size_t kNoLogEntry = static_cast<std::size_t>(-1);
+  std::function<void(std::uint32_t, std::vector<graph::GraphUpdate>, std::int64_t, bool,
+                     std::size_t)>
       submit_updates;
-  std::function<void(std::uint32_t, std::vector<SubscriptionDelta>, std::int64_t, bool)>
+  std::function<void(std::uint32_t, std::vector<SubscriptionDelta>, std::int64_t, bool,
+                     std::size_t)>
       submit_delta;
 
   auto route_outputs = [&](std::uint32_t shard, SamplingShardCore::Outputs& out,
-                           std::int64_t origin) {
+                           std::int64_t origin, bool count) {
     const std::uint32_t node = map_.WorkerOfShard(shard);
     // Between a job's service and its completion no other job of the queue
     // runs, so the core's epoch here is the epoch its emissions were
@@ -329,12 +382,23 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
       ServingBatchBuilder& b = out.to_serving.builder(sew);
       if (b.empty()) continue;
       const std::size_t bytes = b.WireBytes();
-      diss_batches->Add(1);
-      diss_messages->Add(b.size());
-      diss_coalesced->Add(b.coalesced());
-      diss_bytes->Add(bytes);
-      diss_occupancy->Record(b.size());
-      deliver_to_serving(node, sew, b.TakeMessages(), bytes, shard, epoch);
+      std::uint64_t flow = 0;
+      if (trace != nullptr) {
+        // Frame-level flow: opened on the sampler lane, closed by
+        // deliver_to_serving on the destination worker's lane.
+        flow = trace_ids.Next();
+        trace->AddFlowStart("batch", "dissemination", env.now(), node, shard, flow);
+      }
+      // `count` is false when this execution re-derives work that was
+      // already recorded before a crash (satellite: replay-aware metrics).
+      if (count) {
+        diss_batches->Add(1);
+        diss_messages->Add(b.size());
+        diss_coalesced->Add(b.coalesced());
+        diss_bytes->Add(bytes);
+        diss_occupancy->Record(b.size());
+      }
+      deliver_to_serving(node, sew, b.TakeMessages(), bytes, shard, epoch, flow);
     }
     // Batch control-plane deltas per destination shard (one message each).
     std::map<std::uint32_t, std::vector<SubscriptionDelta>> per_shard_deltas;
@@ -345,15 +409,28 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
       for (const auto& d : deltas) bytes += WireSize(d);
       cluster.Send(node, dest_node, bytes,
                    [&submit_delta, dest, deltas = std::move(deltas), origin]() mutable {
-                     submit_delta(dest, std::move(deltas), origin, false);
+                     submit_delta(dest, std::move(deltas), origin, false, kNoLogEntry);
                    });
     }
     out.Clear();
   };
 
+  // Marks `log_idx` counted and returns whether this completion should
+  // record dissemination.* (exactly-once across execution and replay).
+  auto should_count = [&](std::uint32_t shard, std::size_t log_idx) {
+    if (!fault_mode || log_idx == kNoLogEntry) return true;
+    LogEntry& e = shard_log[shard][log_idx];
+    const bool count = !e.counted;
+    e.counted = true;
+    return count;
+  };
+
   submit_updates = [&](std::uint32_t shard, std::vector<graph::GraphUpdate> batch,
-                       std::int64_t origin, bool replay) {
-    if (fault_mode && !replay) shard_log[shard].push_back({false, batch, {}, origin});
+                       std::int64_t origin, bool replay, std::size_t log_idx) {
+    if (fault_mode && !replay) {
+      shard_log[shard].push_back({false, false, batch, {}, origin});
+      log_idx = shard_log[shard].size() - 1;
+    }
     // A dead node takes no work; the entry above stays durable for replay.
     if (node_dead[map_.WorkerOfShard(shard)] != 0) return;
     const std::uint64_t inc = incarnation[shard];
@@ -367,22 +444,37 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                                   static_cast<std::uint64_t>(env.now() - origin));
           }
           const auto t = util::TimeItNanos([&] {
-            for (const auto& u : batch) shards_[shard]->OnGraphUpdate(u, origin, *out);
+            for (const auto& u : batch) {
+              if (trace != nullptr) {
+                // Mint the update's causal context and open its flow here —
+                // the single point every update enters its shard. The
+                // serving-side apply closes it.
+                const obs::TraceContext ctx = trace_ids.Root();
+                trace->AddFlowStart("update", "causal", env.now(),
+                                    map_.WorkerOfShard(shard), shard, ctx.trace_id);
+                shards_[shard]->OnGraphUpdate(u, origin, *out, ctx);
+              } else {
+                shards_[shard]->OnGraphUpdate(u, origin, *out);
+              }
+            }
           });
           if (replay) replayed_updates += batch.size();
           tracer.RecordSpan(obs::Stage::kSample, env.now(), t / 1000,
                             map_.WorkerOfShard(shard), shard);
           return t;
         },
-        [&, shard, origin, inc, out] {
+        [&, shard, origin, inc, out, log_idx] {
           if (inc != incarnation[shard]) return;
-          route_outputs(shard, *out, origin);
+          route_outputs(shard, *out, origin, should_count(shard, log_idx));
         });
   };
 
   submit_delta = [&](std::uint32_t shard, std::vector<SubscriptionDelta> deltas,
-                     std::int64_t origin, bool replay) {
-    if (fault_mode && !replay) shard_log[shard].push_back({true, {}, deltas, origin});
+                     std::int64_t origin, bool replay, std::size_t log_idx) {
+    if (fault_mode && !replay) {
+      shard_log[shard].push_back({true, false, {}, deltas, origin});
+      log_idx = shard_log[shard].size() - 1;
+    }
     if (node_dead[map_.WorkerOfShard(shard)] != 0) return;
     const std::uint64_t inc = incarnation[shard];
     auto out = std::make_shared<SamplingShardCore::Outputs>();
@@ -402,9 +494,9 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
                             map_.WorkerOfShard(shard), shard);
           return t;
         },
-        [&, shard, origin, inc, out] {
+        [&, shard, origin, inc, out, log_idx] {
           if (inc != incarnation[shard]) return;
-          route_outputs(shard, *out, origin);
+          route_outputs(shard, *out, origin, should_count(shard, log_idx));
         });
   };
 
@@ -439,10 +531,26 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
         if (per_shard[s].empty()) continue;
         cluster.Send(producer_node, map_.WorkerOfShard(s), bytes_per_node / map_.TotalShards(),
                      [&submit_updates, s, batch = std::move(per_shard[s]), arrival]() mutable {
-                       submit_updates(s, std::move(batch), arrival, false);
+                       submit_updates(s, std::move(batch), arrival, false, kNoLogEntry);
                      });
       }
     });
+  }
+
+  // Periodic telemetry snapshots on virtual time. The tick re-arms only
+  // while applies are still landing, so it cannot keep the DES event loop
+  // alive once the pipeline has quiesced.
+  std::function<void()> telemetry_tick;
+  std::uint64_t snap_last_applied = ~0ULL;
+  if (obs != nullptr && obs->telemetry != nullptr && obs->snapshots != nullptr &&
+      obs->telemetry_interval_us > 0) {
+    telemetry_tick = [&] {
+      obs->snapshots->push_back(obs->telemetry->SnapshotJson(env.now()));
+      if (applied_at_serving == snap_last_applied) return;  // quiesced
+      snap_last_applied = applied_at_serving;
+      env.ScheduleAfter(obs->telemetry_interval_us, telemetry_tick);
+    };
+    env.ScheduleAfter(obs->telemetry_interval_us, telemetry_tick);
   }
 
   // ---- crash / detect / restore / replay machinery (fault mode only)
@@ -545,9 +653,9 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
               const LogEntry& e = shard_log[s][j];
               ++rep.records_to_replay;
               if (e.ctrl) {
-                submit_delta(s, e.deltas, e.origin, true);
+                submit_delta(s, e.deltas, e.origin, true, j);
               } else {
-                submit_updates(s, e.updates, e.origin, true);
+                submit_updates(s, e.updates, e.origin, true, j);
               }
             }
             shard_queues[s].Submit([]() -> util::Nanos { return 0; },
@@ -595,6 +703,10 @@ IngestReport HeliosDeployment::EmulateIngestion(const std::vector<graph::GraphUp
           : 0;
   for (const auto& cpu : sampling_cpu) report.sampling_busy_us.push_back(cpu->busy_time());
   for (const auto& cpu : serving_cpu) report.serving_busy_us.push_back(cpu->busy_time());
+  if (obs != nullptr && obs->telemetry != nullptr && obs->snapshots != nullptr) {
+    // Closing snapshot so short runs always produce at least one.
+    obs->snapshots->push_back(obs->telemetry->SnapshotJson(env.now()));
+  }
   (void)applied_at_serving;
 
   const auto snapshot = run_registry.TakeSnapshot();
@@ -625,9 +737,20 @@ ServeReport HeliosDeployment::EmulateServing(const std::vector<graph::VertexId>&
                                              gnn::ModelServer* model,
                                              std::uint32_t model_nodes,
                                              const std::vector<ServingMessage>* background,
-                                             double background_rate_mps) {
+                                             double background_rate_mps,
+                                             const ServeObs* obs) {
   sim::SimEnv env;
   const std::uint32_t N = config_.serving_nodes;
+  obs::TraceBuffer* trace = obs != nullptr ? obs->trace : nullptr;
+  obs::MetricsRegistry serve_registry;
+  obs::FunctionClock virtual_clock([&env] { return env.now(); });
+  obs::StageTracer tracer(&serve_registry, &virtual_clock, trace);
+  if (trace != nullptr) {
+    trace->BindDroppedCounter(serve_registry.GetCounter("obs.trace.dropped_events"));
+    for (std::uint32_t n = 0; n < N; ++n) {
+      trace->SetProcessName(n, "serving-node-" + std::to_string(n));
+    }
+  }
   const std::uint32_t first_model = N;
   const std::uint32_t client_node = N + (model != nullptr ? model_nodes : 0);
   sim::SimCluster::Options copt;
@@ -663,25 +786,45 @@ ServeReport HeliosDeployment::EmulateServing(const std::vector<graph::VertexId>&
           util::TimeItNanos([&] { serving_[worker]->ServeInto(seed, *result, scratch[worker]); });
       report.read_path_ns.Record(static_cast<std::uint64_t>(std::max<util::Nanos>(service_ns, 0)));
       const sim::SimTime service = static_cast<sim::SimTime>(service_ns / 1000);
-      cluster.cpu(worker).Enqueue(std::max<sim::SimTime>(service, 1), [&, result, worker, t0] {
+      if (obs != nullptr && obs->freshness != nullptr) {
+        // First-serve staleness: did this query read any cache cell an
+        // armed update was waiting on? feat_vertices is exactly the set of
+        // cells the read touched.
+        for (const graph::VertexId v : scratch[worker].feat_vertices) {
+          const std::int64_t st = obs->freshness->OnServe(v, env.now());
+          if (st >= 0 && obs->telemetry != nullptr) {
+            obs->telemetry->RecordStaleness(worker, env.now(), st);
+          }
+        }
+      }
+      cluster.cpu(worker).Enqueue(std::max<sim::SimTime>(service, 1), [&, result, worker, t0,
+                                                                       service] {
+        if (trace != nullptr) {
+          tracer.RecordSpan(obs::Stage::kServe, env.now() - service, service, worker, 0);
+        }
         report.missing_cells += result->missing_cells;
         report.missing_features += result->missing_features;
         const std::size_t bytes = ResponseBytes(*result);
-        auto finish = [&, t0](std::uint32_t from_node) {
-          cluster.Send(from_node, client_node, 128, [&, t0] {
-            report.latency_us.Record(static_cast<std::uint64_t>(env.now() - t0));
-            completed++;
-            last_completion = env.now();
-            issue();
-          });
+        // Single completion point for both the direct and the model path:
+        // records client-observed latency and, when telemetry is wired,
+        // feeds the per-worker qps/bytes/p99 window and the deadline/SLO
+        // tracker.
+        auto record_done = [&, worker, t0, bytes] {
+          const sim::SimTime lat = env.now() - t0;
+          report.latency_us.Record(static_cast<std::uint64_t>(lat));
+          if (obs != nullptr && obs->telemetry != nullptr) {
+            obs->telemetry->RecordQuery(worker, env.now(), static_cast<std::int64_t>(lat), bytes,
+                                        obs->deadline_us);
+          }
+          completed++;
+          last_completion = env.now();
+          issue();
+        };
+        auto finish = [&, record_done](std::uint32_t from_node) {
+          cluster.Send(from_node, client_node, 128, record_done);
         };
         if (model == nullptr) {
-          cluster.Send(worker, client_node, bytes, [&, t0] {
-            report.latency_us.Record(static_cast<std::uint64_t>(env.now() - t0));
-            completed++;
-            last_completion = env.now();
-            issue();
-          });
+          cluster.Send(worker, client_node, bytes, record_done);
         } else {
           const std::uint32_t mnode =
               first_model + static_cast<std::uint32_t>(rng.Uniform(model_nodes));
@@ -708,9 +851,19 @@ ServeReport HeliosDeployment::EmulateServing(const std::vector<graph::VertexId>&
     env.ScheduleAfter(gap, [&, cursor] {
       if (completed >= total_requests) return;
       const std::uint32_t sew = static_cast<std::uint32_t>(cursor % N);
+      const std::int64_t applied_at = env.now();
       const auto service = util::TimeIt([&] {
         for (std::uint64_t i = 0; i < kBatch; ++i) {
-          serving_[sew]->Apply((*background)[(cursor + i) % background->size()]);
+          const ServingMessage& m = (*background)[(cursor + i) % background->size()];
+          serving_[sew]->Apply(m);
+          if (obs != nullptr && obs->freshness != nullptr) {
+            // Arm first-serve tracking for the touched cell. Replayed
+            // background messages may predate this run's clock; fall back
+            // to the apply instant so staleness measures serve - apply.
+            const std::int64_t origin = m.OriginMicros() > 0 ? m.OriginMicros() : applied_at;
+            obs->freshness->OnApply(m.TargetVertex(), map_.ShardOf(m.TargetVertex()), origin,
+                                    applied_at);
+          }
         }
       });
       cluster.cpu(sew).Enqueue(std::max<sim::SimTime>(service, 1), [] {});
@@ -719,8 +872,25 @@ ServeReport HeliosDeployment::EmulateServing(const std::vector<graph::VertexId>&
   };
   background_tick(0);
 
+  // Periodic telemetry snapshots on the virtual timeline; stops re-arming
+  // once the query workload drains so env.Run() can terminate.
+  std::function<void()> telemetry_tick;
+  if (obs != nullptr && obs->telemetry != nullptr && obs->snapshots != nullptr &&
+      obs->telemetry_interval_us > 0) {
+    telemetry_tick = [&] {
+      obs->snapshots->push_back(obs->telemetry->SnapshotJson(env.now()));
+      if (completed >= total_requests) return;
+      env.ScheduleAfter(obs->telemetry_interval_us, telemetry_tick);
+    };
+    env.ScheduleAfter(obs->telemetry_interval_us, telemetry_tick);
+  }
+
   for (std::uint32_t c = 0; c < concurrency && c < total_requests; ++c) issue();
   env.Run();
+
+  if (obs != nullptr && obs->telemetry != nullptr && obs->snapshots != nullptr) {
+    obs->snapshots->push_back(obs->telemetry->SnapshotJson(env.now()));
+  }
 
   report.requests = completed;
   if (last_completion > 0) {
@@ -1076,7 +1246,9 @@ void IngestReport::PrintStageBreakdown() const {
 void DumpObservability(const util::Config& config,
                        const obs::MetricsRegistry::Snapshot* snapshot,
                        const obs::TraceBuffer* trace) {
-  const std::string metrics_path = config.GetString("metrics", "");
+  // Canonical spellings are --metrics-out= / --trace-out= (shared across all
+  // fig binaries); the legacy metrics= / trace= keys stay accepted.
+  const std::string metrics_path = config.GetString("metrics-out", config.GetString("metrics", ""));
   if (!metrics_path.empty() && snapshot != nullptr) {
     const bool json = metrics_path.size() > 5 &&
                       metrics_path.compare(metrics_path.size() - 5, 5, ".json") == 0;
@@ -1091,11 +1263,12 @@ void DumpObservability(const util::Config& config,
       std::printf("  ! cannot write metrics file %s\n", metrics_path.c_str());
     }
   }
-  const std::string trace_path = config.GetString("trace", "");
+  const std::string trace_path = config.GetString("trace-out", config.GetString("trace", ""));
   if (!trace_path.empty() && trace != nullptr) {
     const auto status = trace->WriteFile(trace_path);
     if (status.ok()) {
-      std::printf("  trace (%zu events) -> %s\n", trace->size(), trace_path.c_str());
+      std::printf("  trace (%zu events, %llu dropped) -> %s\n", trace->size(),
+                  static_cast<unsigned long long>(trace->dropped()), trace_path.c_str());
     } else {
       std::printf("  ! %s\n", status.message().c_str());
     }
@@ -1103,7 +1276,36 @@ void DumpObservability(const util::Config& config,
 }
 
 bool TraceRequested(const util::Config& config) {
-  return !config.GetString("trace", "").empty();
+  return !config.GetString("trace-out", config.GetString("trace", "")).empty();
+}
+
+bool TelemetryRequested(const util::Config& config) {
+  return !config.GetString("telemetry-out", "").empty();
+}
+
+std::int64_t TelemetryIntervalUs(const util::Config& config) {
+  const std::int64_t interval = config.GetInt("telemetry-interval", 250'000);
+  return interval > 0 ? interval : 250'000;
+}
+
+void DumpTelemetry(const util::Config& config, const std::vector<std::string>& snapshots) {
+  const std::string path = config.GetString("telemetry-out", "");
+  if (path.empty() || snapshots.empty()) return;
+  std::string body = "[\n";
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    body += snapshots[i];
+    body += i + 1 < snapshots.size() ? ",\n" : "\n";
+  }
+  body += "]\n";
+  if (path == "-") {
+    std::printf("%s", body.c_str());
+  } else if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("  telemetry (%zu snapshots) -> %s\n", snapshots.size(), path.c_str());
+  } else {
+    std::printf("  ! cannot write telemetry file %s\n", path.c_str());
+  }
 }
 
 std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback) {

@@ -27,8 +27,11 @@
 #include "helios/sampling_core.h"
 #include "helios/serving_core.h"
 #include "helios/shard_map.h"
+#include "obs/freshness.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "sim/sim.h"
 #include "util/config.h"
 #include "util/histogram.h"
@@ -120,6 +123,35 @@ struct HeliosEmuConfig {
   kv::KvOptions serving_kv;             // default memory-only
 };
 
+// Optional observability sinks for the emulated flows (all owned by the
+// caller; null members are simply not fed). Clocked on DES virtual time.
+struct IngestObs {
+  // Windowed per-serving-worker telemetry: staleness (update origin ->
+  // cache apply) lands in the destination worker's lane.
+  obs::TelemetryHub* telemetry = nullptr;
+  // Update -> visibility freshness, lanes keyed by source sampling shard.
+  obs::FreshnessTracker* freshness = nullptr;
+  // Periodic TelemetryHub::SnapshotJson captures every `interval` virtual
+  // µs into *snapshots (0 or null disables). The tick self-terminates once
+  // applies quiesce so it cannot keep the DES event loop alive.
+  std::int64_t telemetry_interval_us = 0;
+  std::vector<std::string>* snapshots = nullptr;
+};
+
+struct ServeObs {
+  obs::TraceBuffer* trace = nullptr;  // per-query serve spans (pid = worker)
+  // Per-query latency/bytes (+ SLO when deadline_us > 0) into the serving
+  // worker's lane; first-serve staleness of background updates feeds the
+  // same lane's staleness histogram.
+  obs::TelemetryHub* telemetry = nullptr;
+  // First-serve freshness (armed by background applies, recorded at query
+  // reads), lanes keyed by the read vertex's owner sampling shard.
+  obs::FreshnessTracker* freshness = nullptr;
+  std::int64_t telemetry_interval_us = 0;
+  std::vector<std::string>* snapshots = nullptr;
+  std::uint64_t deadline_us = 0;  // per-query SLO deadline (0 = no SLO)
+};
+
 // A Helios deployment whose state lives in-process; the emulator replays
 // serving and ingestion flows against it.
 class HeliosDeployment {
@@ -142,10 +174,14 @@ class HeliosDeployment {
   // it by heartbeat supervision, restores from the (virtual-time)
   // checkpoint, replays the per-shard durable logs with epoch/seq fencing
   // at the receivers, and fills the fault_* / timeline report fields.
+  // `obs` adds windowed telemetry / freshness tracking on virtual time.
+  // Tracing additionally mints a causal TraceContext per update and emits
+  // flow events stitching sampler-side emission to serving-side apply.
   IngestReport EmulateIngestion(const std::vector<graph::GraphUpdate>& updates,
                                 double offered_rate_mps,
                                 obs::TraceBuffer* trace = nullptr,
-                                const DesFaultSpec* fault = nullptr);
+                                const DesFaultSpec* fault = nullptr,
+                                const IngestObs* obs = nullptr);
 
   // Closed-loop serving: `concurrency` clients each keep one request in
   // flight until `total_requests` complete. If `model` is set, responses
@@ -158,7 +194,8 @@ class HeliosDeployment {
                              gnn::ModelServer* model = nullptr,
                              std::uint32_t model_nodes = 4,
                              const std::vector<ServingMessage>* background = nullptr,
-                             double background_rate_mps = 0);
+                             double background_rate_mps = 0,
+                             const ServeObs* obs = nullptr);
 
   ServingCore& serving_core(std::uint32_t i) { return *serving_[i]; }
   SamplingShardCore& shard(std::uint32_t s) { return *shards_[s]; }
@@ -229,13 +266,23 @@ void PrintServeRow(const std::string& system, const std::string& dataset,
 // Common CLI: scale=<n> (dataset scale divisor), requests=<n>, quick=1.
 std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback);
 
-// Observability sinks shared by every bench: metrics=<path> dumps a registry
-// snapshot ("-" = stdout, *.json = JSON exposition), trace=<path> writes the
-// Chrome-trace buffer (chrome://tracing / Perfetto). No-ops when the keys
-// are absent or the sources are null/empty.
+// Observability sinks shared by every bench (docs/OBSERVABILITY.md):
+//   --metrics-out=<path>    registry snapshot ("-" = stdout, *.json = JSON)
+//   --trace-out=<path>      Chrome-trace buffer (chrome://tracing / Perfetto)
+//   --telemetry-out=<path>  windowed telemetry snapshots (JSON array)
+//   --telemetry-interval=<virtual µs between snapshots, default 250000>
+// The legacy spellings metrics=/trace= are still accepted. No-ops when the
+// keys are absent or the sources are null/empty.
 void DumpObservability(const util::Config& config, const obs::MetricsRegistry::Snapshot* snapshot,
                        const obs::TraceBuffer* trace);
-// True when the bench should allocate a TraceBuffer (trace=<path> given).
+// True when the bench should allocate a TraceBuffer (trace-out= given).
 bool TraceRequested(const util::Config& config);
+// True when the bench should allocate a TelemetryHub (telemetry-out= given).
+bool TelemetryRequested(const util::Config& config);
+// Snapshot cadence in virtual µs (telemetry-interval=, default 250 ms).
+std::int64_t TelemetryIntervalUs(const util::Config& config);
+// Writes the collected TelemetryHub snapshots as a JSON array to
+// telemetry-out= ("-" = stdout). No-op when the key is absent.
+void DumpTelemetry(const util::Config& config, const std::vector<std::string>& snapshots);
 
 }  // namespace helios::bench

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a bench run emits (stdlib only).
+
+Checks three files against the contracts in docs/OBSERVABILITY.md:
+
+  --trace      Chrome-trace document: loadable JSON, well-formed events,
+               's'/'f' flow halves paired by (name, cat, id), and at least
+               one pair crossing a pid boundary (the sampler->server stitch).
+  --telemetry  JSON array of TelemetryHub snapshots matching the documented
+               schema (ts_us/window_us/slo{queries,hits,hit_rate}/lanes[...]).
+  --metrics    MetricsRegistry snapshot JSON: loadable, non-empty.
+
+Exit code 0 iff every supplied file validates; diagnostics go to stderr.
+Usage: validate_obs_json.py [--trace T] [--telemetry Y] [--metrics M]
+"""
+
+import argparse
+import json
+import sys
+
+FAILURES = []
+
+
+def fail(msg):
+    FAILURES.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def load(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{what} {path}: not loadable JSON ({e})")
+        return None
+
+
+def check_trace(path):
+    doc = load(path, "trace")
+    if doc is None:
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"trace {path}: missing/empty traceEvents array")
+        return
+
+    flows = {}  # (name, cat, id) -> set of phases, set of pids
+    spans = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None or "name" not in ev:
+            fail(f"trace {path}: event #{i} lacks ph/name: {ev}")
+            return
+        if ph == "M":
+            continue  # metadata carries args, not ts/pid invariants checked here
+        required = ("ts", "pid", "tid") if ph in ("X", "s", "f") else ("ts", "pid")
+        for key in required:
+            if key not in ev:
+                fail(f"trace {path}: {ph!r} event #{i} lacks {key!r}: {ev}")
+                return
+        if ph == "X":
+            spans += 1
+        elif ph in ("s", "f"):
+            if "id" not in ev or "cat" not in ev:
+                fail(f"trace {path}: flow event #{i} lacks id/cat: {ev}")
+                return
+            if ph == "f" and ev.get("bp") != "e":
+                fail(f"trace {path}: flow end #{i} lacks bp:e (Perfetto needs it)")
+                return
+            k = (ev["name"], ev["cat"], ev["id"])
+            entry = flows.setdefault(k, {"s": set(), "f": set()})
+            entry[ph].add(ev["pid"])
+
+    paired = {k: v for k, v in flows.items() if v["s"] and v["f"]}
+    cross_pid = sum(1 for v in paired.values() if v["s"] != v["f"] or len(v["s"] | v["f"]) > 1)
+    if not paired:
+        fail(f"trace {path}: no paired s/f flow events — nothing is stitched")
+        return
+    if cross_pid == 0:
+        fail(f"trace {path}: {len(paired)} flows but none cross a pid boundary")
+        return
+    causal = sum(1 for (name, _, _) in paired if name == "update")
+    print(f"trace ok: {spans} spans, {len(paired)} paired flows "
+          f"({cross_pid} cross-pid, {causal} causal 'update' chains)")
+
+
+SNAPSHOT_KEYS = {"ts_us", "window_us", "slo", "lanes"}
+SLO_KEYS = {"queries", "hits", "hit_rate"}
+LANE_METRIC_KEYS = {"qps", "bytes_per_s", "queries", "p50_us", "p99_us",
+                    "staleness_p50_us", "staleness_p99_us"}
+
+
+def check_telemetry(path):
+    doc = load(path, "telemetry")
+    if doc is None:
+        return
+    if not isinstance(doc, list) or not doc:
+        fail(f"telemetry {path}: expected a non-empty JSON array of snapshots")
+        return
+    active_lanes = 0
+    for i, snap in enumerate(doc):
+        missing = SNAPSHOT_KEYS - set(snap)
+        if missing:
+            fail(f"telemetry {path}: snapshot #{i} missing keys {sorted(missing)}")
+            return
+        if SLO_KEYS - set(snap["slo"]):
+            fail(f"telemetry {path}: snapshot #{i} slo missing "
+                 f"{sorted(SLO_KEYS - set(snap['slo']))}")
+            return
+        if not isinstance(snap["lanes"], list) or not snap["lanes"]:
+            fail(f"telemetry {path}: snapshot #{i} has no lanes")
+            return
+        for lane in snap["lanes"]:
+            # One lane-index key (e.g. "serving_worker") plus the metrics.
+            missing = LANE_METRIC_KEYS - set(lane)
+            if missing:
+                fail(f"telemetry {path}: snapshot #{i} lane missing {sorted(missing)}")
+                return
+            if len(set(lane) - LANE_METRIC_KEYS) != 1:
+                fail(f"telemetry {path}: snapshot #{i} lane needs exactly one "
+                     f"lane-index key, got {sorted(set(lane) - LANE_METRIC_KEYS)}")
+                return
+            if lane["queries"] > 0:
+                active_lanes += 1
+    if active_lanes == 0:
+        fail(f"telemetry {path}: no snapshot lane ever saw a query")
+        return
+    print(f"telemetry ok: {len(doc)} snapshots, {active_lanes} active lane windows")
+
+
+def check_metrics(path):
+    doc = load(path, "metrics")
+    if doc is None:
+        return
+    if not isinstance(doc, dict) or not doc:
+        fail(f"metrics {path}: expected a non-empty JSON object")
+        return
+    print(f"metrics ok: {len(doc)} top-level entries")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace")
+    ap.add_argument("--telemetry")
+    ap.add_argument("--metrics")
+    args = ap.parse_args()
+    if not (args.trace or args.telemetry or args.metrics):
+        ap.error("supply at least one of --trace/--telemetry/--metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.telemetry:
+        check_telemetry(args.telemetry)
+    if args.metrics:
+        check_metrics(args.metrics)
+    return 1 if FAILURES else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Supervisor::Supervisor(Options options, obs::MetricsRegistry* registry, Recovery
       m_detected_(registry->GetCounter("ft.failures_detected")),
       m_recoveries_(registry->GetCounter("ft.recoveries")),
       m_recovery_failures_(registry->GetCounter("ft.recovery_failures")),
+      m_overload_ticks_(registry->GetCounter("ft.overload_ticks")),
+      m_overloaded_(registry->GetGauge("ft.overloaded")),
       m_time_to_detect_us_(registry->GetLatency("ft.time_to_detect_us")),
       m_time_to_recover_us_(registry->GetLatency("ft.time_to_recover_us")),
       m_restore_us_(registry->GetLatency("ft.restore_us")) {}
@@ -37,7 +39,24 @@ void Supervisor::Heartbeat(std::uint64_t node, util::Micros now) {
   }
 }
 
+void Supervisor::SetOverloadProbe(std::function<bool()> probe) {
+  overload_probe_ = std::move(probe);
+}
+
 std::vector<RecoveryReport> Supervisor::Tick(util::Micros now) {
+  if (overload_probe_) {
+    const bool over = overload_probe_();
+    if (over) {
+      m_overload_ticks_->Add(1);
+      if (!overloaded_.load(std::memory_order_relaxed)) {
+        HLOG(kWarn, "ft") << "supervisor: cluster overloaded (telemetry health probe) at "
+                          << now << "us";
+      }
+    }
+    overloaded_.store(over, std::memory_order_relaxed);
+    m_overloaded_->Set(over ? 1 : 0);
+  }
+
   struct Due {
     std::uint64_t node;
     std::uint32_t epoch;

@@ -23,6 +23,7 @@
 // DES harness ticks it from scheduled events on virtual time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -62,6 +63,16 @@ class Supervisor {
   // Next re-admission epoch for `node`; monotonic across its restarts.
   std::uint32_t GrantEpoch(std::uint64_t node);
 
+  // Installs a cluster health probe (typically obs::TelemetryHub's
+  // Overloaded()): polled once per Tick. Overload is an operator signal,
+  // not a failure — it never triggers recovery, but it is counted
+  // ("ft.overload_ticks"), gauged ("ft.overloaded"), and logged on every
+  // rising edge so sustained SLO collapse surfaces next to failure
+  // detection. Call before Start/first Tick; not thread-safe against Tick.
+  void SetOverloadProbe(std::function<bool()> probe);
+  // Last probe result observed by Tick (false when no probe installed).
+  bool overloaded() const { return overloaded_.load(std::memory_order_relaxed); }
+
   const Options& options() const { return options_; }
 
  private:
@@ -79,9 +90,14 @@ class Supervisor {
   mutable std::mutex mutex_;
   std::map<std::uint64_t, Node> nodes_;
 
+  std::function<bool()> overload_probe_;
+  std::atomic<bool> overloaded_{false};
+
   obs::Counter* m_detected_;
   obs::Counter* m_recoveries_;
   obs::Counter* m_recovery_failures_;
+  obs::Counter* m_overload_ticks_;
+  obs::Gauge* m_overloaded_;
   obs::LatencyMetric* m_time_to_detect_us_;
   obs::LatencyMetric* m_time_to_recover_us_;
   obs::LatencyMetric* m_restore_us_;

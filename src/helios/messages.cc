@@ -5,10 +5,39 @@
 namespace helios {
 
 namespace {
-// Fixed sizes of the SampleDelta record: header (kind, level, vertex,
+// Fixed sizes of the SampleDelta record: header (kind, flags, level, vertex,
 // origin, change count) and one change (added edge, evicted, event_ts, seq).
-constexpr std::size_t kDeltaHeaderBytes = 1 + 4 + 8 + 8 + 2;
+constexpr std::size_t kDeltaHeaderBytes = 1 + 1 + 4 + 8 + 8 + 2;
 constexpr std::size_t kDeltaChangeBytes = 20 + 8 + 8 + 8;
+
+// Record flags byte (after the kind tag). Bit 0: a TraceContext
+// (trace_id, span_id, parent_span_id as 3 u64s) follows the flags byte.
+constexpr std::uint8_t kFlagTraced = 0x01;
+
+void PutFlagsAndTrace(graph::ByteWriter& w, const ServingMessage& m) {
+  if (m.trace.active()) {
+    w.PutU8(kFlagTraced);
+    w.PutU64(m.trace.trace_id);
+    w.PutU64(m.trace.span_id);
+    w.PutU64(m.trace.parent_span_id);
+  } else {
+    w.PutU8(0);
+  }
+}
+
+bool GetFlagsAndTrace(graph::ByteReader& r, ServingMessage& out) {
+  const std::uint8_t flags = r.GetU8();
+  if (flags & kFlagTraced) {
+    out.trace.trace_id = r.GetU64();
+    out.trace.span_id = r.GetU64();
+    out.trace.parent_span_id = r.GetU64();
+  } else {
+    out.trace = {};
+  }
+  return r.ok();
+}
+
+std::size_t TraceWireBytes(const ServingMessage& m) { return m.trace.active() ? 24 : 0; }
 
 void PutEdges(graph::ByteWriter& w, const std::vector<graph::Edge>& edges) {
   w.PutU32(static_cast<std::uint32_t>(edges.size()));
@@ -37,6 +66,7 @@ bool GetEdges(graph::ByteReader& r, std::vector<graph::Edge>& edges) {
 
 void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
   w.PutU8(static_cast<std::uint8_t>(m.kind()));
+  PutFlagsAndTrace(w, m);
   switch (m.kind()) {
     case ServingMessage::Kind::kSample: {
       const SampleUpdate& u = m.sample();
@@ -91,6 +121,7 @@ void EncodeServingMessageTo(graph::ByteWriter& w, const ServingMessage& m) {
 bool DecodeServingMessageFrom(graph::ByteReader& r, ServingMessage& out) {
   const std::uint8_t kind = r.GetU8();
   out.seq = 0;
+  if (!GetFlagsAndTrace(r, out)) return false;
   switch (kind) {
     case 1: {
       SampleUpdate& u = out.payload.emplace<SampleUpdate>();
@@ -215,15 +246,16 @@ bool DecodeCtrlRecord(const std::string& payload, SubscriptionDelta& out) {
 std::size_t WireSize(const ServingMessage& m) {
   switch (m.kind()) {
     case ServingMessage::Kind::kSample:
-      return 1 + 8 + 4 + 8 + 8 + 8 + 4 + m.sample().samples.size() * 20;
+      return 2 + TraceWireBytes(m) + 8 + 4 + 8 + 8 + 8 + 4 + m.sample().samples.size() * 20;
     case ServingMessage::Kind::kFeature:
-      return 1 + 8 + 8 + 8 + 8 + 4 + m.feature().feature.size() * 4;
+      return 2 + TraceWireBytes(m) + 8 + 8 + 8 + 8 + 4 + m.feature().feature.size() * 4;
     case ServingMessage::Kind::kRetract:
-      return 1 + 8 + 4 + 8;
+      return 2 + TraceWireBytes(m) + 8 + 4 + 8;
     case ServingMessage::Kind::kSampleDelta:
-      return kDeltaHeaderBytes + kDeltaChangeBytes * m.delta().num_changes();
+      return kDeltaHeaderBytes + TraceWireBytes(m) +
+             kDeltaChangeBytes * m.delta().num_changes();
   }
-  return 1;
+  return 2;
 }
 
 std::size_t WireSize(const SubscriptionDelta&) { return 36; }
@@ -281,6 +313,7 @@ const std::string& ServingBatchBuilder::EncodeToArena() {
   arena_.PutU32(static_cast<std::uint32_t>(messages_.size()));
   arena_.PutU32(src_shard_);
   arena_.PutU32(epoch_);
+  arena_.PutU64(flow_id_);
   for (const auto& m : messages_) EncodeServingMessageTo(arena_, m);
   arena_.PatchU32(0, static_cast<std::uint32_t>(arena_.size() - kServingBatchHeaderBytes));
   return arena_.buffer();
@@ -292,6 +325,7 @@ std::vector<ServingMessage> ServingBatchBuilder::TakeMessages() {
   pending_delta_.clear();
   coalesced_ = 0;
   body_bytes_ = 0;
+  flow_id_ = 0;
   return out;
 }
 
@@ -300,6 +334,7 @@ void ServingBatchBuilder::Clear() {
   pending_delta_.clear();
   coalesced_ = 0;
   body_bytes_ = 0;
+  flow_id_ = 0;
 }
 
 ServingBatchReader::ServingBatchReader(const std::string& payload) : r_(payload) {
@@ -307,6 +342,7 @@ ServingBatchReader::ServingBatchReader(const std::string& payload) : r_(payload)
   count_ = r_.GetU32();
   src_shard_ = r_.GetU32();
   epoch_ = r_.GetU32();
+  flow_id_ = r_.GetU64();
   if (!r_.ok() || static_cast<std::size_t>(body_len) + kServingBatchHeaderBytes !=
                       payload.size()) {
     ok_ = false;

@@ -33,6 +33,7 @@
 
 #include "graph/types.h"
 #include "graph/update_codec.h"
+#include "obs/trace_context.h"
 
 namespace helios {
 
@@ -119,6 +120,12 @@ struct ServingMessage {
   // kSampleDelta this is the seq of the inline change; folded follow-ups
   // carry their own (SampleDelta::Change::seq).
   std::uint64_t seq = 0;
+
+  // Causal trace context (obs): stamped by the emitting core when tracing
+  // is enabled, default-inactive otherwise. Rides the wire behind a flags
+  // byte, so untraced runs pay one byte per record. Coalescing keeps the
+  // head message's context (the first cause of the folded cell update).
+  obs::TraceContext trace;
 
   static ServingMessage Of(SampleUpdate u) {
     ServingMessage m;
@@ -208,12 +215,17 @@ std::size_t WireSize(const SubscriptionDelta& d);
 //
 // One coalesced flush of serving-bound messages for a single destination
 // worker. Frame layout:
-//   [u32 body_len][u32 count][u32 src_shard][u32 epoch][count records]
+//   [u32 body_len][u32 count][u32 src_shard][u32 epoch][u64 flow_id]
+//   [count records]
 // each record in EncodeServingMessageTo format. (src_shard, epoch) identify
 // the emitting incarnation for ft::EpochFence admission; 0/0 = unstamped.
+// flow_id is the Chrome-trace flow binding id of this flush (the sampler
+// side emits the flow start when it ships the frame, the serving side emits
+// the flow end when it applies it); 0 = untraced.
 
-// Framing overhead of one batch (body_len + count + src_shard + epoch).
-inline constexpr std::size_t kServingBatchHeaderBytes = 16;
+// Framing overhead of one batch (body_len + count + src_shard + epoch +
+// flow_id).
+inline constexpr std::size_t kServingBatchHeaderBytes = 24;
 
 // Accumulates the messages bound for one destination between flushes.
 // Reused across flushes: Clear() keeps every allocation (message vector,
@@ -238,6 +250,11 @@ class ServingBatchBuilder {
   }
   std::uint32_t src_shard() const { return src_shard_; }
   std::uint32_t epoch() const { return epoch_; }
+
+  // Sets the flow binding id encoded into the frame header. Per-flush (not
+  // sticky): Clear()/TakeMessages() reset it to 0 (untraced).
+  void StampFlow(std::uint64_t flow_id) { flow_id_ = flow_id; }
+  std::uint64_t flow_id() const { return flow_id_; }
 
   bool empty() const { return messages_.empty(); }
   // Messages pending in this flush window (after coalescing).
@@ -279,6 +296,7 @@ class ServingBatchBuilder {
   std::size_t body_bytes_ = 0;
   std::uint32_t src_shard_ = 0;
   std::uint32_t epoch_ = 0;
+  std::uint64_t flow_id_ = 0;
 };
 
 // Iterates the records of an encoded ServingBatch frame without
@@ -296,6 +314,7 @@ class ServingBatchReader {
   std::uint32_t count() const { return count_; }
   std::uint32_t src_shard() const { return src_shard_; }
   std::uint32_t epoch() const { return epoch_; }
+  std::uint64_t flow_id() const { return flow_id_; }
 
  private:
   graph::ByteReader r_;
@@ -303,6 +322,7 @@ class ServingBatchReader {
   std::uint32_t consumed_ = 0;
   std::uint32_t src_shard_ = 0;
   std::uint32_t epoch_ = 0;
+  std::uint64_t flow_id_ = 0;
   bool ok_ = true;
 };
 

@@ -39,6 +39,7 @@ SamplingShardCore::SamplingShardCore(QueryPlan plan, ShardMap map, std::uint32_t
 
 void SamplingShardCore::EmitToServing(std::uint32_t sew, ServingMessage msg, Outputs& out) {
   msg.seq = ++serving_seq_[sew];
+  msg.trace = current_trace_;
   out.to_serving.Add(sew, std::move(msg));
 }
 
@@ -72,7 +73,8 @@ SamplingShardCore::Stats SamplingShardCore::stats() const {
 }
 
 void SamplingShardCore::OnGraphUpdate(const graph::GraphUpdate& update, std::int64_t origin_us,
-                                      Outputs& out) {
+                                      Outputs& out, const obs::TraceContext& trace) {
+  current_trace_ = trace;
   m_.updates_processed->Add(1);
   latest_event_ts_ = std::max(latest_event_ts_, graph::UpdateTimestamp(update));
   if (const auto* e = std::get_if<graph::EdgeUpdate>(&update)) {
@@ -80,6 +82,7 @@ void SamplingShardCore::OnGraphUpdate(const graph::GraphUpdate& update, std::int
   } else {
     OnVertexUpdate(std::get<graph::VertexUpdate>(update), origin_us, out);
   }
+  current_trace_ = {};
 }
 
 void SamplingShardCore::OnEdgeUpdate(const graph::EdgeUpdate& e, std::int64_t origin_us,
@@ -185,7 +188,20 @@ void SamplingShardCore::RouteDelta(const SubscriptionDelta& delta, std::int64_t 
 }
 
 void SamplingShardCore::OnSubscriptionDelta(const SubscriptionDelta& delta,
-                                            std::int64_t origin_us, Outputs& out) {
+                                            std::int64_t origin_us, Outputs& out,
+                                            const obs::TraceContext& trace) {
+  // Driver-entered calls (cross-shard ctrl records) install their own
+  // context; recursive calls from OnGraphUpdate pass an inactive one and
+  // must keep the update's context already in place.
+  struct TraceScope {
+    obs::TraceContext* slot;
+    bool installed;
+    ~TraceScope() {
+      if (installed) *slot = {};
+    }
+  } scope{&current_trace_, trace.active()};
+  if (scope.installed) current_trace_ = trace;
+
   if (delta.level == 0 || delta.level > plan_.NumLevels() || delta.delta == 0) return;
 
   // ---- feature side: every level implies a feature subscription.

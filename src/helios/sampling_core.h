@@ -94,13 +94,20 @@ class SamplingShardCore {
   // Ingests one graph update previously routed to this shard.
   // `origin_us` is the (wall or virtual) time the update entered the
   // system; it is propagated on every resulting message so serving workers
-  // can measure ingestion latency (Fig 17).
-  void OnGraphUpdate(const graph::GraphUpdate& update, std::int64_t origin_us, Outputs& out);
+  // can measure ingestion latency (Fig 17). `trace` (optional) is the causal
+  // context minted for this update at ingest; every serving-bound message
+  // the update spawns carries it, which is what stitches sampler->server
+  // work into one Chrome-trace flow (obs/trace_context.h). Inactive by
+  // default: untraced runs behave exactly as before.
+  void OnGraphUpdate(const graph::GraphUpdate& update, std::int64_t origin_us, Outputs& out,
+                     const obs::TraceContext& trace = {});
 
   // Handles a subscription delta addressed to this shard (owner of
   // delta.vertex). Self-addressed deltas are processed inline by
-  // OnGraphUpdate, so drivers only route cross-shard ones here.
-  void OnSubscriptionDelta(const SubscriptionDelta& delta, std::int64_t origin_us, Outputs& out);
+  // OnGraphUpdate, so drivers only route cross-shard ones here. Cascaded
+  // emissions inherit `trace` the same way.
+  void OnSubscriptionDelta(const SubscriptionDelta& delta, std::int64_t origin_us, Outputs& out,
+                           const obs::TraceContext& trace = {});
 
   // TTL pass (§4.2): drops samples with ts < cutoff, pushing refreshed
   // cells / cascaded unsubscribes for anything that changed.
@@ -183,6 +190,13 @@ class SamplingShardCore {
   std::unordered_map<graph::VertexId, SubCounts> feature_subs_;
   std::unordered_set<graph::VertexId> seeds_seen_;
   graph::Timestamp latest_event_ts_ = 0;
+  // Trace context of the event currently being processed; EmitToServing
+  // stamps it on every message. Inactive outside OnGraphUpdate /
+  // OnSubscriptionDelta. Deliberately NOT checkpointed: tracing is
+  // diagnostic state, and replayed emissions re-derive stamps from the
+  // replay driver (or run untraced) without perturbing byte parity of the
+  // payload fields the fence dedups on.
+  obs::TraceContext current_trace_;
 
   // ---- fault-tolerance state (all serialized in checkpoints)
   // Epoch 1 = the first incarnation (0 is reserved for "unstamped" on the

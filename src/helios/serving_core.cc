@@ -243,6 +243,12 @@ ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options option
     owned_registry_ = std::make_unique<obs::MetricsRegistry>();
     registry_ = owned_registry_.get();
   }
+  freshness_ = options_.freshness;
+  if (freshness_ != nullptr) {
+    static const obs::WallClock kWallClock;
+    freshness_clock_ = options_.freshness_clock != nullptr ? options_.freshness_clock
+                                                           : &kWallClock;
+  }
   const obs::Labels labels{{"worker", std::to_string(worker_id_)}};
   m_.sample_updates_applied = registry_->GetCounter("serving.sample_updates_applied", labels);
   m_.sample_deltas_applied = registry_->GetCounter("serving.sample_deltas_applied", labels);
@@ -275,6 +281,13 @@ void ServingCore::PublishCacheStats() {
 }
 
 void ServingCore::Apply(const ServingMessage& message) {
+  if (freshness_ != nullptr) {
+    const std::int64_t origin = message.OriginMicros();
+    if (origin > 0) {
+      freshness_->OnApply(message.TargetVertex(), apply_src_shard_, origin,
+                          freshness_clock_->NowMicros());
+    }
+  }
   switch (message.kind()) {
     case ServingMessage::Kind::kSample: {
       const SampleUpdate& u = message.sample();
@@ -417,6 +430,13 @@ void ServingCore::ServeInto(graph::VertexId seed, SampledSubgraph& out,
                          reinterpret_cast<const float*>(value.data() + 4), n);
       },
       scratch.kv);
+
+  if (freshness_ != nullptr) {
+    // Every distinct vertex whose cell/feature this query read counts as
+    // served; scratch.feat_vertices already holds exactly that set.
+    const std::int64_t now = freshness_clock_->NowMicros();
+    for (const graph::VertexId v : scratch.feat_vertices) freshness_->OnServe(v, now);
+  }
 
   m_.queries_served->Add(1);
   m_.cache_miss_cells->Add(out.missing_cells);

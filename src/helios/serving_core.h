@@ -40,7 +40,9 @@
 #include "helios/messages.h"
 #include "helios/query.h"
 #include "kv/kv_store.h"
+#include "obs/freshness.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/hash.h"
 #include "util/status.h"
 
@@ -192,6 +194,15 @@ class ServingCore {
     // Shared metrics registry; the core registers its "serving.*" metrics
     // there labelled {worker=<id>}. Null = private registry.
     obs::MetricsRegistry* registry = nullptr;
+    // Optional sample-freshness tracker (obs/freshness.h): Apply() reports
+    // update->visibility, ServeInto() reports update->first-serve. Null
+    // disables both at the cost of one branch; the hooks themselves are
+    // alloc-free, so the zero-copy read-path contract holds either way.
+    obs::FreshnessTracker* freshness = nullptr;
+    // Time source for freshness stamps, in the same domain as the incoming
+    // origin_us (wall for ThreadedCluster, virtual for the DES harness).
+    // Null with `freshness` set falls back to wall time.
+    const obs::Clock* freshness_clock = nullptr;
   };
 
   // Legacy view assembled from the registry handles (see stats()).
@@ -214,6 +225,11 @@ class ServingCore {
 
   // ---- cache update path (data-updating threads, §4.3)
   void Apply(const ServingMessage& message);
+
+  // Source sampling shard of the frame currently being applied; only used
+  // to label freshness histograms (the frame header carries it, individual
+  // messages do not). Callers applying fenced frames set it per frame.
+  void SetApplySource(std::uint32_t src_shard) { apply_src_shard_ = src_shard; }
 
   // ---- request path (serving threads, §4.3)
   // Assembles the K-hop sampling result for `seed` into `out`, reusing the
@@ -253,6 +269,9 @@ class ServingCore {
   std::uint32_t worker_id_ = 0;
   Options options_;
   std::unique_ptr<kv::KvStore> store_;
+  obs::FreshnessTracker* freshness_ = nullptr;
+  const obs::Clock* freshness_clock_ = nullptr;
+  std::uint32_t apply_src_shard_ = 0;
 
   // Registry-backed metric handles (see sampling_core.h for the pattern).
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;

@@ -14,9 +14,6 @@ namespace helios {
 namespace {
 constexpr const char* kUpdatesTopic = "updates";
 constexpr const char* kSamplesTopic = "samples";
-// Trace lanes: sampling workers use pid = worker id; serving workers sit in
-// a disjoint pid range so both runtimes render the same way in Perfetto.
-constexpr std::uint32_t kServingPidBase = 1000;
 }  // namespace
 
 // One logical shard: owns a SamplingShardCore; all access is serialized by
@@ -60,7 +57,19 @@ class ThreadedCluster::ShardActor : public actor::Actor {
             }
           }
         } else if (graph::DecodeUpdate(r.value, update)) {
-          core_.OnGraphUpdate(update, r.append_time, out);
+          if (cluster_->options_.trace != nullptr) {
+            // Mint the update's causal context here — the single point every
+            // data update enters its shard — and open its flow on this
+            // sampling lane. The serving-side apply closes it (same
+            // name/category/id), which is what stitches the timeline across
+            // lanes in Perfetto.
+            const obs::TraceContext trace = cluster_->trace_ids_.Root();
+            cluster_->options_.trace->AddFlowStart("update", "causal", tracer_.Now(), worker_id_,
+                                                   core_.shard_id(), trace.trace_id);
+            core_.OnGraphUpdate(update, r.append_time, out, trace);
+          } else {
+            core_.OnGraphUpdate(update, r.append_time, out);
+          }
           cluster_->flow_.updates_processed->Add(1);
         } else {
           HLOG(kWarn, "shard") << "undecodable update at offset " << r.offset;
@@ -194,15 +203,31 @@ void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
       // Frame provenance for the serving-side epoch fence: which shard
       // emitted this frame, under which incarnation.
       b.Stamp(core_.shard_id(), core_.epoch());
+      if (cluster_->options_.trace != nullptr) {
+        // Frame-level flow: opened here on the sampler lane, closed by the
+        // serving updater when it decodes this frame (the flow id rides the
+        // frame header).
+        const std::uint64_t flow = cluster_->trace_ids_.Next();
+        b.StampFlow(flow);
+        cluster_->options_.trace->AddFlowStart("batch", "dissemination", tracer_.Now(),
+                                               worker_id_, core_.shard_id(), flow);
+      }
       PublisherActor::EncodedBatch eb;
       eb.sew = sew;
       eb.messages = static_cast<std::uint32_t>(b.size());
       eb.bytes = b.EncodeToArena();
-      cluster_->diss_.batches->Add(1);
-      cluster_->diss_.messages->Add(b.size());
-      cluster_->diss_.coalesced->Add(b.coalesced());
-      cluster_->diss_.bytes_wire->Add(eb.bytes.size());
-      cluster_->diss_.batch_occupancy->Record(b.size());
+      if (!pending_readmit_) {
+        // Replay window: re-emissions of already-counted work. Suppressing
+        // the dissemination.* adds here keeps a faulty run's counters equal
+        // to an uninterrupted golden run's (fig20 asserts this); the flow_.*
+        // counters are NOT suppressed — the idle detector pairs every
+        // published message with an applied one, replayed or not.
+        cluster_->diss_.batches->Add(1);
+        cluster_->diss_.messages->Add(b.size());
+        cluster_->diss_.coalesced->Add(b.coalesced());
+        cluster_->diss_.bytes_wire->Add(eb.bytes.size());
+        cluster_->diss_.batch_occupancy->Record(b.size());
+      }
       batches.push_back(std::move(eb));
     }
     if (!batches.empty()) {
@@ -287,8 +312,12 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
     Tell([this, records = std::move(records)] {
       ServingCore& core = *cluster_->serving_cores_[worker_id_];
       obs::StageTracer& tracer = *cluster_->serving_tracers_[worker_id_];
+      obs::TraceBuffer* trace = cluster_->options_.trace;
       ServingMessage msg;
       const std::int64_t start_us = tracer.Now();
+      // Dedups consecutive per-update flow ends: messages of one update
+      // arrive adjacent within a frame, so one end per run is enough.
+      std::uint64_t last_update_flow = 0;
       for (const auto& r : records) {
         // Each record is one ServingBatch frame; decode and apply its
         // messages in order, fencing a recovering shard's re-emissions
@@ -297,6 +326,13 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
         // source shard is race-free by construction.
         ServingBatchReader reader(r.value);
         const std::uint64_t src = reader.src_shard();
+        // Frame provenance feeds the freshness tracker (visibility is
+        // labelled by source sampling shard).
+        core.SetApplySource(static_cast<std::uint32_t>(src));
+        if (trace != nullptr && reader.flow_id() != 0) {
+          trace->AddFlowEnd("batch", "dissemination", start_us, kServingPidBase + worker_id_, 0,
+                            reader.flow_id());
+        }
         const ft::EpochFence::FrameToken token = fence_.BeginFrame(src, reader.epoch());
         std::uint64_t fenced = 0;
         while (reader.Next(msg)) {
@@ -311,6 +347,12 @@ class ThreadedCluster::ServingUpdateActor : public actor::Actor {
             // origin == 0 means unstamped under wall time (e.g. prune-
             // spawned messages); only measure stamped updates.
             if (msg.OriginMicros() > 0) tracer.RecordEndToEnd(msg.OriginMicros(), start_us);
+            if (trace != nullptr && msg.trace.active() &&
+                msg.trace.trace_id != last_update_flow) {
+              last_update_flow = msg.trace.trace_id;
+              trace->AddFlowEnd("update", "causal", tracer.Now(), kServingPidBase + worker_id_,
+                                0, msg.trace.trace_id);
+            }
           }
           // Fenced messages still count: the publisher counted them, and
           // the idle detector pairs published with applied.
@@ -429,6 +471,13 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
     for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
       supervisor_->Register(w, util::NowMicros());
     }
+    if (options_.telemetry != nullptr) {
+      // Cluster-health probe: the monitor loop advances the hub each tick,
+      // so Overloaded() is at most one tick stale when the supervisor reads
+      // it. Overload never triggers recovery — it is counted and logged.
+      supervisor_->SetOverloadProbe(
+          [hub = options_.telemetry] { return hub->Overloaded(); });
+    }
   }
   for (std::uint32_t w = 0; w < options_.map.serving_workers; ++w) {
     ServingCore::Options so;
@@ -438,6 +487,13 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
     }
     so.ttl = options_.ttl;
     so.registry = &registry_;
+    // One freshness tracker per serving worker, lanes keyed by source
+    // sampling shard; the core invokes it at apply (visibility) and serve
+    // (first read) time under wall clock.
+    freshness_.push_back(std::make_unique<obs::FreshnessTracker>(
+        &registry_, options_.map.TotalShards(), obs::Labels{{"worker", std::to_string(w)}}));
+    so.freshness = freshness_.back().get();
+    so.freshness_clock = &wall_clock_;
     serving_cores_.push_back(std::make_unique<ServingCore>(plan_, w, std::move(so)));
     serving_tracers_.push_back(std::make_unique<obs::StageTracer>(
         &registry_, &wall_clock_, options_.trace,
@@ -452,6 +508,7 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
   }
 
   if (options_.trace != nullptr) {
+    options_.trace->BindDroppedCounter(registry_.GetCounter("obs.trace.dropped_events"));
     for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
       options_.trace->SetProcessName(w, "sampling-worker-" + std::to_string(w));
     }
@@ -477,6 +534,9 @@ void ThreadedCluster::MonitorLoop() {
   const auto interval = std::chrono::microseconds(
       std::max<util::Micros>(500, options_.supervision_timeout / 4));
   while (running_.load(std::memory_order_acquire)) {
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->Advance(static_cast<std::int64_t>(util::NowMicros()));
+    }
     std::vector<ft::RecoveryReport> reports = supervisor_->Tick(util::NowMicros());
     if (!reports.empty()) {
       std::lock_guard<std::mutex> lock(reports_mutex_);
@@ -566,9 +626,26 @@ void ThreadedCluster::WaitForIngestIdle() {
 SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
   const std::uint32_t worker = options_.map.ServingWorkerOf(seed);
   flow_.queries_served->Add(1);
-  obs::ScopedStage span(*serving_tracers_[worker], obs::Stage::kServe, kServingPidBase + worker,
-                        1);
-  return serving_cores_[worker]->Serve(seed);
+  if (options_.telemetry == nullptr) {
+    obs::ScopedStage span(*serving_tracers_[worker], obs::Stage::kServe, kServingPidBase + worker,
+                          1);
+    return serving_cores_[worker]->Serve(seed);
+  }
+  const std::int64_t t0 = wall_clock_.NowMicros();
+  SampledSubgraph result;
+  {
+    obs::ScopedStage span(*serving_tracers_[worker], obs::Stage::kServe, kServingPidBase + worker,
+                          1);
+    result = serving_cores_[worker]->Serve(seed);
+  }
+  const std::int64_t t1 = wall_clock_.NowMicros();
+  // Reply-size proxy: topology nodes plus the feature floats the query
+  // gathered (the arena holds exactly this query's features).
+  const std::uint64_t bytes =
+      result.TotalNodes() * sizeof(SampledSubgraph::Node) +
+      result.features.arena_floats() * sizeof(float);
+  options_.telemetry->RecordQuery(worker, t1, static_cast<std::uint64_t>(t1 - t0), bytes);
+  return result;
 }
 
 void ThreadedCluster::PruneTTL(graph::Timestamp cutoff) {

@@ -40,11 +40,19 @@
 #include "helios/serving_core.h"
 #include "helios/shard_map.h"
 #include "mq/mq.h"
+#include "obs/freshness.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/histogram.h"
 
 namespace helios {
+
+// Trace lanes: sampling workers use pid = worker id; serving workers sit in
+// a disjoint pid range (kServingPidBase + worker) so both runtimes render
+// the same way in Perfetto and flow arrows visibly cross the tier boundary.
+inline constexpr std::uint32_t kServingPidBase = 1000;
 
 struct ClusterOptions {
   ShardMap map;                       // M, S, N
@@ -59,8 +67,17 @@ struct ClusterOptions {
   graph::EdgePlacement edge_placement = graph::EdgePlacement::kBySrc;
   // Optional Chrome-trace sink: when set, every pipeline stage also emits a
   // timeline span (pid = worker lane, tid = shard/stage) on top of the
-  // registry histograms. Must outlive the cluster.
+  // registry histograms, every ingested update is minted a causal
+  // TraceContext (stamped onto the serving-bound messages it spawns), and
+  // flow events stitch sampler-side emission to serving-side apply across
+  // lanes. Must outlive the cluster.
   obs::TraceBuffer* trace = nullptr;
+  // Optional windowed-telemetry hub (lanes = serving workers): Serve()
+  // records per-query latency into the seed's lane, and when supervision is
+  // armed the hub's Overloaded() signal is installed as the supervisor's
+  // cluster-health probe (polled each monitor tick, never triggers
+  // recovery). Must outlive the cluster.
+  obs::TelemetryHub* telemetry = nullptr;
   // Fault-tolerance supervision (docs/FAULT_TOLERANCE.md). 0 keeps the
   // supervisor off (the default: no monitor thread, no heartbeat tracking).
   // Non-zero arms it: a sampling node whose heartbeat is older than this is
@@ -176,12 +193,21 @@ class ThreadedCluster {
   // valid for their whole lifetime.
   obs::MetricsRegistry registry_;
   obs::WallClock wall_clock_;
+  // Mints root TraceContexts for updates entering through the log consumers
+  // (used only when options_.trace is set). Salt 1 keeps threaded trace ids
+  // disjoint from the DES harness allocators when dumps are merged.
+  obs::TraceIdAllocator trace_ids_{1};
   std::unique_ptr<mq::Broker> broker_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<actor::ActorSystem> system_;
   // Per-serving-worker stage tracers ({worker=<w>}), shared by the
   // data-updating actor (cache-apply + e2e) and Serve() (serve stage).
   std::vector<std::unique_ptr<obs::StageTracer>> serving_tracers_;
+  // Per-serving-worker freshness trackers ({worker=<w>}, lanes = source
+  // sampling shards): apply/serve hooks inside the ServingCores record
+  // update->visibility and update->first-serve staleness. Declared before
+  // serving_cores_ so the cores' raw pointers stay valid through teardown.
+  std::vector<std::unique_ptr<obs::FreshnessTracker>> freshness_;
 
   // Sampling-side actor slots. Slots of a killed node keep the stopped
   // actors until RecoverNode replaces them (readers skip dead nodes via

@@ -1,0 +1,100 @@
+#include "obs/freshness.h"
+
+#include <string>
+
+namespace helios::obs {
+
+namespace {
+constexpr std::size_t kProbeWindow = 8;
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t MixVertex(std::uint64_t v) {
+  // splitmix64 finalizer: vertex ids are structured (type|id), so spread
+  // them before masking into the table.
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+}  // namespace
+
+FreshnessTracker::FreshnessTracker(MetricsRegistry* registry, std::uint32_t num_shards,
+                                   const Labels& labels, std::size_t pending_capacity) {
+  if (num_shards == 0) num_shards = 1;
+  visibility_.reserve(num_shards);
+  first_serve_.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    Labels shard_labels = labels;
+    shard_labels.emplace_back("shard", std::to_string(s));
+    visibility_.push_back(registry->GetLatency("freshness.visibility_us", shard_labels));
+    first_serve_.push_back(registry->GetLatency("freshness.first_serve_us", shard_labels));
+  }
+  evicted_ = registry->GetCounter("freshness.pending_evicted", labels);
+  pending_.resize(RoundUpPow2(pending_capacity < kProbeWindow ? kProbeWindow : pending_capacity));
+  mask_ = pending_.size() - 1;
+}
+
+std::size_t FreshnessTracker::SlotFor(std::uint64_t vertex) const {
+  return static_cast<std::size_t>(MixVertex(vertex)) & mask_;
+}
+
+void FreshnessTracker::OnApply(std::uint64_t vertex, std::uint32_t src_shard,
+                               std::int64_t origin_us, std::int64_t now_us) {
+  if (origin_us <= 0 || now_us < origin_us) return;
+  if (src_shard >= visibility_.size()) src_shard = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  visibility_[src_shard]->Record(static_cast<std::uint64_t>(now_us - origin_us));
+
+  // Arm first-serve tracking. Linear probe a short window: reuse the slot
+  // already holding this vertex, else the first empty one, else overwrite
+  // the stalest candidate in the window.
+  std::size_t slot = SlotFor(vertex);
+  std::size_t victim = slot;
+  std::int64_t victim_origin = pending_[slot].origin_us;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Pending& p = pending_[(slot + i) & mask_];
+    if (p.occupied && p.vertex == vertex) {
+      // Newer update for the same vertex: first-serve now measures against
+      // the freshest origin (a query after this point serves this update).
+      p.origin_us = origin_us;
+      p.src_shard = src_shard;
+      return;
+    }
+    if (!p.occupied) {
+      p = {vertex, origin_us, src_shard, true};
+      return;
+    }
+    if (p.origin_us < victim_origin) {
+      victim = (slot + i) & mask_;
+      victim_origin = p.origin_us;
+    }
+  }
+  pending_[victim] = {vertex, origin_us, src_shard, true};
+  evicted_->Add(1);
+}
+
+std::int64_t FreshnessTracker::OnServe(std::uint64_t vertex, std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t slot = SlotFor(vertex);
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Pending& p = pending_[(slot + i) & mask_];
+    if (!p.occupied || p.vertex != vertex) continue;
+    std::int64_t staleness = -1;
+    if (now_us >= p.origin_us) {
+      staleness = now_us - p.origin_us;
+      first_serve_[p.src_shard]->Record(static_cast<std::uint64_t>(staleness));
+    }
+    p.occupied = false;
+    return staleness;
+  }
+  return -1;
+}
+
+std::uint64_t FreshnessTracker::pending_evicted() const { return evicted_->Value(); }
+
+}  // namespace helios::obs

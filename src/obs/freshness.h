@@ -1,0 +1,83 @@
+// Sample-freshness tracking: how stale is what Helios serves?
+//
+// The paper's whole argument is that online sampling keeps served samples
+// fresh relative to the update stream; this is the instrument that measures
+// it. Two distances, both anchored on the origin timestamp every
+// serving-bound message already carries (the instant the graph update
+// entered the system):
+//
+//   visibility   origin -> the sample-cache apply that made the update
+//                visible to queries ("freshness.visibility_us", labelled by
+//                the source sampling shard)
+//   first serve  origin -> the first query that actually read the updated
+//                cell ("freshness.first_serve_us", same labelling)
+//
+// Visibility is recorded unconditionally at apply time. First-serve needs
+// per-cell state ("has this update been served yet?"), which must not grow
+// with the graph and must not allocate on the serve path (the zero-copy
+// read path stays at 0 allocs/query with this enabled). So pending updates
+// live in a fixed-capacity open-addressed table keyed by vertex: a new
+// apply for the same vertex refreshes the entry, a full probe window
+// overwrites the oldest candidate (counted in "freshness.pending_evicted" —
+// the histogram is a sample, not a census, and says so honestly).
+//
+// One tracker per serving worker; clocks are injected per call so the same
+// code runs under wall time and DES virtual time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace helios::obs {
+
+class FreshnessTracker {
+ public:
+  // Registers per-shard histogram cells for `num_shards` source shards
+  // under `labels` (typically {{"worker",...}}). `pending_capacity` is
+  // rounded up to a power of two; ~4k entries cover the in-flight window of
+  // a serving worker comfortably.
+  FreshnessTracker(MetricsRegistry* registry, std::uint32_t num_shards,
+                   const Labels& labels = {}, std::size_t pending_capacity = 4096);
+
+  FreshnessTracker(const FreshnessTracker&) = delete;
+  FreshnessTracker& operator=(const FreshnessTracker&) = delete;
+
+  // An update from `src_shard` with ingest timestamp `origin_us` became
+  // visible in the sample cache for `vertex` at `now_us`. Records the
+  // visibility histogram and arms first-serve tracking for the vertex.
+  // Ignores unstamped origins (origin_us <= 0) and out-of-range shards.
+  void OnApply(std::uint64_t vertex, std::uint32_t src_shard, std::int64_t origin_us,
+               std::int64_t now_us);
+
+  // A query read `vertex` at `now_us`. If an armed update is pending for
+  // it, records origin -> now into the first-serve histogram, disarms, and
+  // returns the staleness (so callers can also feed a TelemetryHub lane);
+  // returns -1 when nothing was pending. Alloc-free; called from
+  // ServingCore::ServeInto on the zero-copy path.
+  std::int64_t OnServe(std::uint64_t vertex, std::int64_t now_us);
+
+  std::uint64_t pending_evicted() const;
+
+ private:
+  struct Pending {
+    std::uint64_t vertex = 0;  // 0 = empty slot (vertex ids are non-zero in practice;
+                               // a real vertex 0 is tracked via the occupied flag)
+    std::int64_t origin_us = 0;
+    std::uint32_t src_shard = 0;
+    bool occupied = false;
+  };
+
+  std::size_t SlotFor(std::uint64_t vertex) const;
+
+  mutable std::mutex mutex_;
+  std::vector<LatencyMetric*> visibility_;   // indexed by src_shard
+  std::vector<LatencyMetric*> first_serve_;  // indexed by src_shard
+  Counter* evicted_;
+  std::vector<Pending> pending_;
+  std::size_t mask_;  // pending_.size() - 1 (power of two)
+};
+
+}  // namespace helios::obs

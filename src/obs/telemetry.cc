@@ -1,0 +1,190 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace helios::obs {
+
+void TelemetryHub::Bucket::Reset(std::int64_t e) {
+  epoch = e;
+  queries = 0;
+  query_bytes = 0;
+  wire_bytes = 0;
+  slo_total = 0;
+  slo_hits = 0;
+  latency.Reset();
+  staleness.Reset();
+}
+
+TelemetryHub::TelemetryHub(MetricsRegistry* registry, Options options)
+    : registry_(registry),
+      options_([&options] {
+        if (options.num_lanes == 0) options.num_lanes = 1;
+        if (options.buckets == 0) options.buckets = 1;
+        if (options.window_us <= 0) options.window_us = 1'000'000;
+        return options;
+      }()),
+      bucket_width_us_(std::max<std::int64_t>(1, options_.window_us / options_.buckets)) {
+  lanes_.resize(options_.num_lanes);
+  g_qps_.reserve(options_.num_lanes);
+  for (std::uint32_t i = 0; i < options_.num_lanes; ++i) {
+    Lane& lane = lanes_[i];
+    lane.ring.resize(options_.buckets);
+    const Labels labels{{options_.lane_label, std::to_string(i)}};
+    g_qps_.push_back(registry_->GetGauge("telemetry.qps", labels));
+    g_bytes_.push_back(registry_->GetGauge("telemetry.bytes_per_s", labels));
+    g_p99_.push_back(registry_->GetGauge("telemetry.p99_us", labels));
+    g_staleness_p99_.push_back(registry_->GetGauge("telemetry.staleness_p99_us", labels));
+  }
+  g_slo_bp_ = registry_->GetGauge("telemetry.slo_hit_rate_bp");
+  g_overloaded_ = registry_->GetGauge("telemetry.overloaded");
+}
+
+TelemetryHub::Bucket& TelemetryHub::BucketFor(Lane& lane, std::int64_t now_us) {
+  const std::int64_t epoch = now_us / bucket_width_us_;
+  Bucket& b = lane.ring[static_cast<std::size_t>(epoch % lane.ring.size())];
+  if (b.epoch != epoch) b.Reset(epoch);
+  return b;
+}
+
+void TelemetryHub::RecordQuery(std::uint32_t lane, std::int64_t now_us,
+                               std::uint64_t latency_us, std::uint64_t bytes,
+                               std::uint64_t deadline_us) {
+  if (lane >= lanes_.size() || now_us < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = BucketFor(lanes_[lane], now_us);
+  ++b.queries;
+  b.query_bytes += bytes;
+  b.latency.Record(latency_us);
+  if (deadline_us > 0) {
+    ++b.slo_total;
+    if (latency_us <= deadline_us) ++b.slo_hits;
+  }
+}
+
+void TelemetryHub::RecordBytes(std::uint32_t lane, std::int64_t now_us, std::uint64_t bytes) {
+  if (lane >= lanes_.size() || now_us < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  BucketFor(lanes_[lane], now_us).wire_bytes += bytes;
+}
+
+void TelemetryHub::RecordStaleness(std::uint32_t lane, std::int64_t now_us,
+                                   std::uint64_t staleness_us) {
+  if (lane >= lanes_.size() || now_us < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  BucketFor(lanes_[lane], now_us).staleness.Record(staleness_us);
+}
+
+void TelemetryHub::Advance(std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::int64_t now_epoch = now_us / bucket_width_us_;
+  const double window_s =
+      static_cast<double>(bucket_width_us_) * static_cast<double>(options_.buckets) / 1e6;
+  slo_total_window_ = 0;
+  slo_hits_window_ = 0;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    lane.latency.Reset();
+    lane.staleness.Reset();
+    std::uint64_t queries = 0, qbytes = 0, wbytes = 0;
+    for (Bucket& b : lane.ring) {
+      // A bucket is in-window iff its epoch is one of the last `buckets`
+      // epochs ending at now; anything older is retired lazily here.
+      if (b.epoch < 0 || b.epoch > now_epoch ||
+          now_epoch - b.epoch >= static_cast<std::int64_t>(lane.ring.size())) {
+        continue;
+      }
+      queries += b.queries;
+      qbytes += b.query_bytes;
+      wbytes += b.wire_bytes;
+      slo_total_window_ += b.slo_total;
+      slo_hits_window_ += b.slo_hits;
+      lane.latency.Merge(b.latency);
+      lane.staleness.Merge(b.staleness);
+    }
+    lane.queries = queries;
+    lane.qps = static_cast<double>(queries) / window_s;
+    lane.bytes_per_s = static_cast<double>(qbytes + wbytes) / window_s;
+    g_qps_[i]->Set(static_cast<std::int64_t>(lane.qps));
+    g_bytes_[i]->Set(static_cast<std::int64_t>(lane.bytes_per_s));
+    g_p99_[i]->Set(static_cast<std::int64_t>(lane.latency.P99()));
+    g_staleness_p99_[i]->Set(static_cast<std::int64_t>(lane.staleness.P99()));
+  }
+  const double slo_rate =
+      slo_total_window_ == 0
+          ? 1.0
+          : static_cast<double>(slo_hits_window_) / static_cast<double>(slo_total_window_);
+  g_slo_bp_->Set(static_cast<std::int64_t>(slo_rate * 10000.0));
+
+  overloaded_ = false;
+  if (options_.overload_p99_us > 0) {
+    for (const Lane& lane : lanes_) {
+      if (lane.queries > 0 && lane.latency.P99() > options_.overload_p99_us) {
+        overloaded_ = true;
+      }
+    }
+  }
+  if (options_.overload_min_slo > 0 && slo_total_window_ > 0 &&
+      slo_rate < options_.overload_min_slo) {
+    overloaded_ = true;
+  }
+  g_overloaded_->Set(overloaded_ ? 1 : 0);
+}
+
+double TelemetryHub::QpsOf(std::uint32_t lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane < lanes_.size() ? lanes_[lane].qps : 0;
+}
+
+double TelemetryHub::BytesPerSecOf(std::uint32_t lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane < lanes_.size() ? lanes_[lane].bytes_per_s : 0;
+}
+
+std::uint64_t TelemetryHub::P99Of(std::uint32_t lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane < lanes_.size() ? lanes_[lane].latency.P99() : 0;
+}
+
+std::uint64_t TelemetryHub::StalenessP99Of(std::uint32_t lane) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lane < lanes_.size() ? lanes_[lane].staleness.P99() : 0;
+}
+
+double TelemetryHub::SloHitRate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slo_total_window_ == 0
+             ? 1.0
+             : static_cast<double>(slo_hits_window_) / static_cast<double>(slo_total_window_);
+}
+
+bool TelemetryHub::Overloaded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return overloaded_;
+}
+
+std::string TelemetryHub::SnapshotJson(std::int64_t now_us) {
+  Advance(now_us);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  const double slo_rate =
+      slo_total_window_ == 0
+          ? 1.0
+          : static_cast<double>(slo_hits_window_) / static_cast<double>(slo_total_window_);
+  os << "{\"ts_us\":" << now_us << ",\"window_us\":" << options_.window_us
+     << ",\"slo\":{\"queries\":" << slo_total_window_ << ",\"hits\":" << slo_hits_window_
+     << ",\"hit_rate\":" << slo_rate << "},\"lanes\":[";
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const Lane& lane = lanes_[i];
+    if (i > 0) os << ",";
+    os << "{\"" << options_.lane_label << "\":" << i << ",\"qps\":" << lane.qps
+       << ",\"bytes_per_s\":" << lane.bytes_per_s << ",\"queries\":" << lane.queries
+       << ",\"p50_us\":" << lane.latency.P50() << ",\"p99_us\":" << lane.latency.P99()
+       << ",\"staleness_p50_us\":" << lane.staleness.P50()
+       << ",\"staleness_p99_us\":" << lane.staleness.P99() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace helios::obs

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -19,42 +20,83 @@ void AppendEscaped(std::ostringstream& os, const std::string& s) {
 }
 }  // namespace
 
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceBuffer::Push(Event e) {
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(e));
+    return;
+  }
+  // Ring full: overwrite the oldest retained event.
+  events_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+  if (dropped_counter_ != nullptr) dropped_counter_->Add(1);
+}
+
 void TraceBuffer::AddComplete(const std::string& name, const std::string& category,
                               std::int64_t ts_us, std::int64_t dur_us, std::uint32_t pid,
                               std::uint32_t tid) {
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back({'X', name, category, ts_us, dur_us < 0 ? 0 : dur_us, 0, pid, tid});
+  Push({'X', name, category, ts_us, dur_us < 0 ? 0 : dur_us, 0, pid, tid, 0});
 }
 
 void TraceBuffer::AddInstant(const std::string& name, const std::string& category,
                              std::int64_t ts_us, std::uint32_t pid, std::uint32_t tid) {
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back({'i', name, category, ts_us, 0, 0, pid, tid});
+  Push({'i', name, category, ts_us, 0, 0, pid, tid, 0});
 }
 
 void TraceBuffer::AddCounter(const std::string& name, std::int64_t ts_us, std::uint32_t pid,
                              const std::string& series, double value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back({'C', name, series, ts_us, 0, value, pid, 0});
+  Push({'C', name, series, ts_us, 0, value, pid, 0, 0});
+}
+
+void TraceBuffer::AddFlowStart(const std::string& name, const std::string& category,
+                               std::int64_t ts_us, std::uint32_t pid, std::uint32_t tid,
+                               std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Push({'s', name, category, ts_us, 0, 0, pid, tid, id});
+}
+
+void TraceBuffer::AddFlowEnd(const std::string& name, const std::string& category,
+                             std::int64_t ts_us, std::uint32_t pid, std::uint32_t tid,
+                             std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Push({'f', name, category, ts_us, 0, 0, pid, tid, id});
 }
 
 void TraceBuffer::SetProcessName(std::uint32_t pid, const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back({'M', "process_name", name, 0, 0, 0, pid, 0});
+  metadata_.push_back({'M', "process_name", name, 0, 0, 0, pid, 0, 0});
+}
+
+void TraceBuffer::BindDroppedCounter(Counter* counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dropped_counter_ = counter;
 }
 
 std::size_t TraceBuffer::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return events_.size();
+  return events_.size() + metadata_.size();
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::string TraceBuffer::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    if (i > 0) os << ",";
+  bool first = true;
+  auto emit = [&os, &first](const Event& e) {
+    if (!first) os << ",";
+    first = false;
     os << "{\"name\":\"";
     AppendEscaped(os, e.name);
     os << "\",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us << ",\"pid\":" << e.pid;
@@ -66,6 +108,17 @@ std::string TraceBuffer::ToJson() const {
         break;
       case 'i':
         os << ",\"tid\":" << e.tid << ",\"s\":\"t\",\"cat\":\"";
+        AppendEscaped(os, e.category);
+        os << "\"";
+        break;
+      case 's':
+        os << ",\"tid\":" << e.tid << ",\"id\":" << e.id << ",\"cat\":\"";
+        AppendEscaped(os, e.category);
+        os << "\"";
+        break;
+      case 'f':
+        // bp:"e" binds the flow end to the enclosing slice at this ts.
+        os << ",\"tid\":" << e.tid << ",\"id\":" << e.id << ",\"bp\":\"e\",\"cat\":\"";
         AppendEscaped(os, e.category);
         os << "\"";
         break;
@@ -83,7 +136,12 @@ std::string TraceBuffer::ToJson() const {
         break;
     }
     os << "}";
-  }
+  };
+  for (const Event& e : metadata_) emit(e);
+  // Oldest-first: once the ring has wrapped, head_ is the oldest slot.
+  const std::size_t n = events_.size();
+  const std::size_t start = n == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < n; ++i) emit(events_[(start + i) % n]);
   os << "]}";
   return os.str();
 }

@@ -74,8 +74,19 @@ class ManualClock : public Clock {
 // {"traceEvents":[...]} document loadable by chrome://tracing and Perfetto.
 // pid/tid are free-form lanes: runtimes use pid = node/worker and tid =
 // shard/stage so the timeline groups the way the paper's figures slice.
+//
+// Storage is a fixed-capacity ring: once `capacity` events have been
+// recorded the oldest are overwritten and `dropped()` counts the loss (also
+// exported as "obs.trace.dropped_events" when a registry counter is bound).
+// A long soak therefore keeps the *tail* of the run — the window you want
+// when something goes wrong at the end — at bounded memory. Lane-name
+// metadata ('M') lives outside the ring so process names survive wraparound.
 class TraceBuffer {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;  // ~96 MB worst case
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
   // A completed span ("ph":"X").
   void AddComplete(const std::string& name, const std::string& category, std::int64_t ts_us,
                    std::int64_t dur_us, std::uint32_t pid, std::uint32_t tid);
@@ -85,16 +96,32 @@ class TraceBuffer {
   // A sampled counter series ("ph":"C"), e.g. a node's busy servers.
   void AddCounter(const std::string& name, std::int64_t ts_us, std::uint32_t pid,
                   const std::string& series, double value);
-  // Names a pid lane ("process_name" metadata event).
+  // Cross-lane causality arrow: a flow starts where work is handed off
+  // ("ph":"s") and ends where it lands ("ph":"f", binding point "e"). Both
+  // halves must share name, category and id — the id is the TraceContext
+  // trace_id, which is what stitches a sampler-side span to the serving-side
+  // span it caused.
+  void AddFlowStart(const std::string& name, const std::string& category, std::int64_t ts_us,
+                    std::uint32_t pid, std::uint32_t tid, std::uint64_t id);
+  void AddFlowEnd(const std::string& name, const std::string& category, std::int64_t ts_us,
+                  std::uint32_t pid, std::uint32_t tid, std::uint64_t id);
+  // Names a pid lane ("process_name" metadata event). Kept outside the
+  // ring: never dropped.
   void SetProcessName(std::uint32_t pid, const std::string& name);
 
-  std::size_t size() const;
+  // Mirrors drops into `counter` (e.g. registry GetCounter
+  // ("obs.trace.dropped_events")) in addition to the local dropped() tally.
+  void BindDroppedCounter(Counter* counter);
+
+  std::size_t size() const;          // events currently retained (incl. metadata)
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const;     // ring overwrites since construction
   std::string ToJson() const;
   util::Status WriteFile(const std::string& path) const;
 
  private:
   struct Event {
-    char phase;  // 'X', 'i', 'C', 'M'
+    char phase;  // 'X', 'i', 'C', 's', 'f', 'M'
     std::string name;
     std::string category;  // or counter series / process name
     std::int64_t ts_us = 0;
@@ -102,10 +129,18 @@ class TraceBuffer {
     double value = 0;
     std::uint32_t pid = 0;
     std::uint32_t tid = 0;
+    std::uint64_t id = 0;  // flow-event binding id
   };
 
+  void Push(Event e);  // caller holds mutex_
+
   mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  const std::size_t capacity_;
+  std::vector<Event> events_;   // ring once size() hits capacity_
+  std::size_t head_ = 0;        // next overwrite slot (only once full)
+  std::uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
+  std::vector<Event> metadata_;  // 'M' events, exempt from the ring
 };
 
 // ------------------------------------------------------------ stage tracer

@@ -1,0 +1,62 @@
+// Causal trace context threaded through the dissemination and query paths.
+//
+// A TraceContext names one causal chain — "this graph update and everything
+// it spawned" or "this query and its GNN inference" — across node
+// boundaries. It is deliberately tiny (three u64s) so it can ride inside
+// ServingMessage / ServingBatch wire frames with one flags byte of overhead
+// when tracing is off, and it is runtime-agnostic: ids come from an explicit
+// allocator, never from wall time or global RNG, so DES runs stay
+// deterministic and fig20's golden-vs-faulty byte parity is unaffected.
+//
+// Lifecycle: the ingest site (sampling shard actor, DES submit path, or a
+// query frontend) mints a root context with TraceIdAllocator::Root(); each
+// downstream hop derives a child span with Child(). The trace_id is also the
+// Chrome-trace flow-event id, which is what stitches sampler-side spans to
+// serving-side spans into one timeline arrow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace helios::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;        // 0 = not traced
+  std::uint64_t span_id = 0;         // this hop's span
+  std::uint64_t parent_span_id = 0;  // 0 = root span
+
+  bool active() const { return trace_id != 0; }
+
+  // Derives the context for a downstream hop: same trace, new span,
+  // parented to this one.
+  TraceContext Child(std::uint64_t child_span) const {
+    return TraceContext{trace_id, child_span, span_id};
+  }
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id == b.trace_id && a.span_id == b.span_id &&
+         a.parent_span_id == b.parent_span_id;
+}
+
+// Deterministic id source. One allocator per runtime (cluster or DES run);
+// ids are unique within it, which is all flow binding needs. The optional
+// `salt` lets co-existing runtimes (e.g. two clusters in one test) keep
+// their id spaces disjoint.
+class TraceIdAllocator {
+ public:
+  explicit TraceIdAllocator(std::uint64_t salt = 0) : next_(salt * (1ull << 48) + 1) {}
+
+  std::uint64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Mints a root context: fresh trace id, span id == trace id, no parent.
+  TraceContext Root() {
+    const std::uint64_t id = Next();
+    return TraceContext{id, id, 0};
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_;
+};
+
+}  // namespace helios::obs

@@ -323,8 +323,13 @@ TEST(DesRecovery, CrashRecoveryMatchesCrashFreeRun) {
   hc.serving_nodes = 2;
   hc.serving_threads = 2;
 
+  // Paced arrivals, not saturation: virtual arrival times then depend only
+  // on the offered rate, not on measured (host-load-sensitive) service
+  // times, so the mid-stream kill below deterministically leaves a log tail
+  // to replay even when the host is oversubscribed (parallel ctest).
+  const double rate_mps = 0.05;
   bench::HeliosDeployment golden(plan, hc);
-  const auto base = golden.EmulateIngestion(updates, /*offered_rate_mps=*/0);
+  const auto base = golden.EmulateIngestion(updates, rate_mps);
   ASSERT_GT(base.makespan_us, 0);
 
   bench::DesFaultSpec fault;
@@ -333,7 +338,7 @@ TEST(DesRecovery, CrashRecoveryMatchesCrashFreeRun) {
   fault.kill_at_us = base.makespan_us / 2;
   fault.detect_timeout_us = std::max<sim::SimTime>(base.makespan_us / 20, 500);
   bench::HeliosDeployment faulty(plan, hc);
-  const auto report = faulty.EmulateIngestion(updates, 0, nullptr, &fault);
+  const auto report = faulty.EmulateIngestion(updates, rate_mps, nullptr, &fault);
 
   // Crash/recovery markers are ordered and the exactly-once accounting ran.
   EXPECT_EQ(report.fault_killed_at_us, fault.kill_at_us);

@@ -8,14 +8,19 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <regex>
 #include <sstream>
 
 #include "bench/harness.h"
 #include "gen/datasets.h"
 #include "gen/update_stream.h"
+#include "helios/messages.h"
 #include "helios/threaded_cluster.h"
+#include "obs/freshness.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace helios::obs {
 namespace {
@@ -289,6 +294,194 @@ TEST(BothRuntimes, ThreadedClusterPopulatesPipelineMetricsAndTrace) {
   EXPECT_NE(trace.ToJson().find("\"traceEvents\""), std::string::npos);
 }
 
+// ------------------------------------------------------ trace ring buffer
+
+TEST(TraceBuffer, RingWrapsDropsOldestAndCountsDrops) {
+  MetricsRegistry reg;
+  TraceBuffer trace(/*capacity=*/4);
+  trace.BindDroppedCounter(reg.GetCounter("obs.trace.dropped_events"));
+  trace.SetProcessName(0, "lane-zero");  // metadata: exempt from the ring
+  for (int i = 0; i < 10; ++i) {
+    trace.AddInstant("ev" + std::to_string(i), "test", i, 0, 0);
+  }
+  EXPECT_EQ(trace.capacity(), 4u);
+  EXPECT_EQ(trace.size(), 5u);  // 4 ring slots + 1 metadata event
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(reg.GetCounter("obs.trace.dropped_events")->Value(), 6u);
+
+  const std::string json = trace.ToJson();
+  // The tail of the run survives, oldest-first; the head is gone.
+  EXPECT_EQ(json.find("\"name\":\"ev5\""), std::string::npos);
+  const auto p6 = json.find("\"name\":\"ev6\"");
+  const auto p9 = json.find("\"name\":\"ev9\"");
+  ASSERT_NE(p6, std::string::npos);
+  ASSERT_NE(p9, std::string::npos);
+  EXPECT_LT(p6, p9);
+  // Lane names never fall out of the ring.
+  EXPECT_NE(json.find("lane-zero"), std::string::npos);
+}
+
+// ------------------------------------------------- trace context wire form
+
+ServingMessage TracedSample(graph::VertexId vertex) {
+  SampleUpdate su;
+  su.level = 1;
+  su.vertex = vertex;
+  su.event_ts = 3;
+  su.origin_us = 11;
+  su.samples.push_back({graph::VertexId{9}, 1, 1.0f});
+  return ServingMessage::Of(std::move(su));
+}
+
+TEST(TraceContextWire, ServingMessageCodecRoundTripsContext) {
+  ServingMessage traced = TracedSample(7);
+  traced.trace = {0xABCu, 0xDEFu, 0x123u};
+  ServingMessage out;
+  ASSERT_TRUE(DecodeServingMessage(EncodeServingMessage(traced), out));
+  EXPECT_EQ(out.trace, traced.trace);
+
+  // Untraced messages decode inactive and pay only the flags byte: the
+  // traced encoding carries exactly three extra u64s.
+  const ServingMessage plain = TracedSample(7);
+  ASSERT_TRUE(DecodeServingMessage(EncodeServingMessage(plain), out));
+  EXPECT_FALSE(out.trace.active());
+  EXPECT_EQ(EncodeServingMessage(traced).size(),
+            EncodeServingMessage(plain).size() + 3 * sizeof(std::uint64_t));
+}
+
+TEST(TraceContextWire, BatchFrameCarriesFlowIdAndPerMessageContexts) {
+  ServingBatchBuilder builder;
+  ServingMessage traced = TracedSample(7);
+  traced.trace = TraceIdAllocator(2).Root();
+  builder.Add(traced);
+  builder.Add(TracedSample(8));
+  builder.Stamp(/*src_shard=*/3, /*epoch=*/5);
+  builder.StampFlow(42);
+  const std::string& frame = builder.EncodeToArena();
+  EXPECT_EQ(frame.size(), builder.WireBytes());
+
+  ServingBatchReader reader(frame);
+  EXPECT_EQ(reader.flow_id(), 42u);
+  EXPECT_EQ(reader.src_shard(), 3u);
+  EXPECT_EQ(reader.epoch(), 5u);
+  ServingMessage msg;
+  ASSERT_TRUE(reader.Next(msg));
+  EXPECT_EQ(msg.trace, traced.trace);
+  ASSERT_TRUE(reader.Next(msg));
+  EXPECT_FALSE(msg.trace.active());
+  EXPECT_FALSE(reader.Next(msg));
+  EXPECT_TRUE(reader.ok());
+
+  // The flow stamp is per-flush: Clear() resets it to untraced.
+  builder.Clear();
+  EXPECT_EQ(builder.flow_id(), 0u);
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(TelemetryHub, WindowedAggregationRetiresOldBuckets) {
+  MetricsRegistry reg;
+  TelemetryHub::Options opt;
+  opt.num_lanes = 2;
+  opt.window_us = 1000;
+  opt.buckets = 4;
+  opt.lane_label = "serving_worker";
+  TelemetryHub hub(&reg, opt);
+
+  hub.RecordQuery(0, /*now=*/100, /*latency=*/50, /*bytes=*/1000, /*deadline=*/100);
+  hub.RecordQuery(0, 200, 400, 1000, 100);  // SLO miss
+  hub.RecordQuery(0, 300, 400, 1000, 100);  // SLO miss
+  hub.RecordQuery(0, 300, 400, 1000, 100);  // SLO miss
+  hub.RecordStaleness(1, 300, 77);
+  hub.RecordBytes(1, 300, 5000);
+  hub.Advance(900);
+  EXPECT_GT(hub.QpsOf(0), 0.0);
+  // Histogram percentiles are log-bucketed: assert the window p99 reflects
+  // the slow tail, not an exact value.
+  EXPECT_GE(hub.P99Of(0), 200u);
+  EXPECT_GE(hub.StalenessP99Of(1), 64u);
+  EXPECT_GT(hub.BytesPerSecOf(1), 0.0);
+  EXPECT_NEAR(hub.SloHitRate(), 0.25, 1e-9);
+  // The window aggregates republish as registry gauges.
+  const auto snap = reg.TakeSnapshot();
+  EXPECT_GT(snap.GaugeTotal("telemetry.qps"), 0);
+  EXPECT_EQ(snap.GaugeTotal("telemetry.slo_hit_rate_bp"), 2500);
+
+  // Slide the window past everything: aggregates drain to zero.
+  hub.Advance(100'000);
+  EXPECT_EQ(hub.QpsOf(0), 0.0);
+  EXPECT_EQ(hub.P99Of(0), 0u);
+  EXPECT_EQ(hub.StalenessP99Of(1), 0u);
+  EXPECT_NEAR(hub.SloHitRate(), 1.0, 1e-9);  // no deadlines in window
+}
+
+TEST(TelemetryHub, OverloadSignalFollowsThresholds) {
+  MetricsRegistry reg;
+  TelemetryHub::Options opt;
+  opt.num_lanes = 1;
+  opt.window_us = 1000;
+  opt.overload_p99_us = 100;
+  TelemetryHub hub(&reg, opt);
+  EXPECT_FALSE(hub.Overloaded());
+  hub.RecordQuery(0, 10, /*latency=*/500, 0);
+  hub.Advance(20);
+  EXPECT_TRUE(hub.Overloaded());
+  hub.Advance(1'000'000);  // blowout left the window
+  EXPECT_FALSE(hub.Overloaded());
+}
+
+TEST(TelemetryHub, SnapshotJsonMatchesDocumentedSchema) {
+  MetricsRegistry reg;
+  TelemetryHub::Options opt;
+  opt.num_lanes = 2;
+  opt.lane_label = "serving_worker";
+  TelemetryHub hub(&reg, opt);
+  hub.RecordQuery(0, 100, 50, 1000, 200);
+  hub.RecordStaleness(0, 100, 40);
+  const std::string json = hub.SnapshotJson(500);
+  for (const char* key :
+       {"\"ts_us\":", "\"window_us\":", "\"slo\":", "\"queries\":", "\"hits\":", "\"hit_rate\":",
+        "\"lanes\":", "\"serving_worker\":", "\"qps\":", "\"bytes_per_s\":", "\"p50_us\":",
+        "\"p99_us\":", "\"staleness_p50_us\":", "\"staleness_p99_us\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
+  }
+}
+
+// ------------------------------------------------------------- freshness
+
+TEST(FreshnessTracker, VisibilityAndFirstServeDistances) {
+  MetricsRegistry reg;
+  FreshnessTracker fresh(&reg, /*num_shards=*/2, {}, /*pending_capacity=*/64);
+  fresh.OnApply(/*vertex=*/5, /*src_shard=*/1, /*origin=*/100, /*now=*/150);
+  EXPECT_EQ(reg.TakeSnapshot().LatencyTotal("freshness.visibility_us").count(), 1u);
+
+  // First serve records origin -> read and disarms; later reads see nothing.
+  EXPECT_EQ(fresh.OnServe(5, 170), 70);
+  EXPECT_EQ(fresh.OnServe(5, 180), -1);
+  EXPECT_EQ(fresh.OnServe(999, 10), -1);  // never armed
+  const auto snap = reg.TakeSnapshot();
+  EXPECT_EQ(snap.LatencyTotal("freshness.first_serve_us").count(), 1u);
+  EXPECT_EQ(snap.LatencyTotal("freshness.first_serve_us").max(), 70u);
+
+  // A newer apply for the same vertex re-arms against the fresher origin.
+  fresh.OnApply(5, 0, 200, 210);
+  fresh.OnApply(5, 0, 300, 310);
+  EXPECT_EQ(fresh.OnServe(5, 350), 50);
+
+  // Unstamped origins are ignored.
+  fresh.OnApply(6, 0, 0, 100);
+  EXPECT_EQ(fresh.OnServe(6, 200), -1);
+}
+
+TEST(FreshnessTracker, FixedTableEvictsStalestAndCounts) {
+  MetricsRegistry reg;
+  FreshnessTracker fresh(&reg, 1, {}, /*pending_capacity=*/8);
+  for (std::uint64_t v = 1; v <= 100; ++v) fresh.OnApply(v, 0, /*origin=*/1, /*now=*/2);
+  EXPECT_GT(fresh.pending_evicted(), 0u);
+  EXPECT_EQ(reg.TakeSnapshot().CounterTotal("freshness.pending_evicted"),
+            fresh.pending_evicted());
+}
+
 TEST(BothRuntimes, DesHarnessPopulatesPipelineMetricsAndTrace) {
   const auto plan = SmallPlan();
   gen::UpdateStream stream(SmallSpec());
@@ -316,6 +509,221 @@ TEST(BothRuntimes, DesHarnessPopulatesPipelineMetricsAndTrace) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("sampling-node-"), std::string::npos);  // DES pid lanes
   EXPECT_NE(json.find("cpu.occupancy"), std::string::npos);   // resource series
+}
+
+// -------------------------------------------- causal flows, both runtimes
+//
+// The tentpole acceptance: one graph update's trace stitches across the
+// sampler -> serving boundary via Chrome-trace flow events ('s' on the
+// sampling lane, 'f' with the same id on the serving lane).
+
+// Extracts (pid, id) of every "update"/"causal" flow event of `phase` from
+// a TraceBuffer JSON dump.
+std::map<std::uint64_t, std::uint32_t> CausalFlowPids(const std::string& json, char phase) {
+  const std::regex re("\\{\"name\":\"update\",\"ph\":\"" + std::string(1, phase) +
+                      "\",\"ts\":-?\\d+,\"pid\":(\\d+),\"tid\":\\d+,\"id\":(\\d+)");
+  std::map<std::uint64_t, std::uint32_t> pid_of;
+  for (auto it = std::sregex_iterator(json.begin(), json.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    pid_of[std::stoull((*it)[2])] = static_cast<std::uint32_t>(std::stoul((*it)[1]));
+  }
+  return pid_of;
+}
+
+void ExpectCrossLaneCausalFlows(const std::string& json, const char* runtime) {
+  const auto starts = CausalFlowPids(json, 's');
+  const auto ends = CausalFlowPids(json, 'f');
+  ASSERT_FALSE(starts.empty()) << runtime;
+  ASSERT_FALSE(ends.empty()) << runtime;
+  std::size_t stitched = 0;
+  for (const auto& [id, end_pid] : ends) {
+    const auto it = starts.find(id);
+    if (it == starts.end()) continue;
+    EXPECT_NE(it->second, end_pid) << runtime << ": flow " << id << " never crossed lanes";
+    ++stitched;
+  }
+  EXPECT_GT(stitched, 0u) << runtime;
+}
+
+TEST(TraceFlow, DesIngestionStitchesSamplerToServingLanes) {
+  bench::HeliosEmuConfig hc;
+  hc.sampling_nodes = 2;
+  hc.sampling_threads = 2;
+  hc.serving_nodes = 2;
+  hc.serving_threads = 2;
+  bench::HeliosDeployment deployment(SmallPlan(), hc);
+  gen::UpdateStream stream(SmallSpec());
+  TraceBuffer trace;
+  deployment.EmulateIngestion(stream.Drain(), 0, &trace);
+  ExpectCrossLaneCausalFlows(trace.ToJson(), "des");
+}
+
+TEST(TraceFlow, ThreadedClusterStitchesSamplerToServingLanes) {
+  TraceBuffer trace;
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  options.trace = &trace;
+  ThreadedCluster cluster(SmallPlan(), options);
+  cluster.Start();
+  gen::UpdateStream stream(SmallSpec());
+  graph::GraphUpdate u;
+  while (stream.Next(u)) cluster.PublishUpdate(u);
+  cluster.WaitForIngestIdle();
+  cluster.Stop();
+
+  const std::string json = trace.ToJson();
+  ExpectCrossLaneCausalFlows(json, "threaded");
+  // Threaded lanes: flow starts on sampling-worker pids (< kServingPidBase),
+  // ends on serving pids (>= kServingPidBase).
+  for (const auto& [id, pid] : CausalFlowPids(json, 's')) EXPECT_LT(pid, kServingPidBase);
+  for (const auto& [id, pid] : CausalFlowPids(json, 'f')) EXPECT_GE(pid, kServingPidBase);
+}
+
+// ------------------------------------------ windowed telemetry, both runtimes
+
+TEST(TelemetryBothRuntimes, DesServingFeedsWindowsAndSnapshots) {
+  bench::HeliosEmuConfig hc;
+  hc.sampling_nodes = 2;
+  hc.sampling_threads = 2;
+  hc.serving_nodes = 2;
+  hc.serving_threads = 2;
+  bench::HeliosDeployment deployment(SmallPlan(), hc);
+  gen::UpdateStream stream(SmallSpec());
+  const auto updates = stream.Drain();
+  deployment.IngestAll(updates);
+
+  TelemetryHub::Options topt;
+  topt.num_lanes = hc.serving_nodes;
+  topt.lane_label = "serving_worker";
+  TelemetryHub hub(&deployment.registry(), topt);
+  std::vector<std::string> snapshots;
+  bench::ServeObs sobs;
+  sobs.telemetry = &hub;
+  sobs.telemetry_interval_us = 200;
+  sobs.snapshots = &snapshots;
+  sobs.deadline_us = 1'000'000;
+
+  std::vector<graph::VertexId> seeds;
+  for (std::uint64_t i = 0; i < 64; ++i) seeds.push_back(gen::MakeVertexId(0, i % 100));
+  const auto report =
+      deployment.EmulateServing(seeds, 8, 200, nullptr, 0, nullptr, 0, &sobs);
+  EXPECT_EQ(report.requests, 200u);
+  ASSERT_FALSE(snapshots.empty());  // periodic ticks + the closing snapshot
+  for (const auto& s : snapshots) {
+    EXPECT_NE(s.find("\"serving_worker\":"), std::string::npos);
+  }
+  // The run's queries landed in lanes: some snapshot saw a live window.
+  const std::regex queries_re("\"queries\":(\\d+)");
+  std::uint64_t max_window_queries = 0;
+  for (const auto& s : snapshots) {
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), queries_re);
+         it != std::sregex_iterator(); ++it) {
+      max_window_queries = std::max<std::uint64_t>(max_window_queries, std::stoull((*it)[1]));
+    }
+  }
+  EXPECT_GT(max_window_queries, 0u);
+  // Every query met the generous deadline.
+  EXPECT_NEAR(hub.SloHitRate(), 1.0, 1e-9);
+}
+
+TEST(TelemetryBothRuntimes, DesIngestionRecordsFreshnessAndStaleness) {
+  bench::HeliosEmuConfig hc;
+  hc.sampling_nodes = 2;
+  hc.sampling_threads = 2;
+  hc.serving_nodes = 2;
+  hc.serving_threads = 2;
+  bench::HeliosDeployment deployment(SmallPlan(), hc);
+  gen::UpdateStream stream(SmallSpec());
+  const auto updates = stream.Drain();
+
+  TelemetryHub::Options topt;
+  topt.num_lanes = hc.serving_nodes;
+  topt.lane_label = "serving_worker";
+  TelemetryHub hub(&deployment.registry(), topt);
+  FreshnessTracker fresh(&deployment.registry(), deployment.num_shards());
+  std::vector<std::string> snapshots;
+  bench::IngestObs iobs;
+  iobs.telemetry = &hub;
+  iobs.freshness = &fresh;
+  iobs.telemetry_interval_us = 500;
+  iobs.snapshots = &snapshots;
+
+  // Paced (not saturated): origins must be > 0 for freshness accounting.
+  deployment.EmulateIngestion(updates, /*offered_rate_mps=*/0.05, nullptr, nullptr, &iobs);
+
+  const auto snap = deployment.registry().TakeSnapshot();
+  EXPECT_GT(snap.LatencyTotal("freshness.visibility_us").count(), 0u);
+  ASSERT_FALSE(snapshots.empty());
+  // Some window saw update->visibility staleness.
+  const std::regex staleness_re("\"staleness_p99_us\":(\\d+)");
+  std::uint64_t max_staleness = 0;
+  for (const auto& s : snapshots) {
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), staleness_re);
+         it != std::sregex_iterator(); ++it) {
+      max_staleness = std::max<std::uint64_t>(max_staleness, std::stoull((*it)[1]));
+    }
+  }
+  EXPECT_GT(max_staleness, 0u);
+}
+
+TEST(TelemetryBothRuntimes, ThreadedServeFeedsWindowsAndFreshness) {
+  MetricsRegistry hub_registry;
+  TelemetryHub::Options topt;
+  topt.num_lanes = 2;
+  topt.lane_label = "serving_worker";
+  TelemetryHub hub(&hub_registry, topt);
+
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  options.telemetry = &hub;
+  ThreadedCluster cluster(SmallPlan(), options);
+  cluster.Start();
+  gen::UpdateStream stream(SmallSpec());
+  graph::GraphUpdate u;
+  while (stream.Next(u)) cluster.PublishUpdate(u);
+  cluster.WaitForIngestIdle();
+  for (std::uint64_t i = 0; i < 50; ++i) cluster.Serve(gen::MakeVertexId(0, i % 100));
+  hub.Advance(static_cast<std::int64_t>(util::NowMicros()));
+  double qps = 0;
+  for (std::uint32_t lane = 0; lane < topt.num_lanes; ++lane) qps += hub.QpsOf(lane);
+  EXPECT_GT(qps, 0.0);  // the 50 serves happened inside the 1s window
+
+  // The per-worker freshness trackers saw update->visibility distances on
+  // the wall clock (PublishUpdate stamps origin_us at ingest).
+  const auto snap = cluster.MetricsSnapshot();
+  EXPECT_GT(snap.LatencyTotal("freshness.visibility_us").count(), 0u);
+  cluster.Stop();
+}
+
+// ----------------------------------------- freshness across checkpointing
+
+TEST(FreshnessCheckpoint, StalenessHistogramsSurviveCheckpointRestore) {
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  ThreadedCluster cluster(SmallPlan(), options);
+  cluster.Start();
+  gen::UpdateStream stream(SmallSpec());
+  const auto updates = stream.Drain();
+  const std::size_t half = updates.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) cluster.PublishUpdate(updates[i]);
+  cluster.WaitForIngestIdle();
+
+  const auto v1 = cluster.MetricsSnapshot().LatencyTotal("freshness.visibility_us").count();
+  EXPECT_GT(v1, 0u);
+
+  const auto dir = std::filesystem::temp_directory_path() / "helios_obs_fresh_ckpt";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(cluster.Checkpoint(dir.string()).ok());
+  ASSERT_TRUE(cluster.Restore(dir.string()).ok());
+
+  // The registry outlives the restored cores: histories persist and the
+  // restored pipeline keeps recording into the same cells.
+  EXPECT_EQ(cluster.MetricsSnapshot().LatencyTotal("freshness.visibility_us").count(), v1);
+  for (std::size_t i = half; i < updates.size(); ++i) cluster.PublishUpdate(updates[i]);
+  cluster.WaitForIngestIdle();
+  EXPECT_GT(cluster.MetricsSnapshot().LatencyTotal("freshness.visibility_us").count(), v1);
+  cluster.Stop();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
