@@ -46,5 +46,36 @@ int main(int argc, char** argv) {
   std::printf("\ndataset size (adjacency+features): %zu bytes; expected shape: ratio falls "
               "with workers, sub-linearly due to cache overlap (paper: 62%% -> 19%%)\n",
               dataset_bytes);
+
+  // Quantized feature storage: the same single-worker cache with features
+  // stored fp16 / int8 (topology bytes are format-independent). max_abs_err
+  // is the measured worst-case feature reconstruction error over the whole
+  // update stream (bounds: fp16 max(|x|*2^-11, 2^-24); int8 scale/2 with
+  // scale = maxabs/127).
+  bench::PrintHeader("Fig 16b: cache bytes vs feature storage format (1 serving worker)",
+                     "format   cache_bytes   vs_fp32   max_abs_err");
+  std::size_t fp32_bytes = 0;
+  for (const FeatureFormat format :
+       {FeatureFormat::kFp32, FeatureFormat::kFp16, FeatureFormat::kInt8}) {
+    bench::HeliosEmuConfig hc;
+    hc.serving_nodes = 1;
+    hc.feature_format = format;
+    bench::HeliosDeployment helios(plan, hc);
+    helios.IngestAll(updates);
+    const std::size_t bytes = helios.ServingCacheBytes();
+    if (format == FeatureFormat::kFp32) fp32_bytes = bytes;
+    double max_err = 0.0;
+    for (const auto& u : updates) {
+      if (!std::holds_alternative<graph::VertexUpdate>(u)) continue;
+      const auto& f = std::get<graph::VertexUpdate>(u).feature;
+      const graph::Feature back = DecodeFeatureValue(EncodeFeatureValue(f, format));
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        max_err = std::max(max_err, std::abs(static_cast<double>(f[i]) - back[i]));
+      }
+    }
+    std::printf("%-8s %-13zu %-9.2f %.3g\n", FeatureFormatName(format), bytes,
+                fp32_bytes > 0 ? static_cast<double>(bytes) / static_cast<double>(fp32_bytes) : 0.0,
+                max_err);
+  }
   return 0;
 }

@@ -103,6 +103,7 @@ HeliosDeployment::HeliosDeployment(QueryPlan plan, HeliosEmuConfig config)
     so.kv = config_.serving_kv;
     if (!so.kv.spill_dir.empty()) so.kv.spill_dir += "/sew-" + std::to_string(n);
     so.registry = &registry_;
+    so.feature_format = config_.feature_format;
     serving_.push_back(std::make_unique<ServingCore>(plan_, n, std::move(so)));
   }
 }

@@ -121,6 +121,9 @@ struct HeliosEmuConfig {
   double gbps = 10.0;
   std::uint64_t seed = 42;
   kv::KvOptions serving_kv;             // default memory-only
+  // Storage format for cached features at the serving workers (Fig 16
+  // quantization rows re-run the cache sweep with fp16 / int8).
+  FeatureFormat feature_format = FeatureFormat::kFp32;
 };
 
 // Optional observability sinks for the emulated flows (all owned by the

@@ -11,6 +11,8 @@
 #include "bench/harness.h"
 #include "kv/kv_store.h"
 #include "mq/mq.h"
+#include "util/aligned.h"
+#include "util/simd.h"
 
 using namespace helios;
 
@@ -45,6 +47,26 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+// Over-aligned variants (util::AlignedVector routes through these): same
+// counting, so the 0-allocs/query assertion also covers the 32-byte
+// aligned arenas. aligned_alloc wants size a multiple of the alignment.
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_alloc_count;
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  ++g_alloc_count;
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 // ---------------------------------------------------------- reservoir
 
@@ -449,9 +471,16 @@ static void BM_ServePathSeedReplica(benchmark::State& state) {
 }
 BENCHMARK(BM_ServePathSeedReplica);
 
-static void BM_ServePathZeroCopy(benchmark::State& state) {
+namespace {
+// Shared body for every fused-serve-path variant: populate the cache in
+// `format`, warm up, then measure steady-state ServeInto asserting the
+// zero-allocation contract (now inclusive of the 32-byte aligned arenas —
+// the over-aligned operator new replacements above count too).
+void RunServePathFused(benchmark::State& state, FeatureFormat format) {
   const auto plan = ServePlan();
-  ServingCore core(plan, 0);
+  ServingCore::Options options;
+  options.feature_format = format;
+  ServingCore core(plan, 0, options);
   const auto data = MakeServeState();
   for (const auto& su : data.cells) core.Apply(ServingMessage::Of(su));
   for (const auto& fu : data.features) core.Apply(ServingMessage::Of(fu));
@@ -479,8 +508,139 @@ static void BM_ServePathZeroCopy(benchmark::State& state) {
   if (allocs != 0) {
     state.SkipWithError("steady-state ServeInto allocated on the heap");
   }
+  state.SetLabel(std::string("features=") + FeatureFormatName(format) +
+                 " simd=" + util::simd::SimdLevelName(util::simd::ActiveSimdLevel()));
+}
+}  // namespace
+
+static void BM_ServePathZeroCopy(benchmark::State& state) {
+  RunServePathFused(state, FeatureFormat::kFp32);
 }
 BENCHMARK(BM_ServePathZeroCopy);
+
+// Same path with the dispatcher pinned to the scalar kernels — the delta
+// vs BM_ServePathZeroCopy is what vectorization buys end to end.
+static void BM_ServePathZeroCopyScalar(benchmark::State& state) {
+  util::simd::ForceSimdLevel(util::simd::SimdLevel::kScalar);
+  RunServePathFused(state, FeatureFormat::kFp32);
+  util::simd::ResetSimdLevel();
+}
+BENCHMARK(BM_ServePathZeroCopyScalar);
+
+// Quantized feature storage: same query stream, cache holds fp16 / int8
+// values, gather dequantizes into the fp32 arena. Still 0 allocs/query.
+static void BM_ServePathFusedFp16(benchmark::State& state) {
+  RunServePathFused(state, FeatureFormat::kFp16);
+}
+BENCHMARK(BM_ServePathFusedFp16);
+
+static void BM_ServePathFusedInt8(benchmark::State& state) {
+  RunServePathFused(state, FeatureFormat::kInt8);
+}
+BENCHMARK(BM_ServePathFusedInt8);
+
+// ------------------------------------------- sample/gather kernels
+//
+// The two kernel families the fused serve path is built from, isolated:
+//   CellDecode — split `n` packed 20-byte cell records (u64 dst | i64 ts |
+//     f32 w) into SoA arrays with the strided-gather kernels.
+//   Gather — decode one cached feature value (fp32 memcpy / fp16 / int8
+//     dequant) into the fp32 arena row the GNN reads.
+// Scalar and AVX2 variants run the same dispatched entry points under
+// ForceSimdLevel, so the comparison includes dispatch overhead exactly as
+// the serve path pays it.
+
+namespace {
+constexpr std::size_t kDecodeRecords = 25;  // paper fan-out
+
+std::string MakePackedCell(std::size_t n) {
+  graph::ByteWriter w;
+  w.PutI64(1);
+  w.PutU32(static_cast<std::uint32_t>(n));
+  util::Rng rng(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.PutU64(rng.Next());
+    w.PutI64(static_cast<std::int64_t>(i));
+    w.PutF32(static_cast<float>(rng.UniformDouble()));
+  }
+  return w.Take();
+}
+
+void RunCellDecode(benchmark::State& state, util::simd::SimdLevel level) {
+  if (level == util::simd::SimdLevel::kAvx2 &&
+      !(util::simd::kHasAvx2Kernels && util::simd::CpuHasAvx2())) {
+    state.SkipWithError("AVX2 kernels unavailable on this host");
+    return;
+  }
+  util::simd::ForceSimdLevel(level);
+  const std::string cell = MakePackedCell(kDecodeRecords);
+  const char* records = cell.data() + 12;  // skip [event_ts][n] header
+  util::AlignedVector<std::uint64_t> dst(kDecodeRecords);
+  util::AlignedVector<float> weight(kDecodeRecords);
+  for (auto _ : state) {
+    util::simd::GatherStridedU64(records, 20, kDecodeRecords, dst.data());
+    util::simd::GatherStridedF32(records + 16, 20, kDecodeRecords, weight.data());
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::DoNotOptimize(weight.data());
+  }
+  util::simd::ResetSimdLevel();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kDecodeRecords * 20);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kDecodeRecords);
+}
+}  // namespace
+
+static void BM_CellDecodeScalar(benchmark::State& state) {
+  RunCellDecode(state, util::simd::SimdLevel::kScalar);
+}
+BENCHMARK(BM_CellDecodeScalar);
+
+static void BM_CellDecodeSimd(benchmark::State& state) {
+  RunCellDecode(state, util::simd::SimdLevel::kAvx2);
+}
+BENCHMARK(BM_CellDecodeSimd);
+
+namespace {
+void RunGather(benchmark::State& state, FeatureFormat format) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  graph::Feature f(dim);
+  util::Rng rng(19);
+  for (auto& x : f) x = static_cast<float>(rng.UniformDouble() * 2.0 - 1.0);
+  const std::string value = EncodeFeatureValue(f, format);
+  const std::string_view payload(value.data() + 4, value.size() - 4);
+  util::AlignedVector<float> out(dim);
+  for (auto _ : state) {
+    switch (format) {
+      case FeatureFormat::kFp32:
+        std::memcpy(out.data(), payload.data(), dim * sizeof(float));
+        break;
+      case FeatureFormat::kFp16:
+        util::simd::DequantFp16(reinterpret_cast<const std::uint16_t*>(payload.data()), dim,
+                                out.data());
+        break;
+      case FeatureFormat::kInt8: {
+        float scale;
+        std::memcpy(&scale, payload.data(), sizeof(scale));
+        util::simd::DequantInt8(reinterpret_cast<const std::int8_t*>(payload.data() + 4), dim,
+                                scale, out.data());
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * dim);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+}  // namespace
+
+static void BM_GatherFp32(benchmark::State& state) { RunGather(state, FeatureFormat::kFp32); }
+BENCHMARK(BM_GatherFp32)->Arg(16)->Arg(256);
+
+static void BM_GatherFp16(benchmark::State& state) { RunGather(state, FeatureFormat::kFp16); }
+BENCHMARK(BM_GatherFp16)->Arg(16)->Arg(256);
+
+static void BM_GatherInt8(benchmark::State& state) { RunGather(state, FeatureFormat::kInt8); }
+BENCHMARK(BM_GatherInt8)->Arg(16)->Arg(256);
 
 // ------------------------------------------------------------ codecs
 

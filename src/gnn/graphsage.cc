@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/aligned.h"
+#include "util/simd.h"
+
 namespace helios::gnn {
 
 namespace {
@@ -59,7 +62,7 @@ std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) co
   // the feature into an intermediate vector. Missing features are zero
   // (eventual-consistency miss, §6); longer ones are truncated.
   std::size_t cur = config_.input_dim;
-  std::vector<std::vector<float>> h(depth);
+  std::vector<util::AlignedVector<float>> h(depth);
   for (std::size_t d = 0; d < depth; ++d) {
     const auto& layer_nodes = sample.layers[d];
     h[d].assign(layer_nodes.size() * cur, 0.f);
@@ -76,14 +79,17 @@ std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) co
   // layer (instead of one scan of the whole child layer per parent). Each
   // parent still sums its children in layer order, so the float summation
   // order — and therefore the result — is identical to the quadratic scan.
-  std::vector<float> sums;
+  // The elementwise add/divide go through the simd kernels, which are
+  // value-exact vs their scalar loops (no reassociation, no FMA), so the
+  // embedding stays bit-identical across dispatch levels.
+  util::AlignedVector<float> sums;
   std::vector<std::uint32_t> n_children;
   for (std::size_t l = 0; l < effective_layers; ++l) {
     const bool last = l + 1 == config_.num_layers;
     const std::size_t width = layers_[l].w_self.cols();
     // After layer l, depths 0 .. depth-2-l hold fresh activations.
     const std::size_t top = depth >= l + 2 ? depth - l - 1 : 1;
-    std::vector<std::vector<float>> next(top);
+    std::vector<util::AlignedVector<float>> next(top);
     for (std::size_t d = 0; d < top; ++d) {
       const std::size_t n_parents = sample.layers[d].size();
       sums.assign(n_parents * cur, 0.f);
@@ -95,7 +101,7 @@ std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) co
           if (p >= n_parents) continue;
           const float* child = h[d + 1].data() + c * cur;
           float* acc = sums.data() + p * cur;
-          for (std::size_t j = 0; j < cur; ++j) acc[j] += child[j];
+          util::simd::AddF32(acc, child, cur);
           n_children[p]++;
         }
       }
@@ -103,7 +109,7 @@ std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) co
       for (std::size_t i = 0; i < n_parents; ++i) {
         float* mean = sums.data() + i * cur;
         if (n_children[i] > 0) {
-          for (std::size_t j = 0; j < cur; ++j) mean[j] /= static_cast<float>(n_children[i]);
+          util::simd::DivF32(mean, static_cast<float>(n_children[i]), cur);
         }
         Apply(layers_[l], h[d].data() + i * cur, mean, cur, next[d].data() + i * width,
               /*relu=*/!last);

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.h"
+
 namespace helios::gnn {
 
 class Matrix {
@@ -24,12 +26,14 @@ class Matrix {
   const float* Row(std::size_t r) const { return data_.data() + r * cols_; }
   float& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   float At(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  util::AlignedVector<float>& data() { return data_; }
+  const util::AlignedVector<float>& data() const { return data_; }
 
  private:
   std::size_t rows_ = 0, cols_ = 0;
-  std::vector<float> data_;
+  // 32-byte aligned so vector loads over weight rows never straddle the
+  // allocation's leading cache line.
+  util::AlignedVector<float> data_;
 };
 
 // out = a (r x k) * b (k x c). out must be r x c; accumulates from zero.

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "graph/update_codec.h"
+#include "util/simd.h"
 
 namespace helios {
 
@@ -21,11 +22,10 @@ std::string EncodeCell(const std::vector<graph::Edge>& samples, graph::Timestamp
   return w.Take();
 }
 
-std::string EncodeFeature(const graph::Feature& f) {
-  graph::ByteWriter w;
-  w.PutFloats(f);
-  return w.Take();
-}
+// Feature value header (see FeatureFormat in serving_core.h): u32 with the
+// format in bits 31..30 and the element count in bits 29..0.
+constexpr std::uint32_t kFeatureCountMask = 0x3FFFFFFFu;
+constexpr std::uint32_t kFeatureFormatShift = 30;
 
 // Fixed cell layout shared with PatchCell and the zero-copy read path:
 // [i64 event_ts][u32 n][n × 20-byte records (u64 dst | i64 ts | f32 w)].
@@ -95,12 +95,8 @@ void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evi
       std::memcpy(value.data() + ooff, &added.dst, 8);
       std::memcpy(value.data() + ooff + 8, &added.ts, 8);
       std::memcpy(value.data() + ooff + 16, &added.weight, 4);
-      graph::Timestamp newest = 0;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        graph::Timestamp ts = 0;
-        std::memcpy(&ts, value.data() + kCellHeaderBytes + i * kCellRecordBytes + 8, sizeof(ts));
-        newest = std::max(newest, ts);
-      }
+      const graph::Timestamp newest =
+          util::simd::MaxStridedI64(value.data() + kCellHeaderBytes + 8, kCellRecordBytes, n, 0);
       std::memcpy(value.data(), &newest, sizeof(newest));
       return;
     }
@@ -131,18 +127,121 @@ void PatchCell(std::string& value, const graph::Edge& added, graph::VertexId evi
   // content the snapshot path writes (SendSampleUpdate), so snapshot-built
   // and delta-patched cells are byte-identical no matter which write landed
   // last. Crash-replay parity (docs/FAULT_TOLERANCE.md) depends on this.
-  graph::Timestamp newest = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    graph::Timestamp ts = 0;
-    std::memcpy(&ts, value.data() + kCellHeaderBytes + i * kCellRecordBytes + 8, sizeof(ts));
-    newest = std::max(newest, ts);
-  }
+  // (Integer max is value-exact across SIMD dispatch levels, so the header
+  // bytes stay host-independent.)
+  const graph::Timestamp newest =
+      util::simd::MaxStridedI64(value.data() + kCellHeaderBytes + 8, kCellRecordBytes, n, 0);
   std::memcpy(value.data(), &newest, sizeof(newest));
   std::memcpy(value.data() + 8, &n, sizeof(n));
 }
+
+// Decodes one feature value (any format; the header self-describes) into
+// `features` under `v`, dequantizing with the vector kernels straight into
+// the arena. Malformed values decode as an empty-but-present feature,
+// matching the legacy ByteReader::GetFloats behaviour.
+void DecodeFeatureInto(std::string_view value, FeatureTable& features, graph::VertexId v) {
+  if (value.size() < 4) {
+    features.Allocate(v, 0);
+    return;
+  }
+  std::uint32_t hdr = 0;
+  std::memcpy(&hdr, value.data(), sizeof(hdr));
+  const std::uint32_t fmt = hdr >> kFeatureFormatShift;
+  const std::size_t n = hdr & kFeatureCountMask;
+  const char* payload = value.data() + 4;
+  switch (fmt) {
+    case 0:  // fp32: [n × f32]
+      if (value.size() < 4 + n * sizeof(float)) {
+        features.Allocate(v, 0);
+      } else {
+        std::memcpy(features.Allocate(v, n), payload, n * sizeof(float));
+      }
+      return;
+    case 1:  // fp16: [n × u16]
+      if (value.size() < 4 + n * sizeof(std::uint16_t)) {
+        features.Allocate(v, 0);
+      } else {
+        // payload sits at a 4-byte offset into the value buffer, which is
+        // at least pointer-aligned — safe to read as u16.
+        util::simd::DequantFp16(reinterpret_cast<const std::uint16_t*>(payload), n,
+                                features.Allocate(v, n));
+      }
+      return;
+    case 2: {  // int8: [f32 scale][n × i8]
+      if (value.size() < 8 + n) {
+        features.Allocate(v, 0);
+        return;
+      }
+      float scale = 0.0f;
+      std::memcpy(&scale, payload, sizeof(scale));
+      util::simd::DequantInt8(reinterpret_cast<const std::int8_t*>(payload + sizeof(float)), n,
+                              scale, features.Allocate(v, n));
+      return;
+    }
+    default:  // unknown format
+      features.Allocate(v, 0);
+      return;
+  }
+}
 }  // namespace
 
+// ------------------------------------------------- feature value codec
+
+const char* FeatureFormatName(FeatureFormat format) {
+  switch (format) {
+    case FeatureFormat::kFp32: return "fp32";
+    case FeatureFormat::kFp16: return "fp16";
+    case FeatureFormat::kInt8: return "int8";
+  }
+  return "?";
+}
+
+std::string EncodeFeatureValue(const graph::Feature& f, FeatureFormat format) {
+  // Encoding is scalar on purpose: cache bytes must not depend on the
+  // writer's SIMD dispatch level (crash-replay and cross-runtime parity
+  // compare caches byte-for-byte).
+  const auto n = static_cast<std::uint32_t>(f.size());
+  const std::uint32_t hdr = (static_cast<std::uint32_t>(format) << kFeatureFormatShift) | n;
+  switch (format) {
+    case FeatureFormat::kFp32: {
+      // Byte-identical to the legacy encoder ([u32 n][n × f32]).
+      graph::ByteWriter w;
+      w.PutFloats(f);
+      return w.Take();
+    }
+    case FeatureFormat::kFp16: {
+      std::string out(4 + n * sizeof(std::uint16_t), '\0');
+      std::memcpy(out.data(), &hdr, sizeof(hdr));
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint16_t h = util::simd::F32ToF16(f[i]);
+        std::memcpy(out.data() + 4 + i * sizeof(h), &h, sizeof(h));
+      }
+      return out;
+    }
+    case FeatureFormat::kInt8: {
+      std::string out(8 + n, '\0');
+      std::memcpy(out.data(), &hdr, sizeof(hdr));
+      const float scale =
+          util::simd::QuantizeInt8(f.data(), n, reinterpret_cast<std::int8_t*>(out.data() + 8));
+      std::memcpy(out.data() + 4, &scale, sizeof(scale));
+      return out;
+    }
+  }
+  return {};
+}
+
+graph::Feature DecodeFeatureValue(std::string_view value) {
+  FeatureTable t;
+  DecodeFeatureInto(value, t, 0);
+  const std::span<const float> span = t.Find(0);
+  return graph::Feature(span.begin(), span.end());
+}
+
 // ----------------------------------------------------------- FeatureTable
+
+// A slot whose gen stamp differs from the table's is logically empty no
+// matter its state: Clear() retires the whole population by bumping gen_,
+// so every probe below treats `s.gen != gen_` exactly like kEmpty.
 
 const FeatureTable::Slot* FeatureTable::FindSlot(graph::VertexId v) const {
   if (slots_.empty()) return nullptr;
@@ -150,7 +249,7 @@ const FeatureTable::Slot* FeatureTable::FindSlot(graph::VertexId v) const {
   std::size_t i = util::MixHash(v) & mask;
   while (true) {
     const Slot& s = slots_[i];
-    if (s.state == kEmpty) return nullptr;
+    if (s.gen != gen_ || s.state == kEmpty) return nullptr;
     if (s.state == kUsed && s.vertex == v) return &s;
     i = (i + 1) & mask;
   }
@@ -164,13 +263,15 @@ FeatureTable::Slot* FeatureTable::InsertSlot(graph::VertexId v) {
   Slot* first_tombstone = nullptr;
   while (true) {
     Slot& s = slots_[i];
-    if (s.state == kUsed && s.vertex == v) return &s;
-    if (s.state == kTombstone && first_tombstone == nullptr) first_tombstone = &s;
-    if (s.state == kEmpty) {
+    const bool live = s.gen == gen_;
+    if (live && s.state == kUsed && s.vertex == v) return &s;
+    if (live && s.state == kTombstone && first_tombstone == nullptr) first_tombstone = &s;
+    if (!live || s.state == kEmpty) {
       Slot* target = first_tombstone != nullptr ? first_tombstone : &s;
-      if (target->state == kTombstone) --tombstones_;
+      if (target->gen == gen_ && target->state == kTombstone) --tombstones_;
       target->vertex = v;
       target->state = kUsed;
+      target->gen = gen_;
       ++count_;
       return target;
     }
@@ -180,23 +281,43 @@ FeatureTable::Slot* FeatureTable::InsertSlot(graph::VertexId v) {
 
 void FeatureTable::Grow() {
   const std::size_t new_size = slots_.empty() ? 16 : slots_.size() * 2;
+  const std::uint32_t old_gen = gen_;
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(new_size, Slot{});
+  slots_.assign(new_size, Slot{});  // gen 0 = stale, i.e. empty
   count_ = 0;
   tombstones_ = 0;
+  if (gen_ == 0) gen_ = 1;  // keep 0 reserved for "stale"
   for (const Slot& s : old) {
-    if (s.state != kUsed) continue;
+    if (s.gen != old_gen || s.state != kUsed) continue;
     Slot* slot = InsertSlot(s.vertex);  // cannot recurse: new table is large enough
     slot->offset = s.offset;
     slot->len = s.len;
   }
 }
 
+bool FeatureTable::Insert(graph::VertexId v) {
+  const std::size_t before = count_;
+  Slot* s = InsertSlot(v);
+  if (count_ == before) return false;  // already present
+  s->offset = 0;
+  s->len = 0;
+  return true;
+}
+
+float* FeatureTable::Allocate(graph::VertexId v, std::size_t len) {
+  Slot* s = InsertSlot(v);
+  s->offset = static_cast<std::uint32_t>(arena_.size());
+  s->len = static_cast<std::uint32_t>(len);
+  arena_.resize(arena_.size() + len);
+  return arena_.data() + s->offset;
+}
+
 void FeatureTable::Set(graph::VertexId v, const float* data, std::size_t len) {
   Slot* s = InsertSlot(v);
   if (s->len >= len) {
-    // Overwrite in place (also the fresh-slot len==0, len==0 case).
-    std::memcpy(arena_.data() + s->offset, data, len * sizeof(float));
+    // Overwrite in place (also the fresh-slot len==0, len==0 case, where
+    // `data` may legitimately be null — skip the UB memcpy(p, null, 0)).
+    if (len > 0) std::memcpy(arena_.data() + s->offset, data, len * sizeof(float));
     s->len = static_cast<std::uint32_t>(len);
     return;
   }
@@ -213,7 +334,7 @@ void FeatureTable::Erase(graph::VertexId v) {
   std::size_t i = util::MixHash(v) & mask;
   while (true) {
     Slot& s = slots_[i];
-    if (s.state == kEmpty) return;
+    if (s.gen != gen_ || s.state == kEmpty) return;
     if (s.state == kUsed && s.vertex == v) {
       s.state = kTombstone;
       --count_;
@@ -226,10 +347,14 @@ void FeatureTable::Erase(graph::VertexId v) {
 
 void FeatureTable::Clear() {
   arena_.clear();
-  // Keep the slot array's capacity; just reset states.
-  std::fill(slots_.begin(), slots_.end(), Slot{});
   count_ = 0;
   tombstones_ = 0;
+  // O(1): retire every slot by bumping the generation. On the (2^32-th)
+  // wrap, scrub for real so stale gen_==gen stamps cannot resurrect.
+  if (++gen_ == 0) {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    gen_ = 1;
+  }
 }
 
 // ------------------------------------------------------------ ServingCore
@@ -257,6 +382,7 @@ ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options option
   m_.queries_served = registry_->GetCounter("serving.queries_served", labels);
   m_.cache_miss_cells = registry_->GetCounter("serving.cache_miss_cells", labels);
   m_.cache_miss_features = registry_->GetCounter("serving.cache_miss_features", labels);
+  m_.bad_cells = registry_->GetCounter("serving.bad_cells", labels);
   m_.latest_event_ts = registry_->GetGauge("serving.latest_event_ts", labels);
   m_.query_latency_us = registry_->GetLatency("serving.query.latency_us", labels);
   m_.query_nodes = registry_->GetLatency("serving.query.nodes", labels);
@@ -272,6 +398,7 @@ ServingCore::Stats ServingCore::stats() const {
   s.queries_served = m_.queries_served->Value();
   s.cache_miss_cells = m_.cache_miss_cells->Value();
   s.cache_miss_features = m_.cache_miss_features->Value();
+  s.bad_cells = m_.bad_cells->Value();
   s.latest_event_ts = m_.latest_event_ts->Value();
   return s;
 }
@@ -298,7 +425,8 @@ void ServingCore::Apply(const ServingMessage& message) {
     }
     case ServingMessage::Kind::kFeature: {
       const FeatureUpdate& u = message.feature();
-      store_->Put(FeatureKeyBuf(u.vertex).view(), EncodeFeature(u.feature));
+      store_->Put(FeatureKeyBuf(u.vertex).view(),
+                  EncodeFeatureValue(u.feature, options_.feature_format));
       m_.feature_updates_applied->Add(1);
       m_.latest_event_ts->Set(std::max<std::int64_t>(m_.latest_event_ts->Value(), u.event_ts));
       break;
@@ -346,9 +474,19 @@ void ServingCore::ServeInto(graph::VertexId seed, SampledSubgraph& out,
   out.Reset(seed, num_hops + 1);
   out.layers[0].push_back({seed, 0});
 
+  // Frontier dedup is fused into the hop scatter: the first sighting of a
+  // vertex inserts a (still feature-less) FeatureTable slot and appends the
+  // vertex to feat_vertices, so by the time the hops finish the distinct
+  // tree vertices are already collected in BFS first-sight order — no
+  // sort+unique pass (the old one was ~10% of serve-path CPU).
+  scratch.feat_vertices.clear();
+  out.features.Insert(seed);
+  scratch.feat_vertices.push_back(seed);
+
   // ---- hop phase: one shard-batched MultiView per hop. Cells are decoded
-  // straight from the in-lock value bytes into a scratch node buffer
-  // (shard-visit order), then scattered back to BFS order.
+  // straight from the in-lock value bytes into a scratch SoA buffer
+  // (shard-visit order) with the strided vector gather, then scattered back
+  // to BFS order.
   for (std::size_t k = 0; k < num_hops; ++k) {
     const std::uint32_t level = plan_.one_hop[k].hop;
     const auto& frontier = out.layers[k];
@@ -364,48 +502,49 @@ void ServingCore::ServeInto(graph::VertexId seed, SampledSubgraph& out,
       scratch.keys[i] = scratch.sample_keys[i].view();
     }
     scratch.ranges.assign(fsize, ServeScratch::CellRange{0, ServeScratch::kMissingCell});
-    scratch.hop_nodes.clear();
+    scratch.hop_dst.clear();
     std::size_t decoded_total = 0;
     store_->MultiView(
         scratch.keys.data(), fsize,
         [&](std::size_t i, std::string_view value, bool found) {
           if (!found) return;  // stays kMissingCell
           const std::uint32_t n = CellRecordCount(value);
-          if (n == kBadCell) return;  // undecodable == missing, as before
+          if (n == kBadCell) {
+            // Present but truncated: still served as missing, but counted
+            // separately so corruption is observable (serving.bad_cells).
+            scratch.ranges[i].count = ServeScratch::kBadCellRange;
+            return;
+          }
           auto& range = scratch.ranges[i];
-          range.begin = static_cast<std::uint32_t>(scratch.hop_nodes.size());
+          range.begin = static_cast<std::uint32_t>(scratch.hop_dst.size());
           range.count = n;
           decoded_total += n;
-          const char* rec = value.data() + kCellHeaderBytes;
-          for (std::uint32_t r = 0; r < n; ++r, rec += kCellRecordBytes) {
-            graph::VertexId dst;
-            std::memcpy(&dst, rec, sizeof(dst));
-            scratch.hop_nodes.push_back({dst, static_cast<std::uint32_t>(i)});
-          }
+          scratch.hop_dst.resize(scratch.hop_dst.size() + n);
+          util::simd::GatherStridedU64(value.data() + kCellHeaderBytes, kCellRecordBytes, n,
+                                       scratch.hop_dst.data() + range.begin);
         },
         scratch.kv);
     next.reserve(decoded_total);
     for (std::size_t i = 0; i < fsize; ++i) {
       const auto& range = scratch.ranges[i];
-      if (range.count == ServeScratch::kMissingCell) {
+      if (range.count == ServeScratch::kMissingCell ||
+          range.count == ServeScratch::kBadCellRange) {
         out.missing_cells++;
+        if (range.count == ServeScratch::kBadCellRange) out.bad_cells++;
         continue;
       }
-      next.insert(next.end(), scratch.hop_nodes.begin() + range.begin,
-                  scratch.hop_nodes.begin() + range.begin + range.count);
+      const auto parent = static_cast<std::uint32_t>(i);
+      for (std::uint32_t r = 0; r < range.count; ++r) {
+        const graph::VertexId v = scratch.hop_dst[range.begin + r];
+        next.push_back({v, parent});
+        if (out.features.Insert(v)) scratch.feat_vertices.push_back(v);
+      }
     }
   }
 
-  // ---- feature phase: one batched lookup over the distinct vertices of
-  // the whole sampled tree, copied straight into the per-query arena.
-  scratch.feat_vertices.clear();
-  for (const auto& layer : out.layers) {
-    for (const auto& node : layer) scratch.feat_vertices.push_back(node.vertex);
-  }
-  std::sort(scratch.feat_vertices.begin(), scratch.feat_vertices.end());
-  scratch.feat_vertices.erase(
-      std::unique(scratch.feat_vertices.begin(), scratch.feat_vertices.end()),
-      scratch.feat_vertices.end());
+  // ---- feature phase: one batched lookup over the distinct tree vertices
+  // (already deduplicated above), dequantized straight into the per-query
+  // arena with a single probe per vertex.
   const std::size_t unique_vertices = scratch.feat_vertices.size();
   out.feature_lookups += unique_vertices;
   scratch.feature_keys.resize(unique_vertices);
@@ -419,15 +558,12 @@ void ServingCore::ServeInto(graph::VertexId seed, SampledSubgraph& out,
       [&](std::size_t i, std::string_view value, bool found) {
         if (!found) {
           out.missing_features++;
+          // Drop the dedup placeholder so Contains() keeps meaning "the
+          // feature was found", as before the fused rewrite.
+          out.features.Erase(scratch.feat_vertices[i]);
           return;
         }
-        // Feature layout: [u32 n][n × f32]. A malformed value degrades to
-        // an empty feature, matching the old ByteReader::GetFloats path.
-        std::uint32_t n = 0;
-        if (value.size() >= 4) std::memcpy(&n, value.data(), sizeof(n));
-        if (4 + static_cast<std::size_t>(n) * sizeof(float) > value.size()) n = 0;
-        out.features.Set(scratch.feat_vertices[i],
-                         reinterpret_cast<const float*>(value.data() + 4), n);
+        DecodeFeatureInto(value, out.features, scratch.feat_vertices[i]);
       },
       scratch.kv);
 
@@ -441,6 +577,7 @@ void ServingCore::ServeInto(graph::VertexId seed, SampledSubgraph& out,
   m_.queries_served->Add(1);
   m_.cache_miss_cells->Add(out.missing_cells);
   m_.cache_miss_features->Add(out.missing_features);
+  if (out.bad_cells > 0) m_.bad_cells->Add(out.bad_cells);
   m_.query_nodes->Record(out.TotalNodes());
   m_.query_arena_bytes->Record(out.features.arena_floats() * sizeof(float));
   m_.query_latency_us->Record(static_cast<std::uint64_t>(
@@ -461,20 +598,20 @@ std::size_t ServingCore::EvictOlderThan(graph::Timestamp cutoff) {
   // place — no per-cell Edge vector. Undecodable cells scan as newest=0
   // and age out, matching the old decode-based behaviour.
   std::vector<std::string> expired;
+  std::uint64_t bad = 0;
   store_->Scan("s", [&](const std::string& key, const std::string& value) {
     graph::Timestamp newest = 0;
     const std::uint32_t n = CellRecordCount(value);
     if (n != kBadCell) {
-      const char* rec = value.data() + kCellHeaderBytes;
-      for (std::uint32_t i = 0; i < n; ++i, rec += kCellRecordBytes) {
-        graph::Timestamp ts;
-        std::memcpy(&ts, rec + 8, sizeof(ts));
-        newest = std::max(newest, ts);
-      }
+      newest = util::simd::MaxStridedI64(value.data() + kCellHeaderBytes + 8, kCellRecordBytes,
+                                         n, 0);
+    } else {
+      ++bad;
     }
     if (newest < cutoff) expired.push_back(key);
     return true;
   });
+  if (bad > 0) m_.bad_cells->Add(bad);
   for (const auto& key : expired) store_->Delete(key);
   return expired.size();
 }
@@ -485,6 +622,10 @@ bool ServingCore::HasCell(std::uint32_t level, graph::VertexId v) const {
 
 bool ServingCore::HasFeature(graph::VertexId v) const {
   return store_->Contains(FeatureKeyBuf(v).view());
+}
+
+void ServingCore::PutRawCell(std::uint32_t level, graph::VertexId v, std::string_view raw) {
+  store_->Put(SampleKeyBuf(level, v).view(), raw);
 }
 
 std::map<std::string, std::string> ServingCore::DumpCache() const {

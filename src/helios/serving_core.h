@@ -43,10 +43,35 @@
 #include "obs/freshness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/aligned.h"
 #include "util/hash.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace helios {
+
+// On-cache encoding of a vertex feature (docs/PERF.md "vectorized kernels &
+// quantized features"). The value header is one u32: bits 31..30 carry the
+// format, bits 29..0 the element count. kFp32's header is therefore the
+// plain element count — byte-identical to the legacy [u32 n][n × f32]
+// layout, so existing caches decode unchanged.
+//   kFp32: [u32 n]              [n × f32]            4 + 4n bytes
+//   kFp16: [u32 (1<<30)|n]      [n × u16]            4 + 2n bytes
+//   kInt8: [u32 (2<<30)|n][f32 scale][n × i8]        8 + n  bytes
+// int8 is per-vertex symmetric: scale = maxabs/127, max abs error scale/2.
+// fp16 is IEEE binary16 round-to-nearest-even: max abs error
+// max(|x| * 2^-11, 2^-24). Encoding is always scalar (cache bytes must not
+// depend on the writer's SIMD dispatch level); decoding dequantizes with
+// the vector kernels, which are value-exact vs their scalar references.
+enum class FeatureFormat : std::uint8_t { kFp32 = 0, kFp16 = 1, kInt8 = 2 };
+
+const char* FeatureFormatName(FeatureFormat format);
+
+// Encodes a feature in the given format (see layout table above).
+std::string EncodeFeatureValue(const graph::Feature& f, FeatureFormat format);
+// Decodes any of the three formats (self-describing header); malformed
+// values decode as an empty feature, matching the legacy read path.
+graph::Feature DecodeFeatureValue(std::string_view value);
 
 // Stack-built fixed-size binary keys for the two cache tables. Layouts
 // match the historical string keys byte for byte ("s" + raw level byte +
@@ -72,11 +97,16 @@ struct FeatureKeyBuf {
   std::string_view view() const { return {bytes, sizeof(bytes)}; }
 };
 
-// Flat per-query feature storage: one contiguous float arena plus an
-// open-addressing vertex -> (offset, len) index. Replaces the old
-// map<VertexId, Feature> (one heap-allocated vector per vertex, scattered
-// reads at GNN gather time). Clear() keeps every buffer's capacity, so a
-// reused table reaches zero-allocation steady state.
+// Flat per-query feature storage: one contiguous 32-byte-aligned float
+// arena plus an open-addressing vertex -> (offset, len) index. Replaces the
+// old map<VertexId, Feature> (one heap-allocated vector per vertex,
+// scattered reads at GNN gather time). Clear() keeps every buffer's
+// capacity, so a reused table reaches zero-allocation steady state.
+//
+// Doubles as the serve path's frontier dedup set: Insert() marks a vertex
+// as seen (one probe, no arena bytes) while the hop decode scatters, and
+// Allocate() later lands the decoded feature in the arena with a single
+// probe — no separate sort+unique pass (ROADMAP item 3).
 class FeatureTable {
  public:
   std::size_t size() const { return count_; }
@@ -92,22 +122,37 @@ class FeatureTable {
     return {arena_.data() + s->offset, s->len};
   }
 
+  // Marks v present with an empty feature unless already present. Returns
+  // true on first sight — the fused dedup predicate.
+  bool Insert(graph::VertexId v);
+  // Appends len floats to the arena for v (single probe; inserts the slot
+  // if absent, unconditionally repoints it if present) and returns the
+  // destination to decode into. The pointer is valid until the next
+  // Allocate/Set/Clear.
+  float* Allocate(graph::VertexId v, std::size_t len);
+
   // Inserts or overwrites v's feature (copied into the arena).
   void Set(graph::VertexId v, const float* data, std::size_t len);
   void Set(graph::VertexId v, const graph::Feature& f) { Set(v, f.data(), f.size()); }
   void Erase(graph::VertexId v);
+  // O(1): bumps the generation stamp instead of wiping the slot array (the
+  // old std::fill was ~3% of serve-path CPU at fan-out 10×10).
   void Clear();
 
   // fn(vertex, span) for every stored feature, unspecified order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const Slot& s : slots_) {
-      if (s.state == kUsed) fn(s.vertex, std::span<const float>(arena_.data() + s.offset, s.len));
+      if (s.gen == gen_ && s.state == kUsed) {
+        fn(s.vertex, std::span<const float>(arena_.data() + s.offset, s.len));
+      }
     }
   }
 
   // Total floats resident in the arena (diagnostics / serving.query.*).
   std::size_t arena_floats() const { return arena_.size(); }
+  // Arena base for alignment assertions in tests.
+  const float* arena_data() const { return arena_.data(); }
 
  private:
   enum SlotState : std::uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
@@ -115,6 +160,7 @@ class FeatureTable {
     graph::VertexId vertex = graph::kInvalidVertex;
     std::uint32_t offset = 0;
     std::uint32_t len = 0;
+    std::uint32_t gen = 0;  // slot live iff gen == table gen_ (Clear() bumps)
     std::uint8_t state = kEmpty;
   };
 
@@ -122,10 +168,11 @@ class FeatureTable {
   Slot* InsertSlot(graph::VertexId v);  // grows/rehashes as needed
   void Grow();
 
-  std::vector<float> arena_;
+  util::AlignedVector<float> arena_;  // 32-byte aligned for vector gathers
   std::vector<Slot> slots_;  // power-of-two open addressing, linear probing
   std::size_t count_ = 0;
   std::size_t tombstones_ = 0;
+  std::uint32_t gen_ = 1;  // 0 is reserved for "stale" (fresh slots)
 };
 
 // The layered K-hop sample produced for one inference request. Layer 0 is
@@ -144,6 +191,7 @@ struct SampledSubgraph {
   std::uint64_t feature_lookups = 0;
   std::uint64_t missing_cells = 0;     // cells not (yet) in the cache
   std::uint64_t missing_features = 0;
+  std::uint64_t bad_cells = 0;         // present but truncated/undecodable
 
   std::size_t TotalSampled() const {
     std::size_t n = 0;
@@ -162,7 +210,7 @@ struct SampledSubgraph {
     layers.resize(num_layers);
     for (auto& layer : layers) layer.clear();
     features.Clear();
-    sample_lookups = feature_lookups = missing_cells = missing_features = 0;
+    sample_lookups = feature_lookups = missing_cells = missing_features = bad_cells = 0;
   }
 };
 
@@ -173,17 +221,19 @@ struct ServeScratch {
   std::vector<SampleKeyBuf> sample_keys;
   std::vector<FeatureKeyBuf> feature_keys;
   std::vector<std::string_view> keys;
-  // Cells decoded during a hop's MultiView, in shard-visit order; ranges[i]
-  // locates frontier node i's children so the layer can be emitted in BFS
-  // order afterwards.
-  std::vector<SampledSubgraph::Node> hop_nodes;
+  // Destination vertices decoded during a hop's MultiView (SoA: the vector
+  // kernels split the interleaved 20-byte records field-wise), in
+  // shard-visit order; ranges[i] locates frontier node i's children so the
+  // layer can be emitted in BFS order afterwards.
+  util::AlignedVector<graph::VertexId> hop_dst;
   struct CellRange {
     std::uint32_t begin = 0;
-    std::uint32_t count = 0;  // kMissingCell when absent/undecodable
+    std::uint32_t count = 0;  // kMissingCell / kBadCellRange when unusable
   };
   static constexpr std::uint32_t kMissingCell = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kBadCellRange = 0xFFFFFFFEu;  // present but truncated
   std::vector<CellRange> ranges;
-  std::vector<graph::VertexId> feat_vertices;  // dedup workspace
+  std::vector<graph::VertexId> feat_vertices;  // distinct tree vertices, first-sight order
 };
 
 class ServingCore {
@@ -203,6 +253,10 @@ class ServingCore {
     // origin_us (wall for ThreadedCluster, virtual for the DES harness).
     // Null with `freshness` set falls back to wall time.
     const obs::Clock* freshness_clock = nullptr;
+    // Storage format for cached features (fp32 by default, byte-identical
+    // to the legacy cache). The read path is format-agnostic — the value
+    // header self-describes — so mixed-format caches serve correctly.
+    FeatureFormat feature_format = FeatureFormat::kFp32;
   };
 
   // Legacy view assembled from the registry handles (see stats()).
@@ -214,6 +268,7 @@ class ServingCore {
     std::uint64_t queries_served = 0;
     std::uint64_t cache_miss_cells = 0;
     std::uint64_t cache_miss_features = 0;
+    std::uint64_t bad_cells = 0;  // cells present but truncated/undecodable
     // max(apply_time - origin_us) style staleness is tracked by drivers;
     // the core records event-time staleness of applied updates instead.
     graph::Timestamp latest_event_ts = 0;
@@ -260,6 +315,9 @@ class ServingCore {
   // Test hooks.
   bool HasCell(std::uint32_t level, graph::VertexId v) const;
   bool HasFeature(graph::VertexId v) const;
+  // Injects raw bytes as a cell value, bypassing the encoder — corruption
+  // tests use it to plant truncated cells (serving.bad_cells).
+  void PutRawCell(std::uint32_t level, graph::VertexId v, std::string_view raw);
   // Every live (key, encoded value) of the backing store, sorted by key.
   // Used by determinism tests to compare whole cache states byte-for-byte.
   std::map<std::string, std::string> DumpCache() const;
@@ -284,6 +342,7 @@ class ServingCore {
     obs::Counter* queries_served;
     obs::Counter* cache_miss_cells;
     obs::Counter* cache_miss_features;
+    obs::Counter* bad_cells;
     obs::Gauge* latest_event_ts;
     // Read-path ("serving.query.*") distributions: wall latency per query,
     // nodes assembled per query, feature-arena bytes per query.

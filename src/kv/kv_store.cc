@@ -3,9 +3,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -22,14 +24,139 @@ std::size_t EntryBytes(std::string_view key, std::string_view value) {
 }
 
 // Transparent hash/eq so lookups accept std::string_view without building a
-// temporary std::string key (C++20 heterogeneous unordered lookup).
+// temporary std::string key (C++20 heterogeneous unordered lookup). Only
+// the cold disk index still uses the node-based unordered_map.
 struct KeyHash {
   using is_transparent = void;
   std::size_t operator()(std::string_view s) const {
-    return static_cast<std::size_t>(util::FnvHash(s));
+    return static_cast<std::size_t>(util::FastHash(s));
   }
 };
 using KeyEq = std::equal_to<>;
+
+// Flat open-addressing memtable (linear probing, power-of-two slots,
+// tombstones). The serve path probes the memtable ~100× per query; the old
+// std::unordered_map cost a node-pointer chase plus a re-hash per probe.
+// Here a probe is one strided scan over inline slots — the 9/10-byte cache
+// keys sit in the string's SSO buffer, so hash, state, key bytes and the
+// value header all live in the same slot — and every operation takes the
+// caller's already-computed FastHash instead of re-hashing.
+class FlatTable {
+ public:
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  std::string* Find(std::string_view key, std::uint64_t hash) {
+    return const_cast<std::string*>(std::as_const(*this).Find(key, hash));
+  }
+  const std::string* Find(std::string_view key, std::uint64_t hash) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kUsed && s.hash == hash && s.key == key) return &s.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Returns the value slot for key, inserting an empty value when absent
+  // (`inserted` reports which).
+  std::string* FindOrInsert(std::string_view key, std::uint64_t hash, bool& inserted) {
+    // Grow at 1/2 occupancy (used + tombstones) to keep probes short.
+    if (slots_.empty() || (count_ + tombstones_ + 1) * 2 > slots_.size()) Grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    Slot* first_tombstone = nullptr;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.state == kUsed && s.hash == hash && s.key == key) {
+        inserted = false;
+        return &s.value;
+      }
+      if (s.state == kTombstone && first_tombstone == nullptr) first_tombstone = &s;
+      if (s.state == kEmpty) {
+        Slot* t = first_tombstone != nullptr ? first_tombstone : &s;
+        if (t->state == kTombstone) --tombstones_;
+        t->hash = hash;
+        t->key.assign(key);
+        t->value.clear();
+        t->state = kUsed;
+        ++count_;
+        inserted = true;
+        return &t->value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Erase(std::string_view key, std::uint64_t hash) {
+    if (slots_.empty()) return false;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(hash) & mask;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.state == kEmpty) return false;
+      if (s.state == kUsed && s.hash == hash && s.key == key) {
+        s.key = std::string();    // release capacity, not just clear()
+        s.value = std::string();  // (values can be large)
+        s.state = kTombstone;
+        --count_;
+        ++tombstones_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void Clear() {
+    // Keep the slot array's capacity; release the entries' heap buffers.
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    count_ = 0;
+    tombstones_ = 0;
+  }
+
+  // fn(const std::string& key, const std::string& value), unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == kUsed) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  enum SlotState : std::uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::string key;
+    std::string value;
+    std::uint8_t state = kEmpty;
+  };
+
+  void Grow() {
+    const std::size_t new_size = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_size, Slot{});
+    count_ = 0;
+    tombstones_ = 0;
+    const std::size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.state != kUsed) continue;
+      std::size_t i = static_cast<std::size_t>(s.hash) & mask;
+      while (slots_[i].state == kUsed) i = (i + 1) & mask;
+      slots_[i].hash = s.hash;
+      slots_[i].key = std::move(s.key);
+      slots_[i].value = std::move(s.value);
+      slots_[i].state = kUsed;
+      ++count_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+  std::size_t tombstones_ = 0;
+};
 }  // namespace
 
 struct DiskLocation {
@@ -46,7 +173,7 @@ struct RunFile {
 
 struct KvStore::Shard {
   mutable std::mutex mutex;
-  std::unordered_map<std::string, std::string, KeyHash, KeyEq> memtable;
+  FlatTable memtable;
   std::size_t memtable_bytes = 0;
   std::unordered_map<std::string, DiskLocation, KeyHash, KeyEq> disk_index;
   std::vector<RunFile> runs;
@@ -89,21 +216,30 @@ KvStore::KvStore(KvOptions options) : options_(std::move(options)) {
 
 KvStore::~KvStore() = default;
 
+std::size_t KvStore::ShardFromHash(std::uint64_t h) const {
+  // Multiply-shift range reduction: no division, uniform for a well-mixed
+  // hash. In-process only — restart re-derives every shard assignment.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) * shards_.size()) >> 64);
+}
+
 std::size_t KvStore::ShardOf(std::string_view key) const {
-  return util::FnvHash(key) % shards_.size();
+  return ShardFromHash(util::FastHash(key));
 }
 
 util::Status KvStore::Put(std::string_view key, std::string_view value) {
-  Shard& shard = *shards_[ShardOf(key)];
+  const std::uint64_t h = util::FastHash(key);
+  Shard& shard = *shards_[ShardFromHash(h)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.memtable.find(key);
-  if (it == shard.memtable.end()) {
-    shard.memtable.emplace(std::string(key), std::string(value));
+  bool inserted = false;
+  std::string* slot = shard.memtable.FindOrInsert(key, h, inserted);
+  if (inserted) {
+    slot->assign(value);
     shard.memtable_bytes += EntryBytes(key, value);
   } else {
     shard.memtable_bytes += value.size();
-    shard.memtable_bytes -= std::min(shard.memtable_bytes, it->second.size());
-    it->second.assign(value);
+    shard.memtable_bytes -= std::min(shard.memtable_bytes, slot->size());
+    slot->assign(value);
   }
   // The memtable entry supersedes any spilled copy.
   shard.DropDiskEntry(key);
@@ -117,31 +253,32 @@ util::Status KvStore::Put(std::string_view key, std::string_view value) {
 
 util::Status KvStore::Merge(std::string_view key,
                             const std::function<void(std::string& value)>& patch) {
-  Shard& shard = *shards_[ShardOf(key)];
+  const std::uint64_t h = util::FastHash(key);
+  Shard& shard = *shards_[ShardFromHash(h)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto mit = shard.memtable.find(key);
-  if (mit != shard.memtable.end()) {
-    const std::size_t before = mit->second.size();
-    patch(mit->second);
-    shard.memtable_bytes += mit->second.size();
+  bool inserted = false;
+  std::string* slot = shard.memtable.FindOrInsert(key, h, inserted);
+  if (!inserted) {
+    const std::size_t before = slot->size();
+    patch(*slot);
+    shard.memtable_bytes += slot->size();
     shard.memtable_bytes -= std::min(shard.memtable_bytes, before);
   } else {
-    std::string value;
     auto dit = shard.disk_index.find(key);
     if (dit != shard.disk_index.end()) {
       const DiskLocation& loc = dit->second;
-      value.resize(loc.length);
+      slot->resize(loc.length);
       const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
       const ssize_t n =
-          ::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset));
+          ::pread(run.fd, slot->data(), loc.length, static_cast<off_t>(loc.offset));
       shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
       if (n != static_cast<ssize_t>(loc.length)) {
+        shard.memtable.Erase(key, h);
         return util::Status::Internal("short read from run file " + run.path);
       }
     }
-    patch(value);
-    shard.memtable_bytes += EntryBytes(key, value);
-    shard.memtable.emplace(std::string(key), std::move(value));
+    patch(*slot);
+    shard.memtable_bytes += EntryBytes(key, *slot);
   }
   // The memtable entry supersedes any spilled copy.
   shard.DropDiskEntry(key);
@@ -154,11 +291,11 @@ util::Status KvStore::Merge(std::string_view key,
 }
 
 util::Status KvStore::Get(std::string_view key, std::string& value) const {
-  const Shard& shard = *shards_[ShardOf(key)];
+  const std::uint64_t h = util::FastHash(key);
+  const Shard& shard = *shards_[ShardFromHash(h)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto mit = shard.memtable.find(key);
-  if (mit != shard.memtable.end()) {
-    value = mit->second;
+  if (const std::string* v = shard.memtable.Find(key, h)) {
+    value = *v;
     return util::Status::Ok();
   }
   auto dit = shard.disk_index.find(key);
@@ -174,11 +311,11 @@ util::Status KvStore::Get(std::string_view key, std::string& value) const {
   return util::Status::Ok();
 }
 
-bool KvStore::ViewInShard(const Shard& shard, std::string_view key, std::string& spill_buf,
+bool KvStore::ViewInShard(const Shard& shard, std::string_view key, std::uint64_t hash,
+                          std::string& spill_buf,
                           util::FunctionRef<void(std::string_view)> fn) const {
-  auto mit = shard.memtable.find(key);
-  if (mit != shard.memtable.end()) {
-    fn(std::string_view(mit->second));
+  if (const std::string* v = shard.memtable.Find(key, hash)) {
+    fn(std::string_view(*v));
     return true;
   }
   auto dit = shard.disk_index.find(key);
@@ -196,12 +333,13 @@ bool KvStore::ViewInShard(const Shard& shard, std::string_view key, std::string&
 
 util::Status KvStore::View(std::string_view key,
                            util::FunctionRef<void(std::string_view)> fn) const {
-  const Shard& shard = *shards_[ShardOf(key)];
+  const std::uint64_t h = util::FastHash(key);
+  const Shard& shard = *shards_[ShardFromHash(h)];
   // Spill copy-out buffer; thread-local so the spill path reuses one
   // allocation per thread instead of one per call.
   static thread_local std::string spill_buf;
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (!ViewInShard(shard, key, spill_buf, fn)) return util::Status::NotFound();
+  if (!ViewInShard(shard, key, h, spill_buf, fn)) return util::Status::NotFound();
   return util::Status::Ok();
 }
 
@@ -211,13 +349,18 @@ void KvStore::MultiView(
     ViewScratch& scratch) const {
   const std::size_t num_shards = shards_.size();
   // Counting sort of key indices by owning shard (stable within a shard):
-  // one pass to shard + count, a prefix sum, one pass to scatter.
+  // one pass to hash + shard + count, a prefix sum, one pass to scatter.
+  // Each key's FastHash is computed once here and reused for the memtable
+  // probe inside the shard.
   scratch.shard_of.resize(n);
+  scratch.hash.resize(n);
   scratch.order.resize(n);
   scratch.bucket.assign(num_shards + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto s = static_cast<std::uint32_t>(ShardOf(keys[i]));
+    const std::uint64_t h = util::FastHash(keys[i]);
+    const auto s = static_cast<std::uint32_t>(ShardFromHash(h));
     scratch.shard_of[i] = s;
+    scratch.hash[i] = h;
     scratch.bucket[s + 1]++;
   }
   for (std::size_t s = 1; s <= num_shards; ++s) scratch.bucket[s] += scratch.bucket[s - 1];
@@ -234,9 +377,8 @@ void KvStore::MultiView(
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (; cursor < end; ++cursor) {
       const std::size_t i = scratch.order[cursor];
-      if (!ViewInShard(shard, keys[i], scratch.spill_buf, [&](std::string_view value) {
-            fn(i, value, true);
-          })) {
+      if (!ViewInShard(shard, keys[i], scratch.hash[i], scratch.spill_buf,
+                       [&](std::string_view value) { fn(i, value, true); })) {
         fn(i, std::string_view(), false);
       }
     }
@@ -262,19 +404,20 @@ void KvStore::MultiGet(const std::string_view* keys, std::size_t n,
 }
 
 bool KvStore::Contains(std::string_view key) const {
-  const Shard& shard = *shards_[ShardOf(key)];
+  const std::uint64_t h = util::FastHash(key);
+  const Shard& shard = *shards_[ShardFromHash(h)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.memtable.find(key) != shard.memtable.end() ||
+  return shard.memtable.Find(key, h) != nullptr ||
          shard.disk_index.find(key) != shard.disk_index.end();
 }
 
 util::Status KvStore::Delete(std::string_view key) {
-  Shard& shard = *shards_[ShardOf(key)];
+  const std::uint64_t h = util::FastHash(key);
+  Shard& shard = *shards_[ShardFromHash(h)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  auto mit = shard.memtable.find(key);
-  if (mit != shard.memtable.end()) {
-    shard.memtable_bytes -= std::min(shard.memtable_bytes, EntryBytes(key, mit->second));
-    shard.memtable.erase(mit);
+  if (const std::string* v = shard.memtable.Find(key, h)) {
+    shard.memtable_bytes -= std::min(shard.memtable_bytes, EntryBytes(key, *v));
+    shard.memtable.Erase(key, h);
   }
   shard.DropDiskEntry(key);
   return util::Status::Ok();
@@ -285,10 +428,12 @@ void KvStore::Scan(const std::string& prefix,
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [key, value] : shard.memtable) {
-      if (key.rfind(prefix, 0) != 0) continue;
-      if (!fn(key, value)) return;
-    }
+    bool keep_going = true;
+    shard.memtable.ForEach([&](const std::string& key, const std::string& value) {
+      if (!keep_going || key.rfind(prefix, 0) != 0) return;
+      keep_going = fn(key, value);
+    });
+    if (!keep_going) return;
     for (const auto& [key, loc] : shard.disk_index) {
       if (key.rfind(prefix, 0) != 0) continue;
       std::string value(loc.length, '\0');
@@ -313,14 +458,14 @@ util::Status KvStore::SpillShard(Shard& shard) {
   std::string buffer;
   std::vector<std::pair<const std::string*, DiskLocation>> locations;
   locations.reserve(shard.memtable.size());
-  for (const auto& [key, value] : shard.memtable) {
+  shard.memtable.ForEach([&](const std::string& key, const std::string& value) {
     DiskLocation loc;
     loc.run_id = shard.next_run_id;
     loc.offset = buffer.size();
     loc.length = static_cast<std::uint32_t>(value.size());
     buffer.append(value);
     locations.emplace_back(&key, loc);
-  }
+  });
   if (::write(run.fd, buffer.data(), buffer.size()) != static_cast<ssize_t>(buffer.size())) {
     ::close(run.fd);
     return util::Status::Internal("short write to run file " + run.path);
@@ -340,7 +485,7 @@ util::Status KvStore::SpillShard(Shard& shard) {
     shard.disk_index.emplace(*key_ptr, loc);
     shard.disk_live_bytes += key_ptr->size() + loc.length;
   }
-  shard.memtable.clear();
+  shard.memtable.Clear();
   shard.memtable_bytes = 0;
   shard.spills++;
   return util::Status::Ok();

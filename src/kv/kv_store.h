@@ -9,8 +9,12 @@
 //   * approximate memory/disk footprint accounting (drives Fig 16);
 //   * prefix scans (used by checkpointing and the cache-ratio bench).
 //
-// Layout: keys are hash-sharded; each shard owns a mutex, a memtable
-// (unordered_map) and an index of spilled entries (key -> file location).
+// Layout: keys are hash-sharded; each shard owns a mutex, a memtable (a
+// flat open-addressing table — the serve path probes it ~100× per query,
+// so lookups are one linear slot scan with the key inline rather than a
+// node-pointer chase) and an index of spilled entries (key -> file
+// location). Each key is hashed once (util::FastHash); the same hash picks
+// the shard and probes the memtable.
 // Spill appends the shard's memtable to a new run file; superseded disk
 // entries become garbage that Compact() rewrites away. This is an LSM with
 // one level and an in-memory index — point lookups never touch more than
@@ -92,11 +96,13 @@ class KvStore {
   // allocation-free in steady state.
   struct ViewScratch {
     std::vector<std::uint32_t> shard_of;   // per-key owning shard
+    std::vector<std::uint64_t> hash;       // per-key FastHash (computed once)
     std::vector<std::uint32_t> order;      // key indices grouped by shard
     std::vector<std::uint32_t> bucket;     // counting-sort workspace
     std::string spill_buf;                 // disk-resident copy-out
     void Clear() {
       shard_of.clear();
+      hash.clear();
       order.clear();
       bucket.clear();
     }
@@ -139,11 +145,15 @@ class KvStore {
  private:
   struct Shard;
   std::size_t ShardOf(std::string_view key) const;
+  // Shard choice from an already-computed FastHash (multiply-shift instead
+  // of a modulo division; in-process only, nothing persisted depends on it).
+  std::size_t ShardFromHash(std::uint64_t h) const;
   util::Status SpillShard(Shard& shard);  // caller holds shard.mutex
-  // Looks `key` up in `shard` (memtable, then disk) under the caller-held
-  // lock and runs fn on the value; returns false when absent.
-  bool ViewInShard(const Shard& shard, std::string_view key, std::string& spill_buf,
-                   util::FunctionRef<void(std::string_view)> fn) const;
+  // Looks `key` (with its precomputed FastHash) up in `shard` (memtable,
+  // then disk) under the caller-held lock and runs fn on the value; returns
+  // false when absent.
+  bool ViewInShard(const Shard& shard, std::string_view key, std::uint64_t hash,
+                   std::string& spill_buf, util::FunctionRef<void(std::string_view)> fn) const;
 
   KvOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,56 @@
+// Aligned heap allocation for SIMD-friendly arenas.
+//
+// The serve-path float arenas (FeatureTable, the GNN's node-major
+// activation buffers, Matrix weights) are gathered with 32-byte vector
+// loads; std::allocator only guarantees alignof(std::max_align_t) (16 on
+// x86-64). AlignedAllocator routes through the align_val_t operator new so
+// a std::vector rebound onto it always starts on a 32-byte boundary —
+// enabling aligned AVX2 loads at the arena base and keeping every row of a
+// 32-byte-multiple layout aligned.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace helios::util {
+
+template <typename T, std::size_t Alignment = 32>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment must not weaken the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  // Stateless: any two instances are interchangeable.
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return false;
+  }
+};
+
+// A std::vector whose data() is always 32-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 32>>;
+
+}  // namespace helios::util

@@ -1,0 +1,355 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HELIOS_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace helios::util::simd {
+
+// ---------------------------------------------------------------- dispatch
+
+bool CpuHasAvx2() {
+#ifdef HELIOS_SIMD_X86
+  // F16C is required alongside AVX2 for the fp16 gather; every AVX2 part
+  // shipped with F16C, but probe both to be safe.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel LevelFromSpelling(std::string_view spelling, SimdLevel autodetected) {
+  if (spelling == "scalar") return SimdLevel::kScalar;
+  if (spelling == "avx2") {
+    // Requesting a level the host cannot execute degrades to scalar: an
+    // override must never fault the process.
+    return CpuHasAvx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  }
+  return autodetected;  // "auto", empty, or unrecognized
+}
+
+namespace {
+constexpr int kLevelUnset = -1;
+// Cached dispatch decision; kLevelUnset until first use or ForceSimdLevel.
+std::atomic<int> g_level{kLevelUnset};
+
+SimdLevel DetectLevel() {
+  const SimdLevel autodetected = CpuHasAvx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  const char* env = std::getenv("HELIOS_SIMD");
+  if (env == nullptr) return autodetected;
+  return LevelFromSpelling(env, autodetected);
+}
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kLevelUnset) {
+    level = static_cast<int>(DetectLevel());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+void ForceSimdLevel(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !CpuHasAvx2()) level = SimdLevel::kScalar;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetSimdLevel() { g_level.store(kLevelUnset, std::memory_order_relaxed); }
+
+// ----------------------------------------------------------- scalar paths
+
+void GatherStridedU64Scalar(const char* base, std::size_t stride, std::size_t n,
+                            std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i, base += stride) {
+    std::memcpy(&out[i], base, sizeof(std::uint64_t));
+  }
+}
+
+void GatherStridedF32Scalar(const char* base, std::size_t stride, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i, base += stride) {
+    std::memcpy(&out[i], base, sizeof(float));
+  }
+}
+
+std::int64_t MaxStridedI64Scalar(const char* base, std::size_t stride, std::size_t n,
+                                 std::int64_t init) {
+  std::int64_t best = init;
+  for (std::size_t i = 0; i < n; ++i, base += stride) {
+    std::int64_t v;
+    std::memcpy(&v, base, sizeof(v));
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+void DequantFp16Scalar(const std::uint16_t* in, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = F16ToF32(in[i]);
+}
+
+void DequantInt8Scalar(const std::int8_t* in, std::size_t n, float scale, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<float>(in[i]) * scale;
+}
+
+void AddF32Scalar(float* acc, const float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void DivF32Scalar(float* v, float divisor, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) v[i] /= divisor;
+}
+
+// ------------------------------------------------------------- AVX2 paths
+//
+// Compiled with per-function target attributes so the rest of the build
+// keeps the default ISA; only ever called after a CPUID check. Every loop
+// ends in a scalar tail so any n is accepted, and all vector memory ops
+// are unaligned-safe (gathers take byte offsets with scale 1).
+
+#ifdef HELIOS_SIMD_X86
+
+#define HELIOS_AVX2_FN __attribute__((target("avx2,f16c")))
+
+HELIOS_AVX2_FN void GatherStridedU64Avx2(const char* base, std::size_t stride, std::size_t n,
+                                         std::uint64_t* out) {
+  const std::int64_t s = static_cast<std::int64_t>(stride);
+  const __m256i idx = _mm256_setr_epi64x(0, s, 2 * s, 3 * s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4, base += 4 * stride) {
+    const __m256i v =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(base), idx, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  GatherStridedU64Scalar(base, stride, n - i, out + i);
+}
+
+HELIOS_AVX2_FN void GatherStridedF32Avx2(const char* base, std::size_t stride, std::size_t n,
+                                         float* out) {
+  const int s = static_cast<int>(stride);
+  const __m256i idx = _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s, 7 * s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8, base += 8 * stride) {
+    const __m256 v = _mm256_i32gather_ps(reinterpret_cast<const float*>(base), idx, 1);
+    _mm256_storeu_ps(out + i, v);
+  }
+  GatherStridedF32Scalar(base, stride, n - i, out + i);
+}
+
+HELIOS_AVX2_FN std::int64_t MaxStridedI64Avx2(const char* base, std::size_t stride,
+                                              std::size_t n, std::int64_t init) {
+  const std::int64_t s = static_cast<std::int64_t>(stride);
+  const __m256i idx = _mm256_setr_epi64x(0, s, 2 * s, 3 * s);
+  __m256i best = _mm256_set1_epi64x(init);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4, base += 4 * stride) {
+    const __m256i v =
+        _mm256_i64gather_epi64(reinterpret_cast<const long long*>(base), idx, 1);
+    best = _mm256_blendv_epi8(best, v, _mm256_cmpgt_epi64(v, best));
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  std::int64_t out = lanes[0];
+  for (int l = 1; l < 4; ++l) {
+    if (lanes[l] > out) out = lanes[l];
+  }
+  return MaxStridedI64Scalar(base, stride, n - i, out);
+}
+
+HELIOS_AVX2_FN void DequantFp16Avx2(const std::uint16_t* in, std::size_t n, float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    _mm256_storeu_ps(out + i, _mm256_cvtph_ps(h));  // exact widening
+  }
+  DequantFp16Scalar(in + i, n - i, out + i);
+}
+
+HELIOS_AVX2_FN void DequantInt8Avx2(const std::int8_t* in, std::size_t n, float scale,
+                                    float* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i q8 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+    const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(q8));  // exact widening
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(v, vscale));            // one rounding/lane
+  }
+  DequantInt8Scalar(in + i, n - i, scale, out + i);
+}
+
+HELIOS_AVX2_FN void AddF32Avx2(float* acc, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(acc + i,
+                     _mm256_add_ps(_mm256_loadu_ps(acc + i), _mm256_loadu_ps(x + i)));
+  }
+  AddF32Scalar(acc + i, x + i, n - i);
+}
+
+HELIOS_AVX2_FN void DivF32Avx2(float* v, float divisor, std::size_t n) {
+  const __m256 d = _mm256_set1_ps(divisor);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(v + i, _mm256_div_ps(_mm256_loadu_ps(v + i), d));
+  }
+  DivF32Scalar(v + i, divisor, n - i);
+}
+
+#undef HELIOS_AVX2_FN
+
+#else  // !HELIOS_SIMD_X86 — the AVX2 symbols degrade to the scalar loops.
+
+void GatherStridedU64Avx2(const char* base, std::size_t stride, std::size_t n,
+                          std::uint64_t* out) {
+  GatherStridedU64Scalar(base, stride, n, out);
+}
+void GatherStridedF32Avx2(const char* base, std::size_t stride, std::size_t n, float* out) {
+  GatherStridedF32Scalar(base, stride, n, out);
+}
+std::int64_t MaxStridedI64Avx2(const char* base, std::size_t stride, std::size_t n,
+                               std::int64_t init) {
+  return MaxStridedI64Scalar(base, stride, n, init);
+}
+void DequantFp16Avx2(const std::uint16_t* in, std::size_t n, float* out) {
+  DequantFp16Scalar(in, n, out);
+}
+void DequantInt8Avx2(const std::int8_t* in, std::size_t n, float scale, float* out) {
+  DequantInt8Scalar(in, n, scale, out);
+}
+void AddF32Avx2(float* acc, const float* x, std::size_t n) { AddF32Scalar(acc, x, n); }
+void DivF32Avx2(float* v, float divisor, std::size_t n) { DivF32Scalar(v, divisor, n); }
+
+#endif  // HELIOS_SIMD_X86
+
+// ------------------------------------------------------ dispatched fronts
+
+void GatherStridedU64(const char* base, std::size_t stride, std::size_t n, std::uint64_t* out) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return GatherStridedU64Avx2(base, stride, n, out);
+  GatherStridedU64Scalar(base, stride, n, out);
+}
+
+void GatherStridedF32(const char* base, std::size_t stride, std::size_t n, float* out) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return GatherStridedF32Avx2(base, stride, n, out);
+  GatherStridedF32Scalar(base, stride, n, out);
+}
+
+std::int64_t MaxStridedI64(const char* base, std::size_t stride, std::size_t n,
+                           std::int64_t init) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return MaxStridedI64Avx2(base, stride, n, init);
+  return MaxStridedI64Scalar(base, stride, n, init);
+}
+
+void DequantFp16(const std::uint16_t* in, std::size_t n, float* out) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return DequantFp16Avx2(in, n, out);
+  DequantFp16Scalar(in, n, out);
+}
+
+void DequantInt8(const std::int8_t* in, std::size_t n, float scale, float* out) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return DequantInt8Avx2(in, n, scale, out);
+  DequantInt8Scalar(in, n, scale, out);
+}
+
+void AddF32(float* acc, const float* x, std::size_t n) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return AddF32Avx2(acc, x, n);
+  AddF32Scalar(acc, x, n);
+}
+
+void DivF32(float* v, float divisor, std::size_t n) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return DivF32Avx2(v, divisor, n);
+  DivF32Scalar(v, divisor, n);
+}
+
+// --------------------------------------------------- fp16 / int8 encoders
+
+std::uint16_t F32ToF16(float f) {
+  std::uint32_t w;
+  std::memcpy(&w, &f, sizeof(w));
+  const std::uint16_t sign = static_cast<std::uint16_t>((w & 0x80000000u) >> 16);
+  const std::uint32_t abs = w & 0x7FFFFFFFu;
+  if (abs >= 0x47800000u) {  // >= 2^16: inf/NaN, or overflows half -> inf
+    return static_cast<std::uint16_t>(sign | (abs > 0x7F800000u ? 0x7E00u : 0x7C00u));
+  }
+  if (abs < 0x38800000u) {  // < 2^-14: half subnormal or zero
+    if (abs < 0x33000000u) return sign;  // < 2^-25 rounds to +-0
+    // s = round-to-nearest-even(mant / 2^(126 - e)), the subnormal
+    // significand in units of 2^-24.
+    const std::uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;
+    const std::uint32_t shift = 125u - (abs >> 23);  // drop shift+1 bits, in [13, 23]
+    const std::uint32_t q = mant >> (shift + 1);
+    const std::uint32_t rem = mant & ((1u << (shift + 1)) - 1u);
+    const std::uint32_t half = 1u << shift;
+    const std::uint32_t r = q + ((rem > half || (rem == half && (q & 1u))) ? 1u : 0u);
+    return static_cast<std::uint16_t>(sign | r);
+  }
+  // Normal range: rebias exponent, round 13 dropped mantissa bits to
+  // nearest-even. A mantissa carry rolls into the exponent (and on to inf
+  // at the top of the range), which is exactly IEEE behaviour.
+  const std::uint32_t mant = abs & 0x007FFFFFu;
+  const std::uint32_t exp = (abs >> 23) - 112u;
+  std::uint32_t a = (exp << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (a & 1u))) ++a;
+  return static_cast<std::uint16_t>(sign | a);
+}
+
+float F16ToF32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+  std::uint32_t bits;
+  if (exp == 0) {
+    // Subnormal (or zero): mant * 2^-24, exact in binary32 (mant <= 1023
+    // and the scale is a power of two).
+    float v = static_cast<float>(mant) * 0x1p-24f;
+    std::memcpy(&bits, &v, sizeof(bits));
+  } else if (exp == 31) {
+    bits = 0x7F800000u | (mant << 13);  // inf / NaN (payload widened)
+  } else {
+    bits = ((exp + 112u) << 23) | (mant << 13);
+  }
+  bits |= sign;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+float QuantizeInt8(const float* in, std::size_t n, std::int8_t* out) {
+  float maxabs = 0.f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(in[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.f || !std::isfinite(maxabs)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0;
+    return 0.f;
+  }
+  const float scale = maxabs / 127.f;
+  const float inv = 127.f / maxabs;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Round half up via floor(x+0.5): rounding-mode independent, so
+    // encoded bytes never depend on the host FP state.
+    const float scaled = in[i] * inv;
+    int q = static_cast<int>(std::floor(scaled + 0.5f));
+    if (q > 127) q = 127;
+    if (q < -127) q = -127;
+    out[i] = static_cast<std::int8_t>(q);
+  }
+  return scale;
+}
+
+}  // namespace helios::util::simd

@@ -2,15 +2,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/datasets.h"
 #include "graph/update_codec.h"
 #include "helios/serving_core.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace helios {
 namespace {
@@ -578,6 +581,232 @@ TEST(FeatureTable, EmptyFeatureIsStoredButEmpty) {
   EXPECT_TRUE(table.Contains(11));
   EXPECT_TRUE(table.Find(11).empty());
   EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FeatureTable, InsertDeduplicatesAndClearRestamps) {
+  FeatureTable table;
+  EXPECT_TRUE(table.Insert(7));   // first sight
+  EXPECT_FALSE(table.Insert(7));  // duplicate
+  EXPECT_TRUE(table.Contains(7));
+  EXPECT_TRUE(table.Find(7).empty());  // inserted, no feature bytes yet
+  float* dst = table.Allocate(7, 2);
+  dst[0] = 1.f;
+  dst[1] = 2.f;
+  ASSERT_EQ(table.Find(7).size(), 2u);
+  EXPECT_EQ(table.Find(7)[1], 2.f);
+  // O(1) Clear is a generation bump: old slots must read as absent and
+  // re-inserting after Clear must behave like a fresh table.
+  table.Clear();
+  EXPECT_FALSE(table.Contains(7));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.Insert(7));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+// ------------------------------------ fused dedup / SIMD dispatch parity
+
+// Every dispatch level this host can run.
+std::vector<util::simd::SimdLevel> TestableLevels() {
+  std::vector<util::simd::SimdLevel> levels = {util::simd::SimdLevel::kScalar};
+  if (util::simd::kHasAvx2Kernels && util::simd::CpuHasAvx2()) {
+    levels.push_back(util::simd::SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+// Property test for the fused-dedup serve path: across randomized
+// fan-outs, duplicate-heavy frontiers (tiny vertex universe so the same
+// child repeats across parents and layers) and truncated cells planted via
+// PutRawCell, the fused path must reproduce the copying sort+unique
+// reference exactly — same BFS layers, same unique feature set, same
+// lookup/miss counters — under every dispatch level.
+TEST(ServingCore, FusedDedupMatchesReferenceUnderAllDispatchLevels) {
+  for (const auto level : TestableLevels()) {
+    util::simd::ForceSimdLevel(level);
+    util::Rng rng(20260808);
+    for (int round = 0; round < 6; ++round) {
+      const std::uint32_t f1 = 1 + static_cast<std::uint32_t>(rng.Uniform(6));
+      const std::uint32_t f2 = 1 + static_cast<std::uint32_t>(rng.Uniform(6));
+      ServingCore core(Plan(f1, f2), 0);
+      const std::uint64_t universe = 5;  // tiny: duplicate-heavy frontiers
+      for (std::uint64_t u = 0; u < universe; ++u) {
+        const auto user = MakeVertexId(0, u);
+        std::vector<graph::VertexId> hop1;
+        for (std::uint32_t i = 0; i < f1; ++i) {
+          hop1.push_back(MakeVertexId(1, rng.Uniform(universe)));
+        }
+        core.Apply(ServingMessage::Of(Cell(1, user, hop1, /*ts=*/1 + u)));
+        const auto item = MakeVertexId(1, u);
+        std::vector<graph::VertexId> hop2;
+        for (std::uint32_t j = 0; j < f2; ++j) {
+          hop2.push_back(MakeVertexId(1, rng.Uniform(universe)));
+        }
+        core.Apply(ServingMessage::Of(Cell(2, item, hop2, /*ts=*/1 + u)));
+        if (rng.Bernoulli(0.7)) core.Apply(ServingMessage::Of(Feat(user, static_cast<float>(u))));
+        if (rng.Bernoulli(0.7)) {
+          core.Apply(ServingMessage::Of(Feat(item, static_cast<float>(u) + 0.5f)));
+        }
+      }
+      // Plant truncated cells: a valid encoding cut mid-record. Both paths
+      // must treat them as missing (and the fused path counts them bad).
+      std::uint64_t planted_bad = 0;
+      for (std::uint64_t u = 0; u < universe; ++u) {
+        if (!rng.Bernoulli(0.4)) continue;
+        SampleUpdate su = Cell(2, MakeVertexId(1, u), {MakeVertexId(1, 0), MakeVertexId(1, 1)});
+        graph::ByteWriter w;
+        w.PutI64(su.event_ts);
+        w.PutU32(static_cast<std::uint32_t>(su.samples.size()));
+        for (const auto& e : su.samples) {
+          w.PutU64(e.dst);
+          w.PutI64(e.ts);
+          w.PutF32(e.weight);
+        }
+        std::string raw = w.Take();
+        raw.resize(raw.size() - 1 - rng.Uniform(20));  // cut inside a record
+        core.PutRawCell(2, MakeVertexId(1, u), raw);
+        ++planted_bad;
+      }
+      SampledSubgraph reused;
+      ServeScratch scratch;
+      bool saw_bad = false;
+      for (std::uint64_t u = 0; u < universe; ++u) {
+        const auto seed = MakeVertexId(0, u);
+        const auto want = ReferenceServe(core, seed);
+        core.ServeInto(seed, reused, scratch);
+        ExpectSameResult(reused, want);
+        saw_bad = saw_bad || reused.bad_cells > 0;
+      }
+      if (planted_bad > 0) EXPECT_TRUE(saw_bad) << "planted truncated cells never surfaced";
+    }
+    util::simd::ResetSimdLevel();
+  }
+}
+
+// fp32 serve results must be bit-identical across dispatch levels (the
+// acceptance bar: vectorization must not change a single mantissa bit).
+TEST(ServingCore, Fp32ServeBitIdenticalAcrossDispatchLevels) {
+  const auto levels = TestableLevels();
+  std::vector<SampledSubgraph> results;
+  for (const auto level : levels) {
+    util::simd::ForceSimdLevel(level);
+    ServingCore core(Plan(3, 3), 0);
+    util::Rng rng(99);
+    for (std::uint64_t u = 0; u < 8; ++u) {
+      const auto user = MakeVertexId(0, u);
+      const auto item = MakeVertexId(1, u);
+      core.Apply(ServingMessage::Of(
+          Cell(1, user, {MakeVertexId(1, rng.Uniform(8)), MakeVertexId(1, rng.Uniform(8))})));
+      core.Apply(ServingMessage::Of(
+          Cell(2, item, {MakeVertexId(1, rng.Uniform(8)), MakeVertexId(1, rng.Uniform(8))})));
+      core.Apply(ServingMessage::Of(Feat(user, 0.137f * static_cast<float>(u + 1))));
+      core.Apply(ServingMessage::Of(Feat(item, -2.5f / static_cast<float>(u + 1))));
+    }
+    results.push_back(core.Serve(MakeVertexId(0, 3)));
+    util::simd::ResetSimdLevel();
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ExpectSameResult(results[i], results[0]);  // EXPECT_EQ on floats = bitwise
+  }
+}
+
+// --------------------------------------------- quantized feature storage
+
+// fp16/int8 caches serve features within the documented error bounds:
+// fp16 |err| <= max(|x| * 2^-11, 2^-24); int8 |err| <= scale/2 with
+// scale = maxabs/127 per vertex. fp32 stays exact.
+TEST(ServingCore, QuantizedFeaturesServeWithinErrorBounds) {
+  for (const auto format :
+       {FeatureFormat::kFp32, FeatureFormat::kFp16, FeatureFormat::kInt8}) {
+    ServingCore::Options options;
+    options.feature_format = format;
+    ServingCore core(Plan(2, 2), 0, options);
+    const auto user = MakeVertexId(0, 1);
+    const auto i1 = MakeVertexId(1, 1), i2 = MakeVertexId(1, 2);
+    core.Apply(ServingMessage::Of(Cell(1, user, {i1, i2})));
+    std::vector<std::pair<graph::VertexId, graph::Feature>> truth = {
+        {user, {0.f, 1.f, -1.f, 0.125f}},
+        {i1, {3.14159f, -271.8f, 1e-4f, 42.5f}},
+        {i2, {-0.333f, 0.666f, 127.f, -128.f}},
+    };
+    for (const auto& [v, f] : truth) {
+      FeatureUpdate fu;
+      fu.vertex = v;
+      fu.feature = f;
+      core.Apply(ServingMessage::Of(fu));
+    }
+    const auto out = core.Serve(user);
+    for (const auto& [v, f] : truth) {
+      const auto got = out.features.Find(v);
+      ASSERT_EQ(got.size(), f.size()) << FeatureFormatName(format) << " v=" << v;
+      float maxabs = 0.f;
+      for (const float x : f) maxabs = std::max(maxabs, std::abs(x));
+      for (std::size_t j = 0; j < f.size(); ++j) {
+        const double err = std::abs(static_cast<double>(f[j]) - got[j]);
+        double bound = 0.0;
+        switch (format) {
+          case FeatureFormat::kFp32:
+            bound = 0.0;
+            break;
+          case FeatureFormat::kFp16:
+            bound = std::max(std::abs(static_cast<double>(f[j])) * 0x1p-11, 0x1p-24);
+            break;
+          case FeatureFormat::kInt8:
+            bound = (static_cast<double>(maxabs) / 127.0) / 2.0;
+            break;
+        }
+        EXPECT_LE(err, bound) << FeatureFormatName(format) << " v=" << v << " j=" << j;
+      }
+    }
+  }
+}
+
+// The fp32 wire format must stay byte-identical to the legacy encoding
+// (PutFloats): crash-replay and cross-version caches depend on it.
+TEST(ServingCore, Fp32EncodingMatchesLegacyBytes) {
+  const graph::Feature f = {1.5f, -2.25f, 0.f, 3e7f};
+  graph::ByteWriter legacy;
+  legacy.PutFloats(f);
+  EXPECT_EQ(EncodeFeatureValue(f, FeatureFormat::kFp32), legacy.Take());
+  // And every format round-trips through the self-describing decoder.
+  for (const auto format :
+       {FeatureFormat::kFp32, FeatureFormat::kFp16, FeatureFormat::kInt8}) {
+    const auto back = DecodeFeatureValue(EncodeFeatureValue(f, format));
+    ASSERT_EQ(back.size(), f.size()) << FeatureFormatName(format);
+  }
+  // Malformed values decode as empty, not UB.
+  EXPECT_TRUE(DecodeFeatureValue("").empty());
+  EXPECT_TRUE(DecodeFeatureValue("ab").empty());
+}
+
+// ------------------------------------------------- bad-cell accounting
+
+// A present-but-truncated cell must not be silently clamped to fewer
+// records: it is treated as missing AND counted in serving.bad_cells (the
+// old CellRecordCount clamp hid corruption entirely).
+TEST(ServingCore, TruncatedCellsCountedNotSilentlyClamped) {
+  ServingCore core(Plan(2, 2), 0);
+  const auto user = MakeVertexId(0, 1);
+  const auto i1 = MakeVertexId(1, 1), i2 = MakeVertexId(1, 2);
+  core.Apply(ServingMessage::Of(Cell(1, user, {i1, i2})));
+  core.Apply(ServingMessage::Of(Cell(2, i2, {MakeVertexId(1, 9)})));
+
+  // Claim 2 records but provide bytes for only one: the old code clamped
+  // to 1 record and served it as if nothing were wrong.
+  graph::ByteWriter w;
+  w.PutI64(1);
+  w.PutU32(2);
+  w.PutU64(MakeVertexId(1, 9));
+  w.PutI64(1);
+  w.PutF32(1.0f);
+  core.PutRawCell(2, i1, w.Take());
+
+  const auto out = core.Serve(user);
+  EXPECT_EQ(out.bad_cells, 1u);
+  EXPECT_EQ(out.missing_cells, 1u);           // bad ⇒ also missing
+  EXPECT_EQ(out.layers[2].size(), 1u);        // only i2's intact cell expands
+  EXPECT_EQ(core.stats().bad_cells, 1u);      // exported counter advanced
+  core.Serve(user);
+  EXPECT_EQ(core.stats().bad_cells, 2u);      // counts per occurrence
 }
 
 }  // namespace

@@ -3,16 +3,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <thread>
+#include <type_traits>
+#include <vector>
 
+#include "util/aligned.h"
 #include "util/config.h"
 #include "util/hash.h"
 #include "util/histogram.h"
 #include "util/queue.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -411,6 +418,202 @@ TEST(Config, FallbacksWhenMissing) {
   EXPECT_EQ(c.GetString("missing", "x"), "x");
   EXPECT_FALSE(c.GetBool("missing", false));
   EXPECT_EQ(c.GetIntList("missing", {1, 2}), (std::vector<std::int64_t>{1, 2}));
+}
+
+// -------------------------------------------------------------- aligned
+
+TEST(Aligned, VectorDataIs32ByteAligned) {
+  // Repeated grows must keep the 32-byte guarantee (every reallocation
+  // goes through the aligned operator new).
+  AlignedVector<float> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<float>(i));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 32, 0u) << "size " << v.size();
+  }
+  AlignedVector<std::uint64_t> u(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u.data()) % 32, 0u);
+}
+
+TEST(Aligned, AllocatorEqualityAndRebind) {
+  AlignedAllocator<float> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == AlignedAllocator<float>());
+  EXPECT_FALSE(a != AlignedAllocator<float>());
+  using Rebound = std::allocator_traits<decltype(a)>::rebind_alloc<int>;
+  static_assert(std::is_same_v<Rebound, AlignedAllocator<int>>);
+  (void)b;
+}
+
+// ----------------------------------------------------------------- simd
+
+namespace {
+// Dispatch levels this host can actually execute.
+std::vector<simd::SimdLevel> Levels() {
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  if (simd::kHasAvx2Kernels && simd::CpuHasAvx2()) levels.push_back(simd::SimdLevel::kAvx2);
+  return levels;
+}
+}  // namespace
+
+TEST(Simd, ForceOverridesAndResetRestoresDetection) {
+  const auto detected = simd::ActiveSimdLevel();
+  simd::ForceSimdLevel(simd::SimdLevel::kScalar);
+  EXPECT_EQ(simd::ActiveSimdLevel(), simd::SimdLevel::kScalar);
+  simd::ResetSimdLevel();
+  EXPECT_EQ(simd::ActiveSimdLevel(), detected);
+  const char* env = std::getenv("HELIOS_SIMD");
+  if (env != nullptr && *env != '\0') {
+    // Environment pin (CI's scalar-fallback lanes): detection must honor
+    // it rather than the CPUID probe.
+    const auto cpu = (simd::kHasAvx2Kernels && simd::CpuHasAvx2()) ? simd::SimdLevel::kAvx2
+                                                                   : simd::SimdLevel::kScalar;
+    EXPECT_EQ(detected, simd::LevelFromSpelling(env, cpu));
+  } else if (simd::kHasAvx2Kernels && simd::CpuHasAvx2()) {
+    // AVX2 autodetection is consistent with the CPUID probe.
+    EXPECT_EQ(detected, simd::SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(detected, simd::SimdLevel::kScalar);
+  }
+}
+
+TEST(Simd, LevelFromSpelling) {
+  const auto det = simd::SimdLevel::kAvx2;
+  EXPECT_EQ(simd::LevelFromSpelling("scalar", det), simd::SimdLevel::kScalar);
+  EXPECT_EQ(simd::LevelFromSpelling("avx2", det), simd::SimdLevel::kAvx2);
+  EXPECT_EQ(simd::LevelFromSpelling("", det), det);           // unset -> autodetect
+  EXPECT_EQ(simd::LevelFromSpelling("garbage", det), det);    // unknown -> autodetect
+  EXPECT_STREQ(simd::SimdLevelName(simd::SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(simd::SimdLevelName(simd::SimdLevel::kAvx2), "avx2");
+}
+
+// Strided gathers: AVX2 variants must agree with scalar bit-for-bit on
+// every length, including the vector-remainder tails.
+TEST(Simd, StridedGatherParityAcrossLevelsAndLengths) {
+  constexpr std::size_t kStride = 20;  // serve-path cell record stride
+  constexpr std::size_t kMax = 67;     // covers 0, <lane, and remainder tails
+  std::vector<char> base(kStride * kMax);
+  Rng rng(5);
+  for (auto& c : base) c = static_cast<char>(rng.Next());
+  for (std::size_t n = 0; n <= kMax; ++n) {
+    std::vector<std::uint64_t> u_ref(n + 1, 0xABu), u_got(n + 1, 0xABu);
+    std::vector<float> f_ref(n + 1, -7.f), f_got(n + 1, -7.f);
+    simd::GatherStridedU64Scalar(base.data(), kStride, n, u_ref.data());
+    simd::GatherStridedF32Scalar(base.data() + 16, kStride, n, f_ref.data());
+    const auto i64_ref = simd::MaxStridedI64Scalar(base.data() + 8, kStride, n, -1);
+    for (const auto level : Levels()) {
+      simd::ForceSimdLevel(level);
+      simd::GatherStridedU64(base.data(), kStride, n, u_got.data());
+      simd::GatherStridedF32(base.data() + 16, kStride, n, f_got.data());
+      EXPECT_EQ(simd::MaxStridedI64(base.data() + 8, kStride, n, -1), i64_ref) << n;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(u_got[i], u_ref[i]) << "n=" << n << " i=" << i;
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(f_got[i]), std::bit_cast<std::uint32_t>(f_ref[i]))
+            << "n=" << n << " i=" << i;
+      }
+      EXPECT_EQ(u_got[n], 0xABu) << "wrote past n";  // no overrun
+      EXPECT_EQ(f_got[n], -7.f) << "wrote past n";
+      simd::ResetSimdLevel();
+    }
+  }
+}
+
+// Elementwise float kernels: value-exact across levels and lengths.
+TEST(Simd, AddDivParityAcrossLevelsAndLengths) {
+  Rng rng(6);
+  for (std::size_t n = 0; n <= 40; ++n) {
+    std::vector<float> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.UniformDouble() * 100 - 50);
+      b[i] = static_cast<float>(rng.UniformDouble() * 100 - 50);
+    }
+    std::vector<float> add_ref = a, div_ref = a;
+    simd::AddF32Scalar(add_ref.data(), b.data(), n);
+    simd::DivF32Scalar(div_ref.data(), 3.f, n);
+    for (const auto level : Levels()) {
+      simd::ForceSimdLevel(level);
+      std::vector<float> add_got = a, div_got = a;
+      simd::AddF32(add_got.data(), b.data(), n);
+      simd::DivF32(div_got.data(), 3.f, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(add_got[i]), std::bit_cast<std::uint32_t>(add_ref[i]));
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(div_got[i]), std::bit_cast<std::uint32_t>(div_ref[i]));
+      }
+      simd::ResetSimdLevel();
+    }
+  }
+}
+
+// fp16 conversion: known IEEE binary16 vectors, round-to-nearest-even,
+// and exact round-trip of every representable half.
+TEST(Simd, Fp16KnownVectorsAndRoundTrip) {
+  EXPECT_EQ(simd::F32ToF16(0.f), 0x0000u);
+  EXPECT_EQ(simd::F32ToF16(-0.f), 0x8000u);
+  EXPECT_EQ(simd::F32ToF16(1.f), 0x3C00u);
+  EXPECT_EQ(simd::F32ToF16(-2.f), 0xC000u);
+  EXPECT_EQ(simd::F32ToF16(65504.f), 0x7BFFu);   // max finite half
+  EXPECT_EQ(simd::F32ToF16(65536.f), 0x7C00u);   // overflow -> +inf
+  EXPECT_EQ(simd::F32ToF16(0x1p-24f), 0x0001u);  // min subnormal
+  EXPECT_EQ(simd::F32ToF16(0x1p-25f), 0x0000u);  // ties-to-even underflow
+  // RN-even on the mantissa boundary: 1 + 2^-11 is exactly between
+  // 0x3C00 and 0x3C01 -> rounds to the even code 0x3C00.
+  EXPECT_EQ(simd::F32ToF16(1.f + 0x1p-11f), 0x3C00u);
+  EXPECT_EQ(simd::F32ToF16(1.f + 3 * 0x1p-11f), 0x3C02u);  // ties to even, up
+
+  // Round-trip: every finite half widens and comes back to the same bits.
+  for (std::uint32_t h = 0; h <= 0xFFFF; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    if ((half & 0x7C00) == 0x7C00) continue;  // inf/nan
+    EXPECT_EQ(simd::F32ToF16(simd::F16ToF32(half)), half) << std::hex << h;
+  }
+
+  // Vector dequant agrees with the scalar widening on all lengths/levels.
+  std::vector<std::uint16_t> in;
+  for (std::uint32_t h = 0; h < 40; ++h) in.push_back(static_cast<std::uint16_t>(h * 1309));
+  for (const auto level : Levels()) {
+    simd::ForceSimdLevel(level);
+    for (std::size_t n = 0; n <= in.size(); ++n) {
+      std::vector<float> out(n + 1, -1.f);
+      simd::DequantFp16(in.data(), n, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((in[i] & 0x7C00) == 0x7C00) continue;
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(out[i]),
+                  std::bit_cast<std::uint32_t>(simd::F16ToF32(in[i])))
+            << i;
+      }
+      EXPECT_EQ(out[n], -1.f);
+    }
+    simd::ResetSimdLevel();
+  }
+}
+
+// int8 quantization: |x - dequant(quant(x))| <= scale/2, scale = maxabs/127.
+TEST(Simd, QuantizeInt8WithinHalfStepBound) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.Uniform(40);
+    std::vector<float> x(n);
+    const float span = static_cast<float>(std::pow(10.0, static_cast<double>(round % 7) - 3));
+    for (auto& v : x) v = static_cast<float>(rng.UniformDouble() * 2 - 1) * span;
+    std::vector<std::int8_t> q(n);
+    const float scale = simd::QuantizeInt8(x.data(), n, q.data());
+    ASSERT_GT(scale, 0.f);
+    for (const auto level : Levels()) {
+      simd::ForceSimdLevel(level);
+      std::vector<float> back(n);
+      simd::DequantInt8(q.data(), n, scale, back.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_LE(std::abs(x[i] - back[i]), scale / 2.f + 1e-9f) << i;
+      }
+      simd::ResetSimdLevel();
+    }
+  }
+  // All-zero input: scale 0 convention, dequant reproduces zeros.
+  std::vector<float> zeros(5, 0.f);
+  std::vector<std::int8_t> q(5);
+  const float scale = simd::QuantizeInt8(zeros.data(), 5, q.data());
+  std::vector<float> back(5, 1.f);
+  simd::DequantInt8(q.data(), 5, scale, back.data());
+  for (const float v : back) EXPECT_EQ(v, 0.f);
 }
 
 }  // namespace
