@@ -5,12 +5,48 @@
 // from 1 to 4 workers; caches partially overlap, so the drop is
 // sub-linear).
 //
-// Usage: fig16_cache [scale=2000]
+// Also the computation-reuse figures (docs/PERF.md "Computation reuse &
+// admission"): Fig 16c sweeps query skew (zipf alpha) and reports the
+// aggregate-cache hit rate and the cached-vs-uncached serve+embed speedup;
+// Fig 16d sweeps the staleness bound under delta churn and reports how
+// many hits were forced to recompute.
+//
+// Usage: fig16_cache [scale=2000] [zipf-seed=77]
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "util/clock.h"
 
 using namespace helios;
+
+namespace {
+
+// Serves + embeds every seed once; cached=true goes through the reuse tier
+// (EmbedSeedCached), else the plain Serve+EmbedSeed path. Returns wall ns.
+util::Nanos EmbedAll(bench::HeliosDeployment& dep, const gnn::GraphSageEncoder& encoder,
+                     const std::vector<graph::VertexId>& seeds, bool cached,
+                     gnn::CachedEmbedScratch& cs, ServeScratch& ss,
+                     helios::AggregateServeResult* totals = nullptr) {
+  SampledSubgraph result;
+  std::vector<float> out;
+  return util::TimeItNanos([&] {
+    for (const graph::VertexId seed : seeds) {
+      if (cached) {
+        if (!encoder.EmbedSeedCached(dep.serving_core(0), seed, cs, out)) std::abort();
+        if (totals != nullptr) {
+          totals->cache_hits += cs.result.cache_hits;
+          totals->cache_misses += cs.result.cache_misses;
+          totals->stale_recomputes += cs.result.stale_recomputes;
+        }
+      } else {
+        dep.serving_core(0).ServeInto(seed, result, ss);
+        out = encoder.EmbedSeed(result);
+      }
+    }
+  });
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto config = util::Config::FromArgs(argc, argv);
@@ -77,5 +113,71 @@ int main(int argc, char** argv) {
                 fp32_bytes > 0 ? static_cast<double>(bytes) / static_cast<double>(fp32_bytes) : 0.0,
                 max_err);
   }
+
+  // ---- computation-reuse rows ----
+  const auto [seed_type, population] = bench::PaperSeeds(spec);
+  gnn::SageConfig sage;
+  sage.input_dim = spec.schema.feature_dim;
+  sage.hidden_dim = 64;
+  sage.output_dim = 64;
+  const gnn::GraphSageEncoder encoder(sage);
+  constexpr std::size_t kQueries = 4000;
+
+  bench::PrintHeader("Fig 16c: aggregate-cache hit rate & speedup vs query skew (1 worker)",
+                     "zipf_alpha   hit_rate   uncached_us/q   cached_us/q   speedup");
+  for (const double alpha : {0.0, 0.8, 0.99, 1.2}) {
+    gen::QuerySkew skew = bench::QuerySkewFromConfig(config, alpha);
+    skew.alpha = alpha;
+    const auto seeds = gen::HotKeyBatch(seed_type, population, skew, kQueries);
+    bench::HeliosEmuConfig hc;
+    hc.serving_nodes = 1;
+    // Deliberately smaller than the hop-1 working set so the hit rate is
+    // the skew's doing, not the capacity's.
+    hc.aggregate_cache_entries = 1 << 11;
+    bench::HeliosDeployment helios(plan, hc);
+    helios.IngestAll(updates);
+    gnn::CachedEmbedScratch cs;
+    ServeScratch ss;
+    // Warm pass populates the cache (and the uncached path's scratch), the
+    // measured pass serves the same skewed draw again.
+    EmbedAll(helios, encoder, seeds, true, cs, ss);
+    EmbedAll(helios, encoder, seeds, false, cs, ss);
+    AggregateServeResult totals;
+    const util::Nanos cached_ns = EmbedAll(helios, encoder, seeds, true, cs, ss, &totals);
+    const util::Nanos uncached_ns = EmbedAll(helios, encoder, seeds, false, cs, ss);
+    const double hit_rate =
+        static_cast<double>(totals.cache_hits) /
+        static_cast<double>(std::max<std::uint64_t>(
+            totals.cache_hits + totals.cache_misses + totals.stale_recomputes, 1));
+    std::printf("%-12.2f %-10.3f %-15.1f %-13.1f %.2fx\n", alpha, hit_rate,
+                static_cast<double>(uncached_ns) / 1e3 / kQueries,
+                static_cast<double>(cached_ns) / 1e3 / kQueries,
+                static_cast<double>(uncached_ns) / static_cast<double>(cached_ns));
+  }
+
+  bench::PrintHeader("Fig 16d: staleness bound vs recompute share (zipf 0.99, 1 worker)",
+                     "staleness_bound_us   hit_rate   stale_share");
+  for (const std::int64_t bound : {std::int64_t{0}, std::int64_t{200}, std::int64_t{-1}}) {
+    gen::QuerySkew skew = bench::QuerySkewFromConfig(config, 0.99);
+    const auto seeds = gen::HotKeyBatch(seed_type, population, skew, kQueries);
+    bench::HeliosEmuConfig hc;
+    hc.serving_nodes = 1;
+    hc.aggregate_cache_entries = 1 << 15;
+    hc.aggregate_staleness_us = bound;
+    bench::HeliosDeployment helios(plan, hc);
+    helios.IngestAll(updates);
+    gnn::CachedEmbedScratch cs;
+    ServeScratch ss;
+    EmbedAll(helios, encoder, seeds, true, cs, ss);
+    AggregateServeResult totals;
+    EmbedAll(helios, encoder, seeds, true, cs, ss, &totals);
+    const std::uint64_t lookups = std::max<std::uint64_t>(
+        totals.cache_hits + totals.cache_misses + totals.stale_recomputes, 1);
+    std::printf("%-20lld %-10.3f %.3f\n", static_cast<long long>(bound),
+                static_cast<double>(totals.cache_hits) / static_cast<double>(lookups),
+                static_cast<double>(totals.stale_recomputes) / static_cast<double>(lookups));
+  }
+  std::printf("\nexpected shape: hit rate and speedup rise with skew; bound 0 always "
+              "recomputes (bit-parity mode), bound -1 never ages out\n");
   return 0;
 }

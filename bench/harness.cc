@@ -104,6 +104,8 @@ HeliosDeployment::HeliosDeployment(QueryPlan plan, HeliosEmuConfig config)
     if (!so.kv.spill_dir.empty()) so.kv.spill_dir += "/sew-" + std::to_string(n);
     so.registry = &registry_;
     so.feature_format = config_.feature_format;
+    so.aggregate_cache_entries = config_.aggregate_cache_entries;
+    so.aggregate_staleness_us = config_.aggregate_staleness_us;
     serving_.push_back(std::make_unique<ServingCore>(plan_, n, std::move(so)));
   }
 }
@@ -900,6 +902,161 @@ ServeReport HeliosDeployment::EmulateServing(const std::vector<graph::VertexId>&
   return report;
 }
 
+HeliosDeployment::AdmissionServeReport HeliosDeployment::EmulateAdmissionServing(
+    const std::vector<graph::VertexId>& seeds, double rate_qps, std::uint64_t total_requests,
+    std::int64_t deadline_us, AdmissionQueue::Options admission, gnn::GraphSageEncoder* encoder,
+    obs::TelemetryHub* telemetry) {
+  sim::SimEnv env;
+  const std::uint32_t N = config_.serving_nodes;
+  sim::SimCluster::Options copt;
+  copt.num_nodes = N;
+  copt.cores_per_node = config_.serving_threads;
+  copt.net_latency_us = config_.net_latency_us;
+  copt.gbps = config_.gbps;
+  sim::SimCluster cluster(env, copt);
+
+  AdmissionServeReport report;
+  // Per-worker front doors on the deployment registry (lane = worker).
+  // Overload probe: the TelemetryHub health signal when wired, else never
+  // (shed_full still bounds the queues) — matching the threaded runtime.
+  std::vector<std::unique_ptr<AdmissionQueue>> queues;
+  for (std::uint32_t w = 0; w < N; ++w) {
+    AdmissionQueue::Options ao = admission;
+    ao.registry = &registry_;
+    ao.lane = std::to_string(w);
+    if (telemetry != nullptr && !ao.overloaded) {
+      ao.overloaded = [telemetry] { return telemetry->Overloaded(); };
+    }
+    queues.push_back(std::make_unique<AdmissionQueue>(std::move(ao)));
+  }
+
+  const bool cached = encoder != nullptr && config_.aggregate_cache_entries > 0;
+  std::vector<ServeScratch> scratch(N);
+  std::vector<SampledSubgraph> results(N);
+  std::vector<gnn::CachedEmbedScratch> cscratch(cached ? N : 0);
+  std::vector<std::vector<float>> embeds(cached ? N : 0);
+
+  std::uint64_t completed = 0;
+  std::uint64_t completed_in_slo = 0;
+  sim::SimTime last_completion = 0;
+  std::vector<char> busy(N, 0);
+  std::vector<std::deque<QueryTicket>> pendings(N);
+  std::vector<QueryTicket> batch_buf;
+
+  std::function<void(std::uint32_t)> pump = [&](std::uint32_t w) {
+    if (busy[w]) return;
+    if (pendings[w].empty()) {
+      batch_buf.clear();
+      queues[w]->NextBatch(env.now(), batch_buf);
+      for (const QueryTicket& t : batch_buf) pendings[w].push_back(t);
+    }
+    if (pendings[w].empty()) return;
+    busy[w] = 1;
+    const QueryTicket t = pendings[w].front();
+    pendings[w].pop_front();
+    // Execute the real serve now; the measured wall time becomes the
+    // virtual service time (the harness's executed-compute contract).
+    std::size_t bytes = 0;
+    const util::Nanos ns = util::TimeItNanos([&] {
+      bool ok = false;
+      if (cached) {
+        ok = encoder->EmbedSeedCached(*serving_[w], t.seed, cscratch[w], embeds[w]);
+      }
+      if (ok) {
+        bytes = 64 + embeds[w].size() * 4;
+      } else {
+        serving_[w]->ServeInto(t.seed, results[w], scratch[w]);
+        bytes = ResponseBytes(results[w]);
+      }
+    });
+    if (cached) {
+      report.cache_hits += cscratch[w].result.cache_hits;
+      report.cache_misses += cscratch[w].result.cache_misses;
+      report.stale_recomputes += cscratch[w].result.stale_recomputes;
+    }
+    const sim::SimTime service =
+        std::max<sim::SimTime>(static_cast<sim::SimTime>(ns / 1000), 1);
+    cluster.cpu(w).Enqueue(service, [&, w, t, bytes] {
+      const sim::SimTime lat = env.now() - t.enqueue_us;
+      report.latency_us.Record(static_cast<std::uint64_t>(lat));
+      if (static_cast<std::int64_t>(env.now()) <= t.deadline_us) completed_in_slo++;
+      if (telemetry != nullptr) {
+        telemetry->RecordQuery(w, env.now(), static_cast<std::uint64_t>(lat), bytes,
+                               static_cast<std::uint64_t>(t.deadline_us - t.enqueue_us));
+      }
+      queues[w]->NoteServed(t.seed);
+      completed++;
+      last_completion = env.now();
+      busy[w] = 0;
+      pump(w);
+    });
+  };
+
+  gen::ArrivalProcess arrivals(rate_qps, config_.seed ^ 0xAD0515);
+  util::Rng pick(config_.seed ^ 0x5EED5);
+  const double per_us = rate_qps / 1e6;
+  double credit = 0;  // fractional arrivals carried across 1µs ticks
+  std::function<void()> arrive = [&] {
+    if (report.offered >= total_requests) return;
+    // Above 1M qps the emulator's µs clock cannot space arrivals out;
+    // batch the per-tick surplus instead of silently capping the rate.
+    std::uint64_t n = 1;
+    if (per_us > 1.0) {
+      credit += per_us;
+      n = static_cast<std::uint64_t>(credit);
+      credit -= static_cast<double>(n);
+    }
+    for (std::uint64_t i = 0; i < n && report.offered < total_requests; ++i) {
+      report.offered++;
+      const graph::VertexId seed = seeds[pick.Uniform(seeds.size())];
+      const std::uint32_t w = map_.ServingWorkerOf(seed);
+      QueryTicket t;
+      t.seed = seed;
+      t.deadline_us = static_cast<std::int64_t>(env.now()) + deadline_us;
+      if (queues[w]->Offer(t, env.now()) == AdmissionQueue::Outcome::kAdmitted) pump(w);
+    }
+    if (report.offered < total_requests) {
+      const sim::SimTime gap =
+          per_us > 1.0 ? 1 : arrivals.NextAfter(env.now()) - env.now();
+      env.ScheduleAfter(gap, arrive);
+    }
+  };
+
+  // Periodic window advance keeps the overload signal live on virtual time;
+  // self-terminates once the run drains so env.Run() can return.
+  std::function<void()> advance_tick;
+  if (telemetry != nullptr) {
+    advance_tick = [&] {
+      telemetry->Advance(env.now());
+      std::uint64_t shed = 0;
+      for (const auto& q : queues) shed += q->stats().shed();
+      if (report.offered >= total_requests && completed + shed >= report.offered) return;
+      env.ScheduleAfter(100'000, advance_tick);
+    };
+    env.ScheduleAfter(100'000, advance_tick);
+  }
+
+  arrive();
+  env.Run();
+
+  for (const auto& q : queues) {
+    const AdmissionQueue::Stats s = q->stats();
+    report.admitted += s.admitted;
+    report.shed_full += s.shed_full;
+    report.shed_overload += s.shed_overload;
+    report.shed_deadline += s.shed_deadline;
+  }
+  report.completed = completed;
+  report.makespan_us = last_completion;
+  if (last_completion > 0) {
+    report.qps = static_cast<double>(completed) * 1e6 / static_cast<double>(last_completion);
+  }
+  if (completed > 0) {
+    report.slo_hit_rate = static_cast<double>(completed_in_slo) / static_cast<double>(completed);
+  }
+  return report;
+}
+
 std::size_t HeliosDeployment::ServingCacheBytes() const {
   std::size_t bytes = 0;
   for (const auto& core : serving_) {
@@ -1314,6 +1471,13 @@ std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback
   if (scale > 0) return scale;
   if (config.GetBool("quick", false)) return fallback * 8;
   return fallback;
+}
+
+gen::QuerySkew QuerySkewFromConfig(const util::Config& config, double fallback_alpha) {
+  gen::QuerySkew skew;
+  skew.alpha = config.GetDouble("zipf", fallback_alpha);
+  skew.seed = static_cast<std::uint64_t>(config.GetInt("zipf-seed", 77));
+  return skew;
 }
 
 }  // namespace helios::bench

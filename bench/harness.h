@@ -23,6 +23,7 @@
 #include "gen/workload.h"
 #include "gnn/graphsage.h"
 #include "graphdb/minigraphdb.h"
+#include "helios/admission.h"
 #include "helios/query.h"
 #include "helios/sampling_core.h"
 #include "helios/serving_core.h"
@@ -124,6 +125,11 @@ struct HeliosEmuConfig {
   // Storage format for cached features at the serving workers (Fig 16
   // quantization rows re-run the cache sweep with fp16 / int8).
   FeatureFormat feature_format = FeatureFormat::kFp32;
+  // Computation-reuse tier (docs/PERF.md "Computation reuse & admission"):
+  // per-worker aggregate-cache capacity (0 = off) and staleness bound
+  // (-1 = no age check, 0 = always recompute).
+  std::size_t aggregate_cache_entries = 0;
+  std::int64_t aggregate_staleness_us = -1;
 };
 
 // Optional observability sinks for the emulated flows (all owned by the
@@ -200,6 +206,37 @@ class HeliosDeployment {
                              double background_rate_mps = 0,
                              const ServeObs* obs = nullptr);
 
+  // Open-loop serving through the SLO-aware admission front door (the
+  // fig19 overload sweep): queries arrive Poisson at `rate_qps`, each with
+  // deadline now + deadline_us; per-worker AdmissionQueues batch by
+  // deadline slack and shed under overload (serving.admission.*). When
+  // `encoder` is set and the deployment was built with
+  // aggregate_cache_entries > 0, queries serve through the computation-
+  // reuse tier (GraphSageEncoder::EmbedSeedCached); otherwise the plain
+  // ServeInto path. Virtual time throughout; deterministic for a fixed
+  // (seeds, rate, seed) tuple.
+  struct AdmissionServeReport {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed_full = 0;
+    std::uint64_t shed_overload = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t stale_recomputes = 0;
+    util::Histogram latency_us;     // completed queries, arrival -> reply
+    double qps = 0;                 // completed / virtual second
+    double slo_hit_rate = 1.0;      // completed within their deadline
+    sim::SimTime makespan_us = 0;
+  };
+  AdmissionServeReport EmulateAdmissionServing(const std::vector<graph::VertexId>& seeds,
+                                               double rate_qps, std::uint64_t total_requests,
+                                               std::int64_t deadline_us,
+                                               AdmissionQueue::Options admission,
+                                               gnn::GraphSageEncoder* encoder = nullptr,
+                                               obs::TelemetryHub* telemetry = nullptr);
+
   ServingCore& serving_core(std::uint32_t i) { return *serving_[i]; }
   SamplingShardCore& shard(std::uint32_t s) { return *shards_[s]; }
   std::uint32_t num_shards() const { return map_.TotalShards(); }
@@ -268,6 +305,11 @@ void PrintServeRow(const std::string& system, const std::string& dataset,
 
 // Common CLI: scale=<n> (dataset scale divisor), requests=<n>, quick=1.
 std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback);
+
+// Shared query-skew flags (gen::QuerySkew): zipf=<alpha> (0 = uniform) and
+// zipf-seed=<n>. Every serving bench that draws seeds through this helper
+// composes hot-key skew from the command line instead of a new main.
+gen::QuerySkew QuerySkewFromConfig(const util::Config& config, double fallback_alpha = 0.0);
 
 // Observability sinks shared by every bench (docs/OBSERVABILITY.md):
 //   --metrics-out=<path>    registry snapshot ("-" = stdout, *.json = JSON)

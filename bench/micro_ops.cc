@@ -539,6 +539,60 @@ static void BM_ServePathFusedInt8(benchmark::State& state) {
 }
 BENCHMARK(BM_ServePathFusedInt8);
 
+// Computation-reuse tier (docs/PERF.md "Computation reuse & admission"):
+// the same 10×10 serve shape answered through the aggregate cache +
+// EmbedSeedCached. Steady state is all-hits (the cache holds every item's
+// hop-1 aggregate after warm-up), so each query reads one cell, replays 10
+// cached aggregate rows, gathers 11 features, and runs the 2-layer SAGE —
+// no hop-2 expansion, no grandchild feature gather. Asserts the 0 allocs/
+// query contract and the ≥80% hit-rate regime the speedup is quoted at.
+static void BM_ServePathCached(benchmark::State& state) {
+  const auto plan = ServePlan();
+  ServingCore::Options options;
+  options.aggregate_cache_entries = 4096;  // holds all kServeItems aggregates
+  ServingCore core(plan, 0, options);
+  const auto data = MakeServeState();
+  for (const auto& su : data.cells) core.Apply(ServingMessage::Of(su));
+  for (const auto& fu : data.features) core.Apply(ServingMessage::Of(fu));
+
+  gnn::SageConfig config;
+  config.input_dim = 16;
+  config.hidden_dim = 16;
+  config.output_dim = 16;
+  const gnn::GraphSageEncoder encoder(config);
+  gnn::CachedEmbedScratch scratch;
+  std::vector<float> out;
+  for (std::uint64_t u = 0; u < kServeUsers; ++u) {
+    if (!encoder.EmbedSeedCached(core, gen::MakeVertexId(0, u), scratch, out)) {
+      state.SkipWithError("cached serve path rejected the bench plan");
+      return;
+    }
+  }
+
+  std::uint64_t allocs = 0, hits = 0, lookups = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_alloc_count;
+    encoder.EmbedSeedCached(core, gen::MakeVertexId(0, i++ % kServeUsers), scratch, out);
+    allocs += g_alloc_count - before;
+    hits += scratch.result.cache_hits;
+    lookups += scratch.result.cache_hits + scratch.result.cache_misses +
+               scratch.result.stale_recomputes;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0;
+  state.counters["hit_rate"] = benchmark::Counter(hit_rate);
+  state.counters["allocs_per_query"] = benchmark::Counter(
+      state.iterations() > 0 ? static_cast<double>(allocs) / static_cast<double>(state.iterations())
+                             : 0);
+  if (allocs != 0) state.SkipWithError("steady-state cached serve allocated on the heap");
+  if (hit_rate < 0.8) state.SkipWithError("cache hit rate fell below the 80% quoting regime");
+  state.SetLabel(std::string("simd=") + util::simd::SimdLevelName(util::simd::ActiveSimdLevel()));
+}
+BENCHMARK(BM_ServePathCached);
+
 // ------------------------------------------- sample/gather kernels
 //
 // The two kernel families the fused serve path is built from, isolated:
@@ -659,6 +713,47 @@ static void BM_ServingMessageCodec(benchmark::State& state) {
 BENCHMARK(BM_ServingMessageCodec);
 
 // --------------------------------------------------------------- gnn
+
+// The blocked fp32 GEMM behind GraphSageEncoder::Apply: one node's
+// h_out = [self | mean] × [W_self ; W_neigh] + bias (+ReLU), the inner
+// kernel every embed runs once per node per layer. Args = {in, width}.
+namespace {
+void RunSageApply(benchmark::State& state, util::simd::SimdLevel level) {
+  if (level == util::simd::SimdLevel::kAvx2 &&
+      !(util::simd::kHasAvx2Kernels && util::simd::CpuHasAvx2())) {
+    state.SkipWithError("AVX2 kernels unavailable on this host");
+    return;
+  }
+  util::simd::ForceSimdLevel(level);
+  const std::size_t in = static_cast<std::size_t>(state.range(0));
+  const std::size_t width = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(23);
+  util::AlignedVector<float> a(in), b(in), x(in * width), y(in * width), bias(width), out(width);
+  for (auto& v : a) v = static_cast<float>(rng.UniformDouble());
+  for (auto& v : b) v = static_cast<float>(rng.UniformDouble());
+  for (auto& v : x) v = static_cast<float>(rng.UniformDouble() - 0.5);
+  for (auto& v : y) v = static_cast<float>(rng.UniformDouble() - 0.5);
+  for (auto& v : bias) v = static_cast<float>(rng.UniformDouble() - 0.5);
+  for (auto _ : state) {
+    util::simd::SageApply(a.data(), b.data(), x.data(), y.data(), in, width, width, bias.data(),
+                          true, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  util::simd::ResetSimdLevel();
+  // 4 flops per (k, j): two mul + two add across both weight matrices.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * in * width * 4);
+}
+}  // namespace
+
+static void BM_GraphSageApplyScalar(benchmark::State& state) {
+  RunSageApply(state, util::simd::SimdLevel::kScalar);
+}
+BENCHMARK(BM_GraphSageApplyScalar)->Args({16, 64})->Args({64, 64});
+
+static void BM_GraphSageApply(benchmark::State& state) {
+  RunSageApply(state, util::simd::SimdLevel::kAvx2);
+}
+BENCHMARK(BM_GraphSageApply)->Args({16, 64})->Args({64, 64});
 
 static void BM_GraphSageInfer(benchmark::State& state) {
   gnn::SageConfig config;

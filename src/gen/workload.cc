@@ -20,4 +20,10 @@ std::vector<graph::VertexId> SeedGenerator::Batch(std::size_t n) {
   return seeds;
 }
 
+std::vector<graph::VertexId> HotKeyBatch(graph::VertexTypeId seed_type, std::uint64_t population,
+                                         const QuerySkew& skew, std::size_t n) {
+  SeedGenerator gen(seed_type, population, skew.alpha, skew.seed);
+  return gen.Batch(n);
+}
+
 }  // namespace helios::gen

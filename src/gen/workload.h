@@ -36,6 +36,22 @@ class SeedGenerator {
   std::optional<util::Zipf> zipf_;
 };
 
+// Deterministic zipfian hot-key query scenario: the access skew the
+// computation-reuse serving tier feeds on (hot accounts are re-queried, so
+// their hop-1 aggregates stay cached). Same (alpha, seed) always produces
+// the same seed sequence, so cache-sweep figures are reproducible run to
+// run. alpha <= 0 degenerates to uniform. Exposed as the shared bench
+// flags zipf=<alpha> / zipf-seed=<n> (bench/harness.h) so fig16/fig19
+// compose skew via flags instead of new mains.
+struct QuerySkew {
+  double alpha = 0.0;        // Zipf exponent; 0 = uniform
+  std::uint64_t seed = 77;   // RNG seed (determinism knob)
+};
+
+// A batch of `n` seed vertices drawn Zipf(skew.alpha) over the population.
+std::vector<graph::VertexId> HotKeyBatch(graph::VertexTypeId seed_type, std::uint64_t population,
+                                         const QuerySkew& skew, std::size_t n);
+
 // Open-loop Poisson arrival process over virtual microseconds.
 class ArrivalProcess {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/aligned.h"
+#include "util/hash.h"
 #include "util/simd.h"
 
 namespace helios::gnn {
@@ -31,25 +32,24 @@ GraphSageEncoder::GraphSageEncoder(const SageConfig& config) : config_(config) {
     InitMatrix(layers_[l].w_self, rng);
     InitMatrix(layers_[l].w_neigh, rng);
   }
+  // MixHash-folded config fingerprint; the weights are a pure function of
+  // these fields, so equal versions imply equal weights.
+  std::uint64_t v = util::MixHash(config_.seed);
+  v = util::MixHash(v ^ static_cast<std::uint64_t>(config_.input_dim));
+  v = util::MixHash(v ^ static_cast<std::uint64_t>(config_.hidden_dim));
+  v = util::MixHash(v ^ static_cast<std::uint64_t>(config_.output_dim));
+  v = util::MixHash(v ^ static_cast<std::uint64_t>(config_.num_layers));
+  model_version_ = v;
 }
 
 void GraphSageEncoder::Apply(const Layer& layer, const float* self, const float* neigh_mean,
                              std::size_t cur, float* out, bool relu) const {
-  const std::size_t in = layer.w_self.rows();
+  // Inputs past `cur` read as zero in the historical loop and were skipped
+  // by its zero-input shortcut, so capping the row count is equivalent.
+  const std::size_t in = std::min(layer.w_self.rows(), cur);
   const std::size_t width = layer.w_self.cols();
-  std::fill(out, out + width, 0.f);
-  for (std::size_t k = 0; k < in; ++k) {
-    const float s = k < cur ? self[k] : 0.f;
-    const float n = k < cur ? neigh_mean[k] : 0.f;
-    if (s == 0.f && n == 0.f) continue;
-    const float* ws = layer.w_self.Row(k);
-    const float* wn = layer.w_neigh.Row(k);
-    for (std::size_t j = 0; j < width; ++j) out[j] += s * ws[j] + n * wn[j];
-  }
-  for (std::size_t j = 0; j < width; ++j) {
-    out[j] += layer.bias[j];
-    if (relu && out[j] < 0.f) out[j] = 0.f;
-  }
+  util::simd::SageApply(self, neigh_mean, layer.w_self.Row(0), layer.w_neigh.Row(0), in, width,
+                        width, layer.bias.data(), relu, out);
 }
 
 std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) const {
@@ -125,6 +125,65 @@ std::vector<float> GraphSageEncoder::EmbedSeed(const SampledSubgraph& sample) co
   }
   L2NormalizeRow(out.data(), out.size());
   return out;
+}
+
+bool GraphSageEncoder::EmbedSeedCached(const ServingCore& core, graph::VertexId seed,
+                                       CachedEmbedScratch& scratch,
+                                       std::vector<float>& out) const {
+  if (config_.num_layers != 2) return false;
+  const std::size_t dim = config_.input_dim;
+  if (!core.ServeAggregatesInto(seed, dim, model_version_, scratch.result, scratch.serve)) {
+    return false;
+  }
+  const AggregateServeResult& r = scratch.result;
+  const std::size_t nc = r.children.size();
+
+  // Zero-padded input rows: row 0 the seed, row 1+i child i — the same
+  // gather EmbedSeed does from the subgraph's feature table.
+  scratch.x.assign((1 + nc) * dim, 0.f);
+  auto load_row = [&](graph::VertexId v, float* row) {
+    const std::span<const float> f = r.features.Find(v);
+    const std::size_t n = std::min(dim, f.size());
+    std::copy(f.begin(), f.begin() + static_cast<std::ptrdiff_t>(n), row);
+  };
+  load_row(seed, scratch.x.data());
+  for (std::size_t i = 0; i < nc; ++i) load_row(r.children[i], scratch.x.data() + (1 + i) * dim);
+
+  // Layer 0 (ReLU): the seed's neighbour mean over its children's input
+  // rows in cell order; each child's neighbour mean is its hop-1 aggregate
+  // row (cached or just recomputed — bit-identical either way).
+  const std::size_t width0 = layers_[0].w_self.cols();
+  scratch.mean.assign(dim, 0.f);
+  for (std::size_t i = 0; i < nc; ++i) {
+    util::simd::AddF32(scratch.mean.data(), scratch.x.data() + (1 + i) * dim, dim);
+  }
+  if (nc > 0) util::simd::DivF32(scratch.mean.data(), static_cast<float>(nc), dim);
+  scratch.h1.assign((1 + nc) * width0, 0.f);
+  Apply(layers_[0], scratch.x.data(), scratch.mean.data(), dim, scratch.h1.data(),
+        /*relu=*/true);
+  for (std::size_t i = 0; i < nc; ++i) {
+    Apply(layers_[0], scratch.x.data() + (1 + i) * dim, r.aggs.data() + i * dim, dim,
+          scratch.h1.data() + (1 + i) * width0, /*relu=*/true);
+  }
+
+  // Layer 1 (no ReLU, the last): seed only, mean over the children's
+  // first-layer activations in the same order.
+  scratch.mean.assign(width0, 0.f);
+  for (std::size_t i = 0; i < nc; ++i) {
+    util::simd::AddF32(scratch.mean.data(), scratch.h1.data() + (1 + i) * width0, width0);
+  }
+  if (nc > 0) util::simd::DivF32(scratch.mean.data(), static_cast<float>(nc), width0);
+  const std::size_t width1 = layers_[1].w_self.cols();
+  scratch.h2.assign(width1, 0.f);
+  Apply(layers_[1], scratch.h1.data(), scratch.mean.data(), width0, scratch.h2.data(),
+        /*relu=*/false);
+
+  out.assign(config_.output_dim, 0.f);
+  const std::size_t n = std::min(width1, config_.output_dim);
+  std::copy(scratch.h2.begin(), scratch.h2.begin() + static_cast<std::ptrdiff_t>(n),
+            out.begin());
+  L2NormalizeRow(out.data(), out.size());
+  return true;
 }
 
 float LinkPredictor::Score(const std::vector<float>& zu, const std::vector<float>& zi) const {

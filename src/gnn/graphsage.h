@@ -18,6 +18,7 @@
 #include "gnn/tensor.h"
 #include "graph/types.h"
 #include "helios/serving_core.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 
 namespace helios::gnn {
@@ -30,6 +31,17 @@ struct SageConfig {
   std::uint64_t seed = 1234;
 };
 
+// Reusable workspace for EmbedSeedCached; all buffers keep capacity across
+// queries (one per serving thread, like ServeScratch).
+struct CachedEmbedScratch {
+  AggregateServeResult result;
+  ServeScratch serve;
+  util::AlignedVector<float> x;     // zero-padded inputs: row 0 seed, 1+i child i
+  util::AlignedVector<float> h1;    // first-layer activations, same row order
+  util::AlignedVector<float> mean;  // one aggregate/mean row
+  util::AlignedVector<float> h2;    // second-layer activation of the seed
+};
+
 class GraphSageEncoder {
  public:
   explicit GraphSageEncoder(const SageConfig& config);
@@ -38,7 +50,24 @@ class GraphSageEncoder {
   // zero vectors — the eventual-consistency case).
   std::vector<float> EmbedSeed(const SampledSubgraph& sample) const;
 
+  // Cache-assisted embed through the core's computation-reuse tier
+  // (docs/PERF.md "Computation reuse & admission"): children whose hop-1
+  // aggregate is cached and fresh skip their hop-2 expansion and feature
+  // gather entirely. Bit-identical to Serve() + EmbedSeed() — the miss
+  // path recomputes aggregates in the exact summation order EmbedSeed
+  // uses, and hits replay the stored floats. Returns false (out untouched)
+  // when the tier cannot serve this shape — cache disabled, plan not
+  // 2-hop, or num_layers != 2 — so callers fall back to the plain path.
+  // Zero heap allocations in steady state with a reused scratch + out.
+  bool EmbedSeedCached(const ServingCore& core, graph::VertexId seed,
+                       CachedEmbedScratch& scratch, std::vector<float>& out) const;
+
   const SageConfig& config() const { return config_; }
+
+  // Deterministic fingerprint of the weights (a pure function of the
+  // config, which fully determines them) — the aggregate-cache key's model
+  // component: a weight/shape change must not reuse old aggregates.
+  std::uint64_t model_version() const { return model_version_; }
 
  private:
   struct Layer {
@@ -54,6 +83,7 @@ class GraphSageEncoder {
 
   SageConfig config_;
   std::vector<Layer> layers_;
+  std::uint64_t model_version_ = 0;
 };
 
 // Logistic link-prediction head: P(link u->i) = sigmoid(w . (z_u ⊙ z_i) + b).

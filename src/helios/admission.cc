@@ -1,0 +1,155 @@
+#include "helios/admission.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace helios {
+
+AdmissionQueue::AdmissionQueue(Options options) : options_(std::move(options)) {
+  if (options_.hot_seed_slots > 0) {
+    std::size_t n = 16;
+    while (n < options_.hot_seed_slots) n *= 2;
+    hot_seeds_.assign(n, graph::kInvalidVertex);
+  }
+  if (options_.registry != nullptr) {
+    const obs::Labels labels{{"worker", options_.lane}};
+    m_.offered = options_.registry->GetCounter("serving.admission.offered", labels);
+    m_.admitted = options_.registry->GetCounter("serving.admission.admitted", labels);
+    m_.shed_full = options_.registry->GetCounter("serving.admission.shed_full", labels);
+    m_.shed_overload = options_.registry->GetCounter("serving.admission.shed_overload", labels);
+    m_.shed_deadline = options_.registry->GetCounter("serving.admission.shed_deadline", labels);
+    m_.shed_cache = options_.registry->GetCounter("serving.cache.shed", labels);
+    m_.batches = options_.registry->GetCounter("serving.admission.batches", labels);
+    m_.queue_depth = options_.registry->GetGauge("serving.admission.queue_depth", labels);
+    m_.slack_us = options_.registry->GetLatency("serving.admission.slack_us", labels);
+    m_.wait_us = options_.registry->GetLatency("serving.admission.wait_us", labels);
+  }
+}
+
+bool AdmissionQueue::CacheLikelyLocked(graph::VertexId seed) const {
+  if (hot_seeds_.empty()) return false;
+  return hot_seeds_[util::MixHash(seed) & (hot_seeds_.size() - 1)] == seed;
+}
+
+AdmissionQueue::Outcome AdmissionQueue::Offer(QueryTicket t, std::int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.offered++;
+  if (m_.offered != nullptr) m_.offered->Add(1);
+  if (DepthLocked() >= options_.max_depth) {
+    stats_.shed_full++;
+    if (m_.shed_full != nullptr) m_.shed_full->Add(1);
+    if (m_.shed_cache != nullptr) m_.shed_cache->Add(1);
+    return Outcome::kShedFull;
+  }
+  const std::int64_t slack = t.deadline_us - now;
+  if (slack < options_.est_miss_cost_us && options_.overloaded && options_.overloaded()) {
+    // Under overload a ticket that cannot make its deadline even if served
+    // immediately only displaces ones that still can.
+    stats_.shed_overload++;
+    if (m_.shed_overload != nullptr) m_.shed_overload->Add(1);
+    if (m_.shed_cache != nullptr) m_.shed_cache->Add(1);
+    return Outcome::kShedOverload;
+  }
+  t.id = next_id_++;
+  t.enqueue_us = now;
+  Entry e{t.deadline_us, t.id, t.seed, t.enqueue_us};
+  if (CacheLikelyLocked(t.seed)) {
+    hit_q_.push(e);
+  } else {
+    miss_q_.push(e);
+  }
+  stats_.admitted++;
+  if (m_.admitted != nullptr) m_.admitted->Add(1);
+  if (m_.slack_us != nullptr && slack > 0) {
+    m_.slack_us->Record(static_cast<std::uint64_t>(slack));
+  }
+  if (m_.queue_depth != nullptr) m_.queue_depth->Set(static_cast<std::int64_t>(DepthLocked()));
+  return Outcome::kAdmitted;
+}
+
+// Pops the next ticket by policy — hit class first, unless the miss class's
+// head is urgent (slack under urgency_factor × est_miss_cost_us) or the hit
+// class is empty. Expired tickets shed here. Returns false when both queues
+// are empty.
+bool AdmissionQueue::PopDueLocked(std::int64_t now, std::vector<QueryTicket>& out) {
+  while (!hit_q_.empty() || !miss_q_.empty()) {
+    std::priority_queue<Entry>* q = nullptr;
+    if (hit_q_.empty()) {
+      q = &miss_q_;
+    } else if (miss_q_.empty()) {
+      q = &hit_q_;
+    } else {
+      const std::int64_t miss_slack = miss_q_.top().deadline_us - now;
+      q = miss_slack < options_.urgency_factor * options_.est_miss_cost_us ? &miss_q_ : &hit_q_;
+    }
+    const Entry e = q->top();
+    q->pop();
+    if (e.deadline_us < now) {
+      stats_.shed_deadline++;
+      if (m_.shed_deadline != nullptr) m_.shed_deadline->Add(1);
+      if (m_.shed_cache != nullptr) m_.shed_cache->Add(1);
+      continue;
+    }
+    out.push_back(QueryTicket{e.seed, e.enqueue_us, e.deadline_us, e.id});
+    if (m_.wait_us != nullptr && now > e.enqueue_us) {
+      m_.wait_us->Record(static_cast<std::uint64_t>(now - e.enqueue_us));
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t AdmissionQueue::NextBatch(std::int64_t now, std::vector<QueryTicket>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  while (n < options_.max_batch && PopDueLocked(now, out)) ++n;
+  if (n > 0) {
+    stats_.batches++;
+    if (m_.batches != nullptr) m_.batches->Add(1);
+  }
+  if (m_.queue_depth != nullptr) m_.queue_depth->Set(static_cast<std::int64_t>(DepthLocked()));
+  return n;
+}
+
+std::size_t AdmissionQueue::Drain(std::vector<QueryTicket>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Merge both classes in (deadline, id) order; nothing sheds on a drain.
+  std::size_t n = 0;
+  while (!hit_q_.empty() || !miss_q_.empty()) {
+    std::priority_queue<Entry>* q = nullptr;
+    if (hit_q_.empty()) {
+      q = &miss_q_;
+    } else if (miss_q_.empty()) {
+      q = &hit_q_;
+    } else {
+      q = miss_q_.top() < hit_q_.top() ? &hit_q_ : &miss_q_;
+    }
+    const Entry e = q->top();
+    q->pop();
+    out.push_back(QueryTicket{e.seed, e.enqueue_us, e.deadline_us, e.id});
+    ++n;
+  }
+  if (m_.queue_depth != nullptr) m_.queue_depth->Set(0);
+  return n;
+}
+
+void AdmissionQueue::NoteServed(graph::VertexId seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.served_hint++;
+  if (!hot_seeds_.empty()) {
+    hot_seeds_[util::MixHash(seed) & (hot_seeds_.size() - 1)] = seed;
+  }
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DepthLocked();
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace helios

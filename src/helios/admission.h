@@ -1,0 +1,148 @@
+// SLO-aware query admission — the serving tier's front door (docs/PERF.md
+// "Computation reuse & admission").
+//
+// Every query arrives as a ticket with an absolute deadline. The queue
+// holds two classes, split by a cache-likelihood probe (a small recent-seed
+// table fed by NoteServed): hit-likely tickets are cheap to serve — their
+// hop-1 aggregates are probably resident in the AggregateCache — so
+// batches prefer them (shortest-job-first drains more queries before their
+// deadlines under load), while a miss-likely ticket whose slack runs low
+// preempts (earliest-deadline-first within each class, so nothing starves
+// until the system is genuinely overloaded — at which point shedding is
+// the designed behaviour, not a failure mode).
+//
+// Shedding happens at three points, each counted separately
+// ("serving.admission.*", docs/OBSERVABILITY.md):
+//   - shed_full:     Offer() on a queue at max_depth (bounded memory);
+//   - shed_overload: Offer() while the overload probe (TelemetryHub::
+//                    Overloaded) fires and the ticket's slack is already
+//                    below the miss-path cost estimate — it would miss its
+//                    deadline anyway, so don't let it displace ones that
+//                    won't;
+//   - shed_deadline: NextBatch() pops a ticket whose deadline has passed.
+// Drain() bypasses shedding entirely: fences and shutdown want every
+// admitted query answered, not dropped (the drain-on-fence contract).
+//
+// Determinism: ordering is (deadline, admission id) — ties break by
+// arrival — and the class probe is a pure function of the NoteServed
+// history, so identical offer/now sequences produce identical batches (the
+// DES harness depends on this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "obs/metrics.h"
+
+namespace helios {
+
+// One admitted (or to-be-admitted) query.
+struct QueryTicket {
+  graph::VertexId seed = graph::kInvalidVertex;
+  std::int64_t enqueue_us = 0;   // Offer() time
+  std::int64_t deadline_us = 0;  // absolute, same clock domain as `now`
+  std::uint64_t id = 0;          // admission order, assigned by Offer()
+};
+
+class AdmissionQueue {
+ public:
+  struct Options {
+    std::size_t max_depth = 4096;  // shed-on-full bound
+    std::size_t max_batch = 32;
+    // Service-time estimates driving the class policy: a miss-likely
+    // ticket preempts the hit class once its slack drops under
+    // urgency_factor × est_miss_cost_us.
+    std::int64_t est_hit_cost_us = 10;
+    std::int64_t est_miss_cost_us = 60;
+    std::int64_t urgency_factor = 4;
+    // Recent-seed table size (power of two picked internally); 0 disables
+    // the cache-likelihood split — everything is one EDF class.
+    std::size_t hot_seed_slots = 4096;
+    // Overload probe, typically TelemetryHub::Overloaded. Null = never.
+    std::function<bool()> overloaded;
+    // Metrics registry + lane label ({worker}); null = no metrics.
+    obs::MetricsRegistry* registry = nullptr;
+    std::string lane = "0";
+  };
+
+  enum class Outcome { kAdmitted, kShedFull, kShedOverload };
+
+  explicit AdmissionQueue(Options options);
+
+  // Offers one query; on admission stamps t.id and enqueues.
+  Outcome Offer(QueryTicket t, std::int64_t now);
+
+  // Pops up to max_batch due tickets into `out` (appended), shedding any
+  // whose deadline already passed. Returns the number appended.
+  std::size_t NextBatch(std::int64_t now, std::vector<QueryTicket>& out);
+
+  // Pops everything in deadline order with no shedding (drain-on-fence).
+  std::size_t Drain(std::vector<QueryTicket>& out);
+
+  // Feeds the cache-likelihood probe: `seed` was just served, so its
+  // aggregates are hot.
+  void NoteServed(graph::VertexId seed);
+
+  std::size_t depth() const;
+
+  struct Stats {
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_full = 0;
+    std::uint64_t shed_overload = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t served_hint = 0;  // NoteServed calls
+    std::uint64_t shed() const { return shed_full + shed_overload + shed_deadline; }
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::int64_t deadline_us;
+    std::uint64_t id;
+    graph::VertexId seed;
+    std::int64_t enqueue_us;
+    // min-heap on (deadline, id): std::priority_queue is a max-heap, so
+    // the comparator inverts.
+    bool operator<(const Entry& other) const {
+      if (deadline_us != other.deadline_us) return deadline_us > other.deadline_us;
+      return id > other.id;
+    }
+  };
+
+  bool CacheLikelyLocked(graph::VertexId seed) const;
+  std::size_t DepthLocked() const { return hit_q_.size() + miss_q_.size(); }
+  bool PopDueLocked(std::int64_t now, std::vector<QueryTicket>& out);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::priority_queue<Entry> hit_q_;
+  std::priority_queue<Entry> miss_q_;
+  std::vector<graph::VertexId> hot_seeds_;  // power-of-two direct-mapped
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+
+  struct Metrics {
+    obs::Counter* offered = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* shed_full = nullptr;
+    obs::Counter* shed_overload = nullptr;
+    obs::Counter* shed_deadline = nullptr;
+    // Shares the "serving.cache.shed" registry cell with ServingCore so the
+    // cache dashboard sees sheds regardless of which tier dropped them.
+    obs::Counter* shed_cache = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::LatencyMetric* slack_us = nullptr;  // at admission
+    obs::LatencyMetric* wait_us = nullptr;   // enqueue -> pop
+  };
+  Metrics m_;
+};
+
+}  // namespace helios

@@ -357,10 +357,163 @@ void FeatureTable::Clear() {
   }
 }
 
+// --------------------------------------------------------- AggregateCache
+
+// Probe chains hash by vertex only (the version is compared, not hashed):
+// every entry of a vertex lives on that vertex's chain, so Invalidate(v)
+// retires them all in one walk to the chain's first empty slot.
+
+std::size_t AggregateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t AggregateCache::epoch_flushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
+}
+
+const AggregateCache::Slot* AggregateCache::FindSlotLocked(graph::VertexId v,
+                                                           std::uint64_t version) const {
+  if (slots_.empty()) return nullptr;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = util::MixHash(v) & mask;
+  while (true) {
+    const Slot& s = slots_[i];
+    if (s.gen != gen_ || s.state == kEmpty) return nullptr;
+    if (s.state == kUsed && s.vertex == v && s.version == version) return &s;
+    i = (i + 1) & mask;
+  }
+}
+
+AggregateCache::Slot* AggregateCache::InsertSlotLocked(graph::VertexId v,
+                                                       std::uint64_t version) {
+  if (slots_.empty() || (count_ + tombstones_ + 1) * 2 > slots_.size()) GrowLocked();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = util::MixHash(v) & mask;
+  Slot* first_tombstone = nullptr;
+  while (true) {
+    Slot& s = slots_[i];
+    const bool live = s.gen == gen_;
+    if (live && s.state == kUsed && s.vertex == v && s.version == version) return &s;
+    if (live && s.state == kTombstone && first_tombstone == nullptr) first_tombstone = &s;
+    if (!live || s.state == kEmpty) {
+      Slot* target = first_tombstone != nullptr ? first_tombstone : &s;
+      if (target->gen == gen_ && target->state == kTombstone) --tombstones_;
+      target->vertex = v;
+      target->version = version;
+      target->state = kUsed;
+      target->gen = gen_;
+      ++count_;
+      return target;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void AggregateCache::GrowLocked() {
+  // Sized once for the configured capacity (next power of two above
+  // 2 × max_entries so occupancy stays under 1/2): steady state never
+  // rehashes — Put() flushes at capacity instead.
+  std::size_t target = 16;
+  while (target < max_entries_ * 2 + 2) target *= 2;
+  if (slots_.size() >= target) {
+    // Tombstone pressure, not population: flush the epoch.
+    ClearLocked();
+    return;
+  }
+  const std::uint32_t old_gen = gen_;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(target, Slot{});
+  count_ = 0;
+  tombstones_ = 0;
+  if (gen_ == 0) gen_ = 1;
+  for (const Slot& s : old) {
+    if (s.gen != old_gen || s.state != kUsed) continue;
+    Slot* slot = InsertSlotLocked(s.vertex, s.version);
+    slot->stamp = s.stamp;
+    slot->offset = s.offset;
+    slot->len = s.len;
+  }
+}
+
+void AggregateCache::ClearLocked() {
+  arena_.clear();
+  count_ = 0;
+  tombstones_ = 0;
+  ++flushes_;
+  if (++gen_ == 0) {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    gen_ = 1;
+  }
+}
+
+bool AggregateCache::Lookup(graph::VertexId v, std::uint64_t version, std::size_t dim,
+                            std::int64_t now, std::int64_t staleness_bound_us, float* out,
+                            bool* stale) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Slot* s = FindSlotLocked(v, version);
+  if (s == nullptr || s->len != dim) return false;
+  // Strictly `<`: bound 0 is never fresh (the parity-test mode); negative
+  // disables the age check.
+  if (staleness_bound_us >= 0 && !(now - s->stamp < staleness_bound_us)) {
+    if (stale != nullptr) *stale = true;
+    return false;
+  }
+  std::memcpy(out, arena_.data() + s->offset, dim * sizeof(float));
+  return true;
+}
+
+void AggregateCache::Put(graph::VertexId v, std::uint64_t version, std::size_t dim,
+                         std::int64_t now, const float* data) {
+  if (max_entries_ == 0 || dim == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Hard capacity: flush the whole epoch O(1) rather than evict piecemeal.
+  // The arena bound covers invalidation churn (tombstoned entries orphan
+  // their floats until a flush reclaims them).
+  if (count_ >= max_entries_ || arena_.size() + dim > max_entries_ * dim + dim) {
+    const Slot* existing = FindSlotLocked(v, version);
+    if (existing == nullptr || existing->len != dim) ClearLocked();
+  }
+  Slot* s = InsertSlotLocked(v, version);
+  if (s->len != dim) {
+    s->offset = static_cast<std::uint32_t>(arena_.size());
+    s->len = static_cast<std::uint32_t>(dim);
+    arena_.resize(arena_.size() + dim);
+  }
+  std::memcpy(arena_.data() + s->offset, data, dim * sizeof(float));
+  s->stamp = now;
+}
+
+void AggregateCache::Invalidate(graph::VertexId v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_.empty()) return;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = util::MixHash(v) & mask;
+  while (true) {
+    Slot& s = slots_[i];
+    if (s.gen != gen_ || s.state == kEmpty) return;
+    if (s.state == kUsed && s.vertex == v) {
+      s.state = kTombstone;
+      --count_;
+      ++tombstones_;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void AggregateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClearLocked();
+}
+
 // ------------------------------------------------------------ ServingCore
 
 ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options options)
-    : plan_(std::move(plan)), worker_id_(worker_id), options_(std::move(options)) {
+    : plan_(std::move(plan)),
+      worker_id_(worker_id),
+      options_(std::move(options)),
+      agg_cache_(options_.aggregate_cache_entries) {
   store_ = std::make_unique<kv::KvStore>(options_.kv);
 
   registry_ = options_.registry;
@@ -383,6 +536,10 @@ ServingCore::ServingCore(QueryPlan plan, std::uint32_t worker_id, Options option
   m_.cache_miss_cells = registry_->GetCounter("serving.cache_miss_cells", labels);
   m_.cache_miss_features = registry_->GetCounter("serving.cache_miss_features", labels);
   m_.bad_cells = registry_->GetCounter("serving.bad_cells", labels);
+  m_.agg_hits = registry_->GetCounter("serving.cache.hits", labels);
+  m_.agg_misses = registry_->GetCounter("serving.cache.misses", labels);
+  m_.agg_stale = registry_->GetCounter("serving.cache.stale_recompute", labels);
+  m_.agg_shed = registry_->GetCounter("serving.cache.shed", labels);
   m_.latest_event_ts = registry_->GetGauge("serving.latest_event_ts", labels);
   m_.query_latency_us = registry_->GetLatency("serving.query.latency_us", labels);
   m_.query_nodes = registry_->GetLatency("serving.query.nodes", labels);
@@ -408,6 +565,14 @@ void ServingCore::PublishCacheStats() {
 }
 
 void ServingCore::Apply(const ServingMessage& message) {
+  // Computation-reuse invalidation (docs/PERF.md): any update touching a
+  // vertex retires its cached hop-1 aggregates before the write lands —
+  // sample/delta writes change the cell the aggregate was computed over,
+  // retracts remove it, and a feature write changes the vertex's own
+  // input row (drift it causes in *neighbours'* aggregates is covered by
+  // the staleness bound, not by invalidation — that trade is the tier's
+  // explicit accuracy knob).
+  if (agg_cache_.enabled()) agg_cache_.Invalidate(message.TargetVertex());
   if (freshness_ != nullptr) {
     const std::int64_t origin = message.OriginMicros();
     if (origin > 0) {
@@ -592,6 +757,216 @@ SampledSubgraph ServingCore::Serve(graph::VertexId seed) const {
   return out;
 }
 
+std::int64_t ServingCore::CacheNowMicros() const {
+  if (options_.freshness_clock != nullptr) return options_.freshness_clock->NowMicros();
+  static const obs::WallClock kWallClock;
+  return kWallClock.NowMicros();
+}
+
+bool ServingCore::ServeAggregatesInto(graph::VertexId seed, std::size_t dim,
+                                      std::uint64_t version, AggregateServeResult& out,
+                                      ServeScratch& scratch) const {
+  if (!agg_cache_.enabled() || plan_.num_hops() != 2 || dim == 0) return false;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.Reset(seed);
+  const std::uint32_t level1 = plan_.one_hop[0].hop;
+  const std::uint32_t level2 = plan_.one_hop[1].hop;
+  const std::int64_t now = CacheNowMicros();
+
+  // ---- seed cell: one probe yields the full child frontier.
+  out.sample_lookups++;
+  {
+    const SampleKeyBuf kb(level1, seed);
+    std::string_view key = kb.view();
+    store_->MultiView(
+        &key, 1,
+        [&](std::size_t, std::string_view value, bool found) {
+          if (!found) {
+            out.missing_cells++;
+            return;
+          }
+          const std::uint32_t n = CellRecordCount(value);
+          if (n == kBadCell) {
+            out.missing_cells++;
+            out.bad_cells++;
+            return;
+          }
+          out.children.resize(n);
+          util::simd::GatherStridedU64(value.data() + kCellHeaderBytes, kCellRecordBytes, n,
+                                       out.children.data());
+        },
+        scratch.kv);
+  }
+  const std::size_t nc = out.children.size();
+  out.nodes_touched = 1 + nc;
+
+  // ---- cache probe per child. A hit lands the aggregate row directly; a
+  // miss (or stale entry) queues the child for hop-2 expansion below.
+  out.aggs.assign(nc * dim, 0.f);
+  scratch.agg_miss.clear();
+  for (std::size_t i = 0; i < nc; ++i) {
+    bool stale = false;
+    if (agg_cache_.Lookup(out.children[i], version, dim, now, options_.aggregate_staleness_us,
+                          out.aggs.data() + i * dim, &stale)) {
+      out.cache_hits++;
+    } else {
+      scratch.agg_miss.push_back(static_cast<std::uint32_t>(i));
+      if (stale) {
+        out.stale_recomputes++;
+      } else {
+        out.cache_misses++;
+      }
+    }
+  }
+
+  // ---- miss path: expand the missed children's hop-2 cells (one batched
+  // view), gather the distinct grandchild features (one batched view), then
+  // fold each missed child's aggregate in cell-record order — the exact
+  // float-summation order EmbedSeed uses, so cached and recomputed rows are
+  // bit-identical (each grandchild contributes its zero-padded input row
+  // via AddF32, then one DivF32 by the record count).
+  const std::size_t nmiss = scratch.agg_miss.size();
+  if (nmiss > 0) {
+    scratch.sample_keys.resize(nmiss);
+    scratch.keys.resize(nmiss);
+    for (std::size_t m = 0; m < nmiss; ++m) {
+      scratch.sample_keys[m] = SampleKeyBuf(level2, out.children[scratch.agg_miss[m]]);
+      scratch.keys[m] = scratch.sample_keys[m].view();
+    }
+    out.sample_lookups += nmiss;
+    scratch.ranges.assign(nmiss, ServeScratch::CellRange{0, ServeScratch::kMissingCell});
+    scratch.hop_dst.clear();
+    store_->MultiView(
+        scratch.keys.data(), nmiss,
+        [&](std::size_t m, std::string_view value, bool found) {
+          if (!found) return;
+          const std::uint32_t n = CellRecordCount(value);
+          if (n == kBadCell) {
+            scratch.ranges[m].count = ServeScratch::kBadCellRange;
+            return;
+          }
+          auto& range = scratch.ranges[m];
+          range.begin = static_cast<std::uint32_t>(scratch.hop_dst.size());
+          range.count = n;
+          scratch.hop_dst.resize(scratch.hop_dst.size() + n);
+          util::simd::GatherStridedU64(value.data() + kCellHeaderBytes, kCellRecordBytes, n,
+                                       scratch.hop_dst.data() + range.begin);
+        },
+        scratch.kv);
+
+    scratch.agg_features.Clear();
+    scratch.feat_vertices.clear();
+    for (std::size_t m = 0; m < nmiss; ++m) {
+      const auto& range = scratch.ranges[m];
+      if (range.count == ServeScratch::kMissingCell ||
+          range.count == ServeScratch::kBadCellRange) {
+        out.missing_cells++;
+        if (range.count == ServeScratch::kBadCellRange) out.bad_cells++;
+        continue;
+      }
+      out.nodes_touched += range.count;
+      for (std::uint32_t r = 0; r < range.count; ++r) {
+        const graph::VertexId v = scratch.hop_dst[range.begin + r];
+        if (scratch.agg_features.Insert(v)) scratch.feat_vertices.push_back(v);
+      }
+    }
+
+    const std::size_t ngk = scratch.feat_vertices.size();
+    out.feature_lookups += ngk;
+    scratch.feature_keys.resize(ngk);
+    scratch.keys.resize(ngk);
+    for (std::size_t i = 0; i < ngk; ++i) {
+      scratch.feature_keys[i] = FeatureKeyBuf(scratch.feat_vertices[i]);
+      scratch.keys[i] = scratch.feature_keys[i].view();
+    }
+    store_->MultiView(
+        scratch.keys.data(), ngk,
+        [&](std::size_t i, std::string_view value, bool found) {
+          if (!found) {
+            out.missing_features++;
+            scratch.agg_features.Erase(scratch.feat_vertices[i]);
+            return;
+          }
+          DecodeFeatureInto(value, scratch.agg_features, scratch.feat_vertices[i]);
+        },
+        scratch.kv);
+
+    if (freshness_ != nullptr) {
+      for (const graph::VertexId v : scratch.feat_vertices) freshness_->OnServe(v, now);
+    }
+
+    scratch.agg_row.resize(dim);
+    for (std::size_t m = 0; m < nmiss; ++m) {
+      const std::uint32_t child_idx = scratch.agg_miss[m];
+      float* acc = out.aggs.data() + child_idx * dim;  // already zero-filled
+      const auto& range = scratch.ranges[m];
+      const bool usable = range.count != ServeScratch::kMissingCell &&
+                          range.count != ServeScratch::kBadCellRange;
+      if (usable) {
+        for (std::uint32_t r = 0; r < range.count; ++r) {
+          const std::span<const float> f =
+              scratch.agg_features.Find(scratch.hop_dst[range.begin + r]);
+          const std::size_t n = std::min(dim, f.size());
+          std::fill(scratch.agg_row.begin(), scratch.agg_row.end(), 0.f);
+          std::copy(f.begin(), f.begin() + static_cast<std::ptrdiff_t>(n),
+                    scratch.agg_row.begin());
+          util::simd::AddF32(acc, scratch.agg_row.data(), dim);
+        }
+        if (range.count > 0) util::simd::DivF32(acc, static_cast<float>(range.count), dim);
+      }
+      // A missing cell caches as zeros: that *is* the uncached answer for
+      // this state, and the cell's arrival invalidates it via Apply.
+      agg_cache_.Put(out.children[child_idx], version, dim, now, acc);
+    }
+  }
+
+  // ---- input features of seed + children (the only arena the GNN's first
+  // layer still needs — hits skipped the grandchild gather entirely).
+  scratch.feat_vertices.clear();
+  out.features.Clear();
+  if (out.features.Insert(seed)) scratch.feat_vertices.push_back(seed);
+  for (std::size_t i = 0; i < nc; ++i) {
+    if (out.features.Insert(out.children[i])) scratch.feat_vertices.push_back(out.children[i]);
+  }
+  const std::size_t nf = scratch.feat_vertices.size();
+  out.feature_lookups += nf;
+  scratch.feature_keys.resize(nf);
+  scratch.keys.resize(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    scratch.feature_keys[i] = FeatureKeyBuf(scratch.feat_vertices[i]);
+    scratch.keys[i] = scratch.feature_keys[i].view();
+  }
+  store_->MultiView(
+      scratch.keys.data(), nf,
+      [&](std::size_t i, std::string_view value, bool found) {
+        if (!found) {
+          out.missing_features++;
+          out.features.Erase(scratch.feat_vertices[i]);
+          return;
+        }
+        DecodeFeatureInto(value, out.features, scratch.feat_vertices[i]);
+      },
+      scratch.kv);
+
+  if (freshness_ != nullptr) {
+    for (const graph::VertexId v : scratch.feat_vertices) freshness_->OnServe(v, now);
+  }
+
+  m_.queries_served->Add(1);
+  m_.agg_hits->Add(out.cache_hits);
+  m_.agg_misses->Add(out.cache_misses);
+  m_.agg_stale->Add(out.stale_recomputes);
+  m_.cache_miss_cells->Add(out.missing_cells);
+  m_.cache_miss_features->Add(out.missing_features);
+  if (out.bad_cells > 0) m_.bad_cells->Add(out.bad_cells);
+  m_.query_nodes->Record(out.nodes_touched);
+  m_.query_arena_bytes->Record((out.features.arena_floats() + out.aggs.size()) * sizeof(float));
+  m_.query_latency_us->Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+          .count()));
+  return true;
+}
+
 std::size_t ServingCore::EvictOlderThan(graph::Timestamp cutoff) {
   // Collect expired sample keys first (Scan holds shard locks). The newest
   // timestamp of a cell comes from scanning its fixed 20-byte records in
@@ -612,7 +987,17 @@ std::size_t ServingCore::EvictOlderThan(graph::Timestamp cutoff) {
     return true;
   });
   if (bad > 0) m_.bad_cells->Add(bad);
-  for (const auto& key : expired) store_->Delete(key);
+  for (const auto& key : expired) {
+    store_->Delete(key);
+    // An evicted cell's cached aggregate would otherwise keep serving the
+    // dropped neighbourhood until it aged out — retire it with the cell
+    // (sample keys are "s" + level byte + 8-byte vertex).
+    if (agg_cache_.enabled() && key.size() >= 10) {
+      graph::VertexId v = graph::kInvalidVertex;
+      std::memcpy(&v, key.data() + 2, sizeof(v));
+      agg_cache_.Invalidate(v);
+    }
+  }
   return expired.size();
 }
 

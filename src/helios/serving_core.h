@@ -30,6 +30,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -175,6 +176,78 @@ class FeatureTable {
   std::uint32_t gen_ = 1;  // 0 is reserved for "stale" (fresh slots)
 };
 
+// Staleness-bounded per-vertex hop-1 aggregate cache — the computation-
+// reuse tier (OMEGA-style, docs/PERF.md "Computation reuse & admission").
+// An entry holds the mean of a vertex's sampled cell children's input
+// features (`dim` floats), keyed (vertex, model version): exactly the
+// neighbour term the first GraphSAGE layer needs, so a hit serves without
+// expanding the vertex's hop-2 cell or touching the feature arena at all.
+//
+// Same open-addressing + generation-stamp design as FeatureTable (probe
+// chains hash by vertex only, so Invalidate(v) retires every version of v
+// in one chain walk), plus a per-entry Put timestamp for the staleness
+// bound and an internal mutex — the apply thread invalidates concurrently
+// with serve threads probing. Capacity is a hard bound: when the table (or
+// its arena) is full, Put() flushes the whole epoch O(1) via the
+// generation stamp rather than evicting piecemeal.
+//
+// Staleness: an entry is fresh iff `now - stamp < bound` (strict), so a
+// bound of 0 means *never* fresh — every probe recomputes, which is what
+// the bit-parity tests use — and a negative bound disables the age check
+// (entries live until invalidated or flushed).
+class AggregateCache {
+ public:
+  explicit AggregateCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  bool enabled() const { return max_entries_ > 0; }
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+  // Times the table hit capacity and retired the whole population.
+  std::uint64_t epoch_flushes() const;
+
+  // Copies the fresh cached aggregate for (v, version) into out[0..dim)
+  // and returns true. Returns false on miss; *stale is additionally set
+  // when an entry existed but aged past `staleness_bound_us` (it stays in
+  // place — the recompute's Put() overwrites it).
+  bool Lookup(graph::VertexId v, std::uint64_t version, std::size_t dim, std::int64_t now,
+              std::int64_t staleness_bound_us, float* out, bool* stale) const;
+  // Inserts or overwrites (v, version) with `data[0..dim)` stamped `now`.
+  void Put(graph::VertexId v, std::uint64_t version, std::size_t dim, std::int64_t now,
+           const float* data);
+  // Drops every entry of v, all versions — the dissemination-path hook
+  // (Apply marks touched vertices dirty; EvictOlderThan retires evicted
+  // cells' aggregates).
+  void Invalidate(graph::VertexId v);
+  // O(1) full flush (recovery cold-start, capacity pressure).
+  void Clear();
+
+ private:
+  enum SlotState : std::uint8_t { kEmpty = 0, kUsed = 1, kTombstone = 2 };
+  struct Slot {
+    graph::VertexId vertex = graph::kInvalidVertex;
+    std::uint64_t version = 0;
+    std::int64_t stamp = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+    std::uint32_t gen = 0;  // slot live iff gen == gen_ (Clear() bumps)
+    std::uint8_t state = kEmpty;
+  };
+
+  const Slot* FindSlotLocked(graph::VertexId v, std::uint64_t version) const;
+  Slot* InsertSlotLocked(graph::VertexId v, std::uint64_t version);
+  void GrowLocked();
+  void ClearLocked();
+
+  mutable std::mutex mu_;
+  util::AlignedVector<float> arena_;
+  std::vector<Slot> slots_;  // power-of-two open addressing, linear probing
+  std::size_t count_ = 0;
+  std::size_t tombstones_ = 0;
+  std::uint32_t gen_ = 1;  // 0 reserved for "stale"
+  std::size_t max_entries_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
 // The layered K-hop sample produced for one inference request. Layer 0 is
 // the seed; layer k holds the hop-k samples with a parent index into layer
 // k-1 (enough structure for message-passing GNN aggregation).
@@ -234,6 +307,47 @@ struct ServeScratch {
   static constexpr std::uint32_t kBadCellRange = 0xFFFFFFFEu;  // present but truncated
   std::vector<CellRange> ranges;
   std::vector<graph::VertexId> feat_vertices;  // distinct tree vertices, first-sight order
+
+  // Cache-assisted serve (ServeAggregatesInto) extras, same reuse contract.
+  std::vector<std::uint32_t> agg_miss;   // child indices that missed the cache
+  FeatureTable agg_features;             // grandchild features, miss path only
+  util::AlignedVector<float> agg_row;    // one zero-padded input row
+};
+
+// Result of the cache-assisted hop-1 assembly (ServeAggregatesInto): the
+// seed's one-hop children plus, per child, its hop-1 neighbour aggregate —
+// everything the two-layer GraphSAGE encoder needs, with the hop-2
+// expansion skipped entirely for cache hits. Buffers keep capacity across
+// queries like SampledSubgraph.
+struct AggregateServeResult {
+  graph::VertexId seed = graph::kInvalidVertex;
+  // The seed's hop-1 cell in record order (empty when the cell is missing).
+  std::vector<graph::VertexId> children;
+  // Input features of seed + children (found only; missing stay absent).
+  FeatureTable features;
+  // children.size() × dim row-major hop-1 aggregates, one row per child:
+  // mean of the child's sampled children's zero-padded input features.
+  util::AlignedVector<float> aggs;
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t stale_recomputes = 0;
+  std::uint64_t sample_lookups = 0;
+  std::uint64_t feature_lookups = 0;
+  std::uint64_t missing_cells = 0;
+  std::uint64_t missing_features = 0;
+  std::uint64_t bad_cells = 0;
+  std::uint64_t nodes_touched = 0;  // seed + children + grandchildren expanded
+
+  void Reset(graph::VertexId new_seed) {
+    seed = new_seed;
+    children.clear();
+    features.Clear();
+    aggs.clear();
+    cache_hits = cache_misses = stale_recomputes = 0;
+    sample_lookups = feature_lookups = missing_cells = missing_features = bad_cells = 0;
+    nodes_touched = 0;
+  }
 };
 
 class ServingCore {
@@ -257,6 +371,16 @@ class ServingCore {
     // to the legacy cache). The read path is format-agnostic — the value
     // header self-describes — so mixed-format caches serve correctly.
     FeatureFormat feature_format = FeatureFormat::kFp32;
+    // Hop-1 aggregate cache capacity (entries). 0 disables the
+    // computation-reuse tier: ServeAggregatesInto refuses and callers fall
+    // back to the plain ServeInto path.
+    std::size_t aggregate_cache_entries = 0;
+    // Staleness bound for cached aggregates, in the freshness clock's
+    // microsecond domain (wall for ThreadedCluster, virtual for the DES
+    // harness). Fresh iff now - stamp < bound, strictly: 0 means never
+    // fresh (every probe recomputes — the parity-test mode), negative
+    // means no age bound (entries live until invalidated or flushed).
+    std::int64_t aggregate_staleness_us = -1;
   };
 
   // Legacy view assembled from the registry handles (see stats()).
@@ -297,6 +421,34 @@ class ServingCore {
   // Convenience wrapper: fresh result, thread-local scratch.
   SampledSubgraph Serve(graph::VertexId seed) const;
 
+  // Cache-assisted assembly for two-hop plans (the computation-reuse tier,
+  // docs/PERF.md): resolves the seed's children and each child's hop-1
+  // aggregate — from the AggregateCache when fresh, recomputed from the
+  // child's hop-2 cell (and cached) on miss or staleness. Returns false
+  // without touching `out` when the tier cannot serve this plan (cache
+  // disabled, plan is not 2-hop, or dim == 0) so callers fall back to
+  // ServeInto. Zero heap allocations in steady state, same contract as
+  // ServeInto. `version` namespaces entries per model (a weight change
+  // must not reuse old aggregates' dims).
+  bool ServeAggregatesInto(graph::VertexId seed, std::size_t dim, std::uint64_t version,
+                           AggregateServeResult& out, ServeScratch& scratch) const;
+
+  // The computation-reuse cache itself (tests; the serve path goes through
+  // ServeAggregatesInto).
+  AggregateCache& aggregate_cache() const { return agg_cache_; }
+  // Recovery cold-start hook: replayed state may differ from what the
+  // cached aggregates were computed over, so recovery flushes rather than
+  // trusts (docs/FAULT_TOLERANCE.md).
+  void FlushAggregateCache() { agg_cache_.Clear(); }
+  // Admission sheds queries before they reach the core; the cluster-level
+  // front door accounts them here so serving.cache.shed sits next to the
+  // hit/miss counters it trades off against.
+  void CountShedQueries(std::uint64_t n) const { m_.agg_shed->Add(n); }
+  std::int64_t aggregate_staleness_us() const { return options_.aggregate_staleness_us; }
+  // Now in the staleness clock's domain (options.freshness_clock if set,
+  // else wall time).
+  std::int64_t CacheNowMicros() const;
+
   // TTL pass over the sample table: drops cached samples whose newest entry
   // is older than `cutoff`. Scans the fixed 20-byte records in place — no
   // per-cell decode or allocation.
@@ -327,6 +479,9 @@ class ServingCore {
   std::uint32_t worker_id_ = 0;
   Options options_;
   std::unique_ptr<kv::KvStore> store_;
+  // Mutable: ServeAggregatesInto is const (a read) but populates the cache
+  // on miss; the cache locks internally.
+  mutable AggregateCache agg_cache_;
   obs::FreshnessTracker* freshness_ = nullptr;
   const obs::Clock* freshness_clock_ = nullptr;
   std::uint32_t apply_src_shard_ = 0;
@@ -343,6 +498,11 @@ class ServingCore {
     obs::Counter* cache_miss_cells;
     obs::Counter* cache_miss_features;
     obs::Counter* bad_cells;
+    // Computation-reuse tier ("serving.cache.*", docs/OBSERVABILITY.md).
+    obs::Counter* agg_hits;
+    obs::Counter* agg_misses;
+    obs::Counter* agg_stale;
+    obs::Counter* agg_shed;
     obs::Gauge* latest_event_ts;
     // Read-path ("serving.query.*") distributions: wall latency per query,
     // nodes assembled per query, feature-arena bytes per query.

@@ -487,6 +487,8 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
     }
     so.ttl = options_.ttl;
     so.registry = &registry_;
+    so.aggregate_cache_entries = options_.aggregate_cache_entries;
+    so.aggregate_staleness_us = options_.aggregate_staleness_us;
     // One freshness tracker per serving worker, lanes keyed by source
     // sampling shard; the core invokes it at apply (visibility) and serve
     // (first read) time under wall clock.
@@ -505,6 +507,15 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
     system_->Attach(poller, "poll");
     serving_pollers_.push_back(std::move(poller));
     coordinator_->RegisterWorker(WorkerKind::kServing, w, util::NowMicros());
+    if (options_.enable_admission) {
+      AdmissionQueue::Options ao = options_.admission;
+      ao.registry = &registry_;
+      ao.lane = std::to_string(w);
+      if (options_.telemetry != nullptr && !ao.overloaded) {
+        ao.overloaded = [hub = options_.telemetry] { return hub->Overloaded(); };
+      }
+      admission_queues_.push_back(std::make_unique<AdmissionQueue>(std::move(ao)));
+    }
   }
 
   if (options_.trace != nullptr) {
@@ -526,6 +537,7 @@ void ThreadedCluster::Start() {
   for (auto& poller : sampling_pollers_) poller->Loop();
   for (auto& poller : serving_pollers_) poller->Loop();
   if (supervisor_ != nullptr) monitor_ = std::thread([this] { MonitorLoop(); });
+  if (!admission_queues_.empty()) query_pump_ = std::thread([this] { QueryPumpLoop(); });
 }
 
 void ThreadedCluster::MonitorLoop() {
@@ -549,6 +561,10 @@ void ThreadedCluster::MonitorLoop() {
 void ThreadedCluster::Stop() {
   running_.store(false, std::memory_order_release);
   if (monitor_.joinable()) monitor_.join();
+  if (query_pump_.joinable()) query_pump_.join();
+  // Fence semantics: admitted queries are answered before shutdown, never
+  // dropped (serving is synchronous and needs no actor pools).
+  DrainQueries();
   system_->Shutdown();
 }
 
@@ -648,6 +664,96 @@ SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
   return result;
 }
 
+// ---- admission front door (docs/PERF.md "Computation reuse & admission")
+
+AdmissionQueue::Outcome ThreadedCluster::SubmitQuery(graph::VertexId seed,
+                                                     std::int64_t deadline_us) {
+  const std::uint32_t worker = options_.map.ServingWorkerOf(seed);
+  if (worker >= admission_queues_.size()) {
+    // Admission disabled: serve synchronously, preserving the old
+    // front-door semantics.
+    Serve(seed);
+    return AdmissionQueue::Outcome::kAdmitted;
+  }
+  QueryTicket t;
+  t.seed = seed;
+  t.deadline_us = deadline_us;
+  // The queue accounts sheds itself (it shares the serving.cache.shed cell
+  // with the worker's ServingCore).
+  return admission_queues_[worker]->Offer(t, wall_clock_.NowMicros());
+}
+
+void ThreadedCluster::ServeTicket(std::uint32_t worker, const QueryTicket& ticket) {
+  const std::int64_t t0 = wall_clock_.NowMicros();
+  SampledSubgraph result;
+  {
+    obs::ScopedStage span(*serving_tracers_[worker], obs::Stage::kServe, kServingPidBase + worker,
+                          1);
+    result = serving_cores_[worker]->Serve(ticket.seed);
+  }
+  flow_.queries_served->Add(1);
+  if (options_.telemetry != nullptr) {
+    const std::int64_t t1 = wall_clock_.NowMicros();
+    const std::uint64_t bytes = result.TotalNodes() * sizeof(SampledSubgraph::Node) +
+                                result.features.arena_floats() * sizeof(float);
+    // The hub scores SLO against the per-query *budget* (latency vs
+    // deadline-minus-enqueue), queue wait included.
+    const std::int64_t budget = ticket.deadline_us - ticket.enqueue_us;
+    options_.telemetry->RecordQuery(worker, t1, static_cast<std::uint64_t>(t1 - t0), bytes,
+                                    budget > 0 ? static_cast<std::uint64_t>(budget) : 0);
+  }
+  admission_queues_[worker]->NoteServed(ticket.seed);
+  queries_pumped_.fetch_add(1, std::memory_order_release);
+}
+
+void ThreadedCluster::QueryPumpLoop() {
+  std::vector<QueryTicket> batch;
+  while (running_.load(std::memory_order_acquire)) {
+    bool any = false;
+    for (std::uint32_t w = 0; w < admission_queues_.size(); ++w) {
+      batch.clear();
+      admission_queues_[w]->NextBatch(wall_clock_.NowMicros(), batch);
+      for (const QueryTicket& t : batch) ServeTicket(w, t);
+      any = any || !batch.empty();
+    }
+    if (!any) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+std::size_t ThreadedCluster::DrainQueries() {
+  std::size_t served = 0;
+  std::vector<QueryTicket> batch;
+  for (std::uint32_t w = 0; w < admission_queues_.size(); ++w) {
+    batch.clear();
+    admission_queues_[w]->Drain(batch);
+    for (const QueryTicket& t : batch) ServeTicket(w, t);
+    served += batch.size();
+  }
+  return served;
+}
+
+void ThreadedCluster::WaitForQueryIdle() {
+  // Every admitted ticket ends up either pumped (queries_pumped_) or shed
+  // at pop time (shed_deadline); idle once the books balance and the
+  // queues are empty.
+  while (true) {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_deadline = 0;
+    std::size_t depth = 0;
+    for (const auto& q : admission_queues_) {
+      const AdmissionQueue::Stats s = q->stats();
+      admitted += s.admitted;
+      shed_deadline += s.shed_deadline;
+      depth += q->depth();
+    }
+    if (depth == 0 &&
+        admitted == queries_pumped_.load(std::memory_order_acquire) + shed_deadline) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
 void ThreadedCluster::PruneTTL(graph::Timestamp cutoff) {
   std::vector<std::shared_ptr<ShardActor>> live;
   {
@@ -708,6 +814,8 @@ util::Status ThreadedCluster::Restore(const std::string& dir) {
     });
     if (!ok) return util::Status::Internal("corrupt checkpoint for shard " + std::to_string(s));
   }
+  // Restored state may predate whatever the caches were built from.
+  for (auto& core : serving_cores_) core->FlushAggregateCache();
   return util::Status::Ok();
 }
 
@@ -831,6 +939,9 @@ ft::RecoveryReport ThreadedCluster::RecoverNode(std::uint32_t node, std::uint32_
   report.restore_us = util::NowMicros() - restore_start;
   node_dead_[node].store(false, std::memory_order_release);
   if (running_.load(std::memory_order_acquire)) sampling_pollers_[node]->Loop();
+  // Replay re-applies deltas the caches may have served around; cold-start
+  // every aggregate cache so nothing stale survives recovery.
+  for (auto& core : serving_cores_) core->FlushAggregateCache();
   report.ok = true;
   HLOG(kWarn, "ft") << "recovered sampling node " << node << " at epoch " << epoch << ": "
                     << report.shards_restored << " shard(s) restored, "

@@ -33,6 +33,7 @@
 #include "ft/supervisor.h"
 #include "gen/datasets.h"
 #include "graph/types.h"
+#include "helios/admission.h"
 #include "helios/coordinator.h"
 #include "helios/messages.h"
 #include "helios/query.h"
@@ -83,6 +84,19 @@ struct ClusterOptions {
   // Non-zero arms it: a sampling node whose heartbeat is older than this is
   // declared dead and auto-recovered from the latest Checkpoint() directory.
   util::Micros supervision_timeout = 0;
+  // Computation-reuse tier (docs/PERF.md "Computation reuse & admission"),
+  // forwarded to every ServingCore: per-worker hop-1 aggregate cache
+  // capacity (0 disables) and staleness bound in wall micros (see
+  // ServingCore::Options::aggregate_staleness_us).
+  std::size_t aggregate_cache_entries = 0;
+  std::int64_t aggregate_staleness_us = -1;
+  // SLO-aware admission front door. When true, SubmitQuery() offers
+  // queries to per-worker AdmissionQueues drained by a pump thread;
+  // `admission` seeds each queue's policy (registry, lane label, and —
+  // when `telemetry` is set — the overload probe are filled in by the
+  // cluster).
+  bool enable_admission = false;
+  AdmissionQueue::Options admission;
 };
 
 struct ClusterStats {
@@ -122,6 +136,26 @@ class ThreadedCluster {
   SampledSubgraph Serve(graph::VertexId seed);
   // The serving worker a seed routes to (exposed for tests / benches).
   std::uint32_t RouteOf(graph::VertexId seed) const { return options_.map.ServingWorkerOf(seed); }
+
+  // ---- admission front door (requires ClusterOptions::enable_admission)
+  // Offers a query with an absolute wall-clock deadline to the owning
+  // worker's AdmissionQueue; a pump thread drains batches by deadline
+  // slack (hit-likely first) and serves them. Sheds instead of enqueueing
+  // when the queue is full or the ticket cannot make its deadline under
+  // overload ("serving.admission.*" / "serving.cache.shed" metrics).
+  AdmissionQueue::Outcome SubmitQuery(graph::VertexId seed, std::int64_t deadline_us);
+  // Blocks until every admitted query has been served or shed.
+  void WaitForQueryIdle();
+  // Serves everything still queued ignoring deadlines (fence semantics:
+  // admitted queries are answered, never dropped). Also runs on Stop().
+  std::size_t DrainQueries();
+  // Null when admission is disabled or the worker is out of range.
+  AdmissionQueue* admission_queue(std::uint32_t worker) {
+    return worker < admission_queues_.size() ? admission_queues_[worker].get() : nullptr;
+  }
+  // Direct core access for the computation-reuse tier (cached embeds in
+  // benches/tests go through gnn::GraphSageEncoder::EmbedSeedCached).
+  const ServingCore& serving_core(std::uint32_t worker) const { return *serving_cores_[worker]; }
 
   // ---- operations
   // TTL pass on sampling shards and serving caches (§4.2/§6).
@@ -186,6 +220,8 @@ class ThreadedCluster {
   ft::RecoveryReport RecoverNode(std::uint32_t node, std::uint32_t epoch, util::Micros now);
   std::uint32_t NextEpochFor(std::uint32_t node);
   void MonitorLoop();
+  void QueryPumpLoop();
+  void ServeTicket(std::uint32_t worker, const QueryTicket& ticket);
 
   QueryPlan plan_;
   ClusterOptions options_;
@@ -218,6 +254,11 @@ class ThreadedCluster {
   std::vector<std::shared_ptr<ServingPollActor>> serving_pollers_;
   std::vector<std::shared_ptr<ServingUpdateActor>> serving_updaters_;
   std::vector<std::unique_ptr<ServingCore>> serving_cores_;
+
+  // Admission front door (empty unless options_.enable_admission).
+  std::vector<std::unique_ptr<AdmissionQueue>> admission_queues_;
+  std::thread query_pump_;
+  std::atomic<std::uint64_t> queries_pumped_{0};
 
   std::atomic<bool> running_{false};
 

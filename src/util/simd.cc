@@ -115,6 +115,24 @@ void DivF32Scalar(float* v, float divisor, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) v[i] /= divisor;
 }
 
+void SageApplyScalar(const float* a, const float* b, const float* x, const float* y,
+                     std::size_t in, std::size_t width, std::size_t ld, const float* bias,
+                     bool relu, float* out) {
+  for (std::size_t j = 0; j < width; ++j) out[j] = 0.f;
+  for (std::size_t k = 0; k < in; ++k) {
+    const float ak = a[k];
+    const float bk = b[k];
+    if (ak == 0.f && bk == 0.f) continue;
+    const float* xr = x + k * ld;
+    const float* yr = y + k * ld;
+    for (std::size_t j = 0; j < width; ++j) out[j] += ak * xr[j] + bk * yr[j];
+  }
+  for (std::size_t j = 0; j < width; ++j) {
+    out[j] += bias[j];
+    if (relu && out[j] < 0.f) out[j] = 0.f;
+  }
+}
+
 // ------------------------------------------------------------- AVX2 paths
 //
 // Compiled with per-function target attributes so the rest of the build
@@ -210,6 +228,65 @@ HELIOS_AVX2_FN void DivF32Avx2(float* v, float divisor, std::size_t n) {
   DivF32Scalar(v + i, divisor, n - i);
 }
 
+// Register-blocked: each 16-wide output tile lives in two ymm accumulators
+// for the whole k loop (one store per tile instead of a load+store per k),
+// with mul/add only — per lane the op sequence is exactly the scalar loop's
+// (t = a*x; u = b*y; acc += t+u), so results are bit-identical. The relu is
+// a compare+blend rather than max so NaN and -0 behave like the scalar
+// `if (out < 0) out = 0`.
+HELIOS_AVX2_FN void SageApplyAvx2(const float* a, const float* b, const float* x,
+                                  const float* y, std::size_t in, std::size_t width,
+                                  std::size_t ld, const float* bias, bool relu, float* out) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t j = 0;
+  for (; j + 16 <= width; j += 16) {
+    __m256 acc0 = zero;
+    __m256 acc1 = zero;
+    const float* xr = x + j;
+    const float* yr = y + j;
+    for (std::size_t k = 0; k < in; ++k, xr += ld, yr += ld) {
+      const float ak = a[k];
+      const float bk = b[k];
+      if (ak == 0.f && bk == 0.f) continue;
+      const __m256 va = _mm256_set1_ps(ak);
+      const __m256 vb = _mm256_set1_ps(bk);
+      acc0 = _mm256_add_ps(acc0, _mm256_add_ps(_mm256_mul_ps(va, _mm256_loadu_ps(xr)),
+                                               _mm256_mul_ps(vb, _mm256_loadu_ps(yr))));
+      acc1 = _mm256_add_ps(acc1, _mm256_add_ps(_mm256_mul_ps(va, _mm256_loadu_ps(xr + 8)),
+                                               _mm256_mul_ps(vb, _mm256_loadu_ps(yr + 8))));
+    }
+    acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(bias + j));
+    acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(bias + j + 8));
+    if (relu) {
+      acc0 = _mm256_blendv_ps(acc0, zero, _mm256_cmp_ps(acc0, zero, _CMP_LT_OQ));
+      acc1 = _mm256_blendv_ps(acc1, zero, _mm256_cmp_ps(acc1, zero, _CMP_LT_OQ));
+    }
+    _mm256_storeu_ps(out + j, acc0);
+    _mm256_storeu_ps(out + j + 8, acc1);
+  }
+  for (; j + 8 <= width; j += 8) {
+    __m256 acc = zero;
+    const float* xr = x + j;
+    const float* yr = y + j;
+    for (std::size_t k = 0; k < in; ++k, xr += ld, yr += ld) {
+      const float ak = a[k];
+      const float bk = b[k];
+      if (ak == 0.f && bk == 0.f) continue;
+      acc = _mm256_add_ps(
+          acc, _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(ak), _mm256_loadu_ps(xr)),
+                             _mm256_mul_ps(_mm256_set1_ps(bk), _mm256_loadu_ps(yr))));
+    }
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(bias + j));
+    if (relu) acc = _mm256_blendv_ps(acc, zero, _mm256_cmp_ps(acc, zero, _CMP_LT_OQ));
+    _mm256_storeu_ps(out + j, acc);
+  }
+  if (j < width) {
+    // Column tail: the scalar kernel on the remaining width-j columns (the
+    // leading dimension still walks full rows).
+    SageApplyScalar(a, b, x + j, y + j, in, width - j, ld, bias + j, relu, out + j);
+  }
+}
+
 #undef HELIOS_AVX2_FN
 
 #else  // !HELIOS_SIMD_X86 — the AVX2 symbols degrade to the scalar loops.
@@ -233,6 +310,11 @@ void DequantInt8Avx2(const std::int8_t* in, std::size_t n, float scale, float* o
 }
 void AddF32Avx2(float* acc, const float* x, std::size_t n) { AddF32Scalar(acc, x, n); }
 void DivF32Avx2(float* v, float divisor, std::size_t n) { DivF32Scalar(v, divisor, n); }
+void SageApplyAvx2(const float* a, const float* b, const float* x, const float* y,
+                   std::size_t in, std::size_t width, std::size_t ld, const float* bias,
+                   bool relu, float* out) {
+  SageApplyScalar(a, b, x, y, in, width, ld, bias, relu, out);
+}
 
 #endif  // HELIOS_SIMD_X86
 
@@ -272,6 +354,13 @@ void AddF32(float* acc, const float* x, std::size_t n) {
 void DivF32(float* v, float divisor, std::size_t n) {
   if (ActiveSimdLevel() == SimdLevel::kAvx2) return DivF32Avx2(v, divisor, n);
   DivF32Scalar(v, divisor, n);
+}
+
+void SageApply(const float* a, const float* b, const float* x, const float* y, std::size_t in,
+               std::size_t width, std::size_t ld, const float* bias, bool relu, float* out) {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2)
+    return SageApplyAvx2(a, b, x, y, in, width, ld, bias, relu, out);
+  SageApplyScalar(a, b, x, y, in, width, ld, bias, relu, out);
 }
 
 // --------------------------------------------------- fp16 / int8 encoders

@@ -103,6 +103,25 @@ void AddF32Scalar(float* acc, const float* x, std::size_t n);
 void AddF32Avx2(float* acc, const float* x, std::size_t n);
 void AddF32(float* acc, const float* x, std::size_t n);
 
+// The GraphSAGE dense layer (gnn::GraphSageEncoder::Apply), register-blocked:
+//   out[j] = sum_k a[k]*X[k*ld+j] + b[k]*Y[k*ld+j]   (k ascending)
+//   out[j] += bias[j]; if (relu && out[j] < 0) out[j] = 0
+// X and Y are row-major `in` x `width` matrices with leading dimension `ld`
+// (>= width). Rows whose a[k] and b[k] are both zero are skipped — the same
+// sparse-input shortcut the historical scalar loop took, kept so results
+// stay bit-identical to it. The AVX2 path holds each 16-wide output tile in
+// registers across the whole k loop and uses only mul/add (no FMA, no
+// reassociation across k), so every element sees exactly the scalar op
+// sequence: value-exact across dispatch levels.
+void SageApplyScalar(const float* a, const float* b, const float* x, const float* y,
+                     std::size_t in, std::size_t width, std::size_t ld, const float* bias,
+                     bool relu, float* out);
+void SageApplyAvx2(const float* a, const float* b, const float* x, const float* y,
+                   std::size_t in, std::size_t width, std::size_t ld, const float* bias,
+                   bool relu, float* out);
+void SageApply(const float* a, const float* b, const float* x, const float* y, std::size_t in,
+               std::size_t width, std::size_t ld, const float* bias, bool relu, float* out);
+
 // v[i] /= divisor — elementwise IEEE divide, bit-identical per lane.
 void DivF32Scalar(float* v, float divisor, std::size_t n);
 void DivF32Avx2(float* v, float divisor, std::size_t n);

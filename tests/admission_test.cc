@@ -1,0 +1,171 @@
+// Tests for the SLO-aware admission queue: deadline ordering, the
+// hit/miss class policy, all three shed points, the no-shed drain-on-fence
+// contract, and determinism (docs/PERF.md "Computation reuse & admission").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "helios/admission.h"
+#include "obs/metrics.h"
+
+namespace helios {
+namespace {
+
+QueryTicket Ticket(graph::VertexId seed, std::int64_t deadline_us) {
+  QueryTicket t;
+  t.seed = seed;
+  t.deadline_us = deadline_us;
+  return t;
+}
+
+std::vector<QueryTicket> PopAll(AdmissionQueue& q, std::int64_t now) {
+  std::vector<QueryTicket> out;
+  while (q.NextBatch(now, out) > 0) {
+  }
+  return out;
+}
+
+TEST(AdmissionQueue, PopsInDeadlineOrderWithIdTieBreak) {
+  AdmissionQueue q({});
+  // Shuffled deadlines plus a tie: EDF with admission-order tie break.
+  ASSERT_EQ(q.Offer(Ticket(1, 500), 0), AdmissionQueue::Outcome::kAdmitted);
+  ASSERT_EQ(q.Offer(Ticket(2, 100), 0), AdmissionQueue::Outcome::kAdmitted);
+  ASSERT_EQ(q.Offer(Ticket(3, 300), 0), AdmissionQueue::Outcome::kAdmitted);
+  ASSERT_EQ(q.Offer(Ticket(4, 100), 0), AdmissionQueue::Outcome::kAdmitted);
+  const auto out = PopAll(q, 0);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].seed, 2u);  // deadline 100, admitted first
+  EXPECT_EQ(out[1].seed, 4u);  // deadline 100, admitted later
+  EXPECT_EQ(out[2].seed, 3u);
+  EXPECT_EQ(out[3].seed, 1u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(AdmissionQueue, HitClassDrainsFirstUntilMissHeadTurnsUrgent) {
+  AdmissionQueue::Options opt;
+  opt.est_miss_cost_us = 60;
+  opt.urgency_factor = 4;  // miss preempts below 240µs slack
+  opt.max_batch = 1;       // one pop per NextBatch so ordering is visible
+  AdmissionQueue q(opt);
+  q.NoteServed(7);  // seed 7 is now hit-likely
+
+  // Miss ticket has the EARLIER deadline but comfortable slack: the
+  // hit-likely ticket still goes first (shortest-job-first under load).
+  q.Offer(Ticket(9, 1000), 0);
+  q.Offer(Ticket(7, 2000), 0);
+  std::vector<QueryTicket> out;
+  q.NextBatch(0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seed, 7u);
+
+  // Same queue state later: the miss head's slack fell under
+  // urgency_factor × est_miss_cost_us, so it preempts.
+  q.Offer(Ticket(7, 2000), 800);
+  out.clear();
+  q.NextBatch(800, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seed, 9u);
+}
+
+TEST(AdmissionQueue, ShedsOnFullQueue) {
+  AdmissionQueue::Options opt;
+  opt.max_depth = 2;
+  AdmissionQueue q(opt);
+  EXPECT_EQ(q.Offer(Ticket(1, 100), 0), AdmissionQueue::Outcome::kAdmitted);
+  EXPECT_EQ(q.Offer(Ticket(2, 100), 0), AdmissionQueue::Outcome::kAdmitted);
+  EXPECT_EQ(q.Offer(Ticket(3, 100), 0), AdmissionQueue::Outcome::kShedFull);
+  const auto s = q.stats();
+  EXPECT_EQ(s.offered, 3u);
+  EXPECT_EQ(s.admitted, 2u);
+  EXPECT_EQ(s.shed_full, 1u);
+  EXPECT_EQ(s.shed(), 1u);
+}
+
+TEST(AdmissionQueue, ShedsOnOverloadOnlyWhenTicketIsDoomed) {
+  AdmissionQueue::Options opt;
+  opt.est_miss_cost_us = 60;
+  bool overloaded = false;
+  opt.overloaded = [&overloaded] { return overloaded; };
+  AdmissionQueue q(opt);
+
+  // Doomed slack but no overload: admitted (it may still make it).
+  EXPECT_EQ(q.Offer(Ticket(1, 30), 0), AdmissionQueue::Outcome::kAdmitted);
+  overloaded = true;
+  // Overloaded + comfortable slack: admitted (it can make its deadline).
+  EXPECT_EQ(q.Offer(Ticket(2, 10'000), 0), AdmissionQueue::Outcome::kAdmitted);
+  // Overloaded + slack below the miss-path estimate: shed.
+  EXPECT_EQ(q.Offer(Ticket(3, 30), 0), AdmissionQueue::Outcome::kShedOverload);
+  EXPECT_EQ(q.stats().shed_overload, 1u);
+}
+
+TEST(AdmissionQueue, ShedsExpiredTicketsAtPop) {
+  AdmissionQueue q({});
+  q.Offer(Ticket(1, 100), 0);
+  q.Offer(Ticket(2, 1000), 0);
+  std::vector<QueryTicket> out;
+  // At now=500, ticket 1's deadline has passed: shed at pop, never
+  // returned; ticket 2 comes out normally.
+  EXPECT_EQ(q.NextBatch(500, out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seed, 2u);
+  EXPECT_EQ(q.stats().shed_deadline, 1u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(AdmissionQueue, DrainReturnsEverythingInOrderWithoutShedding) {
+  AdmissionQueue q({});
+  q.NoteServed(5);
+  q.Offer(Ticket(5, 400), 0);   // hit class
+  q.Offer(Ticket(8, 100), 0);   // miss class, already expired below
+  q.Offer(Ticket(9, 9000), 0);  // miss class
+  std::vector<QueryTicket> out;
+  // Drain-on-fence: both classes merge in (deadline, id) order and the
+  // expired ticket is still delivered, not dropped.
+  EXPECT_EQ(q.Drain(out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].seed, 8u);
+  EXPECT_EQ(out[1].seed, 5u);
+  EXPECT_EQ(out[2].seed, 9u);
+  EXPECT_EQ(q.stats().shed_deadline, 0u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(AdmissionQueue, IdenticalSequencesProduceIdenticalBatches) {
+  auto run = [] {
+    AdmissionQueue q({});
+    std::vector<graph::VertexId> order;
+    q.NoteServed(3);
+    for (int i = 0; i < 20; ++i) {
+      q.Offer(Ticket(static_cast<graph::VertexId>(i % 5), 100 + (i * 37) % 400), i);
+    }
+    std::vector<QueryTicket> out;
+    while (q.NextBatch(150, out) > 0) {
+    }
+    for (const auto& t : out) order.push_back(t.seed);
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(AdmissionQueue, ShedMetricsFeedAdmissionAndCacheFamilies) {
+  obs::MetricsRegistry registry;
+  AdmissionQueue::Options opt;
+  opt.max_depth = 1;
+  opt.registry = &registry;
+  opt.lane = "3";
+  AdmissionQueue q(opt);
+  q.Offer(Ticket(1, 100), 0);
+  q.Offer(Ticket(2, 100), 0);  // shed_full
+  std::vector<QueryTicket> out;
+  q.NextBatch(500, out);  // shed_deadline
+  const obs::Labels labels{{"worker", "3"}};
+  EXPECT_EQ(registry.GetCounter("serving.admission.offered", labels)->Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("serving.admission.shed_full", labels)->Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("serving.admission.shed_deadline", labels)->Value(), 1u);
+  // Both sheds also land in the serving.cache.shed cell the ServingCore
+  // registers under the same labels.
+  EXPECT_EQ(registry.GetCounter("serving.cache.shed", labels)->Value(), 2u);
+}
+
+}  // namespace
+}  // namespace helios

@@ -12,6 +12,7 @@
 #include "gen/update_stream.h"
 #include "graph/dynamic_graph.h"
 #include "helios/threaded_cluster.h"
+#include "util/clock.h"
 
 namespace helios {
 namespace {
@@ -333,6 +334,117 @@ TEST_F(ClusterTest, EdgePlacementByDest) {
   const auto from_j = cluster.Serve(j);
   ASSERT_EQ(from_j.layers[1].size(), 1u);
   EXPECT_EQ(from_j.layers[1][0].vertex, i);
+  cluster.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Admission front door + computation-reuse tier at the cluster level
+// (docs/PERF.md "Computation reuse & admission").
+
+TEST_F(ClusterTest, AdmissionFrontDoorServesRoutedQueries) {
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  options.enable_admission = true;
+  options.aggregate_cache_entries = 256;
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  cluster.Start();
+  RunStream(cluster);
+
+  const std::int64_t deadline = util::NowMicros() + 1'000'000;
+  for (std::uint64_t u = 0; u < 100; ++u) {
+    EXPECT_EQ(cluster.SubmitQuery(MakeVertexId(0, u), deadline),
+              AdmissionQueue::Outcome::kAdmitted);
+  }
+  cluster.WaitForQueryIdle();
+
+  std::uint64_t admitted = 0, shed = 0;
+  for (std::uint32_t w = 0; w < options.map.serving_workers; ++w) {
+    const auto s = cluster.admission_queue(w)->stats();
+    admitted += s.admitted;
+    shed += s.shed() + s.shed_deadline;
+  }
+  EXPECT_EQ(admitted, 100u);
+  EXPECT_EQ(shed, 0u);
+  EXPECT_EQ(cluster.Stats().queries_served, 100u);
+  cluster.Stop();
+}
+
+TEST_F(ClusterTest, AdmissionShedsOnFullQueueAndExpiredDeadlines) {
+  ClusterOptions options;
+  options.map = {1, 1, 1};  // one serving worker: every query shares a queue
+  options.enable_admission = true;
+  options.admission.max_depth = 2;
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+
+  // No pump yet (Start() below): the queue fills deterministically.
+  const std::int64_t deadline = util::NowMicros() + 10'000'000;
+  EXPECT_EQ(cluster.SubmitQuery(MakeVertexId(0, 1), deadline),
+            AdmissionQueue::Outcome::kAdmitted);
+  EXPECT_EQ(cluster.SubmitQuery(MakeVertexId(0, 2), deadline),
+            AdmissionQueue::Outcome::kAdmitted);
+  EXPECT_EQ(cluster.SubmitQuery(MakeVertexId(0, 3), deadline),
+            AdmissionQueue::Outcome::kShedFull);
+
+  cluster.Start();
+  cluster.WaitForQueryIdle();  // pump drains the two admitted queries
+  EXPECT_EQ(cluster.Stats().queries_served, 2u);
+
+  // An already-expired deadline is admitted but shed at pop, and
+  // WaitForQueryIdle's accounting still converges.
+  EXPECT_EQ(cluster.SubmitQuery(MakeVertexId(0, 4), util::NowMicros() - 1000),
+            AdmissionQueue::Outcome::kAdmitted);
+  cluster.WaitForQueryIdle();
+  const auto s = cluster.admission_queue(0)->stats();
+  EXPECT_EQ(s.shed_full, 1u);
+  EXPECT_EQ(s.shed_deadline, 1u);
+  EXPECT_EQ(cluster.Stats().queries_served, 2u);  // the expired one never served
+
+  const auto snapshot = cluster.MetricsSnapshot();
+  EXPECT_EQ(snapshot.CounterTotal("serving.admission.shed_full"), 1u);
+  EXPECT_EQ(snapshot.CounterTotal("serving.admission.shed_deadline"), 1u);
+  EXPECT_EQ(snapshot.CounterTotal("serving.cache.shed"), 2u);
+  cluster.Stop();
+}
+
+// Chaos bar (satellite): crash recovery must cold-start the reuse tier —
+// replay may re-apply deltas the caches served around, so nothing cached
+// survives a RestartNode, and post-recovery serves recompute fresh.
+TEST_F(ClusterTest, RecoveryColdStartsAggregateCaches) {
+  ClusterOptions options;
+  options.map = {2, 2, 2};
+  options.aggregate_cache_entries = 256;
+  ThreadedCluster cluster(Plan(Strategy::kTopK), options);
+  cluster.Start();
+  RunStream(cluster);
+
+  // Warm every worker's cache through the cache-assisted serve path.
+  AggregateServeResult r;
+  ServeScratch scratch;
+  for (std::uint64_t u = 0; u < 50; ++u) {
+    const auto seed = MakeVertexId(0, u);
+    ASSERT_TRUE(
+        cluster.serving_core(cluster.RouteOf(seed)).ServeAggregatesInto(seed, 4, 1, r, scratch));
+  }
+  std::size_t cached = 0;
+  for (std::uint32_t w = 0; w < options.map.serving_workers; ++w) {
+    cached += cluster.serving_core(w).aggregate_cache().size();
+  }
+  ASSERT_GT(cached, 0u);
+
+  ASSERT_TRUE(cluster.KillNode(0));
+  ASSERT_TRUE(cluster.RestartNode(0));
+  cluster.WaitForIngestIdle();
+  for (std::uint32_t w = 0; w < options.map.serving_workers; ++w) {
+    EXPECT_EQ(cluster.serving_core(w).aggregate_cache().size(), 0u) << "worker " << w;
+  }
+
+  // The tier still serves after the flush — recomputing, not replaying.
+  r.Reset(graph::kInvalidVertex);
+  const auto seed = MakeVertexId(0, 7);
+  ASSERT_TRUE(
+      cluster.serving_core(cluster.RouteOf(seed)).ServeAggregatesInto(seed, 4, 1, r, scratch));
+  EXPECT_EQ(r.cache_hits, 0u);
+  EXPECT_GT(r.cache_misses + r.missing_cells, 0u);
   cluster.Stop();
 }
 

@@ -290,5 +290,193 @@ TEST(GraphSage, QuantizedFeaturesGiveCloseEmbeddings) {
   }
 }
 
+// ------------------------- computation-reuse tier parity (docs/PERF.md)
+
+namespace {
+
+graph::GraphSchema ChurnSchema() {
+  graph::GraphSchema schema;
+  schema.vertex_type_names = {"User", "Item"};
+  schema.edge_type_names = {"Click", "CoPurchase"};
+  schema.edge_endpoints = {{0, 1}, {1, 1}};
+  schema.feature_dim = 6;
+  return schema;
+}
+
+QueryPlan ChurnPlan() {
+  SamplingQuery q;
+  q.seed_type = 0;
+  q.hops = {{0, 3, Strategy::kTopK}, {1, 2, Strategy::kTopK}};
+  return Decompose(q, ChurnSchema()).value();
+}
+
+SageConfig ChurnConfig(std::uint64_t seed = 7) {
+  SageConfig c;
+  c.input_dim = 6;
+  c.hidden_dim = 13;  // odd width: exercises vector remainder lanes
+  c.output_dim = 7;
+  c.num_layers = 2;
+  c.seed = seed;
+  return c;
+}
+
+// One random mutation against the core: a rewritten sample cell, a feature
+// update, a single-edge delta patch, or a cell retract. `features` gates
+// the feature updates: a hop-2 vertex's feature change shifts the hop-1
+// aggregates that sampled it without a structural edit to invalidate them
+// — by design that drift is bounded by the staleness bound, not tracked
+// per aggregate — so the unbounded (-1) parity run churns structure only.
+void ApplyRandomChurn(ServingCore& core, util::Rng& rng, bool features = true) {
+  const auto user = [&] { return MakeVertexId(0, rng.Uniform(8)); };
+  const auto item = [&] { return MakeVertexId(1, rng.Uniform(16)); };
+  switch (rng.Uniform(features ? 4 : 3)) {
+    case 0: {  // rewrite a cell (level 1 or 2)
+      SampleUpdate su;
+      su.level = 1 + rng.Uniform(2);
+      su.vertex = su.level == 1 ? user() : item();
+      su.event_ts = 1;
+      const std::uint32_t n = 1 + rng.Uniform(3);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        su.samples.push_back({item(), 1, 1.0f});
+      }
+      core.Apply(ServingMessage::Of(std::move(su)));
+      break;
+    }
+    case 1: {  // single-edge delta patch into a hop-2 cell
+      SampleDelta d;
+      d.level = 2;
+      d.vertex = item();
+      d.added = {item(), 2, 1.0f};
+      d.event_ts = 2;
+      core.Apply(ServingMessage::Of(std::move(d)));
+      break;
+    }
+    case 2: {  // retract a hop-2 cell
+      core.Apply(ServingMessage::Of(Retract{2, item()}));
+      break;
+    }
+    default: {  // feature update (only when `features`)
+      FeatureUpdate fu;
+      fu.vertex = rng.Uniform(2) == 0 ? user() : item();
+      fu.feature.resize(6);
+      for (auto& v : fu.feature) v = static_cast<float>(rng.UniformDouble() * 2 - 1);
+      core.Apply(ServingMessage::Of(std::move(fu)));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+// Acceptance bar (satellite test): the cached serve path must be
+// byte-identical to the uncached Serve+EmbedSeed under delta churn, on
+// every dispatch level. Bound 0 exercises the recompute path every probe
+// (full churn, features included — nothing is ever replayed); bound -1
+// exercises hit replay + precise Apply/Retract invalidation under
+// structural churn (a hit is only correct because every structural
+// mutation since the Put dirtied exactly the vertices it touched).
+TEST(GraphSage, CachedEmbedBitIdenticalUnderDeltaChurn) {
+  for (const std::int64_t bound : {std::int64_t{0}, std::int64_t{-1}}) {
+    for (const auto level : Levels()) {
+      util::simd::ForceSimdLevel(level);
+      ServingCore::Options opt;
+      opt.aggregate_cache_entries = 128;
+      opt.aggregate_staleness_us = bound;
+      ServingCore core(ChurnPlan(), 0, opt);
+      GraphSageEncoder enc(ChurnConfig());
+
+      util::Rng rng(20250808 + static_cast<std::uint64_t>(bound + 1));
+      CachedEmbedScratch cs;
+      ServeScratch ss;
+      SampledSubgraph sub;
+      std::vector<float> zc;
+      for (int round = 0; round < 300; ++round) {
+        ApplyRandomChurn(core, rng, /*features=*/bound == 0);
+        if (round % 3 != 0) continue;
+        const auto seed = MakeVertexId(0, rng.Uniform(8));
+        ASSERT_TRUE(enc.EmbedSeedCached(core, seed, cs, zc));
+        core.ServeInto(seed, sub, ss);
+        const auto zr = enc.EmbedSeed(sub);
+        ASSERT_EQ(zc.size(), zr.size());
+        for (std::size_t j = 0; j < zr.size(); ++j) {
+          ASSERT_EQ(std::bit_cast<std::uint32_t>(zc[j]), std::bit_cast<std::uint32_t>(zr[j]))
+              << "round " << round << " lane " << j << " bound " << bound;
+        }
+      }
+      // Bound 0 means every probe recomputed; bound -1 must actually have
+      // exercised the hit-replay path for the parity above to mean much.
+      if (bound == 0) {
+        EXPECT_EQ(cs.result.cache_hits, 0u);
+      }
+      util::simd::ResetSimdLevel();
+    }
+  }
+}
+
+// Hit replay really serves from the cache: warm queries on a static graph
+// hit and still match the uncached embedding bit for bit.
+TEST(GraphSage, CachedHitsReplayBitIdenticalEmbeddings) {
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 128;
+  opt.aggregate_staleness_us = -1;
+  ServingCore core(ChurnPlan(), 0, opt);
+  util::Rng rng(4242);
+  for (int i = 0; i < 200; ++i) ApplyRandomChurn(core, rng);
+  GraphSageEncoder enc(ChurnConfig());
+
+  CachedEmbedScratch cs;
+  ServeScratch ss;
+  SampledSubgraph sub;
+  std::vector<float> zc;
+  std::uint64_t hits = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t u = 0; u < 8; ++u) {
+      const auto seed = MakeVertexId(0, u);
+      ASSERT_TRUE(enc.EmbedSeedCached(core, seed, cs, zc));
+      if (pass == 1) hits += cs.result.cache_hits;
+      core.ServeInto(seed, sub, ss);
+      const auto zr = enc.EmbedSeed(sub);
+      ASSERT_EQ(zc.size(), zr.size());
+      for (std::size_t j = 0; j < zr.size(); ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(zc[j]), std::bit_cast<std::uint32_t>(zr[j]));
+      }
+    }
+  }
+  EXPECT_GT(hits, 0u) << "second pass never hit the aggregate cache";
+}
+
+
+// Two models must never share aggregates: entries are keyed by model
+// version, so interleaved serves through different encoders stay exact.
+TEST(GraphSage, ModelVersionsDoNotCrossContaminateCache) {
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 128;
+  opt.aggregate_staleness_us = -1;
+  ServingCore core(ChurnPlan(), 0, opt);
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) ApplyRandomChurn(core, rng);
+
+  GraphSageEncoder enc_a(ChurnConfig(7)), enc_b(ChurnConfig(8));
+  ASSERT_NE(enc_a.model_version(), enc_b.model_version());
+
+  CachedEmbedScratch cs;
+  ServeScratch ss;
+  SampledSubgraph sub;
+  std::vector<float> z;
+  for (std::uint64_t u = 0; u < 8; ++u) {
+    const auto seed = MakeVertexId(0, u);
+    for (GraphSageEncoder* enc : {&enc_a, &enc_b}) {
+      ASSERT_TRUE(enc->EmbedSeedCached(core, seed, cs, z));  // warm
+      ASSERT_TRUE(enc->EmbedSeedCached(core, seed, cs, z));  // hit
+      core.ServeInto(seed, sub, ss);
+      const auto zr = enc->EmbedSeed(sub);
+      ASSERT_EQ(z.size(), zr.size());
+      for (std::size_t j = 0; j < zr.size(); ++j) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(z[j]), std::bit_cast<std::uint32_t>(zr[j]));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace helios::gnn

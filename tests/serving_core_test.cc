@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <filesystem>
 #include <span>
@@ -807,6 +808,245 @@ TEST(ServingCore, TruncatedCellsCountedNotSilentlyClamped) {
   EXPECT_EQ(core.stats().bad_cells, 1u);      // exported counter advanced
   core.Serve(user);
   EXPECT_EQ(core.stats().bad_cells, 2u);      // counts per occurrence
+}
+
+// ---------------------------------------------------------------------------
+// Computation-reuse tier: the hop-1 aggregate cache and the cache-assisted
+// serve path (docs/PERF.md "Computation reuse & admission").
+
+bool BitEqual(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(a[i]) != std::bit_cast<std::uint32_t>(b[i])) return false;
+  }
+  return true;
+}
+
+TEST(AggregateCache, PutLookupVersioningAndInvalidate) {
+  AggregateCache cache(8);
+  ASSERT_TRUE(cache.enabled());
+  const float v[4] = {1.5f, -0.0f, 3.25f, 42.f};
+  cache.Put(10, 111, 4, /*now=*/1000, v);
+  EXPECT_EQ(cache.size(), 1u);
+
+  float out[4] = {};
+  bool stale = false;
+  ASSERT_TRUE(cache.Lookup(10, 111, 4, 1500, /*bound=*/1000, out, &stale));
+  EXPECT_TRUE(BitEqual(out, v));  // bit-exact roundtrip, -0.0f included
+
+  // Version namespaces entries per model: a different version misses clean.
+  stale = false;
+  EXPECT_FALSE(cache.Lookup(10, 222, 4, 1500, 1000, out, &stale));
+  EXPECT_FALSE(stale);
+  // Both versions coexist.
+  const float w[4] = {9.f, 9.f, 9.f, 9.f};
+  cache.Put(10, 222, 4, 1000, w);
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_TRUE(cache.Lookup(10, 222, 4, 1500, 1000, out, &stale));
+  EXPECT_TRUE(BitEqual(out, w));
+
+  // Invalidate drops every version of the vertex in one call.
+  cache.Invalidate(10);
+  EXPECT_FALSE(cache.Lookup(10, 111, 4, 1500, -1, out, &stale));
+  EXPECT_FALSE(cache.Lookup(10, 222, 4, 1500, -1, out, &stale));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AggregateCache, StalenessBoundSemantics) {
+  AggregateCache cache(8);
+  const float v[2] = {1.f, 2.f};
+  cache.Put(5, 1, 2, /*now=*/1000, v);
+  float out[2] = {};
+  bool stale = false;
+
+  // Fresh iff now - stamp < bound, strictly: age 999 passes, age 1000 not.
+  EXPECT_TRUE(cache.Lookup(5, 1, 2, 1999, 1000, out, &stale));
+  EXPECT_FALSE(cache.Lookup(5, 1, 2, 2000, 1000, out, &stale));
+  EXPECT_TRUE(stale);  // aged entries report stale, not a clean miss
+
+  // Bound 0: never fresh — the parity-test mode recomputes every probe.
+  stale = false;
+  EXPECT_FALSE(cache.Lookup(5, 1, 2, 1000, 0, out, &stale));
+  EXPECT_TRUE(stale);
+
+  // Bound < 0: no age bound at all.
+  EXPECT_TRUE(cache.Lookup(5, 1, 2, 1'000'000'000, -1, out, &stale));
+
+  // A stale entry stays in place; the recompute's Put overwrites in place.
+  const float w[2] = {7.f, 8.f};
+  cache.Put(5, 1, 2, 5000, w);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Lookup(5, 1, 2, 5500, 1000, out, &stale));
+  EXPECT_TRUE(BitEqual(out, w));
+}
+
+TEST(AggregateCache, CapacityPressureFlushesWholeEpochs) {
+  AggregateCache cache(4);
+  const float v[2] = {1.f, 2.f};
+  for (graph::VertexId i = 0; i < 64; ++i) cache.Put(i, 1, 2, 0, v);
+  // Capacity pressure retires whole populations (O(1) epoch flush), never
+  // grows past the configured bound.
+  EXPECT_GT(cache.epoch_flushes(), 0u);
+  EXPECT_LE(cache.size(), 4u);
+  // Clear() is also O(1) and observable.
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  float out[2];
+  bool stale = false;
+  EXPECT_FALSE(cache.Lookup(63, 1, 2, 0, -1, out, &stale));
+}
+
+// Builds the small two-hop graph every cache test below uses:
+//   user -> {i1, i2};  i1 -> {j1, j2};  i2 -> {j2}
+struct CacheGraph {
+  graph::VertexId user = MakeVertexId(0, 1);
+  graph::VertexId i1 = MakeVertexId(1, 1), i2 = MakeVertexId(1, 2);
+  graph::VertexId j1 = MakeVertexId(1, 11), j2 = MakeVertexId(1, 12);
+  void Populate(ServingCore& core, graph::Timestamp hop2_ts = 1) const {
+    core.Apply(ServingMessage::Of(Cell(1, user, {i1, i2}, 100)));
+    core.Apply(ServingMessage::Of(Cell(2, i1, {j1, j2}, hop2_ts)));
+    core.Apply(ServingMessage::Of(Cell(2, i2, {j2}, 100)));
+    for (auto v : {user, i1, i2, j1, j2}) {
+      core.Apply(ServingMessage::Of(Feat(v, static_cast<float>(v % 100))));
+    }
+  }
+};
+
+TEST(ServingCore, AggregateServeWarmsThenHitsBitIdentically) {
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 64;
+  ServingCore core(Plan(), 0, opt);
+  CacheGraph g;
+  g.Populate(core);
+
+  AggregateServeResult cold, warm;
+  ServeScratch scratch;
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, cold, scratch));
+  EXPECT_EQ(cold.cache_misses, 2u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.stale_recomputes, 0u);
+  ASSERT_EQ(cold.children.size(), 2u);
+  ASSERT_EQ(cold.aggs.size(), 8u);
+
+  // The recomputed rows are the plain mean of the children's sampled
+  // features: i1 -> mean(f(j1), f(j2)), i2 -> f(j2).
+  const float f1 = static_cast<float>(g.j1 % 100), f2 = static_cast<float>(g.j2 % 100);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(cold.aggs[0 * 4 + d], ((f1 + d) + (f2 + d)) / 2.f);
+    EXPECT_EQ(cold.aggs[1 * 4 + d], f2 + d);
+  }
+
+  // Second serve: all hits, rows replayed bit-identically, no hop-2 work.
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, warm, scratch));
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.sample_lookups, 1u);  // just the seed cell
+  EXPECT_TRUE(BitEqual(warm.aggs, cold.aggs));
+
+  // The registry counters mirror the per-query tallies.
+  const auto snap = core.metrics().TakeSnapshot();
+  EXPECT_EQ(snap.CounterTotal("serving.cache.hits"), 2u);
+  EXPECT_EQ(snap.CounterTotal("serving.cache.misses"), 2u);
+}
+
+TEST(ServingCore, ApplyInvalidatesTouchedAggregates) {
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 64;
+  ServingCore core(Plan(), 0, opt);
+  CacheGraph g;
+  g.Populate(core);
+
+  AggregateServeResult r;
+  ServeScratch scratch;
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, r, scratch));  // warm
+
+  // Overwrite i1's hop-2 cell: the dissemination path must invalidate i1's
+  // cached aggregate while i2's stays hot.
+  core.Apply(ServingMessage::Of(Cell(2, g.i1, {g.j1}, 200)));
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, r, scratch));
+  EXPECT_EQ(r.cache_hits, 1u);    // i2
+  EXPECT_EQ(r.cache_misses, 1u);  // i1 recomputed from the new cell
+  const float f1 = static_cast<float>(g.j1 % 100);
+  for (int d = 0; d < 4; ++d) EXPECT_EQ(r.aggs[0 * 4 + d], f1 + d);
+}
+
+// Regression (satellite fix): EvictOlderThan used to drop a hop-2 cell but
+// leave its aggregate cached, so the reuse tier kept serving neighbour
+// state the TTL had already retired — forever, since no future Apply would
+// touch the evicted vertex.
+TEST(ServingCore, EvictOlderThanInvalidatesCachedAggregates) {
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 64;
+  ServingCore core(Plan(), 0, opt);
+  CacheGraph g;
+  g.Populate(core, /*hop2_ts=*/1);  // i1's hop-2 cell is old; the rest ts=100
+
+  AggregateServeResult before, after;
+  ServeScratch scratch;
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, before, scratch));
+  EXPECT_EQ(before.cache_misses, 2u);
+
+  EXPECT_EQ(core.EvictOlderThan(50), 1u);  // retires only i1's cell
+
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, after, scratch));
+  // i1 must MISS (its aggregate was invalidated with the cell) and
+  // recompute against the now-absent cell: zeros + a missing-cell count —
+  // the same answer the uncached path would give — not the stale mean.
+  EXPECT_EQ(after.cache_misses, 1u);
+  EXPECT_EQ(after.cache_hits, 1u);
+  EXPECT_EQ(after.missing_cells, 1u);
+  for (int d = 0; d < 4; ++d) EXPECT_EQ(after.aggs[0 * 4 + d], 0.f);
+  EXPECT_FALSE(BitEqual(std::span(after.aggs).first(4), std::span(before.aggs).first(4)));
+}
+
+TEST(ServingCore, AggregateServeRefusesWhenTierCannotServe) {
+  AggregateServeResult r;
+  ServeScratch scratch;
+  // Cache disabled (default options): refuse, callers fall back.
+  ServingCore off(Plan(), 0);
+  EXPECT_FALSE(off.ServeAggregatesInto(MakeVertexId(0, 1), 4, 1, r, scratch));
+
+  // Enabled but dim == 0: refuse.
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 16;
+  ServingCore on(Plan(), 0, opt);
+  EXPECT_FALSE(on.ServeAggregatesInto(MakeVertexId(0, 1), 0, 1, r, scratch));
+
+  // Not a two-hop plan: refuse.
+  SamplingQuery q;
+  q.seed_type = 0;
+  q.hops = {{0, 2, Strategy::kTopK}};
+  ServingCore one_hop(Decompose(q, Schema()).value(), 0, opt);
+  EXPECT_FALSE(one_hop.ServeAggregatesInto(MakeVertexId(0, 1), 4, 1, r, scratch));
+}
+
+TEST(ServingCore, StalenessBoundForcesRecomputeOnAgedEntries) {
+  // Hand-advanced clock so the test controls "now" for the staleness check.
+  obs::ManualClock clock;
+  ServingCore::Options opt;
+  opt.aggregate_cache_entries = 64;
+  opt.aggregate_staleness_us = 100;
+  opt.freshness_clock = &clock;
+  ServingCore core(Plan(), 0, opt);
+  CacheGraph g;
+  g.Populate(core);
+
+  AggregateServeResult r;
+  ServeScratch scratch;
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, r, scratch));  // warm at t=0
+  clock.Set(50);
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, r, scratch));
+  EXPECT_EQ(r.cache_hits, 2u);  // within the bound
+  clock.Set(150);
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, r, scratch));
+  EXPECT_EQ(r.cache_hits, 0u);
+  EXPECT_EQ(r.stale_recomputes, 2u);  // aged out: recompute, not clean miss
+  // The recompute re-stamped the entries: hot again at t=200.
+  clock.Set(200);
+  ASSERT_TRUE(core.ServeAggregatesInto(g.user, 4, 1, r, scratch));
+  EXPECT_EQ(r.cache_hits, 2u);
+  const auto snap = core.metrics().TakeSnapshot();
+  EXPECT_EQ(snap.CounterTotal("serving.cache.stale_recompute"), 2u);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -614,6 +615,52 @@ TEST(Simd, QuantizeInt8WithinHalfStepBound) {
   std::vector<float> back(5, 1.f);
   simd::DequantInt8(q.data(), 5, scale, back.data());
   for (const float v : back) EXPECT_EQ(v, 0.f);
+}
+
+// The blocked GraphSAGE apply kernel (out = a·X + b·Y + bias, optional
+// relu) must be value-exact vs the scalar reference on every dispatch
+// level: random shapes including sub-block tails, a leading dimension
+// wider than the row, skipped zero-coefficient rows, -0.0f and NaN inputs.
+TEST(Simd, SageApplyParityAcrossLevelsAndShapes) {
+  Rng rng(13);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t in = rng.Uniform(21);           // 0 .. 20 rows
+    const std::size_t width = 1 + rng.Uniform(40);    // 1 .. 40 cols
+    const std::size_t ld = width + rng.Uniform(3);    // padded rows too
+    const bool relu = trial % 2 == 0;
+
+    std::vector<float> a(in), b(in), x(std::max<std::size_t>(in * ld, 1)),
+        y(std::max<std::size_t>(in * ld, 1)), bias(width);
+    for (std::size_t k = 0; k < in; ++k) {
+      a[k] = static_cast<float>(rng.UniformDouble() * 2 - 1);
+      b[k] = static_cast<float>(rng.UniformDouble() * 2 - 1);
+      if (rng.Uniform(5) == 0) a[k] = b[k] = rng.Uniform(2) == 0 ? 0.f : -0.f;  // skipped rows
+    }
+    for (auto& v : x) v = static_cast<float>(rng.UniformDouble() * 2 - 1);
+    for (auto& v : y) v = static_cast<float>(rng.UniformDouble() * 2 - 1);
+    for (auto& v : bias) v = static_cast<float>(rng.UniformDouble() * 2 - 1);
+    // Poison a live row with specials: NaN must propagate identically and
+    // -0.0 must not flip signs anywhere.
+    if (in > 0 && a[0] != 0.f) {
+      x[0] = std::numeric_limits<float>::quiet_NaN();
+      if (ld > 1) y[1 % ld] = -0.f;
+    }
+
+    std::vector<float> ref(width, -99.f);
+    simd::SageApplyScalar(a.data(), b.data(), x.data(), y.data(), in, width, ld, bias.data(),
+                          relu, ref.data());
+    for (const auto level : Levels()) {
+      simd::ForceSimdLevel(level);
+      std::vector<float> got(width, 99.f);
+      simd::SageApply(a.data(), b.data(), x.data(), y.data(), in, width, ld, bias.data(), relu,
+                      got.data());
+      for (std::size_t j = 0; j < width; ++j) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(got[j]), std::bit_cast<std::uint32_t>(ref[j]))
+            << "trial " << trial << " j=" << j << " in=" << in << " width=" << width;
+      }
+      simd::ResetSimdLevel();
+    }
+  }
 }
 
 }  // namespace
