@@ -26,6 +26,8 @@
 //
 // Usage: fig19_online_inference [scale=2000] [requests=1500]
 //        [zipf=0.99] [zipf-seed=77] [deadline=20000]
+//        [diurnal-base= diurnal-peak= diurnal-period-s=  -> sample the fig21
+//         day curve instead of the fixed 1-100x multipliers]
 //        [--trace-out=trace.json] [--telemetry-out=telemetry.json]
 //        [--metrics-out=-] [--telemetry-interval=250000]
 #include <algorithm>
@@ -183,11 +185,26 @@ int main(int argc, char** argv) {
     topt2.overload_min_slo = 0.5;
     obs::TelemetryHub overload_hub(&cached.registry(), topt2);
 
+    // Sweep points: fixed 1-100x multipliers by default; with the shared
+    // diurnal flags (diurnal-peak= etc., the fig21 curve generator) the
+    // sweep instead samples the day's rate curve at four phases, so the
+    // admission door is exercised at exactly the loads the autoscaling
+    // scenario breathes through.
+    std::vector<double> mults = {1.0, 10.0, 50.0, 100.0};
+    const auto diurnal = bench::DiurnalFromConfig(config, gen::DiurnalSpec{});
+    if (diurnal.Enabled()) {
+      mults.clear();
+      for (const double f : {0.0, 0.25, 0.5, 0.75}) {
+        const auto t = static_cast<std::int64_t>(f * static_cast<double>(diurnal.period_us));
+        mults.push_back(gen::DiurnalRateAtUs(diurnal, t) / base_qps);
+      }
+    }
+
     bench::PrintHeader(
         "Fig 19b: admission + reuse tier at 1-100x rate (zipf " + std::to_string(skew.alpha) +
             ", deadline " + std::to_string(deadline_us / 1000) + "ms)",
         "rate_x   offered_qps   done_qps   p99_ms   slo     hit_rate   shed(full/over/dl)");
-    for (const double mult : {1.0, 10.0, 50.0, 100.0}) {
+    for (const double mult : mults) {
       AdmissionQueue::Options aopt;
       aopt.max_depth = 2048;
       // Offer the overload for a fixed virtual duration, so higher rates
@@ -198,7 +215,7 @@ int main(int argc, char** argv) {
                                                     deadline_us, aopt, &encoder, &overload_hub);
       const std::uint64_t looked =
           std::max<std::uint64_t>(r.cache_hits + r.cache_misses + r.stale_recomputes, 1);
-      std::printf("%-8.0f %-13.0f %-10.0f %-8.2f %-7.3f %-10.3f %llu/%llu/%llu\n", mult,
+      std::printf("%-8.4g %-13.0f %-10.0f %-8.2f %-7.3f %-10.3f %llu/%llu/%llu\n", mult,
                   base_qps * mult, r.qps,
                   static_cast<double>(r.latency_us.P99()) / 1000.0, r.slo_hit_rate,
                   static_cast<double>(r.cache_hits) / static_cast<double>(looked),

@@ -18,6 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "elastic/migrator.h"
+#include "elastic/rebalancer.h"
+#include "elastic/shard_map.h"
 #include "gen/datasets.h"
 #include "gen/update_stream.h"
 #include "gen/workload.h"
@@ -237,6 +240,64 @@ class HeliosDeployment {
                                                gnn::GraphSageEncoder* encoder = nullptr,
                                                obs::TelemetryHub* telemetry = nullptr);
 
+  // Elastic autoscaling scenario (fig21, docs/ELASTICITY.md): open-loop
+  // queries arrive on the diurnal curve, route through a versioned
+  // elastic::ShardMap placement over up to max_nodes emulated serving
+  // nodes, and a control loop (TelemetryHub::WindowLoads -> Rebalancer ->
+  // ShardMigrator) migrates shards, adds nodes, and drain-then-retires
+  // them as the offered load breathes. Every served response is executed
+  // for real (ServeInto) and folded into `served_hash`, so a run with
+  // migrations_enabled == false over the same spec is a golden run the
+  // elastic run must match byte-for-byte. Migration checkpoints really
+  // round-trip SamplingShardCore::Serialize/Deserialize and pay the wire.
+  struct ElasticSpec {
+    gen::DiurnalSpec diurnal;                  // arrival curve (must be Enabled)
+    sim::SimTime duration_us = 20'000'000;     // virtual run length
+    double node_capacity_qps = 2'000;          // autoscaler calibration
+    // The policy plans against this fraction of true capacity, so steady
+    // state keeps real queueing headroom and ramp backlogs drain.
+    double policy_headroom = 0.75;
+    std::uint32_t initial_nodes = 2;
+    std::uint32_t min_nodes = 1;
+    std::uint32_t max_nodes = 8;               // node universe (SimCluster size)
+    bool migrations_enabled = true;            // false = frozen-placement golden run
+    std::int64_t decision_interval_us = 500'000;
+    std::int64_t shard_cooldown_us = 2'000'000;
+    std::uint32_t max_concurrent_migrations = 2;
+    sim::SimTime cutover_pause_us = 2'000;     // dest-side flip stall per migration
+    sim::SimTime timeline_bucket_us = 1'000'000;
+    std::uint64_t slo_deadline_us = 0;         // 0 = no SLO scoring
+    std::uint64_t seed_pick_seed = 1234;       // seed-vertex draw stream
+  };
+  struct ElasticReport {
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t migrations = 0;
+    std::uint32_t nodes_added = 0;
+    std::uint32_t nodes_retired = 0;
+    std::uint32_t peak_nodes = 0;
+    std::uint32_t final_nodes = 0;
+    std::uint64_t served_hash = 0;       // FNV-1a over every response payload
+    std::uint64_t final_map_version = 1;
+    std::uint64_t ckpt_bytes_moved = 0;
+    util::Histogram latency_us;
+    sim::SimTime timeline_bucket_us = 0;
+    struct Bucket {
+      sim::SimTime t_us = 0;
+      double offered_qps = 0;
+      std::uint32_t active_nodes = 0;
+      double load_spread = 0;   // max per-node completions / mean (1.0 = even)
+      std::uint64_t p99_us = 0;
+      std::uint32_t migrations = 0;
+    };
+    std::vector<Bucket> timeline;
+    // ASCII "node count tracks the diurnal curve" table.
+    void PrintTimeline() const;
+  };
+  ElasticReport EmulateElastic(const std::vector<graph::VertexId>& seeds,
+                               const ElasticSpec& spec,
+                               obs::TraceBuffer* trace = nullptr);
+
   ServingCore& serving_core(std::uint32_t i) { return *serving_[i]; }
   SamplingShardCore& shard(std::uint32_t s) { return *shards_[s]; }
   std::uint32_t num_shards() const { return map_.TotalShards(); }
@@ -305,6 +366,14 @@ void PrintServeRow(const std::string& system, const std::string& dataset,
 
 // Common CLI: scale=<n> (dataset scale divisor), requests=<n>, quick=1.
 std::uint64_t ScaleFromConfig(const util::Config& config, std::uint64_t fallback);
+
+// Shared diurnal-curve flags (gen::DiurnalSpec): diurnal-base=<qps>,
+// diurnal-peak=<qps>, diurnal-period-s=<seconds>, diurnal-phase=<frac>,
+// diurnal-seed=<n>. Fields absent from the command line keep the
+// fallback's values, so benches (fig19 / fig21) ship their own defaults
+// and the flags override per run. The curve is deterministic per spec —
+// the property fig21's golden-vs-elastic parity gate relies on.
+gen::DiurnalSpec DiurnalFromConfig(const util::Config& config, gen::DiurnalSpec fallback);
 
 // Shared query-skew flags (gen::QuerySkew): zipf=<alpha> (0 = uniform) and
 // zipf-seed=<n>. Every serving bench that draws seeds through this helper

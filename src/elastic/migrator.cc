@@ -1,0 +1,183 @@
+#include "elastic/migrator.h"
+
+namespace helios::elastic {
+
+const char* MigrationStateName(MigrationState s) {
+  switch (s) {
+    case MigrationState::kCheckpointing: return "checkpointing";
+    case MigrationState::kTransferring: return "transferring";
+    case MigrationState::kReplaying: return "replaying";
+    case MigrationState::kEpochBumped: return "epoch-bumped";
+    case MigrationState::kFlipped: return "flipped";
+    case MigrationState::kDone: return "done";
+    case MigrationState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+ShardMigrator::ShardMigrator(Options options, ShardMap* map) : options_(options), map_(map) {
+  if (options_.registry != nullptr) {
+    m_started_ = options_.registry->GetCounter("elastic.migrations_started");
+    m_completed_ = options_.registry->GetCounter("elastic.migrations_completed");
+    m_aborted_ = options_.registry->GetCounter("elastic.migrations_aborted");
+    m_replayed_ = options_.registry->GetCounter("elastic.records_replayed");
+    m_ckpt_bytes_ = options_.registry->GetCounter("elastic.ckpt_bytes_moved");
+    m_inflight_ = options_.registry->GetGauge("elastic.migrations_inflight");
+    m_map_version_ = options_.registry->GetGauge("elastic.map_version");
+    m_map_version_->Set(static_cast<std::int64_t>(map_->version()));
+  }
+}
+
+MigrationRecord* ShardMigrator::FindLocked(std::uint64_t id) {
+  for (MigrationRecord& r : records_)
+    if (r.id == id) return &r;
+  return nullptr;
+}
+
+std::uint64_t ShardMigrator::Begin(std::uint32_t shard, std::uint32_t from, std::uint32_t to,
+                                   std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (from == to) return 0;
+  std::uint32_t inflight = 0;
+  for (const MigrationRecord& r : records_) {
+    if (TerminalLocked(r)) continue;
+    if (r.shard == shard) return 0;  // one migration per shard at a time
+    ++inflight;
+  }
+  if (inflight >= options_.max_concurrent) return 0;
+  MigrationRecord r;
+  r.id = next_id_++;
+  r.shard = shard;
+  r.from = from;
+  r.to = to;
+  r.state = MigrationState::kCheckpointing;
+  r.started_us = now_us;
+  records_.push_back(r);
+  if (m_started_ != nullptr) m_started_->Add(1);
+  if (m_inflight_ != nullptr) m_inflight_->Set(inflight + 1);
+  return r.id;
+}
+
+void ShardMigrator::Advance(std::uint64_t id, MigrationState state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MigrationRecord* r = FindLocked(id);
+  if (r == nullptr || TerminalLocked(*r)) return;
+  if (state > r->state) r->state = state;
+}
+
+void ShardMigrator::NoteCheckpoint(std::uint64_t id, std::uint64_t pos, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MigrationRecord* r = FindLocked(id);
+  if (r == nullptr) return;
+  r->ckpt_pos = pos;
+  r->ckpt_bytes = bytes;
+  if (m_ckpt_bytes_ != nullptr) m_ckpt_bytes_->Add(bytes);
+}
+
+void ShardMigrator::NoteReplayed(std::uint64_t id, std::uint64_t records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MigrationRecord* r = FindLocked(id);
+  if (r == nullptr) return;
+  r->replayed += records;
+  if (m_replayed_ != nullptr) m_replayed_->Add(records);
+}
+
+void ShardMigrator::NoteEpoch(std::uint64_t id, std::uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MigrationRecord* r = FindLocked(id);
+  if (r != nullptr) r->epoch = epoch;
+}
+
+std::uint64_t ShardMigrator::Flip(std::uint64_t id) {
+  std::uint32_t shard = 0, to = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MigrationRecord* r = FindLocked(id);
+    if (r == nullptr || r->state == MigrationState::kAborted) return 0;
+    if (r->map_version != 0) return r->map_version;  // idempotent re-drive
+    shard = r->shard;
+    to = r->to;
+  }
+  std::uint64_t version = map_->Flip(shard, to);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MigrationRecord* r = FindLocked(id);
+    if (r != nullptr) {
+      r->map_version = version;
+      if (MigrationState::kFlipped > r->state) r->state = MigrationState::kFlipped;
+    }
+  }
+  if (m_map_version_ != nullptr) m_map_version_->Set(static_cast<std::int64_t>(version));
+  return version;
+}
+
+void ShardMigrator::Complete(std::uint64_t id, std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MigrationRecord* r = FindLocked(id);
+  if (r == nullptr || TerminalLocked(*r)) return;
+  r->state = MigrationState::kDone;
+  r->finished_us = now_us;
+  if (m_completed_ != nullptr) m_completed_->Add(1);
+  if (m_migration_us_ == nullptr && options_.registry != nullptr)
+    m_migration_us_ = options_.registry->GetLatency("elastic.migration_us");
+  if (m_migration_us_ != nullptr && now_us >= r->started_us)
+    m_migration_us_->Record(static_cast<std::uint64_t>(now_us - r->started_us));
+  if (m_inflight_ != nullptr) {
+    std::uint32_t inflight = 0;
+    for (const MigrationRecord& q : records_)
+      if (!TerminalLocked(q)) ++inflight;
+    m_inflight_->Set(inflight);
+  }
+}
+
+void ShardMigrator::Abort(std::uint64_t id, std::int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MigrationRecord* r = FindLocked(id);
+  if (r == nullptr || TerminalLocked(*r)) return;
+  r->state = MigrationState::kAborted;
+  r->finished_us = now_us;
+  if (m_aborted_ != nullptr) m_aborted_->Add(1);
+  if (m_inflight_ != nullptr) {
+    std::uint32_t inflight = 0;
+    for (const MigrationRecord& q : records_)
+      if (!TerminalLocked(q)) ++inflight;
+    m_inflight_->Set(inflight);
+  }
+}
+
+std::vector<MigrationRecord> ShardMigrator::NeedingFlip() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MigrationRecord> out;
+  for (const MigrationRecord& r : records_)
+    if (r.state == MigrationState::kEpochBumped) out.push_back(r);
+  return out;
+}
+
+std::uint32_t ShardMigrator::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint32_t inflight = 0;
+  for (const MigrationRecord& r : records_)
+    if (!TerminalLocked(r)) ++inflight;
+  return inflight;
+}
+
+bool ShardMigrator::Migrating(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const MigrationRecord& r : records_)
+    if (r.shard == shard && !TerminalLocked(r)) return true;
+  return false;
+}
+
+MigrationRecord ShardMigrator::Get(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const MigrationRecord& r : records_)
+    if (r.id == id) return r;
+  return MigrationRecord{};
+}
+
+std::vector<MigrationRecord> ShardMigrator::History() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace helios::elastic

@@ -1,0 +1,132 @@
+// ShardMigrator — the handoff-protocol ledger.
+//
+// One migration moves a logical shard between nodes without losing or
+// double-applying a single delta (docs/ELASTICITY.md):
+//
+//   kCheckpointing  source serializes the shard (SamplingShardCore::
+//                   Serialize) at log position P
+//   kTransferring   checkpoint bytes travel to the destination
+//   kReplaying      destination installs the checkpoint and replays the
+//                   shard's update log from P (Broker::ReplayFrom); replayed
+//                   re-emissions carry the checkpointed epoch/seqs, so
+//                   receivers fence them (ft::EpochFence) — exactly-once
+//   kEpochBumped    the destination core arms its supervisor-granted epoch
+//                   (BumpEpoch at the replay frame boundary); post-cutover
+//                   emissions carry the new epoch
+//   kFlipped        the versioned ShardMap publishes the new owner; caches
+//                   keyed to the old placement are flushed
+//   kDone           source copy torn down
+//
+// The migrator itself owns no mechanics — runtimes (ThreadedCluster, the
+// DES elastic engine) drive the steps and record transitions here. What it
+// does own: the concurrency budget, the per-migration bookkeeping
+// (positions, bytes, replay counts, timings), the elastic.* metrics, and —
+// critically — the crash-convergence contract: a coordinator that dies
+// between the epoch bump and the map flip leaves a record in
+// `NeedingFlip()`, and re-driving those through Flip() is idempotent, so a
+// restarted control plane always converges to a flipped map rather than a
+// half-moved shard.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "elastic/shard_map.h"
+#include "obs/metrics.h"
+
+namespace helios::elastic {
+
+enum class MigrationState : std::uint8_t {
+  kCheckpointing = 0,
+  kTransferring,
+  kReplaying,
+  kEpochBumped,
+  kFlipped,
+  kDone,
+  kAborted,
+};
+
+const char* MigrationStateName(MigrationState s);
+
+struct MigrationRecord {
+  std::uint64_t id = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  MigrationState state = MigrationState::kCheckpointing;
+  std::int64_t started_us = 0;
+  std::int64_t finished_us = 0;
+  std::uint64_t ckpt_pos = 0;    // applied log offset the checkpoint captured
+  std::uint64_t ckpt_bytes = 0;  // serialized shard size shipped on the wire
+  std::uint64_t replayed = 0;    // log records re-applied on the destination
+  std::uint32_t epoch = 0;       // re-admission epoch armed on the new owner
+  std::uint64_t map_version = 0; // version published by the flip (0 until)
+};
+
+class ShardMigrator {
+ public:
+  struct Options {
+    std::uint32_t max_concurrent = 2;
+    obs::MetricsRegistry* registry = nullptr;
+  };
+
+  // `map` must outlive the migrator; Flip() publishes through it.
+  ShardMigrator(Options options, ShardMap* map);
+
+  // Opens a migration. Returns 0 when refused (budget exhausted, the shard
+  // is already in flight, or from == to); otherwise the migration id.
+  std::uint64_t Begin(std::uint32_t shard, std::uint32_t from, std::uint32_t to,
+                      std::int64_t now_us);
+
+  // Records a forward state transition (monotonic; backwards moves are
+  // ignored so replayed/duplicate notifications are harmless).
+  void Advance(std::uint64_t id, MigrationState state);
+  void NoteCheckpoint(std::uint64_t id, std::uint64_t pos, std::uint64_t bytes);
+  void NoteReplayed(std::uint64_t id, std::uint64_t records);
+  void NoteEpoch(std::uint64_t id, std::uint32_t epoch);
+
+  // Publishes the new owner through the ShardMap (exactly once per
+  // migration — a second call is a no-op returning the already-published
+  // version). Returns the map version the flip produced.
+  std::uint64_t Flip(std::uint64_t id);
+
+  void Complete(std::uint64_t id, std::int64_t now_us);
+  void Abort(std::uint64_t id, std::int64_t now_us);
+
+  // Crash convergence: migrations whose epoch is armed but whose flip never
+  // published (state == kEpochBumped). A recovering coordinator re-drives
+  // these through Flip() + Complete().
+  std::vector<MigrationRecord> NeedingFlip() const;
+
+  std::uint32_t InFlight() const;
+  // True when `shard` has a migration in flight (admission guard).
+  bool Migrating(std::uint32_t shard) const;
+  MigrationRecord Get(std::uint64_t id) const;  // zeroed record if unknown
+  std::vector<MigrationRecord> History() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  MigrationRecord* FindLocked(std::uint64_t id);
+  bool TerminalLocked(const MigrationRecord& r) const {
+    return r.state == MigrationState::kDone || r.state == MigrationState::kAborted;
+  }
+
+  Options options_;
+  ShardMap* map_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  std::vector<MigrationRecord> records_;
+
+  obs::Counter* m_started_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_aborted_ = nullptr;
+  obs::Counter* m_replayed_ = nullptr;
+  obs::Counter* m_ckpt_bytes_ = nullptr;
+  obs::Gauge* m_inflight_ = nullptr;
+  obs::Gauge* m_map_version_ = nullptr;
+  obs::LatencyMetric* m_migration_us_ = nullptr;
+};
+
+}  // namespace helios::elastic

@@ -1,0 +1,185 @@
+#include "elastic/rebalancer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace helios::elastic {
+
+Rebalancer::Rebalancer(RebalancerOptions options) : options_(options) {
+  if (options_.registry != nullptr) {
+    m_ticks_ = options_.registry->GetCounter("elastic.rebalancer.ticks");
+    m_moves_planned_ = options_.registry->GetCounter("elastic.rebalancer.moves_planned");
+    m_target_nodes_ = options_.registry->GetGauge("elastic.rebalancer.target_nodes");
+    m_imbalance_bp_ = options_.registry->GetGauge("elastic.rebalancer.imbalance_bp");
+  }
+}
+
+void Rebalancer::NoteMigration(std::uint32_t shard, std::int64_t now_us) {
+  if (shard >= last_move_us_.size()) last_move_us_.resize(shard + 1, INT64_MIN);
+  last_move_us_[shard] = now_us;
+}
+
+bool Rebalancer::InCooldown(std::uint32_t shard, std::int64_t now_us) const {
+  if (shard >= last_move_us_.size()) return false;
+  if (last_move_us_[shard] == INT64_MIN) return false;
+  return now_us - last_move_us_[shard] < options_.shard_cooldown_us;
+}
+
+Plan Rebalancer::Tick(std::int64_t now_us, const std::vector<ShardLoad>& loads,
+                      const ShardMap::Snapshot& view, const NodeSet& nodes,
+                      std::uint32_t in_flight) {
+  Plan plan;
+  plan.target_nodes = nodes.ActiveCount();
+  if (last_decision_us_ != INT64_MIN && now_us - last_decision_us_ < options_.decision_interval_us)
+    return plan;
+  last_decision_us_ = now_us;
+  if (m_ticks_ != nullptr) m_ticks_->Add(1);
+  plan.acted = true;
+
+  const std::uint32_t num_nodes = static_cast<std::uint32_t>(nodes.active.size());
+  if (num_nodes == 0 || view.NumShards() == 0) return plan;
+
+  // Per-shard and per-node load, measured under `view`. Load is qps-shaped;
+  // bytes/s rides along for reporting but qps drives placement (the two
+  // track each other on this workload — both count events through a shard).
+  std::vector<double> shard_qps(view.NumShards(), 0.0);
+  double total = 0;
+  for (const ShardLoad& l : loads) {
+    if (l.shard >= shard_qps.size()) continue;
+    shard_qps[l.shard] = l.qps;
+    total += l.qps;
+  }
+  std::vector<double> node_load(num_nodes, 0.0);
+  for (std::uint32_t s = 0; s < view.NumShards(); ++s) {
+    std::uint32_t n = view.OwnerOf(s);
+    if (n < num_nodes) node_load[n] += shard_qps[s];
+  }
+
+  // ---- autoscaling: pick the active-node count that keeps utilization in
+  // [scale_down_util, scale_up_util] of aggregate capacity.
+  std::uint32_t active = nodes.ActiveCount();
+  if (options_.node_capacity_qps > 0 && active > 0) {
+    const double cap = options_.node_capacity_qps;
+    const double util = total / (static_cast<double>(active) * cap);
+    std::uint32_t cap_nodes = options_.max_nodes == 0 ? num_nodes
+                                                      : std::min(options_.max_nodes, num_nodes);
+    std::uint32_t target = active;
+    if (util > options_.scale_up_util) {
+      // Enough nodes that the load sits at the midpoint of the band.
+      const double mid = 0.5 * (options_.scale_up_util + options_.scale_down_util);
+      target = static_cast<std::uint32_t>(std::ceil(total / (cap * mid)));
+    } else if (util < options_.scale_down_util && active > options_.min_nodes) {
+      const double mid = 0.5 * (options_.scale_up_util + options_.scale_down_util);
+      target = static_cast<std::uint32_t>(std::ceil(total / (cap * mid)));
+    }
+    target = std::max(target, options_.min_nodes);
+    target = std::min(target, cap_nodes);
+    plan.target_nodes = target;
+    if (target < active) {
+      // Drain-then-retire: evacuate the least-loaded active nodes.
+      std::vector<std::uint32_t> candidates;
+      for (std::uint32_t n = 0; n < num_nodes; ++n)
+        if (nodes.active[n] && !nodes.draining[n]) candidates.push_back(n);
+      std::sort(candidates.begin(), candidates.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (node_load[a] != node_load[b]) return node_load[a] < node_load[b];
+                  return a > b;  // prefer retiring later-added nodes on ties
+                });
+      for (std::uint32_t i = 0; i < active - target && i < candidates.size(); ++i)
+        plan.drain.push_back(candidates[i]);
+    }
+  }
+  if (m_target_nodes_ != nullptr) m_target_nodes_->Set(plan.target_nodes);
+
+  // Nodes eligible to receive shards: active, not draining, not being
+  // retired by this very plan.
+  auto receives = [&](std::uint32_t n) {
+    if (!nodes.active[n] || nodes.draining[n]) return false;
+    for (std::uint32_t d : plan.drain)
+      if (d == n) return false;
+    return true;
+  };
+  std::uint32_t receivers = 0;
+  double mean = 0;
+  for (std::uint32_t n = 0; n < num_nodes; ++n)
+    if (receives(n)) {
+      ++receivers;
+      mean += node_load[n];
+    }
+  if (receivers == 0) return plan;
+  mean /= receivers;
+  if (m_imbalance_bp_ != nullptr && mean > 0) {
+    double worst = 0;
+    for (std::uint32_t n = 0; n < num_nodes; ++n)
+      if (receives(n)) worst = std::max(worst, node_load[n]);
+    m_imbalance_bp_->Set(static_cast<std::int64_t>(worst / mean * 10'000.0));
+  }
+
+  std::uint32_t budget = options_.max_concurrent_migrations > in_flight
+                             ? options_.max_concurrent_migrations - in_flight
+                             : 0;
+
+  auto coldest_receiver = [&]() {
+    std::uint32_t best = num_nodes;
+    for (std::uint32_t n = 0; n < num_nodes; ++n)
+      if (receives(n) && (best == num_nodes || node_load[n] < node_load[best])) best = n;
+    return best;
+  };
+
+  // ---- evacuations first: every shard on a draining (or newly drained)
+  // node must leave regardless of watermarks. Cooldown does not pin a shard
+  // to a dying node.
+  auto evacuating = [&](std::uint32_t n) {
+    if (nodes.draining[n]) return true;
+    for (std::uint32_t d : plan.drain)
+      if (d == n) return true;
+    return false;
+  };
+  for (std::uint32_t s = 0; s < view.NumShards() && budget > 0; ++s) {
+    std::uint32_t from = view.OwnerOf(s);
+    if (from >= num_nodes || !evacuating(from)) continue;
+    std::uint32_t to = coldest_receiver();
+    if (to == num_nodes) break;
+    plan.migrations.push_back({s, from, to});
+    node_load[to] += shard_qps[s];
+    --budget;
+  }
+
+  // ---- load-driven moves: hottest shard off the hottest over-watermark
+  // donor onto the coldest receiver, while the move actually helps.
+  while (budget > 0) {
+    std::uint32_t donor = num_nodes;
+    for (std::uint32_t n = 0; n < num_nodes; ++n) {
+      if (!nodes.active[n] || evacuating(n)) continue;
+      if (node_load[n] <= options_.high_watermark * mean) continue;
+      if (donor == num_nodes || node_load[n] > node_load[donor]) donor = n;
+    }
+    if (donor == num_nodes) break;
+    std::uint32_t to = coldest_receiver();
+    if (to == num_nodes || to == donor) break;
+    // Hottest cooled-down shard on the donor that still fits: moving it must
+    // not just swap who is overloaded.
+    std::uint32_t pick = view.NumShards();
+    for (std::uint32_t s = 0; s < view.NumShards(); ++s) {
+      if (view.OwnerOf(s) != donor || shard_qps[s] <= 0) continue;
+      if (InCooldown(s, now_us)) continue;
+      bool taken = false;
+      for (const MigrationOrder& m : plan.migrations) taken |= m.shard == s;
+      if (taken) continue;
+      if (node_load[to] + shard_qps[s] >= node_load[donor]) continue;
+      if (pick == view.NumShards() || shard_qps[s] > shard_qps[pick]) pick = s;
+    }
+    if (pick == view.NumShards()) break;
+    plan.migrations.push_back({pick, donor, to});
+    node_load[donor] -= shard_qps[pick];
+    node_load[to] += shard_qps[pick];
+    --budget;
+  }
+
+  if (m_moves_planned_ != nullptr && !plan.migrations.empty())
+    m_moves_planned_->Add(plan.migrations.size());
+  return plan;
+}
+
+}  // namespace helios::elastic

@@ -1,0 +1,124 @@
+// Load-aware shard rebalancing and autoscaling policy.
+//
+// Pure decision logic, runtime-agnostic like ft::Supervisor: the caller
+// feeds explicit `now` values plus per-shard load samples (the
+// shard.qps / shard.delta_bytes / shard.serve_p99_us gauges published by
+// obs::TelemetryHub::WindowLoads), and Tick() returns a Plan — which shards
+// to migrate where, how many nodes the tier should run, and which nodes to
+// drain. The runtime (ThreadedCluster or the DES elastic engine) owns the
+// mechanics: it executes migrations through ShardMigrator and adds/retires
+// nodes.
+//
+// Stability knobs (all deterministic — same inputs, same plan):
+//   * hysteresis watermarks: a node only donates when its load exceeds
+//     high_watermark x mean, and a move must land the shard on a node whose
+//     load stays below the donor's — no thrash from near-balanced spreads;
+//   * per-shard cooldown: a shard that just moved is pinned for
+//     shard_cooldown_us, so one hot shard cannot ping-pong;
+//   * migration budget: at most max_concurrent_migrations in flight
+//     (in-flight count is supplied by the caller's migrator);
+//   * scale hysteresis: node count grows only above scale_up_util and
+//     shrinks only below scale_down_util of aggregate capacity, with
+//     draining nodes evacuated before retirement (drain-then-retire).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elastic/shard_map.h"
+#include "obs/metrics.h"
+
+namespace helios::elastic {
+
+// One shard's load over the telemetry window (obs::TelemetryHub::LaneLoad,
+// re-labelled: lane == logical shard for the sampling tier).
+struct ShardLoad {
+  std::uint32_t shard = 0;
+  double qps = 0;          // events/s through the shard (updates or queries)
+  double bytes_per_s = 0;  // dissemination bytes emitted per second
+  std::uint64_t p99_us = 0;
+};
+
+struct RebalancerOptions {
+  // A node donates when its load > high_watermark * mean-of-active-nodes.
+  double high_watermark = 1.25;
+  // Scale-down is considered only when utilization < scale_down_util;
+  // scale-up when utilization > scale_up_util (utilization = total load /
+  // (active nodes * node_capacity)).
+  double scale_up_util = 0.80;
+  double scale_down_util = 0.40;
+  // 0 disables autoscaling (pure rebalancing between a fixed node set).
+  double node_capacity_qps = 0;
+  std::uint32_t min_nodes = 1;
+  std::uint32_t max_nodes = 0;  // 0 = no cap beyond the map's node universe
+  std::uint32_t max_concurrent_migrations = 2;
+  std::int64_t shard_cooldown_us = 2'000'000;
+  std::int64_t decision_interval_us = 1'000'000;
+  obs::MetricsRegistry* registry = nullptr;  // elastic.rebalancer.* metrics
+};
+
+struct MigrationOrder {
+  std::uint32_t shard = 0;
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+};
+
+struct Plan {
+  std::vector<MigrationOrder> migrations;
+  // Desired active-node count after this tick (== current when no opinion).
+  std::uint32_t target_nodes = 0;
+  // Nodes to evacuate and retire (already excluded from target_nodes).
+  std::vector<std::uint32_t> drain;
+  bool acted = false;  // false: interval not elapsed, inputs empty, or balanced
+};
+
+// Caller-maintained node lifecycle state for one tier.
+struct NodeSet {
+  // active[n]: node n hosts shards and receives new ones.
+  std::vector<std::uint8_t> active;
+  // draining[n]: node n is being evacuated — it donates every shard and
+  // never receives; the runtime retires it once ShardsOf(n) is empty.
+  std::vector<std::uint8_t> draining;
+
+  explicit NodeSet(std::uint32_t nodes, std::uint32_t initially_active)
+      : active(nodes, 0), draining(nodes, 0) {
+    for (std::uint32_t n = 0; n < nodes && n < initially_active; ++n) active[n] = 1;
+  }
+  std::uint32_t ActiveCount() const {
+    std::uint32_t c = 0;
+    for (std::size_t n = 0; n < active.size(); ++n)
+      if (active[n] && !draining[n]) ++c;
+    return c;
+  }
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(RebalancerOptions options);
+
+  // Computes the next plan. `loads` need not cover every shard (cold shards
+  // may be absent); `view` is the placement the loads were measured under;
+  // `in_flight` is the migrator's current in-flight count (budget shared
+  // between rebalancing moves and drain evacuations).
+  Plan Tick(std::int64_t now_us, const std::vector<ShardLoad>& loads,
+            const ShardMap::Snapshot& view, const NodeSet& nodes, std::uint32_t in_flight);
+
+  // Records that `shard` started moving (starts its cooldown window).
+  void NoteMigration(std::uint32_t shard, std::int64_t now_us);
+
+  const RebalancerOptions& options() const { return options_; }
+
+ private:
+  bool InCooldown(std::uint32_t shard, std::int64_t now_us) const;
+
+  RebalancerOptions options_;
+  std::int64_t last_decision_us_ = INT64_MIN;
+  std::vector<std::int64_t> last_move_us_;  // per shard, lazily sized
+
+  obs::Counter* m_ticks_ = nullptr;
+  obs::Counter* m_moves_planned_ = nullptr;
+  obs::Gauge* m_target_nodes_ = nullptr;
+  obs::Gauge* m_imbalance_bp_ = nullptr;  // max node load / mean, basis points
+};
+
+}  // namespace helios::elastic

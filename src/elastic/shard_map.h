@@ -1,0 +1,104 @@
+// Versioned shard -> owner-node map with a double-buffered flip.
+//
+// `helios::ShardMap` (src/helios/shard_map.h) is the *layout*: a pure hash
+// from vertex to logical shard and from seed to serving lane, fixed for the
+// lifetime of a deployment. This class is the *placement*: which physical
+// node currently owns each logical shard (or serving lane). Placement is the
+// thing elasticity changes at runtime — migration moves one shard, a drain
+// moves all of a node's shards, an autoscaler adds and retires nodes — so it
+// is versioned and swapped atomically.
+//
+// Concurrency model (the "double-buffered flip" of docs/ELASTICITY.md):
+// readers take a `View` — an immutable, refcounted snapshot — once per unit
+// of work (one poll batch, one dispatched frame, one admission decision) and
+// route everything in that unit under it. A writer builds the successor
+// snapshot aside, bumps the version, and swaps the pointer; in-flight work
+// keeps the old snapshot alive through its shared_ptr until it drains, so a
+// flip never changes routing mid-frame. The map version is monotonic and is
+// the "map epoch" of the migration protocol: it orders flips relative to the
+// ft epoch bumps that fence replayed traffic (see docs/ELASTICITY.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace helios::elastic {
+
+class ShardMap {
+ public:
+  // One immutable placement generation.
+  struct Snapshot {
+    std::vector<std::uint32_t> owner;  // shard (or lane) -> node
+    std::uint64_t version = 1;
+
+    std::uint32_t OwnerOf(std::uint32_t shard) const { return owner[shard]; }
+    std::uint32_t NumShards() const { return static_cast<std::uint32_t>(owner.size()); }
+    std::vector<std::uint32_t> ShardsOf(std::uint32_t node) const {
+      std::vector<std::uint32_t> out;
+      for (std::uint32_t s = 0; s < owner.size(); ++s)
+        if (owner[s] == node) out.push_back(s);
+      return out;
+    }
+  };
+  using View = std::shared_ptr<const Snapshot>;
+
+  ShardMap() : ShardMap(std::vector<std::uint32_t>{}) {}
+  explicit ShardMap(std::vector<std::uint32_t> owners) {
+    auto snap = std::make_shared<Snapshot>();
+    snap->owner = std::move(owners);
+    snap->version = 1;
+    current_ = std::move(snap);
+  }
+
+  // The static layout's placement: shard s lives on node s / shards_per_node
+  // (matches helios::ShardMap::WorkerOfShard, so a cluster that never
+  // migrates routes exactly as before).
+  static ShardMap Contiguous(std::uint32_t num_shards, std::uint32_t shards_per_node) {
+    std::vector<std::uint32_t> owners(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) owners[s] = s / shards_per_node;
+    return ShardMap(std::move(owners));
+  }
+  // Round-robin over `num_nodes` (the DES autoscaler's initial spread).
+  static ShardMap Striped(std::uint32_t num_shards, std::uint32_t num_nodes) {
+    std::vector<std::uint32_t> owners(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) owners[s] = s % num_nodes;
+    return ShardMap(std::move(owners));
+  }
+
+  // Snapshot for one unit of routing work. Cheap: one mutex + refcount.
+  View Current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  // Point read (fresh snapshot each call — use Current() inside loops).
+  std::uint32_t OwnerOf(std::uint32_t shard) const { return Current()->OwnerOf(shard); }
+  std::uint64_t version() const { return Current()->version; }
+  std::uint32_t NumShards() const { return Current()->NumShards(); }
+  std::vector<std::uint32_t> ShardsOf(std::uint32_t node) const {
+    return Current()->ShardsOf(node);
+  }
+
+  // Publishes a successor snapshot with `shard` moved to `new_owner`.
+  // Returns the new version. Readers holding the old View are unaffected.
+  std::uint64_t Flip(std::uint32_t shard, std::uint32_t new_owner) {
+    return FlipMany({{shard, new_owner}});
+  }
+  std::uint64_t FlipMany(const std::vector<std::pair<std::uint32_t, std::uint32_t>>& moves) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = std::make_shared<Snapshot>(*current_);
+    for (const auto& [shard, node] : moves) next->owner[shard] = node;
+    next->version = current_->version + 1;
+    current_ = std::move(next);
+    return current_->version;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  View current_;
+};
+
+}  // namespace helios::elastic

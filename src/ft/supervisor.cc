@@ -25,11 +25,21 @@ void Supervisor::Register(std::uint64_t node, util::Micros now) {
   n.last_heartbeat = now;
 }
 
+void Supervisor::Deregister(std::uint64_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  // Keep the entry (and its epoch ledger) so a re-Register continues the
+  // monotonic grant sequence; kRetired is skipped by Tick and Heartbeat.
+  it->second.state = NodeState::kRetired;
+}
+
 void Supervisor::Heartbeat(std::uint64_t node, util::Micros now) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return;  // unregistered nodes are not supervised
   Node& n = it->second;
+  if (n.state == NodeState::kRetired) return;  // late heartbeat from a drained node
   n.last_heartbeat = now;
   if (n.state == NodeState::kRecovering) {
     // First heartbeat after restoration re-admits the node.

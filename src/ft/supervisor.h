@@ -36,7 +36,7 @@
 
 namespace helios::ft {
 
-enum class NodeState : std::uint8_t { kUnknown = 0, kAlive, kRecovering, kFailed };
+enum class NodeState : std::uint8_t { kUnknown = 0, kAlive, kRecovering, kFailed, kRetired };
 
 class Supervisor {
  public:
@@ -54,6 +54,14 @@ class Supervisor {
 
   void Register(std::uint64_t node, util::Micros now);
   void Heartbeat(std::uint64_t node, util::Micros now);
+
+  // Drain-then-retire: stops supervising `node` without forgetting it. A
+  // retired node's silence is intentional — Tick must not "detect" it and
+  // fire recovery — but its epoch ledger is kept, so a later Register (node
+  // add / revive) continues granting monotonically increasing epochs and a
+  // revived node can never reuse live sequence numbering
+  // (docs/ELASTICITY.md).
+  void Deregister(std::uint64_t node);
 
   // Scans for nodes whose heartbeat aged out, runs the recovery hook for
   // each, and returns the reports (empty when nothing was detected).

@@ -1,5 +1,8 @@
 #include "gen/workload.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace helios::gen {
 
 SeedGenerator::SeedGenerator(graph::VertexTypeId seed_type, std::uint64_t population,
@@ -18,6 +21,33 @@ std::vector<graph::VertexId> SeedGenerator::Batch(std::size_t n) {
   seeds.reserve(n);
   for (std::size_t i = 0; i < n; ++i) seeds.push_back(Next());
   return seeds;
+}
+
+double DiurnalRateAtUs(const DiurnalSpec& spec, std::int64_t t_us) {
+  if (!spec.Enabled() || spec.period_us <= 0) return spec.base_qps;
+  const double base = spec.base_qps;
+  const double x = static_cast<double>(t_us % spec.period_us) /
+                       static_cast<double>(spec.period_us) +
+                   spec.phase;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double shape = 0.5 * (1.0 - std::cos(kTwoPi * x));
+  return base + (spec.peak_qps - base) * shape;
+}
+
+std::int64_t DiurnalArrivals::NextAfter(std::int64_t now) {
+  const double peak = std::max(spec_.peak_qps, spec_.base_qps);
+  if (peak <= 0) return now + 1;
+  const double peak_per_us = peak / 1e6;
+  // Thinning: candidate gaps at the peak rate, accepted with probability
+  // rate(t)/peak. Bounded pass count: each candidate consumes RNG state, so
+  // the sequence depends only on (spec, seed).
+  std::int64_t t = now;
+  for (;;) {
+    const double gap = rng_.Exponential(peak_per_us);
+    t += std::max<std::int64_t>(1, static_cast<std::int64_t>(gap));
+    const double accept = DiurnalRateAtUs(spec_, t) / peak;
+    if (rng_.UniformDouble() < accept) return t;
+  }
 }
 
 std::vector<graph::VertexId> HotKeyBatch(graph::VertexTypeId seed_type, std::uint64_t population,

@@ -69,4 +69,46 @@ class ArrivalProcess {
   util::Rng rng_;
 };
 
+// Deterministic diurnal load curve: a raised-cosine "day" between a base
+// (overnight trough) and a peak (prime-time) rate,
+//
+//   rate(t) = base + (peak - base) * 0.5 * (1 - cos(2*pi*(t/period + phase)))
+//
+// so t = 0 with phase = 0 starts at the trough and the peak lands at half
+// the period. Same spec -> same curve and (via DiurnalArrivals) the same
+// arrival timestamps, which is what lets fig21 compare an elastic run
+// against a no-migration golden run on an identical workload. Composes with
+// QuerySkew: the curve decides *when* a query arrives, the skew decides
+// *which* seed it hits — both ride the shared bench flags
+// (diurnal-base= / diurnal-peak= / diurnal-period-s= / zipf=, bench/harness.h).
+struct DiurnalSpec {
+  double base_qps = 0;     // trough rate (events/second)
+  double peak_qps = 0;     // prime-time rate
+  std::int64_t period_us = 86'400'000'000;  // one simulated day
+  double phase = 0.0;      // fraction of a period to shift the trough
+  std::uint64_t seed = 77;
+  bool Enabled() const { return peak_qps > 0; }
+};
+
+double DiurnalRateAtUs(const DiurnalSpec& spec, std::int64_t t_us);
+
+// Open-loop arrivals whose instantaneous rate follows the diurnal curve:
+// a Poisson process at the peak rate, thinned to rate(t)/peak (Lewis &
+// Shedler) — exact for a time-varying Poisson process and deterministic
+// given the seed.
+class DiurnalArrivals {
+ public:
+  explicit DiurnalArrivals(const DiurnalSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  // Time of the next arrival strictly after `now` (virtual microseconds).
+  std::int64_t NextAfter(std::int64_t now);
+
+  double RateAtUs(std::int64_t t_us) const { return DiurnalRateAtUs(spec_, t_us); }
+  const DiurnalSpec& spec() const { return spec_; }
+
+ private:
+  DiurnalSpec spec_;
+  util::Rng rng_;
+};
+
 }  // namespace helios::gen

@@ -142,6 +142,16 @@ void AdmissionQueue::NoteServed(graph::VertexId seed) {
   }
 }
 
+void AdmissionQueue::FlushHotSeeds() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(hot_seeds_.begin(), hot_seeds_.end(), graph::kInvalidVertex);
+}
+
+bool AdmissionQueue::SeedLooksHot(graph::VertexId seed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CacheLikelyLocked(seed);
+}
+
 std::size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return DepthLocked();

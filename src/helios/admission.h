@@ -88,6 +88,16 @@ class AdmissionQueue {
   // aggregates are hot.
   void NoteServed(graph::VertexId seed);
 
+  // Empties the hot-seed table. Called on shard ownership change (migration,
+  // recovery): the hints describe the *previous* owner's AggregateCache, and
+  // classifying a seed hit-likely against a cold cache would batch it with
+  // the cheap tickets and blow its deadline (docs/ELASTICITY.md).
+  void FlushHotSeeds();
+
+  // True iff the hot-seed probe currently classifies `seed` hit-likely
+  // (test/inspection hook for the flush semantics).
+  bool SeedLooksHot(graph::VertexId seed) const;
+
   std::size_t depth() const;
 
   struct Stats {

@@ -1,5 +1,6 @@
 #include "helios/threaded_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <future>
@@ -21,12 +22,16 @@ constexpr const char* kSamplesTopic = "samples";
 // of this shard's worker, control plane directly to peer shard actors.
 class ThreadedCluster::ShardActor : public actor::Actor {
  public:
-  ShardActor(ThreadedCluster* cluster, std::uint32_t shard_id)
+  // `owner` is the hosting node under the current sampling assignment — the
+  // static layout's worker at construction, the migration destination after
+  // a handoff (the core itself is placement-agnostic; only dispatch routing
+  // and trace labels care).
+  ShardActor(ThreadedCluster* cluster, std::uint32_t shard_id, std::uint32_t owner)
       : cluster_(cluster),
         core_(cluster->plan_, cluster->options_.map, shard_id,
               cluster->options_.seed,
               SamplingShardCore::Options{cluster->options_.ttl, &cluster->registry_}),
-        worker_id_(cluster->options_.map.WorkerOfShard(shard_id)),
+        worker_id_(owner),
         tracer_(&cluster->registry_, &cluster->wall_clock_, cluster->options_.trace,
                 obs::Labels{{"shard", std::to_string(shard_id)},
                             {"worker", std::to_string(worker_id_)}}) {}
@@ -186,6 +191,15 @@ class ThreadedCluster::PublisherActor : public actor::Actor {
     });
   }
 
+  // Drain barrier (drain-then-retire): returns once every batch queued
+  // before the call has been appended to the broker. A retiring node's
+  // final dispatches must reach the durable log before its publisher dies.
+  void Join() {
+    std::promise<void> done;
+    if (!Tell([&done] { done.set_value(); })) return;  // already killed
+    done.get_future().wait();
+  }
+
  private:
   ThreadedCluster* cluster_;
 };
@@ -250,22 +264,24 @@ void ThreadedCluster::ShardActor::Dispatch(SamplingShardCore::Outputs& out) {
 }
 
 // Polling actor of one sampling worker (§4.2 polling threads): drains the
-// worker's update partitions and hands record batches to shard actors.
+// worker's update partitions and hands record batches to shard actors. The
+// partition list is the node's slice of the *current* sampling assignment
+// (partition id == logical shard id), pinned at construction: ownership
+// changes rebuild the poller rather than mutate it, so one poller
+// incarnation routes one placement generation (the double-buffered flip of
+// docs/ELASTICITY.md).
 class ThreadedCluster::SamplingPollActor : public actor::Actor {
  public:
-  SamplingPollActor(ThreadedCluster* cluster, std::uint32_t worker_id)
-      : cluster_(cluster), worker_id_(worker_id) {
-    const auto& map = cluster_->options_.map;
-    std::vector<std::uint32_t> partitions;
-    for (std::uint32_t s = 0; s < map.shards_per_worker; ++s) {
-      partitions.push_back(worker_id * map.shards_per_worker + s);
-    }
+  SamplingPollActor(ThreadedCluster* cluster, std::uint32_t worker_id,
+                    std::vector<std::uint32_t> partitions)
+      : cluster_(cluster), worker_id_(worker_id), partitions_(std::move(partitions)) {
     consumer_ = std::make_unique<mq::Consumer>(*cluster_->broker_, "sampling", kUpdatesTopic,
-                                               partitions);
+                                               partitions_);
   }
 
   void Loop() {
     Tell([this] {
+      if (stop_.load(std::memory_order_acquire)) return;
       if (!cluster_->running_.load(std::memory_order_acquire)) return;
       cluster_->coordinator_->Heartbeat(WorkerKind::kSampling, worker_id_, util::NowMicros());
       if (cluster_->supervisor_ != nullptr) {
@@ -278,15 +294,13 @@ class ThreadedCluster::SamplingPollActor : public actor::Actor {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       } else {
         // Group per shard, preserving order within each shard.
-        std::vector<std::vector<mq::Record>> per_shard(
-            cluster_->options_.map.shards_per_worker);
-        const std::uint32_t base = worker_id_ * cluster_->options_.map.shards_per_worker;
+        std::vector<std::vector<mq::Record>> per_shard(partitions_.size());
         for (std::size_t i = 0; i < records.size(); ++i) {
-          per_shard[partitions[i] - base].push_back(std::move(records[i]));
+          per_shard[SlotOf(partitions[i])].push_back(std::move(records[i]));
         }
-        for (std::uint32_t s = 0; s < per_shard.size(); ++s) {
-          if (!per_shard[s].empty()) {
-            cluster_->shards_[base + s]->IngestBatch(std::move(per_shard[s]));
+        for (std::uint32_t slot = 0; slot < per_shard.size(); ++slot) {
+          if (!per_shard[slot].empty()) {
+            cluster_->shards_[partitions_[slot]]->IngestBatch(std::move(per_shard[slot]));
           }
         }
         consumer_->Commit();
@@ -295,9 +309,31 @@ class ThreadedCluster::SamplingPollActor : public actor::Actor {
     });
   }
 
+  // Migration quiesce. Unlike Kill() — which models a crash and drops the
+  // mailbox — this lets the in-flight poll slice finish and proves
+  // quiescence with a barrier: Loop()'s deliver+commit pair runs inside one
+  // mailbox closure, so when this returns the committed group offsets are
+  // exact, every delivered record is already queued at its shard actor, and
+  // no further polls will run. Idempotent; a no-op on a killed actor.
+  void StopAndJoin() {
+    stop_.store(true, std::memory_order_release);
+    std::promise<void> done;
+    if (!Tell([&done] { done.set_value(); })) return;
+    done.get_future().wait();
+  }
+
  private:
+  std::size_t SlotOf(std::uint32_t partition) const {
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      if (partitions_[i] == partition) return i;
+    }
+    return 0;  // unreachable: the consumer only yields subscribed partitions
+  }
+
   ThreadedCluster* cluster_;
   std::uint32_t worker_id_;
+  std::vector<std::uint32_t> partitions_;
+  std::atomic<bool> stop_{false};
   std::unique_ptr<mq::Consumer> consumer_;
 };
 
@@ -407,7 +443,15 @@ class ThreadedCluster::ServingPollActor : public actor::Actor {
 };
 
 ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
-    : plan_(std::move(plan)), options_(std::move(options)) {
+    : plan_(std::move(plan)),
+      options_(std::move(options)),
+      // Placement starts as the static layout, so a cluster that never
+      // migrates routes exactly as before; the serving tier's lane -> worker
+      // assignment starts as the identity.
+      sampling_assignment_(elastic::ShardMap::Contiguous(options_.map.TotalShards(),
+                                                         options_.map.shards_per_worker)),
+      serving_assignment_(
+          elastic::ShardMap::Contiguous(options_.map.serving_workers, 1)) {
   flow_.updates_published = registry_.GetCounter("cluster.updates_published");
   flow_.updates_processed = registry_.GetCounter("cluster.updates_processed");
   flow_.serving_published = registry_.GetCounter("cluster.serving_msgs_published");
@@ -441,21 +485,27 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
   for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) node_dead_[w] = false;
   for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) shard_applied_[s] = 0;
   node_epochs_.assign(options_.map.sampling_workers, 1);
+  shard_epochs_.assign(options_.map.TotalShards(), 1);
+  node_drained_.assign(options_.map.sampling_workers, 0);
+  migrator_ = std::make_unique<elastic::ShardMigrator>(
+      elastic::ShardMigrator::Options{/*max_concurrent=*/2, &registry_}, &sampling_assignment_);
 
+  const elastic::ShardMap::View placement = sampling_assignment_.Current();
   for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
     system_->AddPool("sampling-" + std::to_string(w), options_.map.shards_per_worker);
     system_->AddPool("publish-" + std::to_string(w), 1);
   }
   for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) {
-    auto shard = std::make_shared<ShardActor>(this, s);
-    system_->Attach(shard, "sampling-" + std::to_string(options_.map.WorkerOfShard(s)));
+    const std::uint32_t owner = placement->OwnerOf(s);
+    auto shard = std::make_shared<ShardActor>(this, s, owner);
+    system_->Attach(shard, "sampling-" + std::to_string(owner));
     shards_.push_back(std::move(shard));
   }
   for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
     auto publisher = std::make_shared<PublisherActor>(this);
     system_->Attach(publisher, "publish-" + std::to_string(w));
     publishers_.push_back(std::move(publisher));
-    auto poller = std::make_shared<SamplingPollActor>(this, w);
+    auto poller = std::make_shared<SamplingPollActor>(this, w, placement->ShardsOf(w));
     system_->Attach(poller, "poll");
     sampling_pollers_.push_back(std::move(poller));
     coordinator_->RegisterWorker(WorkerKind::kSampling, w, util::NowMicros());
@@ -566,6 +616,10 @@ void ThreadedCluster::Stop() {
   // dropped (serving is synchronous and needs no actor pools).
   DrainQueries();
   system_->Shutdown();
+  // Every pool thread is joined: no drain slice can reference a replaced
+  // actor incarnation any more, so the graveyard can finally be freed.
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  retired_actors_.clear();
 }
 
 void ThreadedCluster::PublishUpdate(const graph::GraphUpdate& update) {
@@ -610,8 +664,9 @@ void ThreadedCluster::WaitForIngestIdle() {
     std::uint64_t applied_sum = 0;
     {
       std::lock_guard<std::mutex> lock(fault_mutex_);
+      const elastic::ShardMap::View view = sampling_assignment_.Current();
       for (std::uint32_t s = 0; s < options_.map.TotalShards(); ++s) {
-        if (node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) continue;
+        if (node_dead_[view->OwnerOf(s)].load(std::memory_order_acquire)) continue;
         const std::uint64_t applied = shard_applied_[s].load(std::memory_order_acquire);
         applied_sum += applied;
         if (applied < updates->partition(s).end_offset()) drained = false;
@@ -640,7 +695,9 @@ void ThreadedCluster::WaitForIngestIdle() {
 }
 
 SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
-  const std::uint32_t worker = options_.map.ServingWorkerOf(seed);
+  // Layout hashes the seed to a logical lane; the versioned serving
+  // assignment names the lane's current physical owner.
+  const std::uint32_t worker = RouteOf(seed);
   flow_.queries_served->Add(1);
   if (options_.telemetry == nullptr) {
     obs::ScopedStage span(*serving_tracers_[worker], obs::Stage::kServe, kServingPidBase + worker,
@@ -668,7 +725,8 @@ SampledSubgraph ThreadedCluster::Serve(graph::VertexId seed) {
 
 AdmissionQueue::Outcome ThreadedCluster::SubmitQuery(graph::VertexId seed,
                                                      std::int64_t deadline_us) {
-  const std::uint32_t worker = options_.map.ServingWorkerOf(seed);
+  // Admission consults the versioned serving assignment, like Serve().
+  const std::uint32_t worker = RouteOf(seed);
   if (worker >= admission_queues_.size()) {
     // Admission disabled: serve synchronously, preserving the old
     // front-door semantics.
@@ -758,8 +816,9 @@ void ThreadedCluster::PruneTTL(graph::Timestamp cutoff) {
   std::vector<std::shared_ptr<ShardActor>> live;
   {
     std::lock_guard<std::mutex> lock(fault_mutex_);
+    const elastic::ShardMap::View view = sampling_assignment_.Current();
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-      if (!node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) {
+      if (!node_dead_[view->OwnerOf(s)].load(std::memory_order_acquire)) {
         live.push_back(shards_[s]);
       }
     }
@@ -784,7 +843,7 @@ util::Status ThreadedCluster::Checkpoint(const std::string& dir) {
       // A dead shard keeps its previous checkpoint file: each shard's file
       // is internally consistent on its own (per-shard log + epoch/seq
       // state), so a directory may mix checkpoint ages.
-      if (node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) continue;
+      if (node_dead_[sampling_assignment_.OwnerOf(s)].load(std::memory_order_acquire)) continue;
       shard = shards_[s];
     }
     graph::ByteWriter w;
@@ -836,10 +895,9 @@ bool ThreadedCluster::KillNodeLocked(std::uint32_t node) {
   // a crash loses in-flight work by design; recovery replays it from the
   // broker log, which is exactly what the single-log design makes safe.
   sampling_pollers_[node]->Kill();
-  const std::uint32_t base = node * options_.map.shards_per_worker;
   std::size_t dropped = 0;
-  for (std::uint32_t s = 0; s < options_.map.shards_per_worker; ++s) {
-    dropped += shards_[base + s]->Kill();
+  for (const std::uint32_t s : sampling_assignment_.ShardsOf(node)) {
+    dropped += shards_[s]->Kill();
   }
   dropped += publishers_[node]->Kill();
   system_->StopPool("sampling-" + std::to_string(node));
@@ -858,6 +916,7 @@ bool ThreadedCluster::RestartNode(std::uint32_t node) {
   std::lock_guard<std::mutex> lock(fault_mutex_);
   if (node >= options_.map.sampling_workers) return false;
   if (!node_dead_[node].load(std::memory_order_acquire)) return false;
+  if (node_drained_[node] != 0) return false;  // retired, not crashed: ReviveNode
   return RecoverNode(node, NextEpochFor(node), util::NowMicros()).ok;
 }
 
@@ -880,16 +939,18 @@ ft::RecoveryReport ThreadedCluster::RecoverNode(std::uint32_t node, std::uint32_
   if (!node_dead_[node].load(std::memory_order_acquire)) KillNodeLocked(node);
 
   const util::Micros restore_start = util::NowMicros();
-  const std::uint32_t base = node * options_.map.shards_per_worker;
+  // The node's shard set under the *current* placement, not the static
+  // layout — a migrated-in shard recovers here, a migrated-away one with
+  // its new owner.
+  const std::vector<std::uint32_t> owned = sampling_assignment_.ShardsOf(node);
   system_->AddPool("sampling-" + std::to_string(node), options_.map.shards_per_worker);
   system_->AddPool("publish-" + std::to_string(node), 1);
 
   mq::Topic* updates = broker_->GetTopic(kUpdatesTopic);
-  for (std::uint32_t i = 0; i < options_.map.shards_per_worker; ++i) {
-    const std::uint32_t s = base + i;
+  for (const std::uint32_t s : owned) {
     // Drop the dead incarnation and its state; build the replacement.
     system_->Detach(shards_[s]);
-    auto shard = std::make_shared<ShardActor>(this, s);
+    auto shard = std::make_shared<ShardActor>(this, s, node);
     if (!last_checkpoint_dir_.empty()) {
       std::ifstream in(last_checkpoint_dir_ + "/shard-" + std::to_string(s) + ".ckpt",
                        std::ios::binary);
@@ -919,7 +980,10 @@ ft::RecoveryReport ThreadedCluster::RecoverNode(std::uint32_t node, std::uint32_
     broker_->ReplayFrom("sampling", kUpdatesTopic, s, applied);
     const std::uint64_t end = updates->partition(s).end_offset();
     report.records_to_replay += end > applied ? end - applied : 0;
-    shard->BeginReplay(end, epoch, static_cast<std::int64_t>(now));
+    // The serving fences are keyed by source shard, so a shard that
+    // migrated here earlier may already have entered service under an epoch
+    // above this node's grant; re-admit strictly above both.
+    shard->BeginReplay(end, NextShardEpochLocked(s, epoch), static_cast<std::int64_t>(now));
     shard_applied_[s].store(applied, std::memory_order_release);
     system_->Attach(shard, "sampling-" + std::to_string(node));
     shards_[s] = std::move(shard);
@@ -928,25 +992,282 @@ ft::RecoveryReport ThreadedCluster::RecoverNode(std::uint32_t node, std::uint32_
   system_->Detach(publishers_[node]);
   auto publisher = std::make_shared<PublisherActor>(this);
   system_->Attach(publisher, "publish-" + std::to_string(node));
+  retired_actors_.push_back(publishers_[node]);
   publishers_[node] = std::move(publisher);
 
-  // Fresh poller: its consumer reads the rewound committed offsets.
+  // Fresh poller: its consumer reads the rewound committed offsets. The old
+  // incarnation ran on the shared "poll" pool (never stopped), so it parks
+  // in the graveyard rather than being destroyed under a live slice.
   system_->Detach(sampling_pollers_[node]);
-  auto poller = std::make_shared<SamplingPollActor>(this, node);
+  auto poller = std::make_shared<SamplingPollActor>(this, node, owned);
   system_->Attach(poller, "poll");
+  retired_actors_.push_back(sampling_pollers_[node]);
   sampling_pollers_[node] = std::move(poller);
 
   report.restore_us = util::NowMicros() - restore_start;
   node_dead_[node].store(false, std::memory_order_release);
   if (running_.load(std::memory_order_acquire)) sampling_pollers_[node]->Loop();
   // Replay re-applies deltas the caches may have served around; cold-start
-  // every aggregate cache so nothing stale survives recovery.
-  for (auto& core : serving_cores_) core->FlushAggregateCache();
+  // every aggregate cache (and admission hot-seed table) so nothing stale
+  // survives recovery.
+  FlushOwnershipCachesLocked();
   report.ok = true;
   HLOG(kWarn, "ft") << "recovered sampling node " << node << " at epoch " << epoch << ": "
                     << report.shards_restored << " shard(s) restored, "
                     << report.records_to_replay << " log records to replay";
   return report;
+}
+
+// ---- elastic scale-out (docs/ELASTICITY.md)
+
+std::uint32_t ThreadedCluster::NextShardEpochLocked(std::uint32_t s, std::uint32_t node_grant) {
+  // The serving-side fence is keyed by SOURCE SHARD; node grants are only
+  // monotonic per node. A shard that hops nodes must still re-enter under a
+  // strictly increasing epoch, or the receivers would fence its genuinely
+  // new frames (or admit stale ones).
+  const std::uint32_t eff = std::max(node_grant, shard_epochs_[s] + 1);
+  shard_epochs_[s] = eff;
+  return eff;
+}
+
+void ThreadedCluster::RebuildPollerLocked(std::uint32_t node) {
+  // The old incarnation must already be quiesced (StopAndJoin) or killed;
+  // the fresh consumer resumes from the committed group offsets, so the gap
+  // between the two incarnations loses nothing — records buffered in the
+  // broker while no poller ran drain now.
+  system_->Detach(sampling_pollers_[node]);
+  auto poller =
+      std::make_shared<SamplingPollActor>(this, node, sampling_assignment_.ShardsOf(node));
+  system_->Attach(poller, "poll");
+  retired_actors_.push_back(sampling_pollers_[node]);
+  sampling_pollers_[node] = std::move(poller);
+  if (running_.load(std::memory_order_acquire)) sampling_pollers_[node]->Loop();
+}
+
+void ThreadedCluster::FlushOwnershipCachesLocked() {
+  // An aggregate cached under the previous owner must never serve under the
+  // new one, and hot-seed admission hints describing the old owner's cache
+  // would misclassify tickets against the (flushed) new one.
+  for (auto& core : serving_cores_) core->FlushAggregateCache();
+  for (auto& q : admission_queues_) q->FlushHotSeeds();
+}
+
+bool ThreadedCluster::MigrateShard(std::uint32_t shard, std::uint32_t dst,
+                                   MigrationFailPoint fail) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (shard >= shards_.size() || dst >= options_.map.sampling_workers) return false;
+  const std::uint32_t src = sampling_assignment_.OwnerOf(shard);
+  if (src == dst) return false;
+  if (node_dead_[src].load(std::memory_order_acquire) ||
+      node_dead_[dst].load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (node_drained_[dst] != 0) return false;
+  const std::uint64_t id =
+      migrator_->Begin(shard, src, dst, static_cast<std::int64_t>(util::NowMicros()));
+  if (id == 0) return false;
+
+  // Stop-and-copy window opens: quiesce the source's poller so nothing more
+  // is delivered for any of its shards (records buffer durably in the
+  // broker and drain when the pollers rebuild below).
+  sampling_pollers_[src]->StopAndJoin();
+
+  if (fail == MigrationFailPoint::kSourceMidCheckpoint) {
+    // Chaos: the source dies while serializing. Nothing was installed
+    // anywhere, so the migration aborts cleanly and the ordinary fault
+    // machinery (supervisor / RestartNode) owns the now-dead source.
+    migrator_->Abort(id, static_cast<std::int64_t>(util::NowMicros()));
+    KillNodeLocked(src);
+    return false;
+  }
+
+  // Checkpoint at a frame boundary: the WithCore barrier queues behind
+  // whatever the quiesced poller already delivered, so the serialized state
+  // and its applied_offset are exact.
+  graph::ByteWriter w;
+  std::uint64_t applied = 0;
+  shards_[shard]->WithCore([&](SamplingShardCore& core) {
+    core.Serialize(w);
+    applied = core.applied_offset();
+  });
+  migrator_->Advance(id, elastic::MigrationState::kTransferring);
+  migrator_->NoteCheckpoint(id, applied, w.buffer().size());
+  // Drop the migration checkpoint where RecoverNode looks: a destination
+  // that dies mid-replay restores this shard from here instead of replaying
+  // the whole log.
+  if (!last_checkpoint_dir_.empty()) {
+    std::ofstream out(last_checkpoint_dir_ + "/shard-" + std::to_string(shard) + ".ckpt",
+                      std::ios::binary);
+    if (out) out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+  }
+
+  // Source teardown: the old incarnation is drained and serialized; kill
+  // before detach so no stray Tell can land between the two.
+  shards_[shard]->Kill();
+  system_->Detach(shards_[shard]);
+
+  // Destination install: fresh actor, state restored, log tail re-armed.
+  migrator_->Advance(id, elastic::MigrationState::kReplaying);
+  auto fresh = std::make_shared<ShardActor>(this, shard, dst);
+  bool ok = false;
+  fresh->WithCore([&](SamplingShardCore& core) {
+    // Not attached yet: direct core access is safe.
+    const std::string bytes(w.buffer().data(), w.buffer().size());
+    graph::ByteReader r(bytes);
+    ok = SamplingShardCore::Deserialize(r, core);
+  });
+  if (!ok) {
+    // Cannot happen for bytes we just serialized; treat as a source crash
+    // so recovery rebuilds the shard from the durable log.
+    HLOG(kError, "elastic") << "migration " << id << ": checkpoint of shard " << shard
+                            << " failed to deserialize";
+    migrator_->Abort(id, static_cast<std::int64_t>(util::NowMicros()));
+    KillNodeLocked(src);
+    return false;
+  }
+  // Rewind the consumer group to the checkpoint position and arm replay up
+  // to the current partition end. Re-emissions of [applied, end) carry the
+  // checkpointed epoch/seqs, so the receivers fence them (exactly-once);
+  // the bump to the fresh epoch happens at the replay frame boundary.
+  const std::uint32_t epoch = NextShardEpochLocked(shard, NextEpochFor(dst));
+  broker_->ReplayFrom("sampling", kUpdatesTopic, shard, applied);
+  const std::uint64_t end = broker_->GetTopic(kUpdatesTopic)->partition(shard).end_offset();
+  fresh->BeginReplay(end, epoch, static_cast<std::int64_t>(util::NowMicros()));
+  shard_applied_[shard].store(applied, std::memory_order_release);
+  system_->Attach(fresh, "sampling-" + std::to_string(dst));
+  retired_actors_.push_back(shards_[shard]);
+  shards_[shard] = std::move(fresh);
+  migrator_->NoteReplayed(id, end > applied ? end - applied : 0);
+  migrator_->NoteEpoch(id, epoch);
+  migrator_->Advance(id, elastic::MigrationState::kEpochBumped);
+
+  if (fail == MigrationFailPoint::kCoordinatorBeforeFlip) {
+    // Chaos: the coordinator dies with the epoch armed but the map not yet
+    // flipped. Routing still names the source (whose poller is quiesced) —
+    // the cluster is degraded, not wrong — until ResumeMigrations()
+    // re-drives the flip idempotently.
+    return true;
+  }
+
+  sampling_pollers_[dst]->StopAndJoin();
+  const std::uint64_t version = migrator_->Flip(id);
+  FlushOwnershipCachesLocked();
+  RebuildPollerLocked(src);
+  RebuildPollerLocked(dst);
+  migrator_->Complete(id, static_cast<std::int64_t>(util::NowMicros()));
+  HLOG(kInfo, "elastic") << "migrated shard " << shard << ": node " << src << " -> " << dst
+                         << " (ckpt " << w.buffer().size() << " B at offset " << applied
+                         << ", replay target " << end << ", epoch " << epoch << ", map v"
+                         << version << ")";
+
+  if (fail == MigrationFailPoint::kDestMidReplay) {
+    // Chaos: the destination dies while the replay tail is still in flight.
+    // The ordinary fault machinery recovers it — from the migration
+    // checkpoint when one is on disk, from the full log otherwise — and the
+    // byte-parity contract must still hold. The migration itself completed.
+    KillNodeLocked(dst);
+  }
+  return true;
+}
+
+std::size_t ThreadedCluster::ResumeMigrations() {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return ResumeMigrationsLocked();
+}
+
+std::size_t ThreadedCluster::ResumeMigrationsLocked() {
+  std::size_t completed = 0;
+  for (const elastic::MigrationRecord& r : migrator_->NeedingFlip()) {
+    const bool from_alive = !node_dead_[r.from].load(std::memory_order_acquire);
+    const bool to_alive = !node_dead_[r.to].load(std::memory_order_acquire);
+    if (from_alive) sampling_pollers_[r.from]->StopAndJoin();
+    if (to_alive) sampling_pollers_[r.to]->StopAndJoin();
+    migrator_->Flip(r.id);
+    FlushOwnershipCachesLocked();
+    if (from_alive) RebuildPollerLocked(r.from);
+    if (to_alive) RebuildPollerLocked(r.to);
+    migrator_->Complete(r.id, static_cast<std::int64_t>(util::NowMicros()));
+    HLOG(kWarn, "elastic") << "resumed migration " << r.id << ": flipped shard " << r.shard
+                           << " to node " << r.to << " after coordinator loss";
+    ++completed;
+  }
+  return completed;
+}
+
+bool ThreadedCluster::DrainNode(std::uint32_t node) {
+  std::vector<std::uint32_t> owned;
+  std::vector<std::uint32_t> targets;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    if (node >= options_.map.sampling_workers) return false;
+    if (node_dead_[node].load(std::memory_order_acquire) || node_drained_[node] != 0) {
+      return false;
+    }
+    for (std::uint32_t w = 0; w < options_.map.sampling_workers; ++w) {
+      if (w != node && !node_dead_[w].load(std::memory_order_acquire) &&
+          node_drained_[w] == 0) {
+        targets.push_back(w);
+      }
+    }
+    if (targets.empty()) return false;  // last node standing
+    node_drained_[node] = 1;  // no longer a migration target
+    owned = sampling_assignment_.ShardsOf(node);
+  }
+  // Evacuate round-robin; each handoff is its own stop-and-copy window, so
+  // the rest of the cluster keeps serving between moves.
+  bool all_moved = true;
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    all_moved = MigrateShard(owned[i], targets[i % targets.size()]) && all_moved;
+  }
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (!all_moved) {
+    node_drained_[node] = 0;  // leave the node serving whatever remains
+    return false;
+  }
+  // Retire: the node owns nothing now. Drain the publisher's mailbox into
+  // the durable log before killing it (a retiring node's final dispatches
+  // must not die in a mailbox), deregister from supervision so the
+  // intentional silence is not "detected", then stop the pools.
+  sampling_pollers_[node]->StopAndJoin();
+  sampling_pollers_[node]->Kill();
+  publishers_[node]->Join();
+  publishers_[node]->Kill();
+  system_->StopPool("sampling-" + std::to_string(node));
+  system_->StopPool("publish-" + std::to_string(node));
+  if (supervisor_ != nullptr) supervisor_->Deregister(node);
+  node_dead_[node].store(true, std::memory_order_release);
+  HLOG(kInfo, "elastic") << "drained and retired sampling node " << node << " ("
+                         << owned.size() << " shard(s) evacuated)";
+  return true;
+}
+
+bool ThreadedCluster::ReviveNode(std::uint32_t node) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (node >= options_.map.sampling_workers) return false;
+  if (!node_dead_[node].load(std::memory_order_acquire) || node_drained_[node] == 0) {
+    return false;
+  }
+  // Scale-up: fresh pools and an (initially partition-less) poller; shards
+  // arrive via subsequent migrations. Re-registration continues the
+  // supervisor's epoch ledger where the drain left it.
+  system_->AddPool("sampling-" + std::to_string(node), options_.map.shards_per_worker);
+  system_->AddPool("publish-" + std::to_string(node), 1);
+  system_->Detach(publishers_[node]);
+  auto publisher = std::make_shared<PublisherActor>(this);
+  system_->Attach(publisher, "publish-" + std::to_string(node));
+  retired_actors_.push_back(publishers_[node]);
+  publishers_[node] = std::move(publisher);
+  node_drained_[node] = 0;
+  node_dead_[node].store(false, std::memory_order_release);
+  RebuildPollerLocked(node);
+  if (supervisor_ != nullptr) supervisor_->Register(node, util::NowMicros());
+  HLOG(kInfo, "elastic") << "revived sampling node " << node;
+  return true;
+}
+
+bool ThreadedCluster::NodeDrained(std::uint32_t node) const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return node < node_drained_.size() && node_drained_[node] != 0;
 }
 
 bool ThreadedCluster::NodeAlive(std::uint32_t node) const {
@@ -978,8 +1299,9 @@ ClusterStats ThreadedCluster::Stats() const {
   std::vector<std::shared_ptr<ShardActor>> live;
   {
     std::lock_guard<std::mutex> lock(fault_mutex_);
+    const elastic::ShardMap::View view = sampling_assignment_.Current();
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-      if (!node_dead_[options_.map.WorkerOfShard(s)].load(std::memory_order_acquire)) {
+      if (!node_dead_[view->OwnerOf(s)].load(std::memory_order_acquire)) {
         live.push_back(shards_[s]);
       }
     }

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "actor/actor.h"
+#include "elastic/migrator.h"
+#include "elastic/shard_map.h"
 #include "ft/recovery.h"
 #include "ft/supervisor.h"
 #include "gen/datasets.h"
@@ -135,7 +137,12 @@ class ThreadedCluster {
   // assembles the K-hop result from the owning worker's local cache.
   SampledSubgraph Serve(graph::VertexId seed);
   // The serving worker a seed routes to (exposed for tests / benches).
-  std::uint32_t RouteOf(graph::VertexId seed) const { return options_.map.ServingWorkerOf(seed); }
+  // The static layout hashes the seed to a logical lane; the versioned
+  // serving assignment maps the lane to its current physical owner
+  // (identity until an elastic rebind — docs/ELASTICITY.md).
+  std::uint32_t RouteOf(graph::VertexId seed) const {
+    return serving_assignment_.OwnerOf(options_.map.ServingWorkerOf(seed));
+  }
 
   // ---- admission front door (requires ClusterOptions::enable_admission)
   // Offers a query with an absolute wall-clock deadline to the owning
@@ -188,6 +195,47 @@ class ThreadedCluster {
   // Null unless ClusterOptions::supervision_timeout is non-zero.
   ft::Supervisor* supervisor() { return supervisor_.get(); }
 
+  // ---- elastic scale-out (docs/ELASTICITY.md)
+  // Chaos hooks for the migration protocol: each point simulates a crash of
+  // the named party at that protocol step; the regular fault machinery
+  // (supervisor / RestartNode / ResumeMigrations) must then converge to the
+  // same serving bytes as an unfaulted run.
+  enum class MigrationFailPoint : std::uint8_t {
+    kNone = 0,
+    kSourceMidCheckpoint,    // source node dies while serializing the shard
+    kDestMidReplay,          // destination dies while replaying the log tail
+    kCoordinatorBeforeFlip,  // coordinator dies after the epoch bump, before
+                             // the ShardMap flip (ResumeMigrations completes)
+  };
+  // Live handoff of one sampling shard to `dst`: checkpoint at the source,
+  // install + log replay on the destination under a bumped epoch, then the
+  // versioned ShardMap flip re-routes dissemination. Stop-and-copy within
+  // this process (the source's poller pauses; records buffer durably in the
+  // broker), so the destination's re-emissions are the only duplicates and
+  // the receivers' epoch fences drop them. Returns false when refused
+  // (unknown shard/node, dst == src, dead or drained endpoint, or the
+  // migrator's max-concurrent budget).
+  bool MigrateShard(std::uint32_t shard, std::uint32_t dst,
+                    MigrationFailPoint fail = MigrationFailPoint::kNone);
+  // Completes migrations stranded between epoch bump and map flip (the
+  // coordinator-crash window). Idempotent. Returns how many were completed.
+  std::size_t ResumeMigrations();
+  // Drain-then-retire: migrates every shard off `node` (round-robin over
+  // the remaining live nodes), then retires its pools and deregisters it
+  // from supervision. Returns false if `node` is dead, already drained, or
+  // the last node standing.
+  bool DrainNode(std::uint32_t node);
+  // Re-adds a drained node with fresh (empty) pools; shards arrive via
+  // subsequent MigrateShard calls (scale-up).
+  bool ReviveNode(std::uint32_t node);
+  bool NodeDrained(std::uint32_t node) const;
+  // The versioned shard placement (sampling tier) and lane placement
+  // (serving tier) consulted by routing; the migration ledger.
+  elastic::ShardMap& sampling_assignment() { return sampling_assignment_; }
+  const elastic::ShardMap& sampling_assignment() const { return sampling_assignment_; }
+  elastic::ShardMap& serving_assignment() { return serving_assignment_; }
+  elastic::ShardMigrator& migrator() { return *migrator_; }
+
   ClusterStats Stats() const;
   // End-to-end ingestion latency (publish -> applied at serving cache);
   // merged "pipeline.ingest_e2e" cells of the registry.
@@ -219,6 +267,20 @@ class ThreadedCluster {
   bool KillNodeLocked(std::uint32_t node);
   ft::RecoveryReport RecoverNode(std::uint32_t node, std::uint32_t epoch, util::Micros now);
   std::uint32_t NextEpochFor(std::uint32_t node);
+  // Strictly-monotonic epoch for shard `s` no matter which node hosts it
+  // next: the receivers' fences are keyed by source shard, so a migrated
+  // shard must never re-enter under an epoch its previous owner already
+  // used. Callers hold fault_mutex_.
+  std::uint32_t NextShardEpochLocked(std::uint32_t s, std::uint32_t node_grant);
+  // Replaces node `n`'s polling actor with a fresh one consuming the
+  // partitions the current sampling assignment gives it (callers hold
+  // fault_mutex_; the old poller must already be stopped).
+  void RebuildPollerLocked(std::uint32_t node);
+  // Post-flip ownership-change hygiene: serving-side aggregate caches and
+  // admission hot-seed tables describe the previous owner and must not
+  // serve under the new one.
+  void FlushOwnershipCachesLocked();
+  std::size_t ResumeMigrationsLocked();
   void MonitorLoop();
   void QueryPumpLoop();
   void ServeTicket(std::uint32_t worker, const QueryTicket& ticket);
@@ -253,6 +315,11 @@ class ThreadedCluster {
   std::vector<std::shared_ptr<PublisherActor>> publishers_;
   std::vector<std::shared_ptr<ServingPollActor>> serving_pollers_;
   std::vector<std::shared_ptr<ServingUpdateActor>> serving_updaters_;
+  // Replaced actor incarnations whose pool is (or may be) still running: a
+  // queued drain slice captures the actor raw, so the object must outlive
+  // any slice that could still touch it. Freed in Stop() after the actor
+  // system joined every pool thread. Guarded by fault_mutex_.
+  std::vector<std::shared_ptr<actor::Actor>> retired_actors_;
   std::vector<std::unique_ptr<ServingCore>> serving_cores_;
 
   // Admission front door (empty unless options_.enable_admission).
@@ -270,6 +337,21 @@ class ThreadedCluster {
   std::unique_ptr<std::atomic<std::uint64_t>[]> shard_applied_;  // per shard: log offset applied
   std::vector<std::uint32_t> node_epochs_;       // fallback grants (no supervisor)
   std::string last_checkpoint_dir_;
+
+  // ---- elastic state (docs/ELASTICITY.md)
+  // Versioned shard -> owner placement for the sampling tier. Starts as the
+  // static layout (ShardMap::WorkerOfShard) and diverges under migrations;
+  // every owner lookup in this file goes through it, never through
+  // options_.map.WorkerOfShard.
+  elastic::ShardMap sampling_assignment_;
+  // Versioned logical-lane -> physical-worker placement for the serving
+  // tier (identity unless rebound; subscription state is keyed by lane).
+  elastic::ShardMap serving_assignment_;
+  std::unique_ptr<elastic::ShardMigrator> migrator_;
+  // Highest epoch each shard has entered service under, across all owners
+  // (guarded by fault_mutex_).
+  std::vector<std::uint32_t> shard_epochs_;
+  std::vector<std::uint8_t> node_drained_;  // guarded by fault_mutex_
   mutable std::mutex reports_mutex_;
   std::vector<ft::RecoveryReport> reports_;
   // Cluster-level flow counters, registry-backed ("cluster.*"). The idle

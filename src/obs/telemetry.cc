@@ -35,6 +35,9 @@ TelemetryHub::TelemetryHub(MetricsRegistry* registry, Options options)
     g_bytes_.push_back(registry_->GetGauge("telemetry.bytes_per_s", labels));
     g_p99_.push_back(registry_->GetGauge("telemetry.p99_us", labels));
     g_staleness_p99_.push_back(registry_->GetGauge("telemetry.staleness_p99_us", labels));
+    g_shard_qps_.push_back(registry_->GetGauge("shard.qps", labels));
+    g_shard_bytes_.push_back(registry_->GetGauge("shard.delta_bytes", labels));
+    g_shard_p99_.push_back(registry_->GetGauge("shard.serve_p99_us", labels));
   }
   g_slo_bp_ = registry_->GetGauge("telemetry.slo_hit_rate_bp");
   g_overloaded_ = registry_->GetGauge("telemetry.overloaded");
@@ -109,6 +112,9 @@ void TelemetryHub::Advance(std::int64_t now_us) {
     g_bytes_[i]->Set(static_cast<std::int64_t>(lane.bytes_per_s));
     g_p99_[i]->Set(static_cast<std::int64_t>(lane.latency.P99()));
     g_staleness_p99_[i]->Set(static_cast<std::int64_t>(lane.staleness.P99()));
+    g_shard_qps_[i]->Set(static_cast<std::int64_t>(lane.qps));
+    g_shard_bytes_[i]->Set(static_cast<std::int64_t>(lane.bytes_per_s));
+    g_shard_p99_[i]->Set(static_cast<std::int64_t>(lane.latency.P99()));
   }
   const double slo_rate =
       slo_total_window_ == 0
@@ -129,6 +135,17 @@ void TelemetryHub::Advance(std::int64_t now_us) {
     overloaded_ = true;
   }
   g_overloaded_->Set(overloaded_ ? 1 : 0);
+}
+
+std::vector<TelemetryHub::LaneLoad> TelemetryHub::WindowLoads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LaneLoad> out(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    out[i].qps = lanes_[i].qps;
+    out[i].bytes_per_s = lanes_[i].bytes_per_s;
+    out[i].p99_us = lanes_[i].latency.P99();
+  }
+  return out;
 }
 
 double TelemetryHub::QpsOf(std::uint32_t lane) const {

@@ -67,6 +67,19 @@ class TelemetryHub {
   void Advance(std::int64_t now_us);
 
   // ---- window aggregates (as of the last Advance) ----
+
+  // One lane's published load triple — the elastic::Rebalancer input. The
+  // same values back the per-lane "shard.qps" / "shard.delta_bytes" /
+  // "shard.serve_p99_us" registry gauges, so policy code and dashboards
+  // read one surface.
+  struct LaneLoad {
+    double qps = 0;
+    double bytes_per_s = 0;
+    std::uint64_t p99_us = 0;
+  };
+  // All lanes' window loads as of the last Advance (index == lane id).
+  std::vector<LaneLoad> WindowLoads() const;
+
   double QpsOf(std::uint32_t lane) const;
   double BytesPerSecOf(std::uint32_t lane) const;
   std::uint64_t P99Of(std::uint32_t lane) const;
@@ -123,8 +136,11 @@ class TelemetryHub {
   std::uint64_t slo_hits_window_ = 0;
   bool overloaded_ = false;
 
-  // Exported gauges, one per lane.
+  // Exported gauges, one per lane. The "shard.*" family repeats the window
+  // triple under the names the rebalancing control plane scrapes
+  // (docs/ELASTICITY.md); lane_label says what a lane is in this hub.
   std::vector<Gauge*> g_qps_, g_bytes_, g_p99_, g_staleness_p99_;
+  std::vector<Gauge*> g_shard_qps_, g_shard_bytes_, g_shard_p99_;
   Gauge* g_slo_bp_;       // window SLO hit rate in basis points
   Gauge* g_overloaded_;
 };
