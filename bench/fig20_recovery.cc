@@ -132,11 +132,13 @@ void ThreadedRecoverySpotCheck(const gen::DatasetSpec& spec, std::size_t limit) 
   cluster.WaitForIngestIdle();
   const auto dir = std::filesystem::temp_directory_path() / "helios_fig20_ckpt";
   std::filesystem::remove_all(dir);
+  const auto ckpt_begin = util::NowMicros();
   if (!cluster.Checkpoint(dir.string()).ok()) {
     std::printf("ThreadedCluster spot check: checkpoint failed, skipping\n");
     cluster.Stop();
     return;
   }
+  const auto ckpt_us = util::NowMicros() - ckpt_begin;
   for (std::size_t i = updates.size() / 2; i < updates.size(); ++i)
     cluster.PublishUpdate(updates[i]);
 
@@ -156,10 +158,33 @@ void ThreadedRecoverySpotCheck(const gen::DatasetSpec& spec, std::size_t limit) 
                 static_cast<long long>(r.time_to_detect_us), static_cast<long long>(r.restore_us),
                 static_cast<unsigned long long>(r.records_to_replay), r.epoch);
   }
-  std::printf("  ft: %llu updates replayed, %llu serving deltas fenced, %llu ctrl deltas fenced\n\n",
+  std::printf("  ft: %llu updates replayed, %llu serving deltas fenced, %llu ctrl deltas fenced\n",
               static_cast<unsigned long long>(snapshot.CounterTotal("ft.updates_replayed")),
               static_cast<unsigned long long>(snapshot.CounterTotal("ft.deltas_fenced")),
               static_cast<unsigned long long>(snapshot.CounterTotal("ft.ctrl_deltas_fenced")));
+  // Checkpoint-store accounting (docs/STORAGE.md): write time vs the
+  // restore_us above is the fig20 recovery-time comparison for the
+  // single-file segment-store backend.
+  {
+    store::StoreOptions so;
+    so.path = (dir / "checkpoints.hstore").string();
+    auto st = store::SegmentStore::Open(so, /*create=*/false);
+    if (st.ok()) {
+      const auto stats = st.value()->GetStats();
+      std::uint64_t ckpt_bytes = 0;
+      const auto infos = st.value()->List("ckpt/");
+      for (const auto& info : infos) ckpt_bytes += info.committed_bytes;
+      std::printf(
+          "  checkpoint store: write=%lldus, %zu shard segments, %.1f KiB payload, "
+          "%.1f KiB file (%llu/%llu clusters used)\n\n",
+          static_cast<long long>(ckpt_us), infos.size(), static_cast<double>(ckpt_bytes) / 1024.0,
+          static_cast<double>(stats.file_bytes) / 1024.0,
+          static_cast<unsigned long long>(stats.clusters_total - stats.clusters_free),
+          static_cast<unsigned long long>(stats.clusters_total));
+    } else {
+      std::printf("  checkpoint store: unavailable (%s)\n\n", st.status().message().c_str());
+    }
+  }
   cluster.Stop();
   std::filesystem::remove_all(dir);
 }

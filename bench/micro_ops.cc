@@ -8,9 +8,12 @@
 #include <map>
 #include <new>
 
+#include <filesystem>
+
 #include "bench/harness.h"
 #include "kv/kv_store.h"
 #include "mq/mq.h"
+#include "store/segment_store.h"
 #include "util/aligned.h"
 #include "util/simd.h"
 
@@ -100,6 +103,58 @@ static void BM_KvPutGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KvPutGet);
+
+// ---------------------------------------------------------------- store
+
+// Append path of the segment store (docs/STORAGE.md): CRC32C framing +
+// cluster-chain bookkeeping, group commit amortized over 1 MiB batches.
+static void BM_StoreAppend(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() / "bench_store_append.hstore";
+  std::filesystem::remove(path);
+  store::StoreOptions options;
+  options.path = path.string();
+  options.sync = false;  // measure framing + chaining, not the disk
+  auto st = std::move(store::SegmentStore::Open(options).value());
+  const std::uint64_t seg = st->Create("bench").value();
+  const std::string value(256, 'v');
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(st->Append(seg, "k" + std::to_string(rng.Uniform(1 << 20)), value));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(value.size()));
+  st.reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_StoreAppend);
+
+// Bloom-indexed point reads over a sealed spill run — the kv ViewInShard
+// disk path.
+static void BM_StoreRead(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() / "bench_store_read.hstore";
+  std::filesystem::remove(path);
+  store::StoreOptions options;
+  options.path = path.string();
+  options.sync = false;
+  auto st = std::move(store::SegmentStore::Open(options).value());
+  const std::uint64_t seg = st->Create("bench").value();
+  constexpr std::uint64_t kKeys = 100000;
+  const std::string value(256, 'v');
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    st->Append(seg, "k" + std::to_string(i), value);
+  }
+  st->Seal(seg, /*point_index=*/true);
+  st->Commit();
+  util::Rng rng(4);
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        st->FindNewestFirst(&seg, 1, "k" + std::to_string(rng.Uniform(kKeys)), &out));
+  }
+  st.reset();
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_StoreRead);
 
 // ---------------------------------------------------------------- mq
 

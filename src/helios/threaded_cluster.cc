@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "graph/update_codec.h"
+#include "store/segment_store.h"
 #include "util/logging.h"
 
 namespace helios {
@@ -15,6 +16,58 @@ namespace helios {
 namespace {
 constexpr const char* kUpdatesTopic = "updates";
 constexpr const char* kSamplesTopic = "samples";
+
+// Checkpoints live in one segment-store file per checkpoint directory
+// (docs/STORAGE.md): each round writes every live shard's serialized state
+// as a fresh "ckpt/shard-<i>" segment, flips that shard's named pointer,
+// retires the superseded segment, and makes the whole round durable with a
+// single Commit() — so a crash mid-round recovers the previous complete
+// checkpoint for every shard, never a torn mix.
+store::StoreOptions CheckpointStoreOptions(const std::string& dir) {
+  store::StoreOptions opt;
+  opt.path = dir + "/checkpoints.hstore";
+  opt.cluster_size = 64 * 1024;
+  opt.meta_clusters = 8;
+  opt.group_commit_bytes = 0;  // the round commits explicitly, exactly once
+  return opt;
+}
+
+// Writes one shard's state as a sealed single-record segment and points
+// "ckpt/shard-<i>" at it. Durable (and visible to recovery) only after the
+// store's next Commit().
+util::Status WriteShardCheckpoint(store::SegmentStore& st, std::uint32_t shard,
+                                  std::string_view bytes) {
+  const std::string name = "ckpt/shard-" + std::to_string(shard);
+  auto created = st.Create(name);
+  if (!created.ok()) return created.status();
+  auto appended = st.Append(created.value(), name, bytes);
+  if (!appended.ok()) return appended.status();
+  auto status = st.Seal(created.value());
+  if (!status.ok()) return status;
+  const auto old = st.GetNamed(name);
+  status = st.SetNamed(name, created.value());
+  if (!status.ok()) return status;
+  if (old.ok()) (void)st.Retire(old.value());  // superseded checkpoint
+  return util::Status::Ok();
+}
+
+// Reads the last complete checkpoint of `shard`. kNotFound when the shard
+// has never completed one; CRC failures surface as Internal.
+util::Status ReadShardCheckpoint(const store::SegmentStore& st, std::uint32_t shard,
+                                 std::string& bytes) {
+  auto seg = st.GetNamed("ckpt/shard-" + std::to_string(shard));
+  if (!seg.ok()) return seg.status();
+  bool got = false;
+  auto status = st.Scan(seg.value(), [&](const store::RecordLocator&, std::string_view,
+                                         std::string_view value) {
+    bytes.assign(value);
+    got = true;
+    return true;
+  });
+  if (!status.ok()) return status;
+  if (!got) return util::Status::NotFound("empty checkpoint segment");
+  return util::Status::Ok();
+}
 }  // namespace
 
 // One logical shard: owns a SamplingShardCore; all access is serialized by
@@ -468,6 +521,26 @@ ThreadedCluster::ThreadedCluster(QueryPlan plan, ClusterOptions options)
   ft_.deltas_fenced = registry_.GetCounter("ft.deltas_fenced");
   ft_.time_to_replay_us = registry_.GetLatency("ft.time_to_replay_us");
   broker_ = std::make_unique<mq::Broker>();
+  if (!options_.durable_log_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.durable_log_dir, ec);
+    store::StoreOptions sopt;
+    sopt.path = options_.durable_log_dir + "/mqlog.hstore";
+    sopt.cluster_size = 64 * 1024;
+    auto opened = store::SegmentStore::Open(sopt);
+    if (opened.ok()) {
+      mq_store_ = std::move(opened.value());
+      auto bound = broker_->BindStore(mq_store_.get());
+      if (!bound.ok()) {
+        HLOG(kWarn, "cluster") << "durable log bind failed, staying memory-only: "
+                               << bound.message();
+        mq_store_.reset();
+      }
+    } else {
+      HLOG(kWarn, "cluster") << "durable log open failed, staying memory-only: "
+                             << opened.status().message();
+    }
+  }
   broker_->CreateTopic(kUpdatesTopic, options_.map.TotalShards());
   broker_->CreateTopic(kSamplesTopic, options_.map.serving_workers);
   coordinator_ = std::make_unique<Coordinator>(options_.map);
@@ -836,23 +909,28 @@ void ThreadedCluster::PruneTTL(graph::Timestamp cutoff) {
 util::Status ThreadedCluster::Checkpoint(const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  auto opened = store::SegmentStore::Open(CheckpointStoreOptions(dir));
+  if (!opened.ok()) return opened.status();
+  store::SegmentStore& st = *opened.value();
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     std::shared_ptr<ShardActor> shard;
     {
       std::lock_guard<std::mutex> lock(fault_mutex_);
-      // A dead shard keeps its previous checkpoint file: each shard's file
-      // is internally consistent on its own (per-shard log + epoch/seq
-      // state), so a directory may mix checkpoint ages.
+      // A dead shard keeps its previous checkpoint segment: each shard's
+      // stream is internally consistent on its own (per-shard log +
+      // epoch/seq state), so a round may mix checkpoint ages.
       if (node_dead_[sampling_assignment_.OwnerOf(s)].load(std::memory_order_acquire)) continue;
       shard = shards_[s];
     }
     graph::ByteWriter w;
     shard->WithCore([&w](SamplingShardCore& core) { core.Serialize(w); });
-    std::ofstream out(dir + "/shard-" + std::to_string(s) + ".ckpt", std::ios::binary);
-    if (!out) return util::Status::Internal("cannot write checkpoint for shard " +
-                                            std::to_string(s));
-    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+    auto status =
+        WriteShardCheckpoint(st, s, std::string_view(w.buffer().data(), w.buffer().size()));
+    if (!status.ok()) return status;
   }
+  // One commit flips every shard's last-complete pointer together.
+  auto status = st.Commit();
+  if (!status.ok()) return status;
   coordinator_->MarkCheckpointed(util::NowMicros());
   {
     std::lock_guard<std::mutex> lock(fault_mutex_);
@@ -862,10 +940,16 @@ util::Status ThreadedCluster::Checkpoint(const std::string& dir) {
 }
 
 util::Status ThreadedCluster::Restore(const std::string& dir) {
+  auto opened = store::SegmentStore::Open(CheckpointStoreOptions(dir), /*create=*/false);
+  if (!opened.ok()) return opened.status();
+  const store::SegmentStore& st = *opened.value();
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-    std::ifstream in(dir + "/shard-" + std::to_string(s) + ".ckpt", std::ios::binary);
-    if (!in) return util::Status::NotFound("missing checkpoint for shard " + std::to_string(s));
-    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    std::string bytes;
+    auto read = ReadShardCheckpoint(st, s, bytes);
+    if (!read.ok()) {
+      return util::Status::NotFound("missing checkpoint for shard " + std::to_string(s) + ": " +
+                                    read.message());
+    }
     bool ok = true;
     shards_[s]->WithCore([&bytes, &ok](SamplingShardCore& core) {
       graph::ByteReader r(bytes);
@@ -946,16 +1030,23 @@ ft::RecoveryReport ThreadedCluster::RecoverNode(std::uint32_t node, std::uint32_
   system_->AddPool("sampling-" + std::to_string(node), options_.map.shards_per_worker);
   system_->AddPool("publish-" + std::to_string(node), 1);
 
+  // Recovery reads through the same store Checkpoint() writes: the named
+  // pointer only ever references a fully committed round, so a crash during
+  // a checkpoint leaves the previous complete one here.
+  std::unique_ptr<store::SegmentStore> ckpt_store;
+  if (!last_checkpoint_dir_.empty()) {
+    auto opened =
+        store::SegmentStore::Open(CheckpointStoreOptions(last_checkpoint_dir_), /*create=*/false);
+    if (opened.ok()) ckpt_store = std::move(opened.value());
+  }
   mq::Topic* updates = broker_->GetTopic(kUpdatesTopic);
   for (const std::uint32_t s : owned) {
     // Drop the dead incarnation and its state; build the replacement.
     system_->Detach(shards_[s]);
     auto shard = std::make_shared<ShardActor>(this, s, node);
-    if (!last_checkpoint_dir_.empty()) {
-      std::ifstream in(last_checkpoint_dir_ + "/shard-" + std::to_string(s) + ".ckpt",
-                       std::ios::binary);
-      if (in) {
-        std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (ckpt_store != nullptr) {
+      std::string bytes;
+      if (ReadShardCheckpoint(*ckpt_store, s, bytes).ok()) {
         graph::ByteReader r(bytes);
         bool ok = false;
         // The actor is not attached yet: direct core access is safe.
@@ -1096,9 +1187,16 @@ bool ThreadedCluster::MigrateShard(std::uint32_t shard, std::uint32_t dst,
   // that dies mid-replay restores this shard from here instead of replaying
   // the whole log.
   if (!last_checkpoint_dir_.empty()) {
-    std::ofstream out(last_checkpoint_dir_ + "/shard-" + std::to_string(shard) + ".ckpt",
-                      std::ios::binary);
-    if (out) out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+    auto opened = store::SegmentStore::Open(CheckpointStoreOptions(last_checkpoint_dir_));
+    if (opened.ok()) {
+      auto status = WriteShardCheckpoint(
+          *opened.value(), shard, std::string_view(w.buffer().data(), w.buffer().size()));
+      if (status.ok()) status = opened.value()->Commit();
+      if (!status.ok()) {
+        HLOG(kWarn, "elastic") << "migration " << id << ": checkpoint of shard " << shard
+                               << " not persisted: " << status.ToString();
+      }
+    }
   }
 
   // Source teardown: the old incarnation is drained and serialized; kill

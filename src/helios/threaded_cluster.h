@@ -44,6 +44,7 @@
 #include "helios/shard_map.h"
 #include "mq/mq.h"
 #include "obs/freshness.h"
+#include "store/segment_store.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -99,6 +100,12 @@ struct ClusterOptions {
   // cluster).
   bool enable_admission = false;
   AdmissionQueue::Options admission;
+  // Opt-in durable MQ log (docs/STORAGE.md): when non-empty, the broker is
+  // bound to a segment store at <dir>/mqlog.hstore before topics are
+  // created, so group-committed updates/samples records and consumer
+  // offsets survive a process restart (a fresh cluster over the same dir
+  // restores them). Empty (the default) keeps the broker memory-only.
+  std::string durable_log_dir;
 };
 
 struct ClusterStats {
@@ -167,9 +174,11 @@ class ThreadedCluster {
   // ---- operations
   // TTL pass on sampling shards and serving caches (§4.2/§6).
   void PruneTTL(graph::Timestamp cutoff);
-  // Serializes every live sampling shard to <dir>/shard-<i>.ckpt (§4.1) and
-  // remembers `dir` as the recovery source. Shards of dead nodes keep their
-  // previous file (per-shard consistency permits mixed checkpoint ages).
+  // Serializes every live sampling shard into <dir>/checkpoints.hstore
+  // (§4.1, docs/STORAGE.md) — one named segment per shard, the whole round
+  // flipped durable by a single store commit — and remembers `dir` as the
+  // recovery source. Shards of dead nodes keep their previous segment
+  // (per-shard consistency permits mixed checkpoint ages).
   util::Status Checkpoint(const std::string& dir);
   // Restores shard state from a checkpoint directory (call before Start()).
   util::Status Restore(const std::string& dir);
@@ -295,6 +304,9 @@ class ThreadedCluster {
   // (used only when options_.trace is set). Salt 1 keeps threaded trace ids
   // disjoint from the DES harness allocators when dumps are merged.
   obs::TraceIdAllocator trace_ids_{1};
+  // Declared before broker_ so the broker (which holds a raw pointer into
+  // the store) is destroyed first. Null unless durable_log_dir was set.
+  std::unique_ptr<store::SegmentStore> mq_store_;
   std::unique_ptr<mq::Broker> broker_;
   std::unique_ptr<Coordinator> coordinator_;
   std::unique_ptr<actor::ActorSystem> system_;

@@ -1,14 +1,13 @@
 #include "kv/kv_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <filesystem>
+#include <unordered_set>
 #include <utility>
 
+#include "store/segment_store.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -23,9 +22,15 @@ std::size_t EntryBytes(std::string_view key, std::string_view value) {
   return key.size() + value.size() + kEntryOverhead;
 }
 
+// Spill-store geometry: 16 KiB clusters with a 256 KiB metadata region per
+// copy supports ~512 MiB of spilled data per shard before the directory
+// outgrows the region (which fails the commit explicitly, not silently).
+constexpr std::uint32_t kSpillClusterSize = 16 * 1024;
+constexpr std::uint32_t kSpillMetaClusters = 16;
+
 // Transparent hash/eq so lookups accept std::string_view without building a
 // temporary std::string key (C++20 heterogeneous unordered lookup). Only
-// the cold disk index still uses the node-based unordered_map.
+// the cold dead/shadowed key sets still use node-based containers.
 struct KeyHash {
   using is_transparent = void;
   std::size_t operator()(std::string_view s) const {
@@ -33,6 +38,7 @@ struct KeyHash {
   }
 };
 using KeyEq = std::equal_to<>;
+using KeySet = std::unordered_set<std::string, KeyHash, KeyEq>;
 
 // Flat open-addressing memtable (linear probing, power-of-two slots,
 // tombstones). The serve path probes the memtable ~100× per query; the old
@@ -159,56 +165,81 @@ class FlatTable {
 };
 }  // namespace
 
-struct DiskLocation {
-  int run_id = -1;
-  std::uint64_t offset = 0;
-  std::uint32_t length = 0;  // value length
-};
-
-struct RunFile {
-  int fd = -1;
-  std::uint64_t size = 0;
-  std::string path;
-};
-
+// Disk-resident state invariants (all under the shard mutex):
+//   * `probe` lists the sealed spill segments newest first; point reads walk
+//     it with bloom skip, so a key's newest disk copy always wins.
+//   * Every memtable key entered via Put/Merge, which probes the segments
+//     and garbage-accounts any older disk copy right then — so at most ONE
+//     live disk copy of a key exists, and a memtable key in `shadowed` has
+//     a (garbage) disk copy while one not in `shadowed` has none.
+//   * `dead_disk` holds deleted keys whose garbage disk copy still exists
+//     physically; reads must not let it resurface. Compaction drops the
+//     physical copies and clears both sets.
 struct KvStore::Shard {
   mutable std::mutex mutex;
   FlatTable memtable;
   std::size_t memtable_bytes = 0;
-  std::unordered_map<std::string, DiskLocation, KeyHash, KeyEq> disk_index;
-  std::vector<RunFile> runs;
+  std::unique_ptr<store::SegmentStore> store;
+  std::vector<std::uint64_t> probe;  // sealed spill segments, newest first
+  KeySet dead_disk;
+  KeySet shadowed;
   std::size_t disk_live_bytes = 0;
   std::size_t disk_garbage_bytes = 0;
+  std::uint64_t disk_live_keys = 0;
   std::uint64_t spills = 0;
   mutable std::atomic<std::uint64_t> disk_reads{0};
-  std::string dir;  // per-shard spill directory; empty = memory-only
   int next_run_id = 0;
 
-  ~Shard() {
-    for (auto& run : runs) {
-      if (run.fd >= 0) ::close(run.fd);
+  // Probes the spill segments for a live copy of `key` and accounts it as
+  // garbage (the caller is superseding or deleting it). Copies the value
+  // into *value when non-null (Merge pulls the entry back through here).
+  // Returns false when no live disk copy exists; errors (CRC corruption)
+  // propagate rather than masquerading as "absent".
+  util::StatusOr<bool> DropDiskEntry(std::string_view key, std::string* value) {
+    if (store == nullptr || probe.empty()) return false;
+    std::string local;
+    std::string* out = value != nullptr ? value : &local;
+    auto found = store->FindNewestFirst(probe.data(), probe.size(), key, out);
+    disk_reads.fetch_add(1, std::memory_order_relaxed);
+    if (!found.ok()) {
+      if (found.status().code() == util::StatusCode::kNotFound) return false;
+      return found.status();
     }
-  }
-
-  // Drops a disk entry from the index, accounting its bytes as garbage.
-  void DropDiskEntry(std::string_view key) {
-    auto it = disk_index.find(key);
-    if (it == disk_index.end()) return;
-    const std::size_t bytes = key.size() + it->second.length;
+    const std::size_t bytes = key.size() + out->size();
     disk_live_bytes -= std::min(disk_live_bytes, bytes);
     disk_garbage_bytes += bytes;
-    disk_index.erase(it);
+    if (disk_live_keys > 0) disk_live_keys--;
+    return true;
   }
 };
 
 KvStore::KvStore(KvOptions options) : options_(std::move(options)) {
   if (options_.num_shards == 0) options_.num_shards = 1;
+  if (!options_.spill_dir.empty()) std::filesystem::create_directories(options_.spill_dir);
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     if (!options_.spill_dir.empty()) {
-      shard->dir = options_.spill_dir + "/shard-" + std::to_string(i);
-      std::filesystem::create_directories(shard->dir);
+      store::StoreOptions sopt;
+      sopt.path = options_.spill_dir + "/shard-" + std::to_string(i) + ".hstore";
+      sopt.cluster_size = kSpillClusterSize;
+      sopt.meta_clusters = kSpillMetaClusters;
+      sopt.group_commit_bytes = 0;  // spill commits explicitly, once per run
+      auto opened = store::SegmentStore::Open(sopt);
+      if (opened.ok()) {
+        shard->store = std::move(opened.value());
+        // The spill store is a cache of the memtable's overflow, not a
+        // database: a fresh KvStore starts from an empty spill set, so any
+        // segments left by a previous process are retired up front.
+        for (const auto& info : shard->store->List("")) {
+          (void)shard->store->Retire(info.id);
+        }
+        (void)shard->store->Commit();
+      } else {
+        HLOG(kError, "kv") << "cannot open spill store " << sopt.path << ": "
+                           << opened.status().ToString() << "; shard " << i
+                           << " falls back to memory-only";
+      }
     }
     shards_.push_back(std::move(shard));
   }
@@ -236,15 +267,29 @@ util::Status KvStore::Put(std::string_view key, std::string_view value) {
   if (inserted) {
     slot->assign(value);
     shard.memtable_bytes += EntryBytes(key, value);
+    // The new memtable entry supersedes any disk copy: account the older
+    // copy garbage at overwrite time, not just on delete, so overwrite
+    // churn drives compaction too.
+    auto dit = shard.dead_disk.find(key);
+    if (dit != shard.dead_disk.end()) {
+      // The disk copy was already garbage-accounted when the key was
+      // deleted; it just must stay shadowed by the new memtable entry.
+      shard.dead_disk.erase(dit);
+      shard.shadowed.insert(std::string(key));
+    } else {
+      auto dropped = shard.DropDiskEntry(key, nullptr);
+      if (!dropped.ok()) return dropped.status();
+      if (dropped.value()) shard.shadowed.insert(std::string(key));
+    }
   } else {
+    // Already in the memtable: the disk state (and its accounting) is
+    // unchanged; only the in-memory bytes move.
     shard.memtable_bytes += value.size();
     shard.memtable_bytes -= std::min(shard.memtable_bytes, slot->size());
     slot->assign(value);
   }
-  // The memtable entry supersedes any spilled copy.
-  shard.DropDiskEntry(key);
 
-  if (!shard.dir.empty() && options_.memory_budget_bytes > 0 &&
+  if (shard.store != nullptr && options_.memory_budget_bytes > 0 &&
       shard.memtable_bytes > options_.memory_budget_bytes / shards_.size()) {
     return SpillShard(shard);
   }
@@ -264,26 +309,25 @@ util::Status KvStore::Merge(std::string_view key,
     shard.memtable_bytes += slot->size();
     shard.memtable_bytes -= std::min(shard.memtable_bytes, before);
   } else {
-    auto dit = shard.disk_index.find(key);
-    if (dit != shard.disk_index.end()) {
-      const DiskLocation& loc = dit->second;
-      slot->resize(loc.length);
-      const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
-      const ssize_t n =
-          ::pread(run.fd, slot->data(), loc.length, static_cast<off_t>(loc.offset));
-      shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
-      if (n != static_cast<ssize_t>(loc.length)) {
+    // Pull a disk-resident copy back into the memtable; the patched value
+    // supersedes it, so the disk copy becomes garbage right here.
+    auto dit = shard.dead_disk.find(key);
+    if (dit != shard.dead_disk.end()) {
+      shard.dead_disk.erase(dit);
+      shard.shadowed.insert(std::string(key));
+    } else {
+      auto dropped = shard.DropDiskEntry(key, slot);
+      if (!dropped.ok()) {
         shard.memtable.Erase(key, h);
-        return util::Status::Internal("short read from run file " + run.path);
+        return dropped.status();
       }
+      if (dropped.value()) shard.shadowed.insert(std::string(key));
     }
     patch(*slot);
     shard.memtable_bytes += EntryBytes(key, *slot);
   }
-  // The memtable entry supersedes any spilled copy.
-  shard.DropDiskEntry(key);
 
-  if (!shard.dir.empty() && options_.memory_budget_bytes > 0 &&
+  if (shard.store != nullptr && options_.memory_budget_bytes > 0 &&
       shard.memtable_bytes > options_.memory_budget_bytes / shards_.size()) {
     return SpillShard(shard);
   }
@@ -298,16 +342,11 @@ util::Status KvStore::Get(std::string_view key, std::string& value) const {
     value = *v;
     return util::Status::Ok();
   }
-  auto dit = shard.disk_index.find(key);
-  if (dit == shard.disk_index.end()) return util::Status::NotFound();
-  const DiskLocation& loc = dit->second;
-  value.resize(loc.length);
-  const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
-  const ssize_t n = ::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset));
+  if (shard.store == nullptr || shard.probe.empty()) return util::Status::NotFound();
+  if (shard.dead_disk.find(key) != shard.dead_disk.end()) return util::Status::NotFound();
+  auto found = shard.store->FindNewestFirst(shard.probe.data(), shard.probe.size(), key, &value);
   shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
-  if (n != static_cast<ssize_t>(loc.length)) {
-    return util::Status::Internal("short read from run file " + run.path);
-  }
+  if (!found.ok()) return found.status();
   return util::Status::Ok();
 }
 
@@ -318,15 +357,12 @@ bool KvStore::ViewInShard(const Shard& shard, std::string_view key, std::uint64_
     fn(std::string_view(*v));
     return true;
   }
-  auto dit = shard.disk_index.find(key);
-  if (dit == shard.disk_index.end()) return false;
-  const DiskLocation& loc = dit->second;
-  spill_buf.resize(loc.length);
-  const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
-  const ssize_t n =
-      ::pread(run.fd, spill_buf.data(), loc.length, static_cast<off_t>(loc.offset));
+  if (shard.store == nullptr || shard.probe.empty()) return false;
+  if (shard.dead_disk.find(key) != shard.dead_disk.end()) return false;
+  auto found =
+      shard.store->FindNewestFirst(shard.probe.data(), shard.probe.size(), key, &spill_buf);
   shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
-  if (n != static_cast<ssize_t>(loc.length)) return false;
+  if (!found.ok()) return false;
   fn(std::string_view(spill_buf));
   return true;
 }
@@ -407,8 +443,12 @@ bool KvStore::Contains(std::string_view key) const {
   const std::uint64_t h = util::FastHash(key);
   const Shard& shard = *shards_[ShardFromHash(h)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.memtable.Find(key, h) != nullptr ||
-         shard.disk_index.find(key) != shard.disk_index.end();
+  if (shard.memtable.Find(key, h) != nullptr) return true;
+  if (shard.store == nullptr || shard.probe.empty()) return false;
+  if (shard.dead_disk.find(key) != shard.dead_disk.end()) return false;
+  auto found = shard.store->FindNewestFirst(shard.probe.data(), shard.probe.size(), key, nullptr);
+  shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
+  return found.ok();
 }
 
 util::Status KvStore::Delete(std::string_view key) {
@@ -418,8 +458,20 @@ util::Status KvStore::Delete(std::string_view key) {
   if (const std::string* v = shard.memtable.Find(key, h)) {
     shard.memtable_bytes -= std::min(shard.memtable_bytes, EntryBytes(key, *v));
     shard.memtable.Erase(key, h);
+    auto sit = shard.shadowed.find(key);
+    if (sit != shard.shadowed.end()) {
+      // The disk copy is already accounted garbage; remember that it must
+      // not resurface now that the memtable entry is gone.
+      shard.shadowed.erase(sit);
+      shard.dead_disk.insert(std::string(key));
+    }
+    return util::Status::Ok();
   }
-  shard.DropDiskEntry(key);
+  if (shard.store == nullptr || shard.probe.empty()) return util::Status::Ok();
+  if (shard.dead_disk.find(key) != shard.dead_disk.end()) return util::Status::Ok();
+  auto dropped = shard.DropDiskEntry(key, nullptr);
+  if (!dropped.ok()) return dropped.status();
+  if (dropped.value()) shard.dead_disk.insert(std::string(key));
   return util::Status::Ok();
 }
 
@@ -434,60 +486,74 @@ void KvStore::Scan(const std::string& prefix,
       keep_going = fn(key, value);
     });
     if (!keep_going) return;
-    for (const auto& [key, loc] : shard.disk_index) {
-      if (key.rfind(prefix, 0) != 0) continue;
-      std::string value(loc.length, '\0');
-      const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
-      if (::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset)) !=
-          static_cast<ssize_t>(loc.length)) {
-        continue;
+    if (shard.store == nullptr) continue;
+    // Walk the segments newest first; the first copy of a key seen is the
+    // live one, every later (older) copy is garbage awaiting compaction.
+    KeySet seen;
+    for (const std::uint64_t seg : shard.probe) {
+      auto status = shard.store->Scan(
+          seg, [&](const store::RecordLocator&, std::string_view key, std::string_view value) {
+            if (key.rfind(prefix, 0) != 0) return true;
+            if (shard.memtable.Find(key, util::FastHash(key)) != nullptr) return true;
+            if (shard.dead_disk.find(key) != shard.dead_disk.end()) return true;
+            if (!seen.insert(std::string(key)).second) return true;
+            shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
+            keep_going = fn(std::string(key), std::string(value));
+            return keep_going;
+          });
+      if (!status.ok()) {
+        HLOG(kWarn, "kv") << "scan of spill segment " << seg
+                          << " aborted: " << status.ToString();
       }
-      shard.disk_reads.fetch_add(1, std::memory_order_relaxed);
-      if (!fn(key, value)) return;
+      if (!keep_going) return;
     }
   }
 }
 
 util::Status KvStore::SpillShard(Shard& shard) {
-  RunFile run;
-  run.path = shard.dir + "/run-" + std::to_string(shard.next_run_id);
-  run.fd = ::open(run.path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
-  if (run.fd < 0) return util::Status::Internal("cannot create run file " + run.path);
+  if (shard.store == nullptr) return util::Status::FailedPrecondition("no spill store");
+  auto created = shard.store->Create("kv/run-" + std::to_string(shard.next_run_id));
+  if (!created.ok()) return created.status();
+  const std::uint64_t seg = created.value();
 
-  // Serialize the whole memtable into one buffer, one write syscall.
-  std::string buffer;
-  std::vector<std::pair<const std::string*, DiskLocation>> locations;
-  locations.reserve(shard.memtable.size());
+  util::Status failure;
+  std::size_t added_bytes = 0;
+  std::uint64_t added_keys = 0;
   shard.memtable.ForEach([&](const std::string& key, const std::string& value) {
-    DiskLocation loc;
-    loc.run_id = shard.next_run_id;
-    loc.offset = buffer.size();
-    loc.length = static_cast<std::uint32_t>(value.size());
-    buffer.append(value);
-    locations.emplace_back(&key, loc);
+    if (!failure.ok()) return;
+    auto appended = shard.store->Append(seg, key, value);
+    if (!appended.ok()) {
+      failure = appended.status();
+      return;
+    }
+    added_bytes += key.size() + value.size();
+    added_keys++;
+    // Any older disk copy was garbage-accounted when this key entered the
+    // memtable; the new copy simply takes over as the live one.
+    shard.shadowed.erase(key);
   });
-  if (::write(run.fd, buffer.data(), buffer.size()) != static_cast<ssize_t>(buffer.size())) {
-    ::close(run.fd);
-    return util::Status::Internal("short write to run file " + run.path);
-  }
-  run.size = buffer.size();
+  if (!failure.ok()) return failure;
+  auto status = shard.store->Seal(seg, /*point_index=*/true);
+  if (!status.ok()) return status;
+  status = shard.store->Commit();
+  if (!status.ok()) return status;
 
-  const int run_index = shard.next_run_id;
+  shard.probe.insert(shard.probe.begin(), seg);
   shard.next_run_id++;
-  if (static_cast<std::size_t>(run_index) != shard.runs.size()) {
-    return util::Status::Internal("run id / slot mismatch");
-  }
-  shard.runs.push_back(run);
-
-  for (auto& [key_ptr, loc] : locations) {
-    // A spilled key may still have an older disk copy; mark it garbage.
-    shard.DropDiskEntry(*key_ptr);
-    shard.disk_index.emplace(*key_ptr, loc);
-    shard.disk_live_bytes += key_ptr->size() + loc.length;
-  }
+  shard.disk_live_bytes += added_bytes;
+  shard.disk_live_keys += added_keys;
   shard.memtable.Clear();
   shard.memtable_bytes = 0;
   shard.spills++;
+
+  if (options_.compact_garbage_ratio > 0) {
+    const double total =
+        static_cast<double>(shard.disk_live_bytes) + static_cast<double>(shard.disk_garbage_bytes);
+    if (total > 0 &&
+        static_cast<double>(shard.disk_garbage_bytes) > options_.compact_garbage_ratio * total) {
+      return CompactShard(shard);
+    }
+  }
   return util::Status::Ok();
 }
 
@@ -495,10 +561,43 @@ util::Status KvStore::Flush() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.dir.empty() || shard.memtable.empty()) continue;
+    if (shard.store == nullptr || shard.memtable.empty()) continue;
     auto status = SpillShard(shard);
     if (!status.ok()) return status;
   }
+  return util::Status::Ok();
+}
+
+util::Status KvStore::CompactShard(Shard& shard) {
+  if (shard.store == nullptr || shard.probe.empty()) {
+    shard.disk_garbage_bytes = 0;
+    return util::Status::Ok();
+  }
+  // CompactInto streams `probe` (newest first): the first copy of a key is
+  // the live one, so the filter keeps first-seen records that are not
+  // superseded by the memtable and not deleted.
+  KeySet seen;
+  std::size_t live_bytes = 0;
+  std::uint64_t live_keys = 0;
+  auto compacted = shard.store->CompactInto(
+      "kv/compact-" + std::to_string(shard.next_run_id), shard.probe,
+      [&](std::string_view key, std::string_view value, const store::RecordLocator&) {
+        if (shard.memtable.Find(key, util::FastHash(key)) != nullptr) return false;
+        if (shard.dead_disk.find(key) != shard.dead_disk.end()) return false;
+        if (!seen.insert(std::string(key)).second) return false;
+        live_bytes += key.size() + value.size();
+        live_keys++;
+        return true;
+      });
+  if (!compacted.ok()) return compacted.status();
+  shard.next_run_id++;
+  shard.probe.assign(1, compacted.value());
+  shard.disk_live_bytes = live_bytes;
+  shard.disk_garbage_bytes = 0;
+  shard.disk_live_keys = live_keys;
+  // No disk copy of a deleted or shadowed key survived the rewrite.
+  shard.dead_disk.clear();
+  shard.shadowed.clear();
   return util::Status::Ok();
 }
 
@@ -506,60 +605,8 @@ util::Status KvStore::Compact() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.dir.empty() || shard.disk_index.empty()) {
-      // Nothing live on disk: just drop any garbage-only runs.
-      for (auto& run : shard.runs) {
-        if (run.fd >= 0) ::close(run.fd);
-        if (!run.path.empty()) std::filesystem::remove(run.path);
-      }
-      shard.runs.clear();
-      shard.next_run_id = 0;
-      shard.disk_garbage_bytes = 0;
-      continue;
-    }
-    // Read all live values, rewrite into a single fresh run.
-    std::vector<std::pair<std::string, std::string>> live;
-    live.reserve(shard.disk_index.size());
-    for (const auto& [key, loc] : shard.disk_index) {
-      std::string value(loc.length, '\0');
-      const RunFile& run = shard.runs[static_cast<std::size_t>(loc.run_id)];
-      if (::pread(run.fd, value.data(), loc.length, static_cast<off_t>(loc.offset)) !=
-          static_cast<ssize_t>(loc.length)) {
-        return util::Status::Internal("compaction read failed");
-      }
-      live.emplace_back(key, std::move(value));
-    }
-    for (auto& run : shard.runs) {
-      if (run.fd >= 0) ::close(run.fd);
-      std::filesystem::remove(run.path);
-    }
-    shard.runs.clear();
-    shard.disk_index.clear();
-    shard.disk_live_bytes = 0;
-    shard.disk_garbage_bytes = 0;
-    shard.next_run_id = 0;
-
-    RunFile run;
-    run.path = shard.dir + "/run-0";
-    run.fd = ::open(run.path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
-    if (run.fd < 0) return util::Status::Internal("cannot create run file " + run.path);
-    std::string buffer;
-    for (auto& [key, value] : live) {
-      DiskLocation loc;
-      loc.run_id = 0;
-      loc.offset = buffer.size();
-      loc.length = static_cast<std::uint32_t>(value.size());
-      buffer.append(value);
-      shard.disk_index.emplace(key, loc);
-      shard.disk_live_bytes += key.size() + value.size();
-    }
-    if (::write(run.fd, buffer.data(), buffer.size()) != static_cast<ssize_t>(buffer.size())) {
-      ::close(run.fd);
-      return util::Status::Internal("compaction write failed");
-    }
-    run.size = buffer.size();
-    shard.runs.push_back(run);
-    shard.next_run_id = 1;
+    auto status = CompactShard(shard);
+    if (!status.ok()) return status;
   }
   return util::Status::Ok();
 }
@@ -572,7 +619,7 @@ KvStats KvStore::GetStats() const {
     stats.memory_bytes += shard.memtable_bytes;
     stats.disk_bytes += shard.disk_live_bytes;
     stats.garbage_bytes += shard.disk_garbage_bytes;
-    stats.num_keys += shard.memtable.size() + shard.disk_index.size();
+    stats.num_keys += shard.memtable.size() + shard.disk_live_keys;
     stats.spills += shard.spills;
     stats.disk_reads += shard.disk_reads.load(std::memory_order_relaxed);
   }

@@ -12,14 +12,16 @@
 // Layout: keys are hash-sharded; each shard owns a mutex, a memtable (a
 // flat open-addressing table — the serve path probes it ~100× per query,
 // so lookups are one linear slot scan with the key inline rather than a
-// node-pointer chase) and an index of spilled entries (key -> file
-// location). Each key is hashed once (util::FastHash); the same hash picks
-// the shard and probes the memtable.
-// Spill appends the shard's memtable to a new run file; superseded disk
-// entries become garbage that Compact() rewrites away. This is an LSM with
-// one level and an in-memory index — point lookups never touch more than
-// one file read, which preserves the "bounded cache lookup cost" property
-// that Helios's tail-latency argument rests on.
+// node-pointer chase) and a store::SegmentStore spill file. Each key is
+// hashed once (util::FastHash); the same hash picks the shard and probes
+// the memtable.
+// Spill writes the shard's memtable as one sealed, point-indexed segment;
+// misses fall through to bloom-filtered newest-first probes over the
+// sealed segments, so a point lookup costs at most one record read (older
+// copies are superseded at Put/Merge time and tracked as garbage that
+// Compact() rewrites away). This keeps the "bounded cache lookup cost"
+// property that Helios's tail-latency argument rests on while gaining the
+// store's CRC framing and crash-consistent commits (docs/STORAGE.md).
 #pragma once
 
 #include <cstdint>
@@ -40,9 +42,14 @@ namespace helios::kv {
 struct KvOptions {
   // Total in-memory budget across all shards. 0 = unlimited (never spill).
   std::size_t memory_budget_bytes = 0;
-  // Directory for run files. Empty = memory-only mode (budget is ignored).
+  // Directory for spill stores (one segment-store file per shard). Empty =
+  // memory-only mode (budget is ignored).
   std::string spill_dir;
   std::size_t num_shards = 16;
+  // Auto-compaction trigger: after a spill, a shard whose garbage fraction
+  // (garbage / (live + garbage)) exceeds this compacts itself. 0 = only
+  // explicit Compact() calls.
+  double compact_garbage_ratio = 0.0;
 };
 
 struct KvStats {
@@ -148,7 +155,8 @@ class KvStore {
   // Shard choice from an already-computed FastHash (multiply-shift instead
   // of a modulo division; in-process only, nothing persisted depends on it).
   std::size_t ShardFromHash(std::uint64_t h) const;
-  util::Status SpillShard(Shard& shard);  // caller holds shard.mutex
+  util::Status SpillShard(Shard& shard);    // caller holds shard.mutex
+  util::Status CompactShard(Shard& shard);  // caller holds shard.mutex
   // Looks `key` (with its precomputed FastHash) up in `shard` (memtable,
   // then disk) under the caller-held lock and runs fn on the value; returns
   // false when absent.

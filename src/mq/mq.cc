@@ -1,10 +1,145 @@
 #include "mq/mq.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "store/segment_store.h"
+#include "util/logging.h"
 
 namespace helios::mq {
 
+namespace {
+// Durable record payload: [offset u64][append_time i64][value bytes]. The
+// key travels as the store record's own key; offset and arrival time must
+// ride along so recovery rebuilds the exact in-memory log.
+constexpr std::size_t kDurableHeader = 16;
+
+std::string EncodeDurable(const Record& r) {
+  std::string out;
+  out.reserve(kDurableHeader + r.value.size());
+  out.append(reinterpret_cast<const char*>(&r.offset), 8);
+  const std::int64_t t = static_cast<std::int64_t>(r.append_time);
+  out.append(reinterpret_cast<const char*>(&t), 8);
+  out.append(r.value);
+  return out;
+}
+
+bool DecodeDurable(std::string_view key, std::string_view value, Record& r) {
+  if (value.size() < kDurableHeader) return false;
+  std::memcpy(&r.offset, value.data(), 8);
+  std::int64_t t;
+  std::memcpy(&t, value.data() + 8, 8);
+  r.append_time = static_cast<util::Micros>(t);
+  r.key.assign(key);
+  r.value.assign(value.substr(kDurableHeader));
+  return true;
+}
+}  // namespace
+
 // ---------------------------------------------------------------- Partition
+
+// Durable mirror of the log: `sealed` chains the rolled segments oldest
+// first (retention retires from the front), `active` takes new appends.
+struct Partition::Durable {
+  store::SegmentStore* store = nullptr;
+  std::string prefix;
+  std::uint64_t roll_records = 256;
+  struct SealedSegment {
+    std::uint64_t id = 0;
+    util::Micros max_time = 0;  // newest record inside; gates retirement
+  };
+  std::vector<SealedSegment> sealed;
+  std::uint64_t active = 0;
+  std::uint64_t active_records = 0;
+  util::Micros active_max_time = 0;
+  std::uint64_t rolls = 0;  // naming counter for fresh segments
+};
+
+Partition::Partition() = default;
+Partition::~Partition() = default;
+
+util::Status Partition::BindDurable(store::SegmentStore* store, std::string prefix,
+                                    std::uint64_t roll_records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (durable_ != nullptr) return util::Status::FailedPrecondition("partition already bound");
+  if (!records_.empty()) {
+    return util::Status::FailedPrecondition("bind before the partition has records");
+  }
+  auto d = std::make_unique<Durable>();
+  d->store = store;
+  d->prefix = std::move(prefix);
+  d->roll_records = std::max<std::uint64_t>(1, roll_records);
+
+  // Restore the group-committed log of a previous incarnation. Segment ids
+  // are allocated monotonically, so List order (id order) is append order.
+  bool have_active = false;
+  for (const auto& info : store->List(d->prefix + "/")) {
+    util::Micros max_time = 0;
+    auto status = store->Scan(
+        info.id, [&](const store::RecordLocator&, std::string_view key, std::string_view value) {
+          Record r;
+          if (!DecodeDurable(key, value, r)) return true;  // skip malformed
+          if (records_.empty()) {
+            start_offset_ = r.offset;
+          } else if (r.offset != start_offset_ + records_.size()) {
+            // A gap means an append was lost to a store error; everything
+            // after it would be mis-addressed, so stop at the gap.
+            HLOG(kWarn, "mq") << "offset gap in " << d->prefix << " at " << r.offset;
+            return false;
+          }
+          max_time = std::max(max_time, r.append_time);
+          bytes_ += r.key.size() + r.value.size() + sizeof(Record);
+          records_.push_back(std::move(r));
+          return true;
+        });
+    if (!status.ok()) return status;
+    if (info.sealed) {
+      d->sealed.push_back({info.id, max_time});
+    } else {
+      // The previous incarnation's active segment; keep appending to it.
+      d->active = info.id;
+      d->active_records = info.records;
+      d->active_max_time = max_time;
+      d->rolls = info.id;  // any value unique-ifying future names
+      have_active = true;
+    }
+  }
+  if (!have_active) {
+    auto created = store->Create(d->prefix + "/" + std::to_string(d->rolls));
+    if (!created.ok()) return created.status();
+    d->active = created.value();
+  }
+  durable_ = std::move(d);
+  return util::Status::Ok();
+}
+
+void Partition::AppendDurableLocked(const Record& r) {
+  Durable& d = *durable_;
+  auto appended = d.store->Append(d.active, r.key, EncodeDurable(r));
+  if (!appended.ok()) {
+    HLOG(kWarn, "mq") << "durable append to " << d.prefix
+                      << " failed: " << appended.status().ToString();
+    return;
+  }
+  d.active_records++;
+  d.active_max_time = std::max(d.active_max_time, r.append_time);
+  if (d.active_records >= d.roll_records) {
+    // Roll: seal the full segment (making it a retirement candidate for
+    // retention) and open a fresh one.
+    (void)d.store->Seal(d.active);
+    d.sealed.push_back({d.active, d.active_max_time});
+    d.rolls++;
+    auto created = d.store->Create(d.prefix + "/" + std::to_string(d.rolls));
+    if (created.ok()) {
+      d.active = created.value();
+      d.active_records = 0;
+      d.active_max_time = 0;
+    } else {
+      HLOG(kWarn, "mq") << "cannot roll segment for " << d.prefix << ": "
+                        << created.status().ToString();
+    }
+  }
+}
 
 std::uint64_t Partition::Append(std::string key, std::string value, util::Micros now) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -15,6 +150,7 @@ std::uint64_t Partition::Append(std::string key, std::string value, util::Micros
   r.value = std::move(value);
   bytes_ += r.key.size() + r.value.size() + sizeof(Record);
   records_.push_back(std::move(r));
+  if (durable_ != nullptr) AppendDurableLocked(records_.back());
   return records_.back().offset;
 }
 
@@ -57,6 +193,16 @@ std::size_t Partition::TruncateOlderThan(util::Micros cutoff) {
   }
   records_.erase(records_.begin(), records_.begin() + static_cast<std::ptrdiff_t>(drop));
   start_offset_ += drop;
+  if (durable_ != nullptr) {
+    // Truncation at segment granularity: retire sealed segments whose
+    // newest record is expired. Partially-expired segments wait for the
+    // next pass (their live tail must stay readable for recovery).
+    Durable& d = *durable_;
+    while (!d.sealed.empty() && d.sealed.front().max_time < cutoff) {
+      (void)d.store->Retire(d.sealed.front().id);
+      d.sealed.erase(d.sealed.begin());
+    }
+  }
   return drop;
 }
 
@@ -83,11 +229,104 @@ std::size_t Topic::TotalBytes() const {
 
 // ------------------------------------------------------------------- Broker
 
+namespace {
+constexpr const char* kOffsetsPointer = "mq/offsets";
+// Snapshot the last-wins offsets stream once it accumulates this many
+// records; keeps the stream's replay cost bounded.
+constexpr std::uint64_t kOffsetsSnapshotEvery = 4096;
+}  // namespace
+
+util::Status Broker::BindStore(store::SegmentStore* store, std::uint64_t roll_records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (store_ != nullptr) return util::Status::FailedPrecondition("store already bound");
+  if (!topics_.empty()) {
+    return util::Status::FailedPrecondition("BindStore must precede CreateTopic");
+  }
+  // Restore committed offsets from the last-wins stream, if one exists.
+  auto named = store->GetNamed(kOffsetsPointer);
+  if (named.ok()) {
+    offsets_segment_ = named.value();
+    std::uint64_t replayed = 0;
+    auto status = store->Scan(
+        offsets_segment_,
+        [&](const store::RecordLocator&, std::string_view key, std::string_view value) {
+          if (value.size() == 8) {
+            std::uint64_t off;
+            std::memcpy(&off, value.data(), 8);
+            committed_[std::string(key)] = off;
+            replayed++;
+          }
+          return true;
+        });
+    if (!status.ok()) return status;
+    offsets_appends_ = replayed;
+  } else {
+    auto created = store->Create("mq/offsets/0");
+    if (!created.ok()) return created.status();
+    offsets_segment_ = created.value();
+    auto status = store->SetNamed(kOffsetsPointer, offsets_segment_);
+    if (!status.ok()) return status;
+  }
+  store_ = store;
+  roll_records_ = std::max<std::uint64_t>(1, roll_records);
+  return util::Status::Ok();
+}
+
+util::Status Broker::SyncStore() {
+  store::SegmentStore* store;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    store = store_;
+  }
+  if (store == nullptr) return util::Status::Ok();
+  return store->Commit();
+}
+
+void Broker::PersistOffsetLocked(const std::string& key, std::uint64_t next_offset) {
+  if (store_ == nullptr) return;
+  auto appended = store_->Append(
+      offsets_segment_, key,
+      std::string_view(reinterpret_cast<const char*>(&next_offset), 8));
+  if (!appended.ok()) {
+    HLOG(kWarn, "mq") << "cannot persist offset " << key << ": "
+                      << appended.status().ToString();
+    return;
+  }
+  if (++offsets_appends_ < kOffsetsSnapshotEvery) return;
+  // Rewrite the stream as one record per (group, topic, partition) and flip
+  // the pointer; the retired history goes back to the cluster pool.
+  auto created = store_->Create("mq/offsets/snap");
+  if (!created.ok()) return;
+  for (const auto& [k, v] : committed_) {
+    if (!store_->Append(created.value(), k,
+                        std::string_view(reinterpret_cast<const char*>(&v), 8))
+             .ok()) {
+      (void)store_->Retire(created.value());
+      return;
+    }
+  }
+  if (!store_->SetNamed(kOffsetsPointer, created.value()).ok()) {
+    (void)store_->Retire(created.value());
+    return;
+  }
+  (void)store_->Retire(offsets_segment_);
+  offsets_segment_ = created.value();
+  offsets_appends_ = committed_.size();
+}
+
 util::Status Broker::CreateTopic(const std::string& name, std::uint32_t num_partitions) {
   if (num_partitions == 0) return util::Status::InvalidArgument("topic needs >= 1 partition");
   std::lock_guard<std::mutex> lock(mutex_);
   if (topics_.count(name)) return util::Status::AlreadyExists("topic exists: " + name);
-  topics_.emplace(name, std::make_unique<Topic>(name, num_partitions));
+  auto topic = std::make_unique<Topic>(name, num_partitions);
+  if (store_ != nullptr) {
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      auto status = topic->partition(p).BindDurable(
+          store_, "mq/" + name + "/" + std::to_string(p), roll_records_);
+      if (!status.ok()) return status;
+    }
+  }
+  topics_.emplace(name, std::move(topic));
   return util::Status::Ok();
 }
 
@@ -106,7 +345,9 @@ std::string OffsetKey(const std::string& group, const std::string& topic, std::u
 void Broker::CommitOffset(const std::string& group, const std::string& topic,
                           std::uint32_t partition, std::uint64_t next_offset) {
   std::lock_guard<std::mutex> lock(mutex_);
-  committed_[OffsetKey(group, topic, partition)] = next_offset;
+  const std::string key = OffsetKey(group, topic, partition);
+  committed_[key] = next_offset;
+  PersistOffsetLocked(key, next_offset);
 }
 
 std::uint64_t Broker::CommittedOffset(const std::string& group, const std::string& topic,
@@ -128,7 +369,9 @@ util::StatusOr<std::uint64_t> Broker::ReplayFrom(const std::string& group,
   }
   const Partition& p = t->partition(partition);
   const std::uint64_t clamped = std::clamp(offset, p.start_offset(), p.end_offset());
-  committed_[OffsetKey(group, topic, partition)] = clamped;
+  const std::string key = OffsetKey(group, topic, partition);
+  committed_[key] = clamped;
+  PersistOffsetLocked(key, clamped);
   return clamped;
 }
 

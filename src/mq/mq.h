@@ -10,8 +10,13 @@
 //   * consumer groups with committed offsets (so a restarted worker resumes
 //     from its checkpointed position — used by fault-tolerance tests);
 //   * time-based retention (TTL truncation, §4.2).
-// Everything is in memory; persistence durability is out of scope but the
-// interface (offsets + commits) is identical to the durable version.
+// The in-memory log is the source of truth for serving. Durability is an
+// opt-in binding to a store::SegmentStore (Broker::BindStore, see
+// docs/STORAGE.md): each partition's log is mirrored into a chain of rolled
+// segments, retention truncation becomes whole-segment retirement, and
+// committed offsets persist in a last-wins offsets stream — so a broker
+// rebuilt over the same store recovers every group-committed record and
+// offset. Without a bound store the behaviour is unchanged (memory only).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,10 @@
 #include "util/clock.h"
 #include "util/hash.h"
 #include "util/status.h"
+
+namespace helios::store {
+class SegmentStore;
+}  // namespace helios::store
 
 namespace helios::mq {
 
@@ -40,6 +49,9 @@ struct Record {
 // start_offset (which moves forward under retention truncation).
 class Partition {
  public:
+  Partition();
+  ~Partition();
+
   // Returns the offset assigned to the record.
   std::uint64_t Append(std::string key, std::string value, util::Micros now);
 
@@ -53,13 +65,28 @@ class Partition {
   std::size_t SizeBytes() const;
 
   // Drops records with append_time < cutoff. Returns records dropped.
+  // With a durable binding, sealed log segments whose every record is
+  // expired are retired (truncation at segment granularity: the store side
+  // may briefly retain records the in-memory log already dropped).
   std::size_t TruncateOlderThan(util::Micros cutoff);
 
+  // Broker-internal (called under topic creation with a bound store):
+  // mirrors this log into `prefix/`-named segments of `store`, first
+  // restoring any records a previous incarnation group-committed there.
+  // The active segment rolls (seals + replaces) every `roll_records`
+  // appends so retention has retirement candidates.
+  util::Status BindDurable(store::SegmentStore* store, std::string prefix,
+                           std::uint64_t roll_records);
+
  private:
+  struct Durable;
+  void AppendDurableLocked(const Record& r);
+
   mutable std::mutex mutex_;
   std::uint64_t start_offset_ = 0;
   std::vector<Record> records_;
   std::size_t bytes_ = 0;
+  std::unique_ptr<Durable> durable_;  // null = memory-only (the default)
 };
 
 // A named set of partitions.
@@ -88,6 +115,20 @@ class Topic {
 // The broker owns topics and consumer-group offsets.
 class Broker {
  public:
+  // Opt-in durability: binds every topic created AFTER this call to
+  // `store` (partition logs as rolled segment chains, committed offsets as
+  // a last-wins stream). CreateTopic then restores whatever a previous
+  // incarnation committed to the same store. The caller keeps ownership of
+  // the store and must keep it alive for the broker's lifetime; call
+  // before any CreateTopic.
+  util::Status BindStore(store::SegmentStore* store, std::uint64_t roll_records = 256);
+
+  // Group-commits everything appended/committed since the last sync to the
+  // bound store (fdatasync + atomic metadata flip). No-op without a store.
+  // THE durability barrier: records sent before a SyncStore survive a
+  // crash; records after it may be rolled back to this point.
+  util::Status SyncStore();
+
   util::Status CreateTopic(const std::string& name, std::uint32_t num_partitions);
   Topic* GetTopic(const std::string& name);
 
@@ -115,9 +156,17 @@ class Broker {
   void PublishTo(obs::MetricsRegistry* registry) const;
 
  private:
+  // Appends one offset record to the durable offsets stream, snapshotting
+  // the stream into a fresh segment when it grows long. Caller holds mutex_.
+  void PersistOffsetLocked(const std::string& key, std::uint64_t next_offset);
+
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Topic>> topics_;
   std::map<std::string, std::uint64_t> committed_;  // "group/topic/partition"
+  store::SegmentStore* store_ = nullptr;            // null = memory-only
+  std::uint64_t roll_records_ = 256;
+  std::uint64_t offsets_segment_ = 0;
+  std::uint64_t offsets_appends_ = 0;
 };
 
 // Thin producer handle.

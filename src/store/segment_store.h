@@ -1,0 +1,233 @@
+// Log-structured single-file segment store (docs/STORAGE.md).
+//
+// Helios used to have three ad-hoc persistence paths: kv sorted-run spill
+// files, per-shard .ckpt checkpoint files, and the (memory-only) mq
+// retention log. This store unifies them behind one backing file, in the
+// cluster-chained style of the lsnes `filesystem` exemplar: the file is an
+// array of fixed-size clusters; a *segment* is an append-only record stream
+// laid out over a chain of clusters; chains grow by allocating any free
+// cluster, so retired segments return their clusters to the pool and the
+// file stays compact without hole-punching.
+//
+//   * Records are CRC32C-framed ([crc][len][keylen][key][value]); a torn
+//     write or bit flip is detected at read time — the reader reports
+//     corruption, it never returns bad bytes.
+//   * Durability is group-commit: appends land in the OS page cache
+//     immediately, and Commit() makes everything since the previous commit
+//     durable with one fdatasync of the data followed by an atomic metadata
+//     flip (two fixed metadata copies written alternately, each
+//     self-checksummed with a monotonic sequence number; recovery picks the
+//     newest valid copy, so a crash rolls the store back to the last
+//     completed group commit — never to a torn in-between state).
+//   * Sealed segments are immutable and support bloom-filtered point reads:
+//     Seal() builds a bloom filter plus a hash->locator index, and
+//     FindNewestFirst() skips whole segments whose bloom rejects the key.
+//   * CompactInto() streams the live subset of a set of segments into a
+//     fresh sealed segment and retires the inputs in the same commit;
+//     clusters freed by a retire are quarantined until that commit is
+//     durable, so a crash mid-compaction can never have recycled a cluster
+//     an older metadata copy still references.
+//
+// Consumers: kv::KvStore spills memtables as sealed segments and point-reads
+// them back (bloom skip), ThreadedCluster checkpoints write named segments
+// with an atomically flipped "latest" pointer, and mq::Broker can bind
+// partitions to segment chains where retention truncation becomes segment
+// retirement. See docs/STORAGE.md for the on-disk format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/function_ref.h"
+#include "util/status.h"
+
+namespace helios::store {
+
+struct StoreOptions {
+  std::string path;  // backing file (created if absent)
+
+  // Fixed cluster size; power of two >= 512. Small values keep the
+  // torn-write tests cheap; 64 KiB amortizes chain bookkeeping in prod.
+  std::uint32_t cluster_size = 64 * 1024;
+
+  // Clusters reserved for EACH of the two metadata copies at the head of
+  // the file. Bounds the segment directory: metadata that outgrows the
+  // region fails the commit with an explicit error rather than corrupting.
+  std::uint32_t meta_clusters = 16;
+
+  // Group-commit threshold: an Append that brings the uncommitted byte
+  // count past this triggers an implicit Commit(). 0 = explicit only.
+  std::uint64_t group_commit_bytes = 1 << 20;
+
+  // Optional time-based group commit: a background thread calls Commit()
+  // every interval while there is uncommitted data. 0 = disabled.
+  std::uint64_t commit_interval_us = 0;
+
+  // Bloom filter density for sealed-segment point indexes.
+  std::uint32_t bloom_bits_per_key = 10;
+
+  // fdatasync on commit. Tests that only exercise logical behaviour can
+  // turn this off; every durability test leaves it on.
+  bool sync = true;
+};
+
+// Where a record landed: segment id + logical offset within the segment's
+// record stream + total framed size (header + key + value).
+struct RecordLocator {
+  std::uint64_t segment = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t size = 0;
+};
+
+struct SegmentInfo {
+  std::uint64_t id = 0;
+  std::string name;
+  bool sealed = false;
+  std::uint64_t bytes = 0;          // committed + uncommitted logical bytes
+  std::uint64_t committed_bytes = 0;
+  std::uint64_t records = 0;
+  std::uint64_t clusters = 0;
+};
+
+struct StoreStats {
+  std::uint64_t file_bytes = 0;
+  std::uint64_t clusters_total = 0;
+  std::uint64_t clusters_free = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t sealed_segments = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t appended_records = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t record_reads = 0;
+  std::uint64_t corrupt_reads = 0;   // CRC mismatches surfaced to readers
+  std::uint64_t bloom_probes = 0;
+  std::uint64_t bloom_skips = 0;     // segments skipped by a bloom miss
+  std::uint64_t compactions = 0;
+  std::uint64_t retired_segments = 0;
+};
+
+class SegmentStore {
+ public:
+  // Creates a fresh store or recovers an existing one to its last completed
+  // group commit (newest valid metadata copy wins; everything appended
+  // after it is discarded). Fails if neither metadata copy validates on a
+  // non-empty file, or if `create` is false and the file does not exist.
+  static util::StatusOr<std::unique_ptr<SegmentStore>> Open(const StoreOptions& options,
+                                                            bool create = true);
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  // ---- writing --------------------------------------------------------
+
+  // Creates an empty active segment. The name is a free-form label
+  // ("kv/shard-3/run-7", "mq/updates/0/2"); List() filters by prefix.
+  util::StatusOr<std::uint64_t> Create(std::string name);
+
+  // Appends one CRC-framed record to an active segment. The bytes are
+  // written through to the backing file immediately (readable at once) but
+  // only become durable — and only survive recovery — at the next Commit().
+  util::StatusOr<RecordLocator> Append(std::uint64_t segment, std::string_view key,
+                                       std::string_view value);
+
+  // Seals a segment: no further appends; builds the bloom filter and
+  // hash->locator point index when `point_index` is set (kv spill runs
+  // want it; checkpoint/log streams that are only ever scanned skip the
+  // cost). Indexes are rebuilt lazily after reopen.
+  util::Status Seal(std::uint64_t segment, bool point_index = false);
+
+  // Retires a segment: drops it from the directory and frees its cluster
+  // chain. The clusters are quarantined until the next Commit() so crash
+  // recovery from the previous metadata copy never sees recycled clusters.
+  util::Status Retire(std::uint64_t segment);
+
+  // Group commit: fdatasync the data written since the last commit, then
+  // atomically flip to a new metadata copy (directory, chains, named
+  // pointers). Everything before this call survives a crash after it.
+  util::Status Commit();
+
+  // ---- named pointers (checkpoint "last complete" markers) ------------
+  //
+  // A named pointer maps a stable name to a segment id and flips
+  // atomically with the commit that contains it: a reader after a crash
+  // sees either the old target or the new one, never a half-written state.
+  util::Status SetNamed(const std::string& name, std::uint64_t segment);
+  util::StatusOr<std::uint64_t> GetNamed(const std::string& name) const;
+  void ClearNamed(const std::string& name);
+
+  // ---- reading --------------------------------------------------------
+
+  // Reads and CRC-verifies one record. Returns Internal("corrupt ...") on
+  // CRC mismatch — never partial bytes. key/value may be nullptr.
+  util::Status Read(const RecordLocator& loc, std::string* key, std::string* value) const;
+
+  // Walks a segment's records in append order (committed and uncommitted).
+  // Stops early if fn returns false, or on the first corrupt frame (which
+  // surfaces as an error). Sealed or active.
+  util::Status Scan(std::uint64_t segment,
+                    util::FunctionRef<bool(const RecordLocator&, std::string_view key,
+                                           std::string_view value)>
+                        fn) const;
+
+  // Point read: probes `segments` in the given order (callers pass newest
+  // first) and returns the first record whose key matches. Sealed segments
+  // are bloom-skipped; an index probe that hits reads the record and
+  // compares the stored key, so a hash collision can never return the
+  // wrong value. kNotFound when no segment holds the key.
+  util::StatusOr<RecordLocator> FindNewestFirst(const std::uint64_t* segments, std::size_t n,
+                                                std::string_view key, std::string* value) const;
+
+  // ---- compaction -----------------------------------------------------
+
+  // Streams the records of `inputs` (in the given order) through `live`;
+  // surviving records are appended to a fresh segment which is sealed
+  // (with a point index) and committed, and the inputs retired — all in
+  // one commit, so a crash anywhere leaves either the old segments or the
+  // new one, with no cluster leaked either way. `fail_before_commit`
+  // simulates exactly that crash for the invariant tests: the new chain is
+  // written but the commit is skipped, so recovery must roll back.
+  util::StatusOr<std::uint64_t> CompactInto(
+      std::string name, const std::vector<std::uint64_t>& inputs,
+      util::FunctionRef<bool(std::string_view key, std::string_view value,
+                             const RecordLocator& loc)>
+          live,
+      bool fail_before_commit = false);
+
+  // ---- introspection --------------------------------------------------
+
+  std::vector<SegmentInfo> List(std::string_view name_prefix) const;
+  util::StatusOr<SegmentInfo> Info(std::uint64_t segment) const;
+
+  // Cluster accounting invariant (the leak check): every non-free cluster
+  // is reachable from exactly one segment chain or quarantined by an
+  // uncommitted retire, free + used == total, and committed segment
+  // lengths fit their chains. Internal on violation.
+  util::Status CheckInvariants() const;
+
+  StoreStats GetStats() const;
+  void PublishTo(obs::MetricsRegistry* registry, const obs::Labels& labels) const;
+
+  // ---- test hooks -----------------------------------------------------
+
+  // Physical file offset of a logical byte of a segment (torn-write and
+  // bit-flip injection tests need to aim at record extents).
+  util::StatusOr<std::uint64_t> DebugPhysicalOffset(std::uint64_t segment,
+                                                    std::uint64_t logical) const;
+
+ private:
+  struct Segment;
+  struct Impl;
+  SegmentStore();
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace helios::store

@@ -1,0 +1,67 @@
+// CRC32C (Castagnoli polynomial, reflected 0x82F63B78).
+//
+// The segment store (src/store) frames every persisted record and metadata
+// block with a CRC32C so torn writes and bit flips are detected before any
+// byte reaches a consumer. The checksum must be stable across processes,
+// compilers and runs — it is part of the on-disk format (docs/STORAGE.md) —
+// so this is a fixed software implementation (slicing-by-8, compile-time
+// generated tables), not std::hash or a hardware instruction whose
+// availability varies by host. SSE4.2 computes the same polynomial and can
+// be slotted in later without a format change.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace helios::util {
+
+namespace crc32c_internal {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t j = 1; j < 8; ++j) {
+      t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFF];
+    }
+  }
+  return t;
+}
+
+inline constexpr auto kTables = MakeTables();
+
+}  // namespace crc32c_internal
+
+// Extends a running CRC32C with `data`. Start from 0 for a fresh checksum;
+// chain calls to checksum discontiguous pieces.
+inline std::uint32_t Crc32c(std::uint32_t crc, const void* data, std::size_t n) {
+  using crc32c_internal::kTables;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kTables[7][lo & 0xFF] ^ kTables[6][(lo >> 8) & 0xFF] ^ kTables[5][(lo >> 16) & 0xFF] ^
+          kTables[4][lo >> 24] ^ kTables[3][hi & 0xFF] ^ kTables[2][(hi >> 8) & 0xFF] ^
+          kTables[1][(hi >> 16) & 0xFF] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = kTables[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return ~crc;
+}
+
+inline std::uint32_t Crc32c(std::string_view s) { return Crc32c(0, s.data(), s.size()); }
+
+}  // namespace helios::util

@@ -160,6 +160,74 @@ TEST_F(KvTest, CompactReclaimsGarbage) {
   }
 }
 
+TEST_F(KvTest, OverwriteSpillMarksOlderDiskCopyGarbage) {
+  // An overwrite whose OLD copy already lives on disk must account that
+  // copy as garbage at Put time — even when the new value later spills
+  // too — so garbage statistics (and the auto-compaction trigger) see
+  // superseded disk bytes instead of double-counting them live.
+  KvOptions options;
+  options.memory_budget_bytes = 256;
+  options.spill_dir = dir_.string();
+  options.num_shards = 1;
+  KvStore store(options);
+  for (int i = 0; i < 20; ++i) store.Put("k" + std::to_string(i), std::string(64, 'a'));
+  ASSERT_TRUE(store.Flush().ok());
+  const auto first = store.GetStats();
+  EXPECT_EQ(first.garbage_bytes, 0u);
+  EXPECT_GT(first.disk_bytes, 0u);
+
+  // Overwrite every key and spill again: all of round-1's disk bytes are
+  // now garbage, and live disk bytes did not double.
+  for (int i = 0; i < 20; ++i) store.Put("k" + std::to_string(i), std::string(64, 'b'));
+  ASSERT_TRUE(store.Flush().ok());
+  const auto second = store.GetStats();
+  EXPECT_EQ(second.garbage_bytes, first.disk_bytes);
+  EXPECT_EQ(second.disk_bytes, first.disk_bytes);
+  EXPECT_EQ(second.num_keys, 20u);
+  std::string v;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Get("k" + std::to_string(i), v).ok());
+    EXPECT_EQ(v, std::string(64, 'b'));
+  }
+}
+
+TEST_F(KvTest, GarbageDrivesAutoCompaction) {
+  KvOptions options;
+  options.memory_budget_bytes = 256;
+  options.spill_dir = dir_.string();
+  options.num_shards = 1;
+
+  // Baseline: without the trigger, repeated overwrites pile up garbage.
+  KvOptions no_trigger = options;
+  no_trigger.spill_dir = (dir_ / "baseline").string();
+  KvStore baseline(no_trigger);
+  options.compact_garbage_ratio = 0.25;
+  KvStore store(options);
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const std::string k = "k" + std::to_string(i);
+      const std::string v = "round-" + std::to_string(round);
+      store.Put(k, v);
+      baseline.Put(k, v);
+    }
+    ASSERT_TRUE(store.Flush().ok());
+    ASSERT_TRUE(baseline.Flush().ok());
+  }
+  // The post-spill trigger bounds the garbage fraction at the configured
+  // ratio — no explicit Compact() call — while the baseline accumulates
+  // the superseded bytes of every round.
+  const auto stats = store.GetStats();
+  EXPECT_LE(static_cast<double>(stats.garbage_bytes),
+            0.25 * static_cast<double>(stats.garbage_bytes + stats.disk_bytes));
+  EXPECT_LT(stats.garbage_bytes, baseline.GetStats().garbage_bytes);
+  EXPECT_EQ(stats.num_keys, 20u);
+  std::string v;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.Get("k" + std::to_string(i), v).ok());
+    EXPECT_EQ(v, "round-5");
+  }
+}
+
 TEST_F(KvTest, StatsFootprintMovesMemoryToDisk) {
   KvOptions options;
   options.memory_budget_bytes = 1 << 20;
